@@ -1,0 +1,120 @@
+// Experiment X5: §5.3 ablation — ahead-of-time Q adaptation composed with
+// just-in-time trimming.
+//
+// Closed loop against a fixed-capacity bottleneck: each round the sender
+// encodes a gradient at its current Q, the bottleneck trims whatever
+// exceeds capacity (oldest-tail-first, like a shallow queue), the receiver
+// decodes, and the controller observes the trim fraction. We compare three
+// sender policies under a capacity sweep:
+//   fixedQ31  — always full tails: maximal trimming, but every surviving
+//               tail is exact;
+//   fixedQ7   — always minimal tails: never trimmed, but permanently low
+//               precision (the "over-compressing" CC coupling the paper
+//               warns about);
+//   adaptive  — AIMD targeting a small positive trim rate (§5.3's
+//               "slightly under-compress and over-send").
+#include <cstdio>
+#include <vector>
+
+#include "core/adaptive.h"
+#include "core/codec.h"
+#include "core/prng.h"
+#include "core/stats.h"
+
+using namespace trimgrad;
+
+namespace {
+
+std::vector<float> gaussian_vec(std::size_t n, std::uint64_t seed) {
+  core::Xoshiro256 rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.gaussian());
+  return v;
+}
+
+struct RoundOutcome {
+  double trim_fraction;
+  double nmse;
+  std::size_t bytes;
+};
+
+/// One round: encode at q, trim packets beyond the byte capacity, decode.
+RoundOutcome run_round(const std::vector<float>& grad, unsigned q,
+                       std::size_t capacity_bytes, std::uint32_t msg_id) {
+  core::CodecConfig cfg;
+  cfg.scheme = core::Scheme::kRHT;
+  cfg.rht_row_len = std::size_t{1} << 12;
+  cfg.layout.q_bits = q;
+  core::TrimmableEncoder enc(cfg);
+  core::TrimmableDecoder dec(cfg);
+  auto msg = enc.encode(grad, msg_id, 1);
+
+  std::size_t total = 0;
+  for (const auto& p : msg.packets) total += p.wire_bytes();
+  std::size_t trimmed = 0;
+  // Queue-like behaviour: the frames at the back of the burst overflow.
+  for (auto it = msg.packets.rbegin();
+       it != msg.packets.rend() && total > capacity_bytes; ++it) {
+    const std::size_t before = it->wire_bytes();
+    it->trim();
+    total -= before - it->wire_bytes();
+    ++trimmed;
+  }
+  RoundOutcome out;
+  out.trim_fraction =
+      msg.packets.empty()
+          ? 0.0
+          : static_cast<double>(trimmed) / static_cast<double>(msg.packets.size());
+  out.bytes = total;
+  out.nmse = core::nmse(dec.decode(msg.packets, msg.meta).values, grad);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = 1 << 16;
+  const std::size_t full_bytes = n * 4;  // raw gradient volume
+
+  std::printf("# Sec 5.3 ablation: ahead-of-time Q + just-in-time trim\n");
+  std::printf("# capacity as fraction of raw gradient volume; 40 rounds "
+              "per cell, last-10 averages\n");
+  std::printf("%10s %10s | %9s %8s | %9s %8s | %9s %8s %6s\n", "capacity%",
+              "", "q31_NMSE", "q31_trim", "q7_NMSE", "q7_trim", "ad_NMSE",
+              "ad_trim", "ad_Q");
+
+  for (double cap_frac : {1.1, 0.9, 0.7, 0.5, 0.3, 0.15}) {
+    const auto capacity =
+        static_cast<std::size_t>(cap_frac * static_cast<double>(full_bytes));
+    core::AdaptiveQController ctl;
+    double stats[3][2] = {{0, 0}, {0, 0}, {0, 0}};  // [policy][nmse,trim]
+    unsigned final_q = ctl.q();
+    const int rounds = 40, tail = 10;
+    for (int r = 0; r < rounds; ++r) {
+      const auto grad = gaussian_vec(n, 100 + r);
+      const RoundOutcome fixed31 = run_round(grad, 31, capacity, r);
+      const RoundOutcome fixed7 = run_round(grad, 7, capacity, r);
+      const RoundOutcome adaptive = run_round(grad, ctl.q(), capacity, r);
+      ctl.observe(adaptive.trim_fraction);
+      final_q = ctl.q();
+      if (r >= rounds - tail) {
+        stats[0][0] += fixed31.nmse / tail;
+        stats[0][1] += fixed31.trim_fraction / tail;
+        stats[1][0] += fixed7.nmse / tail;
+        stats[1][1] += fixed7.trim_fraction / tail;
+        stats[2][0] += adaptive.nmse / tail;
+        stats[2][1] += adaptive.trim_fraction / tail;
+      }
+    }
+    std::printf("%9.0f%% %10s | %9.4f %7.1f%% | %9.4f %7.1f%% | %9.4f "
+                "%7.1f%% %6u\n",
+                cap_frac * 100, "", stats[0][0], stats[0][1] * 100,
+                stats[1][0], stats[1][1] * 100, stats[2][0],
+                stats[2][1] * 100, final_q);
+  }
+  std::printf("# (expected: at loose capacity adaptive ~ q31 and beats q7's "
+              "precision floor; under tight capacity adaptive approaches q7 "
+              "and beats q31's heavy-trim error — tracking the better fixed "
+              "policy at every operating point)\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Experiment X1 (DESIGN.md): multi-level trimming ablation (paper §5.1).
+//
+// The paper's open question: under a fixed byte budget, is it better to
+// trim MANY packets mildly (to the 8-bit level, ~25 % size) or FEW packets
+// severely (to the 1-bit level, ~3 % size)? We sweep the surviving-byte
+// budget, construct both strategies (plus mixtures) to meet it, and report
+// decode NMSE — the data a switch trim policy needs.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/multilevel.h"
+#include "core/prng.h"
+#include "core/stats.h"
+
+using namespace trimgrad;
+
+namespace {
+
+std::vector<float> gaussian_vec(std::size_t n, std::uint64_t seed) {
+  core::Xoshiro256 rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.gaussian());
+  return v;
+}
+
+struct Strategy {
+  const char* name;
+  core::TrimLevel level;
+};
+
+/// Trim packets (in index order) to `level` until total size <= budget;
+/// returns achieved bytes. If trimming every packet to `level` still
+/// exceeds the budget, that's the floor for this strategy.
+std::size_t trim_to_budget(std::vector<core::MlPacket>& pkts,
+                           core::TrimLevel level, std::size_t budget) {
+  std::size_t total = 0;
+  for (const auto& p : pkts) total += p.wire_bytes();
+  for (auto& p : pkts) {
+    if (total <= budget) break;
+    const std::size_t before = p.wire_bytes();
+    p.trim_to(level);
+    total -= before - p.wire_bytes();
+  }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = 1 << 16;
+  const auto v = gaussian_vec(n, 21);
+
+  core::MultilevelCodec codec({core::PacketLayout{}, std::size_t{1} << 12, 5});
+  const auto reference = codec.encode(v, 1, 1);
+  std::size_t full_bytes = 0;
+  for (const auto& p : reference.packets) full_bytes += p.wire_bytes();
+
+  std::printf("# multilevel trimming under a byte budget (n=%zu, full=%zu "
+              "bytes)\n",
+              n, full_bytes);
+  std::printf("%9s %14s %14s %12s %12s\n", "budget%", "mid_only_NMSE",
+              "head_only_NMSE", "mid_bytes%", "head_bytes%");
+
+  for (double budget_frac : {0.9, 0.7, 0.5, 0.3, 0.25, 0.1, 0.06, 0.03}) {
+    const std::size_t budget =
+        static_cast<std::size_t>(budget_frac * full_bytes);
+
+    auto mid_msg = codec.encode(v, 1, 1);
+    const std::size_t mid_achieved =
+        trim_to_budget(mid_msg.packets, core::TrimLevel::kMid, budget);
+    const double mid_nmse =
+        core::nmse(codec.decode(mid_msg.packets, mid_msg.meta), v);
+
+    auto head_msg = codec.encode(v, 1, 1);
+    const std::size_t head_achieved =
+        trim_to_budget(head_msg.packets, core::TrimLevel::kHead, budget);
+    const double head_nmse =
+        core::nmse(codec.decode(head_msg.packets, head_msg.meta), v);
+
+    std::printf("%8.0f%% %14.4f %14.4f %11.1f%% %11.1f%%\n",
+                budget_frac * 100, mid_nmse, head_nmse,
+                100.0 * mid_achieved / full_bytes,
+                100.0 * head_achieved / full_bytes);
+  }
+  std::printf(
+      "# (expected: above ~25%% budget, trimming many packets to 8-bit "
+      "beats trimming fewer to 1-bit; below the 25%% floor only the 1-bit "
+      "level can meet the budget — the Sec 5.1 trade-off quantified)\n\n");
+
+  std::printf("# level sanity: NMSE at uniform levels\n");
+  for (auto [label, level] :
+       {std::pair{"full", core::TrimLevel::kFull},
+        std::pair{"mid(8b)", core::TrimLevel::kMid},
+        std::pair{"head(1b)", core::TrimLevel::kHead}}) {
+    auto msg = codec.encode(v, 1, 1);
+    for (auto& p : msg.packets) p.trim_to(level);
+    std::printf("  %-9s NMSE %.6f\n", label,
+                core::nmse(codec.decode(msg.packets, msg.meta), v));
+  }
+  return 0;
+}

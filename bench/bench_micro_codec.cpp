@@ -1,0 +1,139 @@
+// Experiment X3 (DESIGN.md): microbenchmarks of the codec hot paths
+// (google-benchmark). These quantify the "low computational overhead" claim
+// at the primitive level: FWHT throughput, per-scheme encode/decode rates,
+// bit packing.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/bitpack.h"
+#include "core/codec.h"
+#include "core/hadamard.h"
+#include "core/quantizer.h"
+#include "core/rht_codec.h"
+
+using namespace trimgrad::core;
+
+namespace {
+
+std::vector<float> gaussian_vec(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.gaussian());
+  return v;
+}
+
+void BM_Fwht(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  auto v = gaussian_vec(n, 1);
+  for (auto _ : state) {
+    fwht_orthonormal_inplace(v);
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Fwht)->Arg(1 << 10)->Arg(1 << 12)->Arg(1 << 15)->Arg(1 << 17);
+
+void BM_RhtEncodeRow(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto v = gaussian_vec(n, 2);
+  const StreamKey key{1, 2, 3, 0};
+  for (auto _ : state) {
+    auto enc = rht_encode_row(v, key);
+    benchmark::DoNotOptimize(enc.scale_f);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_RhtEncodeRow)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_ScalarEncode(benchmark::State& state) {
+  const auto scheme = static_cast<ScalarScheme>(state.range(0));
+  const std::size_t n = 1 << 15;
+  const auto v = gaussian_vec(n, 3);
+  const float scale = scalar_scale(scheme, v);
+  const auto dithers =
+      make_dithers(n, scale, SharedRng(StreamKey{1, 1, 1, 0}));
+  Xoshiro256 rng(9);
+  for (auto _ : state) {
+    std::vector<std::uint8_t> heads;
+    std::vector<std::uint32_t> tails;
+    scalar_encode_all(scheme, v, scale, rng, dithers, heads, tails);
+    benchmark::DoNotOptimize(heads.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ScalarEncode)
+    ->Arg(static_cast<int>(ScalarScheme::kSign))
+    ->Arg(static_cast<int>(ScalarScheme::kSQ))
+    ->Arg(static_cast<int>(ScalarScheme::kSD));
+
+void BM_BitWriter31(benchmark::State& state) {
+  const std::size_t n = 1 << 15;
+  std::vector<std::uint32_t> vals(n, 0x2aaaaaaa);
+  for (auto _ : state) {
+    BitWriter w;
+    for (auto v : vals) w.put(v, 31);
+    auto buf = std::move(w).finish();
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_BitWriter31);
+
+void BM_MessageEncode(benchmark::State& state) {
+  const auto scheme = static_cast<Scheme>(state.range(0));
+  const std::size_t n = 1 << 17;
+  const auto v = gaussian_vec(n, 4);
+  CodecConfig cfg;
+  cfg.scheme = scheme;
+  cfg.rht_row_len = 1 << 15;
+  TrimmableEncoder enc(cfg);
+  std::uint32_t id = 0;
+  for (auto _ : state) {
+    auto msg = enc.encode(v, ++id, 1);
+    benchmark::DoNotOptimize(msg.packets.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_MessageEncode)
+    ->Arg(static_cast<int>(Scheme::kBaseline))
+    ->Arg(static_cast<int>(Scheme::kSign))
+    ->Arg(static_cast<int>(Scheme::kSQ))
+    ->Arg(static_cast<int>(Scheme::kSD))
+    ->Arg(static_cast<int>(Scheme::kRHT));
+
+void BM_MessageDecode(benchmark::State& state) {
+  const auto scheme = static_cast<Scheme>(state.range(0));
+  const bool trimmed = state.range(1) != 0;
+  const std::size_t n = 1 << 17;
+  const auto v = gaussian_vec(n, 5);
+  CodecConfig cfg;
+  cfg.scheme = scheme;
+  cfg.rht_row_len = 1 << 15;
+  TrimmableEncoder enc(cfg);
+  TrimmableDecoder dec(cfg);
+  auto msg = enc.encode(v, 1, 1);
+  if (trimmed) {
+    for (auto& p : msg.packets) p.trim();
+  }
+  for (auto _ : state) {
+    auto out = dec.decode(msg.packets, msg.meta);
+    benchmark::DoNotOptimize(out.values.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_MessageDecode)
+    ->Args({static_cast<int>(Scheme::kSign), 0})
+    ->Args({static_cast<int>(Scheme::kSign), 1})
+    ->Args({static_cast<int>(Scheme::kRHT), 0})
+    ->Args({static_cast<int>(Scheme::kRHT), 1});
+
+}  // namespace
+
+BENCHMARK_MAIN();

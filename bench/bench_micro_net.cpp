@@ -1,0 +1,81 @@
+// Experiment X7: simulator-kernel microbenchmarks (google-benchmark).
+//
+// Event throughput bounds how large a fabric/duration the closed-loop
+// experiments can afford; these numbers put the "full-scale simulations"
+// the paper calls for (§5.1) into engineering context.
+#include <benchmark/benchmark.h>
+
+#include "net/topology.h"
+#include "net/traffic.h"
+
+using namespace trimgrad::net;
+
+namespace {
+
+void BM_EventQueue(benchmark::State& state) {
+  // Pure scheduling throughput: chains of self-rescheduling events.
+  for (auto _ : state) {
+    Simulator sim;
+    int remaining = 10000;
+    std::function<void()> tick = [&] {
+      if (--remaining > 0) sim.schedule(1e-9, tick);
+    };
+    sim.schedule(1e-9, tick);
+    sim.run();
+    benchmark::DoNotOptimize(sim.now());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EventQueue);
+
+void BM_IncastSimulation(benchmark::State& state) {
+  const auto senders = static_cast<std::size_t>(state.range(0));
+  std::uint64_t frames = 0;
+  for (auto _ : state) {
+    Simulator sim;
+    FabricConfig cfg;
+    cfg.core_link = {10e9, 1e-6};
+    cfg.switch_queue.policy = QueuePolicy::kTrim;
+    cfg.switch_queue.capacity_bytes = 30 * 1024;
+    const Dumbbell topo = build_dumbbell(sim, senders, 1, cfg);
+    IncastPattern::Config icfg;
+    icfg.packets_per_sender = 64;
+    icfg.trim_size = 88;
+    icfg.transport = TransportConfig::trim_aware();
+    IncastPattern incast(sim, topo.left_hosts, topo.right_hosts[0], icfg);
+    sim.run();
+    frames += sim.delivered_frames();
+    benchmark::DoNotOptimize(incast.max_fct());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(frames));
+  state.SetLabel("frames delivered");
+}
+BENCHMARK(BM_IncastSimulation)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_LeafSpineBackground(benchmark::State& state) {
+  std::uint64_t frames = 0;
+  for (auto _ : state) {
+    Simulator sim;
+    FabricConfig cfg;
+    cfg.core_link = {40e9, 2e-6};
+    cfg.switch_queue.policy = QueuePolicy::kTrim;
+    const LeafSpine fabric = build_leaf_spine(sim, 3, 2, 4, cfg);
+    PoissonTraffic::Config pcfg;
+    pcfg.flows_per_sec = 5e5;
+    pcfg.stop = 1e-3;
+    pcfg.packets_per_flow = 8;
+    pcfg.trim_size = 88;
+    pcfg.transport = TransportConfig::trim_aware();
+    PoissonTraffic bg(sim, fabric.all_hosts(), pcfg);
+    sim.run();
+    frames += sim.delivered_frames();
+    benchmark::DoNotOptimize(bg.completed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(frames));
+  state.SetLabel("frames delivered");
+}
+BENCHMARK(BM_LeafSpineBackground);
+
+}  // namespace
+
+BENCHMARK_MAIN();

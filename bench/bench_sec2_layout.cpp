@@ -1,0 +1,49 @@
+// Experiment T2 (DESIGN.md): the §2 packet-layout arithmetic.
+//
+// Paper's worked example: MTU 1500 B, 42 B Ethernet/IP/UDP header, P = 1,
+// Q = 31 => "about n = 365 coordinates", trim at "87 bytes", "compression
+// ratio of 94.2%". We print our exact integer arithmetic next to the
+// paper's rounded figures, plus the P sweep behind §5.1's 25 % / 3 % levels.
+#include <cstdio>
+
+#include "core/packet.h"
+
+int main() {
+  using trimgrad::core::PacketLayout;
+
+  std::printf("=== paper worked example (MTU 1500, header 42, P=1/Q=31) ===\n");
+  PacketLayout base;
+  std::printf("coords per packet : %zu   (paper: ~365)\n",
+              base.coords_per_packet());
+  std::printf("head region bytes : %zu   (paper: ~45)\n",
+              base.head_region_bytes(base.coords_per_packet()));
+  std::printf("trim point bytes  : %zu   (paper: 87)\n",
+              base.trim_point_bytes());
+  std::printf("compression ratio : %.1f%% (paper: 94.2%%)\n\n",
+              base.trim_ratio() * 100);
+
+  std::printf("=== P sweep at MTU 1500 (multi-level trim targets, Sec 5.1) ===\n");
+  std::printf("%4s %6s %10s %12s %14s %12s\n", "P", "Q", "coords/pkt",
+              "trim_point", "trimmed_size%", "~Q/(P+Q)%");
+  for (unsigned p : {1u, 2u, 4u, 8u, 16u}) {
+    PacketLayout l;
+    l.p_bits = p;
+    l.q_bits = 32 - p;
+    const double trimmed_frac = 1.0 - l.trim_ratio();
+    std::printf("%4u %6u %10zu %12zu %13.1f%% %11.1f%%\n", p, l.q_bits,
+                l.coords_per_packet(), l.trim_point_bytes(),
+                trimmed_frac * 100,
+                100.0 * l.q_bits / (l.p_bits + l.q_bits));
+  }
+
+  std::printf("\n=== MTU sweep at P=1 ===\n");
+  std::printf("%6s %10s %12s %12s\n", "MTU", "coords/pkt", "trim_point",
+              "ratio%");
+  for (std::size_t mtu : {256u, 512u, 1500u, 4096u, 9000u}) {
+    PacketLayout l;
+    l.mtu_bytes = mtu;
+    std::printf("%6zu %10zu %12zu %11.1f%%\n", mtu, l.coords_per_packet(),
+                l.trim_point_bytes(), l.trim_ratio() * 100);
+  }
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Experiment T3 (DESIGN.md): §4.4's in-text claim, on the real simulated
+// fabric — "the baseline cannot tolerate much congestion: 0.15-0.25 %
+// drops without disproportional slowdown; 1-2 % drops => 5-10x slower".
+//
+// We sweep bottleneck queue depth on a dumbbell incast so the *fabric*
+// produces the loss, then report measured drop rate vs flow-completion-time
+// inflation for (a) the reliable baseline on drop-tail switches and (b) the
+// trim-aware transport on trimming switches at the same queue depths.
+#include <cstdio>
+#include <vector>
+
+#include "net/topology.h"
+#include "net/traffic.h"
+
+using namespace trimgrad::net;
+
+namespace {
+
+struct RunResult {
+  double drop_pct;
+  double trim_pct;
+  double max_fct_us;
+  unsigned long long retx;
+};
+
+RunResult run(QueuePolicy policy, std::size_t queue_kb, std::size_t senders,
+              std::size_t packets) {
+  Simulator sim;
+  FabricConfig cfg;
+  cfg.edge_link = {100e9, 1e-6};
+  cfg.core_link = {100e9, 1e-6};
+  cfg.switch_queue.policy = policy;
+  cfg.switch_queue.capacity_bytes = queue_kb * 1024;
+  cfg.switch_queue.header_capacity_bytes = 32 * 1024;
+  const Dumbbell topo = build_dumbbell(sim, senders, 1, cfg);
+
+  IncastPattern::Config icfg;
+  icfg.packets_per_sender = packets;
+  const bool trimming = policy == QueuePolicy::kTrim;
+  icfg.trim_size = trimming ? 88 : 0;
+  icfg.transport =
+      trimming ? TransportConfig::trim_aware() : TransportConfig::reliable();
+  IncastPattern incast(sim, topo.left_hosts, topo.right_hosts[0], icfg);
+  sim.run();
+
+  RunResult out{};
+  std::uint64_t enq = 0, dropped = 0, trimmed = 0;
+  for (NodeId sw : {topo.left_switch, topo.right_switch}) {
+    auto& node = sim.node(sw);
+    for (std::size_t p = 0; p < node.port_count(); ++p) {
+      const auto& c = node.port(p).queue().counters();
+      enq += c.enqueued;
+      dropped += c.dropped;
+      trimmed += c.trimmed;
+    }
+  }
+  const double offered = static_cast<double>(enq + dropped);
+  out.drop_pct = offered > 0 ? 100.0 * dropped / offered : 0;
+  out.trim_pct = offered > 0 ? 100.0 * trimmed / offered : 0;
+  out.max_fct_us = incast.max_fct() * 1e6;
+  for (const auto& st : incast.flow_stats()) out.retx += st.retransmits;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t senders = 8;
+  const std::size_t packets = 256;
+
+  std::printf("# Sec 4.4 on the simulated fabric: 8-to-1 incast, 256 MTU "
+              "packets per sender, queue depth sweep\n\n");
+  std::printf("=== reliable baseline on drop-tail switches ===\n");
+  std::printf("%9s %8s %12s %10s %9s\n", "queue_KB", "drop%", "max_fct_us",
+              "slowdown", "retx");
+  double base_fct = 0;
+  for (std::size_t kb : {2048u, 512u, 256u, 128u, 64u, 32u, 16u}) {
+    const RunResult r = run(QueuePolicy::kDropTail, kb, senders, packets);
+    if (base_fct == 0) base_fct = r.max_fct_us;
+    std::printf("%9zu %7.2f%% %12.1f %9.2fx %9llu\n", kb, r.drop_pct,
+                r.max_fct_us, r.max_fct_us / base_fct, r.retx);
+  }
+
+  std::printf("\n=== trim-aware transport on trimming switches ===\n");
+  std::printf("%9s %8s %12s %10s %9s\n", "queue_KB", "trim%", "max_fct_us",
+              "slowdown", "retx");
+  double trim_base_fct = 0;
+  for (std::size_t kb : {2048u, 512u, 256u, 128u, 64u, 32u, 16u}) {
+    const RunResult r = run(QueuePolicy::kTrim, kb, senders, packets);
+    if (trim_base_fct == 0) trim_base_fct = r.max_fct_us;
+    std::printf("%9zu %7.2f%% %12.1f %9.2fx %9llu\n", kb, r.trim_pct,
+                r.max_fct_us, r.max_fct_us / trim_base_fct, r.retx);
+  }
+  std::printf("\n# (expected shape: drop-tail FCT inflates steeply once "
+              "drops exceed ~0.25%%; trimming stays near 1x with zero "
+              "retransmissions)\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Trimmable weight all-gather for FSDP-style sharded training (paper §5.5).
+//
+//   $ ./examples/fsdp_allgather
+//
+// Four ranks each own one shard of a layer's weights. Before the matmul,
+// every rank gathers the other shards through a congested (trimming)
+// channel. We verify the gathered weights are close enough that the layer's
+// *outputs* barely move — §5.5's "a small fraction of imperfection in copied
+// weights has limited impact" claim, measured.
+#include <cstdio>
+#include <vector>
+
+#include "collective/allgather.h"
+#include "collective/inject_channel.h"
+#include "core/stats.h"
+#include "ml/layers.h"
+
+int main() {
+  using namespace trimgrad;
+
+  // A Linear layer whose weight matrix will be sharded across 4 ranks.
+  core::Xoshiro256 rng(11);
+  ml::Linear layer(256, 128, rng);
+  const std::vector<float> weights = *layer.params()[0].values;
+
+  // Shard row-blocks across ranks.
+  const int world = 4;
+  std::vector<std::vector<float>> shards(world);
+  const std::size_t per = weights.size() / world;
+  for (int r = 0; r < world; ++r) {
+    shards[r].assign(weights.begin() + r * per,
+                     r + 1 == world ? weights.end()
+                                    : weights.begin() + (r + 1) * per);
+  }
+
+  core::CodecConfig codec;
+  codec.scheme = core::Scheme::kRHT;
+  codec.rht_row_len = std::size_t{1} << 12;
+
+  for (double trim_rate : {0.0, 0.1, 0.3, 0.5}) {
+    collective::InjectChannel::Config ccfg;
+    ccfg.world = world;
+    ccfg.injector.trim_rate = trim_rate;
+    collective::InjectChannel channel(ccfg);
+    collective::AllGatherer gatherer(channel, codec);
+
+    const auto result = gatherer.run(shards, /*msg_id=*/1, /*epoch=*/1);
+
+    // Weight error and, more importantly, layer-output error.
+    double worst_out_nmse = 0;
+    for (int r = 0; r < world; ++r) {
+      ml::Linear approx(256, 128, rng);
+      *approx.params()[0].values = result.outputs[r];
+      *approx.params()[1].values = *layer.params()[1].values;
+      ml::Tensor x({8, 256});
+      core::Xoshiro256 xr(5);
+      for (auto& v : x.data) v = static_cast<float>(xr.gaussian());
+      const ml::Tensor y_ref = layer.forward(x);
+      const ml::Tensor y_est = approx.forward(x);
+      worst_out_nmse =
+          std::max(worst_out_nmse, core::nmse(y_est.data, y_ref.data));
+    }
+    std::printf(
+        "trim %4.0f%%: weight NMSE %.5f, worst layer-output NMSE %.5f, "
+        "%4zu trimmed pkts, comm %.1f us\n",
+        trim_rate * 100, core::nmse(result.outputs[0], weights),
+        worst_out_nmse, result.trimmed_packets, result.comm_time * 1e6);
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+#include "collective/allgather.h"
+
+#include <cassert>
+
+namespace trimgrad::collective {
+
+AllGatherer::AllGatherer(Channel& channel, core::CodecConfig codec)
+    : channel_(channel), encoder_(codec), decoder_(codec) {}
+
+AllGatherResult AllGatherer::run(const std::vector<std::vector<float>>& shards,
+                                 std::uint32_t msg_id, std::uint64_t epoch) {
+  const int world = channel_.world_size();
+  const std::size_t w = static_cast<std::size_t>(world);
+  assert(shards.size() == w);
+
+  AllGatherResult result;
+  // held[r][c] = rank r's current copy of shard c (empty if not yet seen).
+  std::vector<std::vector<std::vector<float>>> held(w);
+  for (std::size_t r = 0; r < w; ++r) {
+    held[r].resize(w);
+    held[r][r] = shards[r];
+  }
+
+  std::uint32_t step_id = msg_id * 64;
+  for (int s = 0; s < world - 1; ++s) {
+    std::vector<TransferRequest> batch;
+    for (int r = 0; r < world; ++r) {
+      // Forward the shard received last step (own shard at step 0).
+      const std::size_t c =
+          static_cast<std::size_t>(((r - s) % world + world) % world);
+      TransferRequest req;
+      req.src = r;
+      req.dst = (r + 1) % world;
+      req.message =
+          encoder_.encode(held[static_cast<std::size_t>(r)][c],
+                          step_id + static_cast<std::uint32_t>(r), epoch);
+      batch.push_back(std::move(req));
+    }
+    step_id += static_cast<std::uint32_t>(world);
+    auto deliveries = channel_.transfer(std::move(batch));
+    result.comm_time += batch_time(deliveries);
+    for (const auto& d : deliveries) {
+      result.wire_bytes += d.wire_bytes;
+      result.trimmed_packets += d.trimmed_packets;
+      result.dropped_packets += d.dropped_packets;
+      const std::size_t c =
+          static_cast<std::size_t>(((d.src - s) % world + world) % world);
+      held[static_cast<std::size_t>(d.dst)][c] =
+          decoder_.decode(d.packets, d.meta).values;
+    }
+  }
+
+  result.outputs.resize(w);
+  for (std::size_t r = 0; r < w; ++r) {
+    for (std::size_t c = 0; c < w; ++c) {
+      result.outputs[r].insert(result.outputs[r].end(), held[r][c].begin(),
+                               held[r][c].end());
+    }
+  }
+  return result;
+}
+
+}  // namespace trimgrad::collective

@@ -1,0 +1,44 @@
+// Trimmable all-gather for FSDP-style sharded weights (paper §5.5).
+//
+// In fully-sharded data parallelism each rank owns one shard of a weight
+// matrix and must gather the other shards before a matmul. §5.5 argues a
+// small fraction of imperfection in *copied weights* is tolerable, so the
+// gather can use trimmable packets too and dodge stragglers. Ring
+// all-gather: W−1 steps, each rank forwarding the newest shard it holds.
+// Forwarded shards are re-encoded, so a shard trimmed at step s keeps its
+// (decoded) approximation for the remaining hops — error does not compound
+// multiplicatively.
+#pragma once
+
+#include <vector>
+
+#include "collective/channel.h"
+#include "core/codec.h"
+
+namespace trimgrad::collective {
+
+struct AllGatherResult {
+  /// outputs[r] = rank r's assembled full vector (shards concatenated in
+  /// rank order).
+  std::vector<std::vector<float>> outputs;
+  net::SimTime comm_time = 0;
+  std::uint64_t wire_bytes = 0;
+  std::size_t trimmed_packets = 0;
+  std::size_t dropped_packets = 0;
+};
+
+class AllGatherer {
+ public:
+  AllGatherer(Channel& channel, core::CodecConfig codec);
+
+  /// shards[r] = rank r's owned shard. Shards may differ in length.
+  AllGatherResult run(const std::vector<std::vector<float>>& shards,
+                      std::uint32_t msg_id, std::uint64_t epoch);
+
+ private:
+  Channel& channel_;
+  core::TrimmableEncoder encoder_;
+  core::TrimmableDecoder decoder_;
+};
+
+}  // namespace trimgrad::collective

@@ -1,0 +1,223 @@
+#include "collective/allreduce.h"
+
+#include <cassert>
+
+namespace trimgrad::collective {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+void accumulate(AllReduceStats& st, const Delivery& d) {
+  st.wire_bytes += d.wire_bytes;
+  st.packets += d.packets.size() + d.dropped_packets;
+  st.trimmed_packets += d.trimmed_packets;
+  st.dropped_packets += d.dropped_packets;
+  st.retransmits += d.retransmits;
+}
+
+void accumulate(core::DecodeStats& agg, const core::DecodeStats& one) {
+  agg.total_coords += one.total_coords;
+  agg.full_coords += one.full_coords;
+  agg.trimmed_coords += one.trimmed_coords;
+  agg.lost_coords += one.lost_coords;
+}
+
+}  // namespace
+
+const char* to_string(Algorithm a) noexcept {
+  switch (a) {
+    case Algorithm::kPs: return "ps";
+    case Algorithm::kRing: return "ring";
+  }
+  return "?";
+}
+
+AllReducer::AllReducer(Channel& channel, core::CodecConfig codec,
+                       Algorithm algo)
+    : channel_(channel),
+      codec_cfg_(codec),
+      algo_(algo),
+      encoder_(codec),
+      decoder_(codec) {}
+
+core::EncodedMessage AllReducer::encode_timed(std::span<const float> grad,
+                                              std::uint32_t msg_id,
+                                              std::uint64_t epoch,
+                                              AllReduceStats& st) {
+  const auto t0 = Clock::now();
+  auto msg = encoder_.encode(grad, msg_id, epoch);
+  st.encode_seconds += seconds_since(t0);
+  return msg;
+}
+
+core::DecodeResult AllReducer::decode_timed(const Delivery& d,
+                                            AllReduceStats& st) {
+  const auto t0 = Clock::now();
+  auto out = decoder_.decode(d.packets, d.meta);
+  st.decode_seconds += seconds_since(t0);
+  accumulate(st.coord_stats, out.stats);
+  return out;
+}
+
+AllReduceResult AllReducer::run(const std::vector<std::vector<float>>& grads,
+                                std::uint32_t msg_id, std::uint64_t epoch) {
+  assert(!grads.empty());
+  assert(static_cast<int>(grads.size()) == channel_.world_size());
+  for (const auto& g : grads) {
+    assert(g.size() == grads[0].size());
+    (void)g;
+  }
+  return algo_ == Algorithm::kPs ? run_ps(grads, msg_id, epoch)
+                                 : run_ring(grads, msg_id, epoch);
+}
+
+AllReduceResult AllReducer::run_ps(const std::vector<std::vector<float>>& grads,
+                                   std::uint32_t msg_id, std::uint64_t epoch) {
+  const int world = channel_.world_size();
+  const std::size_t n = grads[0].size();
+  AllReduceResult result;
+  auto& st = result.stats;
+
+  // Phase 1: workers 1..W-1 send to the server (rank 0). Message ids are
+  // unique per (collective, sender) so shared-randomness streams differ.
+  std::vector<TransferRequest> gather;
+  for (int r = 1; r < world; ++r) {
+    TransferRequest req;
+    req.src = r;
+    req.dst = 0;
+    req.message = encode_timed(grads[static_cast<std::size_t>(r)],
+                               msg_id * 64 + static_cast<std::uint32_t>(r),
+                               epoch, st);
+    gather.push_back(std::move(req));
+  }
+  auto arrivals = channel_.transfer(std::move(gather));
+  const net::SimTime gather_time = batch_time(arrivals);
+
+  // Server average: its own gradient plus each decoded arrival.
+  std::vector<double> acc(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) acc[i] = grads[0][i];
+  for (const auto& d : arrivals) {
+    accumulate(st, d);
+    const auto dec = decode_timed(d, st);
+    for (std::size_t i = 0; i < n; ++i) acc[i] += dec.values[i];
+  }
+  std::vector<float> mean(n);
+  for (std::size_t i = 0; i < n; ++i)
+    mean[i] = static_cast<float>(acc[i] / world);
+
+  // Phase 2: broadcast the mean back.
+  std::vector<TransferRequest> scatter;
+  for (int r = 1; r < world; ++r) {
+    TransferRequest req;
+    req.src = 0;
+    req.dst = r;
+    req.message = encode_timed(
+        mean, msg_id * 64 + 32 + static_cast<std::uint32_t>(r), epoch, st);
+    scatter.push_back(std::move(req));
+  }
+  auto returns = channel_.transfer(std::move(scatter));
+  const net::SimTime scatter_time = batch_time(returns);
+
+  result.outputs.assign(static_cast<std::size_t>(world), {});
+  result.outputs[0] = mean;
+  for (const auto& d : returns) {
+    accumulate(st, d);
+    result.outputs[static_cast<std::size_t>(d.dst)] =
+        decode_timed(d, st).values;
+  }
+  st.comm_time = gather_time + scatter_time;
+  return result;
+}
+
+AllReduceResult AllReducer::run_ring(
+    const std::vector<std::vector<float>>& grads, std::uint32_t msg_id,
+    std::uint64_t epoch) {
+  const int world = channel_.world_size();
+  const std::size_t n = grads[0].size();
+  const std::size_t w = static_cast<std::size_t>(world);
+  AllReduceResult result;
+  auto& st = result.stats;
+
+  // Chunk boundaries: chunk c covers [bounds[c], bounds[c+1]).
+  std::vector<std::size_t> bounds(w + 1);
+  for (std::size_t c = 0; c <= w; ++c) bounds[c] = n * c / w;
+  auto chunk_of = [&](const std::vector<float>& v, std::size_t c) {
+    return std::vector<float>(v.begin() + bounds[c], v.begin() + bounds[c + 1]);
+  };
+
+  // working[r] = rank r's current accumulation buffer.
+  std::vector<std::vector<float>> working = grads;
+  std::uint32_t step_id = msg_id * 64;
+
+  // Reduce-scatter: W-1 steps. In step s, rank r sends chunk (r - s) mod W
+  // to rank (r+1) mod W, which adds it into its copy of that chunk.
+  for (int s = 0; s < world - 1; ++s) {
+    std::vector<TransferRequest> batch;
+    for (int r = 0; r < world; ++r) {
+      const std::size_t c =
+          static_cast<std::size_t>(((r - s) % world + world) % world);
+      TransferRequest req;
+      req.src = r;
+      req.dst = (r + 1) % world;
+      req.message = encode_timed(
+          chunk_of(working[static_cast<std::size_t>(r)], c),
+          step_id + static_cast<std::uint32_t>(r), epoch, st);
+      batch.push_back(std::move(req));
+    }
+    step_id += static_cast<std::uint32_t>(world);
+    auto deliveries = channel_.transfer(std::move(batch));
+    st.comm_time += batch_time(deliveries);
+    for (const auto& d : deliveries) {
+      accumulate(st, d);
+      const auto dec = decode_timed(d, st);
+      const std::size_t c =
+          static_cast<std::size_t>(((d.src - s) % world + world) % world);
+      auto& buf = working[static_cast<std::size_t>(d.dst)];
+      for (std::size_t i = 0; i < dec.values.size(); ++i)
+        buf[bounds[c] + i] += dec.values[i];
+    }
+  }
+
+  // All-gather: W-1 steps. In step s, rank r sends its *final* chunk
+  // (r + 1 - s) mod W onward; receivers overwrite.
+  for (int s = 0; s < world - 1; ++s) {
+    std::vector<TransferRequest> batch;
+    for (int r = 0; r < world; ++r) {
+      const std::size_t c =
+          static_cast<std::size_t>(((r + 1 - s) % world + world) % world);
+      TransferRequest req;
+      req.src = r;
+      req.dst = (r + 1) % world;
+      req.message = encode_timed(
+          chunk_of(working[static_cast<std::size_t>(r)], c),
+          step_id + static_cast<std::uint32_t>(r), epoch, st);
+      batch.push_back(std::move(req));
+    }
+    step_id += static_cast<std::uint32_t>(world);
+    auto deliveries = channel_.transfer(std::move(batch));
+    st.comm_time += batch_time(deliveries);
+    for (const auto& d : deliveries) {
+      accumulate(st, d);
+      const auto dec = decode_timed(d, st);
+      const std::size_t c =
+          static_cast<std::size_t>(((d.src + 1 - s) % world + world) % world);
+      auto& buf = working[static_cast<std::size_t>(d.dst)];
+      for (std::size_t i = 0; i < dec.values.size(); ++i)
+        buf[bounds[c] + i] = dec.values[i];
+    }
+  }
+
+  // Normalize the sums into means.
+  const float inv = 1.0f / static_cast<float>(world);
+  for (auto& buf : working)
+    for (auto& x : buf) x *= inv;
+  result.outputs = std::move(working);
+  return result;
+}
+
+}  // namespace trimgrad::collective

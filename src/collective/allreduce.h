@@ -1,0 +1,80 @@
+// Gradient all-reduce over trimmable channels — the *ccl substitute.
+//
+// Two algorithms:
+//
+//  * Parameter-server (kPs): every worker sends its full gradient to rank 0,
+//    which decodes, averages, re-encodes, and broadcasts. Two batched
+//    phases; the fan-in to rank 0 is the incast that trimming absorbs.
+//  * Ring (kRing): classic bandwidth-optimal 2(W−1)-step ring. Each step
+//    re-encodes the partial sums, so trimming noise enters at most twice
+//    per chunk (once during reduce-scatter, once during all-gather) — the
+//    same property the paper's receiver-side aggregation has.
+//
+// The decoded average is identical at every rank (the channel delivers each
+// message once; rank-local decode is deterministic given the shared seeds).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "collective/channel.h"
+#include "core/codec.h"
+
+namespace trimgrad::collective {
+
+enum class Algorithm : std::uint8_t { kPs = 0, kRing = 1 };
+
+const char* to_string(Algorithm a) noexcept;
+
+struct AllReduceStats {
+  net::SimTime comm_time = 0;       ///< simulated wall time on the fabric
+  double encode_seconds = 0;        ///< measured CPU time in the encoder
+  double decode_seconds = 0;        ///< measured CPU time in the decoder
+  std::uint64_t wire_bytes = 0;
+  std::size_t packets = 0;
+  std::size_t trimmed_packets = 0;
+  std::size_t dropped_packets = 0;
+  std::uint64_t retransmits = 0;
+  core::DecodeStats coord_stats;    ///< aggregated coordinate-level fates
+};
+
+struct AllReduceResult {
+  /// The averaged gradient as seen by each rank (outputs[r]); with a
+  /// broadcast-style algorithm all ranks hold identical values.
+  std::vector<std::vector<float>> outputs;
+  AllReduceStats stats;
+};
+
+class AllReducer {
+ public:
+  AllReducer(Channel& channel, core::CodecConfig codec,
+             Algorithm algo = Algorithm::kPs);
+
+  /// grads[r] = rank r's local gradient; all must have equal length.
+  /// msg_id/epoch key the shared randomness — both sides of every transfer
+  /// derive dithers/rotations from them.
+  AllReduceResult run(const std::vector<std::vector<float>>& grads,
+                      std::uint32_t msg_id, std::uint64_t epoch);
+
+  const core::CodecConfig& codec() const noexcept { return codec_cfg_; }
+
+ private:
+  AllReduceResult run_ps(const std::vector<std::vector<float>>& grads,
+                         std::uint32_t msg_id, std::uint64_t epoch);
+  AllReduceResult run_ring(const std::vector<std::vector<float>>& grads,
+                           std::uint32_t msg_id, std::uint64_t epoch);
+
+  core::EncodedMessage encode_timed(std::span<const float> grad,
+                                    std::uint32_t msg_id, std::uint64_t epoch,
+                                    AllReduceStats& st);
+  core::DecodeResult decode_timed(const Delivery& d, AllReduceStats& st);
+
+  Channel& channel_;
+  core::CodecConfig codec_cfg_;
+  Algorithm algo_;
+  core::TrimmableEncoder encoder_;
+  core::TrimmableDecoder decoder_;
+};
+
+}  // namespace trimgrad::collective

@@ -1,0 +1,61 @@
+// Channels: how encoded gradient messages move between ranks.
+//
+// The collective algorithms (allreduce/allgather) are written against this
+// interface so the same code runs over:
+//
+//  * InjectChannel — the paper's own evaluation mode (§4): per-packet
+//    Bernoulli trim/drop plus an analytic time model (serialization at the
+//    bottleneck + RTT + retransmission penalties for reliable flows). Fast:
+//    used by the training benches.
+//  * SimChannel — the full discrete-event fabric: ranks pinned to hosts,
+//    every transfer a real flow through trimming/drop-tail switches, with
+//    optional cross traffic. Trim rates *emerge* from congestion here.
+//    Used by the closed-loop benches (§5.1's future-work experiment).
+//
+// A batch of transfers is semantically concurrent — that is how ring or
+// parameter-server steps overlap on the fabric.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/codec.h"
+#include "net/frame.h"
+
+namespace trimgrad::collective {
+
+using Rank = int;
+
+struct TransferRequest {
+  Rank src = 0;
+  Rank dst = 0;
+  core::EncodedMessage message;
+};
+
+struct Delivery {
+  Rank src = 0;
+  Rank dst = 0;
+  std::vector<core::GradientPacket> packets;  ///< as received (some trimmed)
+  core::MessageMeta meta;                     ///< via the reliable channel
+  net::SimTime comm_time = 0;                 ///< transfer completion time
+  std::uint64_t wire_bytes = 0;               ///< bytes that crossed the wire
+  std::size_t trimmed_packets = 0;
+  std::size_t dropped_packets = 0;
+  std::uint64_t retransmits = 0;
+};
+
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  /// Execute a batch of concurrent transfers; returns one Delivery per
+  /// request, same order. comm_time of the batch = max over deliveries.
+  virtual std::vector<Delivery> transfer(std::vector<TransferRequest> batch) = 0;
+
+  virtual int world_size() const = 0;
+};
+
+/// Batch completion time: the straggler-defining maximum.
+net::SimTime batch_time(const std::vector<Delivery>& deliveries);
+
+}  // namespace trimgrad::collective

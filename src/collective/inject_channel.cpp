@@ -1,0 +1,71 @@
+#include "collective/inject_channel.h"
+
+#include <algorithm>
+
+namespace trimgrad::collective {
+
+net::SimTime batch_time(const std::vector<Delivery>& deliveries) {
+  net::SimTime worst = 0;
+  for (const auto& d : deliveries) worst = std::max(worst, d.comm_time);
+  return worst;
+}
+
+std::vector<Delivery> InjectChannel::transfer(
+    std::vector<TransferRequest> batch) {
+  std::vector<Delivery> out;
+  out.reserve(batch.size());
+
+  for (auto& req : batch) {
+    Delivery d;
+    d.src = req.src;
+    d.dst = req.dst;
+    d.meta = req.message.meta;
+
+    const std::size_t n_before = req.message.packets.size();
+    std::uint64_t full_bytes = 0;
+    for (const auto& p : req.message.packets) full_bytes += p.wire_bytes();
+
+    if (cfg_.reliable) {
+      // Baseline semantics: every packet eventually arrives intact. Coins
+      // decide the *time* penalty only.
+      net::InjectionStats st{};
+      st.packets = n_before;
+      // Use the injector's RNG stream for the coins so the same seeds give
+      // the same congestion pattern across schemes.
+      std::vector<core::GradientPacket> scratch = req.message.packets;
+      st = injector_.apply(scratch, epoch_, nullptr);
+      d.packets = std::move(req.message.packets);  // delivered intact
+      d.dropped_packets = st.dropped;
+      d.trimmed_packets = st.trimmed;  // trims count as losses for baseline
+      d.retransmits = st.dropped + st.trimmed;
+      // Retransmitted bytes cross the wire twice (at least).
+      std::uint64_t avg_pkt = n_before > 0 ? full_bytes / n_before : 0;
+      d.wire_bytes = full_bytes + d.retransmits * avg_pkt;
+    } else {
+      net::InjectionStats st = injector_.apply(
+          req.message.packets, epoch_, record_ ? &transcript_ : nullptr);
+      d.packets = std::move(req.message.packets);
+      d.trimmed_packets = st.trimmed;
+      d.dropped_packets = st.dropped;
+      d.wire_bytes = 0;
+      for (const auto& p : d.packets) d.wire_bytes += p.wire_bytes();
+    }
+    d.wire_bytes += d.meta.wire_bytes();
+    out.push_back(std::move(d));
+  }
+
+  // Timing: transfers in a batch share the bottleneck if configured.
+  std::uint64_t batch_bytes = 0;
+  for (const auto& d : out) batch_bytes += d.wire_bytes;
+  for (auto& d : out) {
+    const std::uint64_t serialized =
+        cfg_.time.shared_bottleneck ? batch_bytes : d.wire_bytes;
+    d.comm_time = static_cast<double>(serialized) * 8.0 /
+                      cfg_.time.bottleneck_bps +
+                  cfg_.time.base_rtt +
+                  static_cast<double>(d.retransmits) * cfg_.time.drop_penalty;
+  }
+  return out;
+}
+
+}  // namespace trimgrad::collective

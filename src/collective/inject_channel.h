@@ -1,0 +1,56 @@
+// InjectChannel: probabilistic trimming + analytic timing (paper §4 mode).
+#pragma once
+
+#include <memory>
+
+#include "collective/channel.h"
+#include "net/injector.h"
+
+namespace trimgrad::collective {
+
+/// Analytic time model for one transfer. All concurrent transfers in a
+/// batch share the bottleneck, matching an oversubscribed core where the
+/// collective's own fan-in is the congestion source.
+struct TimeModel {
+  double bottleneck_bps = 100e9;  ///< the paper's 100 Gbps testbed links
+  net::SimTime base_rtt = 10e-6;
+  /// Reliable-transport penalty per dropped packet (detect + retransmit).
+  /// Trim-aware flows never pay it; the NCCL-like baseline does, which is
+  /// where the §4.4 "5x-10x slower at 1-2% drops" behaviour comes from.
+  net::SimTime drop_penalty = 500e-6;
+  /// Whether concurrent transfers in a batch share the bottleneck.
+  bool shared_bottleneck = true;
+};
+
+class InjectChannel : public Channel {
+ public:
+  struct Config {
+    int world = 4;
+    net::InjectorConfig injector{};
+    TimeModel time{};
+    /// Baseline (reliable) semantics: drops/trims are retransmitted at full
+    /// size until everything arrives intact; trim/drop coins then cost time
+    /// but not gradient fidelity.
+    bool reliable = false;
+  };
+
+  explicit InjectChannel(Config cfg) : cfg_(cfg), injector_(cfg.injector) {}
+
+  std::vector<Delivery> transfer(std::vector<TransferRequest> batch) override;
+  int world_size() const override { return cfg_.world; }
+
+  /// Epoch used for transcript-keyed randomness; the trainer advances it.
+  void set_epoch(std::uint64_t epoch) { epoch_ = epoch; }
+  core::TrimTranscript* transcript() { return record_ ? &transcript_ : nullptr; }
+  void enable_recording() { record_ = true; }
+  const core::TrimTranscript& recorded() const { return transcript_; }
+
+ private:
+  Config cfg_;
+  net::TrimInjector injector_;
+  std::uint64_t epoch_ = 0;
+  bool record_ = false;
+  core::TrimTranscript transcript_;
+};
+
+}  // namespace trimgrad::collective

@@ -1,0 +1,87 @@
+#include "collective/sim_channel.h"
+
+#include <cassert>
+
+namespace trimgrad::collective {
+
+SimChannel::SimChannel(net::Simulator& sim,
+                       std::vector<net::NodeId> rank_hosts, Config cfg)
+    : sim_(sim), rank_hosts_(std::move(rank_hosts)), cfg_(cfg) {
+  assert(rank_hosts_.size() >= 2);
+}
+
+std::vector<Delivery> SimChannel::transfer(std::vector<TransferRequest> batch) {
+  struct Live {
+    std::unique_ptr<net::Sender> sender;
+    std::unique_ptr<net::Receiver> receiver;
+    Delivery delivery;
+    bool done = false;
+  };
+  std::vector<std::unique_ptr<Live>> live;
+  live.reserve(batch.size());
+
+  net::TransportConfig tcfg = cfg_.transport;
+  tcfg.trimmed_is_delivered = !cfg_.reliable;
+
+  const net::SimTime t0 = sim_.now();
+
+  for (auto& req : batch) {
+    auto lv = std::make_unique<Live>();
+    lv->delivery.src = req.src;
+    lv->delivery.dst = req.dst;
+    lv->delivery.meta = req.message.meta;
+
+    auto& src_host = static_cast<net::Host&>(
+        sim_.node(rank_hosts_.at(static_cast<std::size_t>(req.src))));
+    auto& dst_host = static_cast<net::Host&>(
+        sim_.node(rank_hosts_.at(static_cast<std::size_t>(req.dst))));
+    const std::uint32_t flow_id = next_flow_id_++;
+
+    // Items: one frame per gradient packet (trimmable), plus one
+    // untrimmable metadata frame at the front.
+    std::vector<net::SendItem> items;
+    items.reserve(req.message.packets.size() + 1);
+    net::SendItem meta_item;
+    meta_item.size_bytes = req.message.meta.wire_bytes();
+    meta_item.trim_size_bytes = 0;  // the reliable side channel
+    items.push_back(meta_item);
+    for (auto& pkt : req.message.packets) {
+      net::SendItem it;
+      it.size_bytes = pkt.wire_bytes();
+      it.trim_size_bytes = pkt.trimmed_wire_bytes();
+      it.cargo = std::make_shared<core::GradientPacket>(std::move(pkt));
+      items.push_back(std::move(it));
+    }
+
+    Live* lp = lv.get();
+    lv->receiver = std::make_unique<net::Receiver>(
+        dst_host, src_host.id(), flow_id, items.size(), tcfg,
+        [lp](const net::Frame& f) {
+          if (!f.cargo) return;  // the metadata frame
+          lp->delivery.packets.push_back(*f.cargo);
+          if (f.trimmed) ++lp->delivery.trimmed_packets;
+        });
+    lv->sender = std::make_unique<net::Sender>(src_host, dst_host.id(),
+                                               flow_id, tcfg);
+    lv->sender->send_message(
+        std::move(items), [lp, t0](const net::FlowStats& st) {
+          lp->done = true;
+          lp->delivery.comm_time = st.end_time - t0;
+          lp->delivery.wire_bytes = st.bytes_sent;
+          lp->delivery.retransmits = st.retransmits;
+        });
+    live.push_back(std::move(lv));
+  }
+
+  sim_.run();
+
+  std::vector<Delivery> out;
+  out.reserve(live.size());
+  for (auto& lv : live) {
+    assert(lv->done && "flow failed to complete — fabric misconfigured?");
+    out.push_back(std::move(lv->delivery));
+  }
+  return out;
+}
+
+}  // namespace trimgrad::collective

@@ -1,0 +1,47 @@
+// SimChannel: transfers run as real flows on the discrete-event fabric.
+//
+// Ranks are pinned to hosts of a topology built by the caller; each
+// TransferRequest becomes a flow whose data frames carry the actual encoded
+// gradient packets (trimmable at their §2 trim point) plus one untrimmable
+// metadata frame. Trimming happens where it would in deployment: in the
+// switch queue, only when the queue actually overflows. Cross traffic can
+// share the same fabric.
+#pragma once
+
+#include <memory>
+
+#include "collective/channel.h"
+#include "net/host.h"
+#include "net/sim.h"
+#include "net/transport.h"
+
+namespace trimgrad::collective {
+
+class SimChannel : public Channel {
+ public:
+  struct Config {
+    net::TransportConfig transport = net::TransportConfig::trim_aware();
+    /// Reliable baseline: trimmed arrivals are NACKed + retransmitted.
+    bool reliable = false;
+  };
+
+  /// `sim` and `rank_hosts` must outlive the channel. rank_hosts[r] is the
+  /// host node carrying rank r.
+  SimChannel(net::Simulator& sim, std::vector<net::NodeId> rank_hosts,
+             Config cfg);
+
+  std::vector<Delivery> transfer(std::vector<TransferRequest> batch) override;
+  int world_size() const override {
+    return static_cast<int>(rank_hosts_.size());
+  }
+
+  net::Simulator& sim() { return sim_; }
+
+ private:
+  net::Simulator& sim_;
+  std::vector<net::NodeId> rank_hosts_;
+  Config cfg_;
+  std::uint32_t next_flow_id_ = 1 << 20;
+};
+
+}  // namespace trimgrad::collective

@@ -1,0 +1,64 @@
+// Ahead-of-time compression control (paper §5.3).
+//
+// Trimming handles *unpredictable* congestion; a coarser-grained congestion
+// feedback loop can additionally adjust the tail length Q before sending.
+// The paper's guidance: conventional congestion control would over-compress
+// and under-send (wasting link capacity), so the sender should "always
+// slightly under-compress and over-send so that the gradient traffic always
+// saturates the link", letting the switch trim the excess.
+//
+// `AdaptiveQController` implements that policy as AIMD on the observed trim
+// fraction: it *targets a small positive trim rate* rather than zero. If
+// trimming runs hot (heavy congestion), it cuts Q multiplicatively — the
+// sender ships shorter tails, shrinking its own footprint; when trimming
+// falls below target (spare capacity), it grows Q additively back toward
+// full precision. Footnote 1 of the paper applies: with Q < 31 even
+// untrimmed packets decode at reduced precision, which the codec handles by
+// midpoint-expanding the dropped tail bits.
+#pragma once
+
+#include <algorithm>
+
+namespace trimgrad::core {
+
+struct AdaptiveQConfig {
+  unsigned min_q = 7;    ///< floor: 1-bit head + 7-bit tail = fp8-ish
+  unsigned max_q = 31;   ///< full precision tails
+  unsigned initial_q = 31;
+  /// The deliberately positive trim-rate target ("slightly over-send").
+  double target_trim = 0.05;
+  /// Hot threshold: trim rate above target*hot_factor cuts Q by half.
+  double hot_factor = 3.0;
+  unsigned additive_step = 2;  ///< Q recovery per quiet observation
+};
+
+class AdaptiveQController {
+ public:
+  explicit AdaptiveQController(AdaptiveQConfig cfg = {})
+      : cfg_(cfg), q_(std::clamp(cfg.initial_q, cfg.min_q, cfg.max_q)) {}
+
+  /// Tail bits the next message should use.
+  unsigned q() const noexcept { return q_; }
+
+  /// Feed back the trim fraction observed for the last message.
+  void observe(double trim_fraction) noexcept {
+    if (trim_fraction > cfg_.target_trim * cfg_.hot_factor) {
+      // Far over target: multiplicative decrease.
+      q_ = std::max(cfg_.min_q, q_ / 2);
+    } else if (trim_fraction > cfg_.target_trim) {
+      // Mildly over: gentle decrease.
+      q_ = std::max(cfg_.min_q, q_ - cfg_.additive_step);
+    } else {
+      // At or under target: additive increase back toward full precision.
+      q_ = std::min(cfg_.max_q, q_ + cfg_.additive_step);
+    }
+  }
+
+  const AdaptiveQConfig& config() const noexcept { return cfg_; }
+
+ private:
+  AdaptiveQConfig cfg_;
+  unsigned q_;
+};
+
+}  // namespace trimgrad::core

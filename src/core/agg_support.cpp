@@ -1,0 +1,63 @@
+#include "core/agg_support.h"
+
+#include <cassert>
+
+#include "core/bitpack.h"
+#include "core/rht_codec.h"
+
+namespace trimgrad::core {
+
+bool is_aggregatable(Scheme scheme) noexcept {
+  return scheme == Scheme::kBaseline || scheme == Scheme::kSign ||
+         scheme == Scheme::kRHT;
+}
+
+std::optional<std::vector<float>> packet_values(const GradientPacket& pkt) {
+  if (pkt.trimmed || !is_aggregatable(pkt.scheme)) return std::nullopt;
+  std::vector<float> out;
+  out.reserve(pkt.n_coords);
+  if (pkt.scheme == Scheme::kBaseline) {
+    BitReader r(pkt.tail_region);
+    for (std::size_t i = 0; i < pkt.n_coords; ++i) {
+      out.push_back(bits_float(static_cast<std::uint32_t>(r.get(32))));
+    }
+    return out;
+  }
+  // kSign / kRHT: head = sign, tail = exponent+mantissa (q_bits wide; only
+  // full-width tails reassemble exactly, and INA requires exactness).
+  if (pkt.q_bits != 31) return std::nullopt;
+  BitReader heads(pkt.head_region);
+  BitReader tails(pkt.tail_region);
+  for (std::size_t i = 0; i < pkt.n_coords; ++i) {
+    const bool h = heads.get_bit();
+    out.push_back(rht_coord_from_parts(
+        h, static_cast<std::uint32_t>(tails.get(31))));
+  }
+  return out;
+}
+
+GradientPacket rebuild_packet(const GradientPacket& tmpl,
+                              std::span<const float> values) {
+  assert(values.size() == tmpl.n_coords);
+  assert(is_aggregatable(tmpl.scheme));
+  GradientPacket pkt = tmpl;
+  pkt.head_region.clear();
+  pkt.tail_region.clear();
+  if (tmpl.scheme == Scheme::kBaseline) {
+    BitWriter w;
+    for (float v : values) w.put(float_bits(v), 32);
+    pkt.tail_region = std::move(w).finish();
+    return pkt;
+  }
+  BitWriter heads, tails;
+  for (float v : values) {
+    const std::uint32_t b = float_bits(v);
+    heads.put_bit((b & 0x80000000u) == 0);
+    tails.put(b & 0x7fffffffu, 31);
+  }
+  pkt.head_region = std::move(heads).finish();
+  pkt.tail_region = std::move(tails).finish();
+  return pkt;
+}
+
+}  // namespace trimgrad::core

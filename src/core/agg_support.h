@@ -1,0 +1,40 @@
+// Payload access for in-network aggregation (paper §1's INA context).
+//
+// ATP/SwitchML-style switches aggregate gradient payloads in flight; THC
+// showed RHT-rotated payloads are the natural representation because
+// rotation is linear: summing rotated coordinates then inverse-rotating
+// once equals summing the gradients. These helpers let a switch read an
+// *untrimmed* packet's coordinate values and rebuild an aggregated packet
+// with the same header/layout.
+//
+// Trimmed packets are not aggregatable without the reliable-channel scales
+// (exactly the compression/INA co-design gap the paper's §1 points at), so
+// the functions report failure for them and the switch falls back to plain
+// forwarding.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/packet.h"
+
+namespace trimgrad::core {
+
+/// The coordinate values carried by an untrimmed packet: raw floats for
+/// kBaseline, the original values for kSign, the *rotated* coordinates for
+/// kRHT. Returns nullopt for trimmed packets and for SQ/SD (their heads are
+/// stochastic — tails reassemble values, but aggregation would break the
+/// head/tail consistency, so they are not aggregatable either).
+std::optional<std::vector<float>> packet_values(const GradientPacket& pkt);
+
+/// Rebuild a packet with `tmpl`'s header/layout but `values` as payload
+/// (values.size() must equal tmpl.n_coords). Only valid for schemes
+/// packet_values supports.
+GradientPacket rebuild_packet(const GradientPacket& tmpl,
+                              std::span<const float> values);
+
+/// True if packets of this scheme can be aggregated in-network.
+bool is_aggregatable(Scheme scheme) noexcept;
+
+}  // namespace trimgrad::core

@@ -1,0 +1,58 @@
+#include "core/bitpack.h"
+
+#include <bit>
+#include <cassert>
+
+namespace trimgrad::core {
+
+void BitWriter::put(std::uint64_t value, unsigned width) {
+  assert(width >= 1 && width <= 64);
+  if (width < 64) value &= (std::uint64_t{1} << width) - 1;
+  // Write bits from the most significant end of the value.
+  unsigned remaining = width;
+  while (remaining > 0) {
+    const unsigned bit_in_byte = bit_count_ % 8;
+    if (bit_in_byte == 0) buf_.push_back(0);
+    const unsigned space = 8 - bit_in_byte;
+    const unsigned take = remaining < space ? remaining : space;
+    const std::uint64_t chunk = (value >> (remaining - take)) &
+                                ((std::uint64_t{1} << take) - 1);
+    buf_.back() |= static_cast<std::uint8_t>(chunk << (space - take));
+    bit_count_ += take;
+    remaining -= take;
+  }
+}
+
+std::vector<std::uint8_t> BitWriter::finish() && {
+  return std::move(buf_);
+}
+
+std::uint64_t BitReader::get(unsigned width) noexcept {
+  assert(width >= 1 && width <= 64);
+  assert(bits_remaining() >= width);
+  std::uint64_t out = 0;
+  unsigned remaining = width;
+  while (remaining > 0) {
+    const std::size_t byte_idx = cursor_ / 8;
+    const unsigned bit_in_byte = cursor_ % 8;
+    const unsigned avail = 8 - bit_in_byte;
+    const unsigned take = remaining < avail ? remaining : avail;
+    const std::uint8_t byte = data_[byte_idx];
+    const std::uint64_t chunk =
+        (byte >> (avail - take)) & ((std::uint64_t{1} << take) - 1);
+    out = (out << take) | chunk;
+    cursor_ += take;
+    remaining -= take;
+  }
+  return out;
+}
+
+std::uint32_t float_bits(float v) noexcept {
+  return std::bit_cast<std::uint32_t>(v);
+}
+
+float bits_float(std::uint32_t b) noexcept {
+  return std::bit_cast<float>(b);
+}
+
+}  // namespace trimgrad::core

@@ -1,0 +1,318 @@
+#include "core/codec.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/bitpack.h"
+#include "core/hadamard.h"
+#include "core/quantizer.h"
+#include "core/rht_codec.h"
+#include "core/stats.h"
+
+namespace trimgrad::core {
+
+namespace {
+
+ScalarScheme to_scalar(Scheme s) noexcept {
+  switch (s) {
+    case Scheme::kSign: return ScalarScheme::kSign;
+    case Scheme::kSQ: return ScalarScheme::kSQ;
+    case Scheme::kSD: return ScalarScheme::kSD;
+    default: break;
+  }
+  assert(false && "not a scalar scheme");
+  return ScalarScheme::kSign;
+}
+
+/// Truncate a 31-bit tail container to `q` stored bits (keep the top bits —
+/// sign/exponent side). Ahead-of-time compression (§5.3): a sender that
+/// expects congestion lowers Q and sends shorter tails.
+std::uint32_t tail_store(std::uint32_t tail31, unsigned q) noexcept {
+  return q >= 31 ? tail31 : tail31 >> (31 - q);
+}
+
+/// Expand a stored q-bit tail back to the 31-bit container, filling the
+/// dropped low bits with their bucket midpoint.
+std::uint32_t tail_expand(std::uint32_t stored, unsigned q) noexcept {
+  if (q >= 31) return stored;
+  return (stored << (31 - q)) | (1u << (30 - q));
+}
+
+/// Pack `n` head bits / q-bit tails starting at `base` into a packet.
+GradientPacket make_packet(const CodecConfig& cfg, std::uint32_t msg_id,
+                           std::uint32_t row_id, std::uint32_t coord_base,
+                           std::uint16_t seq,
+                           std::span<const std::uint8_t> heads,
+                           std::span<const std::uint32_t> tails) {
+  GradientPacket pkt;
+  pkt.msg_id = msg_id;
+  pkt.row_id = row_id;
+  pkt.coord_base = coord_base;
+  pkt.n_coords = static_cast<std::uint16_t>(heads.size());
+  pkt.seq = seq;
+  pkt.scheme = cfg.scheme;
+  pkt.p_bits = static_cast<std::uint8_t>(cfg.effective_layout().p_bits);
+  pkt.q_bits = static_cast<std::uint8_t>(cfg.effective_layout().q_bits);
+
+  BitWriter head_w;
+  for (std::uint8_t h : heads) head_w.put_bit(h != 0);
+  pkt.head_region = std::move(head_w).finish();
+
+  BitWriter tail_w;
+  const unsigned q = cfg.effective_layout().q_bits;
+  for (std::uint32_t t : tails) tail_w.put(tail_store(t, q), q);
+  pkt.tail_region = std::move(tail_w).finish();
+  return pkt;
+}
+
+/// Pack raw float coordinates (baseline, Fig. 2a): all payload is "tail".
+GradientPacket make_baseline_packet(std::uint32_t msg_id,
+                                    std::uint32_t coord_base,
+                                    std::uint16_t seq,
+                                    std::span<const float> coords) {
+  GradientPacket pkt;
+  pkt.msg_id = msg_id;
+  pkt.coord_base = coord_base;
+  pkt.n_coords = static_cast<std::uint16_t>(coords.size());
+  pkt.seq = seq;
+  pkt.scheme = Scheme::kBaseline;
+  pkt.p_bits = 0;
+  pkt.q_bits = 32;
+  BitWriter w;
+  for (float v : coords) w.put(float_bits(v), 32);
+  pkt.tail_region = std::move(w).finish();
+  return pkt;
+}
+
+}  // namespace
+
+PacketLayout CodecConfig::effective_layout() const noexcept {
+  PacketLayout l = layout;
+  if (scheme == Scheme::kBaseline) {
+    l.p_bits = 0;
+    l.q_bits = 32;
+  }
+  return l;
+}
+
+std::size_t MessageMeta::wire_bytes() const noexcept {
+  // header + msg_id(4) + epoch(8) + scheme(1) + total(4) + row_len(4) +
+  // scalar scale(4) + row scales.
+  return kTransportHeaderBytes + 25 + 4 * row_scales.size();
+}
+
+std::size_t EncodedMessage::total_wire_bytes() const noexcept {
+  std::size_t total = meta.wire_bytes();
+  for (const auto& p : packets) total += p.wire_bytes();
+  return total;
+}
+
+TrimmableEncoder::TrimmableEncoder(CodecConfig cfg)
+    : cfg_(std::move(cfg)), private_rng_(cfg_.private_seed) {
+  assert(is_pow2(cfg_.rht_row_len));
+}
+
+EncodedMessage TrimmableEncoder::encode(std::span<const float> grad,
+                                        std::uint32_t msg_id,
+                                        std::uint64_t epoch) {
+  EncodedMessage out;
+  out.meta.msg_id = msg_id;
+  out.meta.epoch = epoch;
+  out.meta.scheme = cfg_.scheme;
+  out.meta.total_coords = static_cast<std::uint32_t>(grad.size());
+
+  const PacketLayout layout = cfg_.effective_layout();
+  const std::size_t per_pkt = layout.coords_per_packet();
+  assert(per_pkt > 0);
+  std::uint16_t seq = 0;
+
+  switch (cfg_.scheme) {
+    case Scheme::kBaseline: {
+      for (std::size_t base = 0; base < grad.size(); base += per_pkt) {
+        const std::size_t n = std::min(per_pkt, grad.size() - base);
+        out.packets.push_back(make_baseline_packet(
+            msg_id, static_cast<std::uint32_t>(base), seq++,
+            grad.subspan(base, n)));
+      }
+      break;
+    }
+    case Scheme::kSign:
+    case Scheme::kSQ:
+    case Scheme::kSD: {
+      const ScalarScheme ss = to_scalar(cfg_.scheme);
+      const float scale = scalar_scale(ss, grad);
+      out.meta.scalar_scale = scale;
+      std::vector<float> dithers;
+      if (ss == ScalarScheme::kSD) {
+        dithers = make_dithers(
+            grad.size(), scale,
+            SharedRng(StreamKey{cfg_.shared_seed, epoch, msg_id, 0}));
+      }
+      std::vector<std::uint8_t> heads;
+      std::vector<std::uint32_t> tails;
+      scalar_encode_all(ss, grad, scale, private_rng_, dithers, heads, tails);
+      for (std::size_t base = 0; base < grad.size(); base += per_pkt) {
+        const std::size_t n = std::min(per_pkt, grad.size() - base);
+        out.packets.push_back(make_packet(
+            cfg_, msg_id, /*row_id=*/0, static_cast<std::uint32_t>(base),
+            seq++, std::span(heads).subspan(base, n),
+            std::span(tails).subspan(base, n)));
+      }
+      break;
+    }
+    case Scheme::kRHT: {
+      const RowSplit split = make_row_split(grad.size(), cfg_.rht_row_len);
+      out.meta.row_len = static_cast<std::uint32_t>(cfg_.rht_row_len);
+      out.meta.row_scales.reserve(split.n_rows);
+      for (std::size_t r = 0; r < split.n_rows; ++r) {
+        const std::vector<float> row = extract_padded_row(grad, split, r);
+        const StreamKey key{cfg_.shared_seed, epoch, msg_id, r};
+        RhtEncodedRow enc = rht_encode_row(row, key);
+        out.meta.row_scales.push_back(enc.scale_f);
+        // Packets never span rows: coord_base is global, row-local offset
+        // recovered as coord_base − row·row_len at decode.
+        const std::size_t row_base = split.offset(r);
+        for (std::size_t off = 0; off < enc.heads.size(); off += per_pkt) {
+          const std::size_t n = std::min(per_pkt, enc.heads.size() - off);
+          out.packets.push_back(make_packet(
+              cfg_, msg_id, static_cast<std::uint32_t>(r),
+              static_cast<std::uint32_t>(row_base + off), seq++,
+              std::span(enc.heads).subspan(off, n),
+              std::span(enc.tails).subspan(off, n)));
+        }
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+DecodeResult TrimmableDecoder::decode(std::span<const GradientPacket> packets,
+                                      const MessageMeta& meta) const {
+  DecodeResult out;
+  out.values.assign(meta.total_coords, 0.0f);
+  out.stats.total_coords = meta.total_coords;
+
+  switch (meta.scheme) {
+    case Scheme::kBaseline: {
+      std::size_t covered = 0;
+      for (const auto& pkt : packets) {
+        if (pkt.trimmed) continue;  // baseline trim loses the payload
+        BitReader r(pkt.tail_region);
+        for (std::size_t j = 0; j < pkt.n_coords; ++j) {
+          const std::size_t idx = pkt.coord_base + j;
+          if (idx >= out.values.size()) break;
+          out.values[idx] =
+              bits_float(static_cast<std::uint32_t>(r.get(32)));
+          ++covered;
+        }
+      }
+      out.stats.full_coords = covered;
+      out.stats.lost_coords = meta.total_coords - covered;
+      break;
+    }
+    case Scheme::kSign:
+    case Scheme::kSQ:
+    case Scheme::kSD: {
+      const ScalarScheme ss = to_scalar(meta.scheme);
+      std::vector<float> dithers;
+      if (ss == ScalarScheme::kSD) {
+        dithers = make_dithers(
+            meta.total_coords, meta.scalar_scale,
+            SharedRng(StreamKey{cfg_.shared_seed, meta.epoch, meta.msg_id, 0}));
+      }
+      std::vector<std::uint8_t> seen(meta.total_coords, 0);
+      for (const auto& pkt : packets) {
+        BitReader heads(pkt.head_region);
+        BitReader tails(pkt.tail_region);
+        for (std::size_t j = 0; j < pkt.n_coords; ++j) {
+          const bool h = heads.get_bit();
+          const std::size_t idx = pkt.coord_base + j;
+          if (idx >= out.values.size()) continue;
+          const float dither =
+              ss == ScalarScheme::kSD ? dithers[idx] : 0.0f;
+          if (pkt.trimmed) {
+            out.values[idx] =
+                scalar_decode_trimmed(ss, h, meta.scalar_scale, dither);
+            seen[idx] = 1;
+            ++out.stats.trimmed_coords;
+          } else {
+            out.values[idx] = scalar_decode_full(
+                ss, h,
+                tail_expand(static_cast<std::uint32_t>(tails.get(pkt.q_bits)),
+                            pkt.q_bits));
+            seen[idx] = 1;
+            ++out.stats.full_coords;
+          }
+        }
+      }
+      for (std::uint8_t s : seen)
+        if (s == 0) ++out.stats.lost_coords;
+      break;
+    }
+    case Scheme::kRHT: {
+      const RowSplit split = make_row_split(meta.total_coords, meta.row_len);
+      // Group packets per row, then decode row by row.
+      for (std::size_t r = 0; r < split.n_rows; ++r) {
+        const std::size_t padded = split.padded_len(r);
+        const std::size_t row_base = split.offset(r);
+        std::vector<std::uint8_t> heads(padded, 0);
+        std::vector<std::uint32_t> tails(padded, 0);
+        // 0 = full, 1 = trimmed (head survives), 2 = lost (nothing).
+        std::vector<std::uint8_t> state(padded, 2);
+        for (const auto& pkt : packets) {
+          if (pkt.row_id != r) continue;
+          BitReader hr(pkt.head_region);
+          BitReader tr(pkt.tail_region);
+          for (std::size_t j = 0; j < pkt.n_coords; ++j) {
+            const bool h = hr.get_bit();
+            const std::size_t local = pkt.coord_base - row_base + j;
+            if (local >= padded) continue;
+            heads[local] = h ? 1 : 0;
+            if (pkt.trimmed) {
+              state[local] = 1;
+            } else {
+              tails[local] = tail_expand(
+                  static_cast<std::uint32_t>(tr.get(pkt.q_bits)), pkt.q_bits);
+              state[local] = 0;
+            }
+          }
+        }
+        // Lost coordinates decode as r̂ = 0 (no sign information at all);
+        // reuse the trimmed path with a zero scale by marking them trimmed
+        // in a scratch mask and zeroing afterwards via tails trick: simpler
+        // to substitute r̂ directly below.
+        std::vector<std::uint8_t> trimmed_mask(padded, 0);
+        for (std::size_t i = 0; i < padded; ++i) {
+          if (state[i] == 1) trimmed_mask[i] = 1;
+          if (state[i] == 2) {
+            // encode r̂ = 0 exactly: head=1 (+0.0), tail=0, not trimmed
+            heads[i] = 1;
+            tails[i] = 0;
+            trimmed_mask[i] = 0;
+          }
+        }
+        const StreamKey key{cfg_.shared_seed, meta.epoch, meta.msg_id, r};
+        const float f =
+            r < meta.row_scales.size() ? meta.row_scales[r] : 0.0f;
+        std::vector<float> row =
+            rht_decode_row(heads, tails, trimmed_mask, f, key);
+        const std::size_t real = split.real_len(r);
+        for (std::size_t i = 0; i < real; ++i)
+          out.values[row_base + i] = row[i];
+        for (std::size_t i = 0; i < padded; ++i) {
+          // Padded coordinates don't count toward stats.
+          const bool is_real = i < real;
+          if (!is_real) continue;
+          if (state[i] == 0) ++out.stats.full_coords;
+          else if (state[i] == 1) ++out.stats.trimmed_coords;
+          else ++out.stats.lost_coords;
+        }
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace trimgrad::core

@@ -1,0 +1,130 @@
+#include "core/eden.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <mutex>
+
+#include "core/hadamard.h"
+#include "core/stats.h"
+
+namespace trimgrad::core {
+
+namespace {
+
+double phi(double x) {  // standard normal pdf
+  return std::exp(-0.5 * x * x) / std::sqrt(2.0 * 3.14159265358979323846);
+}
+
+double Phi(double x) {  // standard normal cdf
+  return 0.5 * (1.0 + std::erf(x / std::sqrt(2.0)));
+}
+
+/// Conditional mean of N(0,1) on [a, b).
+double cell_mean(double a, double b) {
+  const double mass = Phi(b) - Phi(a);
+  if (mass <= 1e-300) return (a + b) / 2.0;
+  return (phi(a) - phi(b)) / mass;
+}
+
+}  // namespace
+
+GaussianCodebook make_codebook(unsigned bits) {
+  assert(bits >= 1 && bits <= 8);
+  const std::size_t levels = std::size_t{1} << bits;
+  GaussianCodebook cb;
+  cb.bits = bits;
+  cb.centroids.resize(levels);
+  cb.boundaries.resize(levels - 1);
+
+  // Initialize centroids at gaussian quantiles, then Lloyd-iterate with
+  // exact gaussian cell statistics.
+  std::vector<double> c(levels), b(levels + 1);
+  for (std::size_t i = 0; i < levels; ++i) {
+    const double p = (i + 0.5) / static_cast<double>(levels);
+    // Crude quantile via bisection (only runs once per bit width).
+    double lo = -10, hi = 10;
+    for (int it = 0; it < 80; ++it) {
+      const double mid = 0.5 * (lo + hi);
+      (Phi(mid) < p ? lo : hi) = mid;
+    }
+    c[i] = 0.5 * (lo + hi);
+  }
+  for (int iter = 0; iter < 300; ++iter) {
+    b[0] = -40.0;
+    b[levels] = 40.0;
+    for (std::size_t i = 1; i < levels; ++i) b[i] = 0.5 * (c[i - 1] + c[i]);
+    for (std::size_t i = 0; i < levels; ++i) c[i] = cell_mean(b[i], b[i + 1]);
+  }
+  for (std::size_t i = 0; i < levels; ++i)
+    cb.centroids[i] = static_cast<float>(c[i]);
+  for (std::size_t i = 1; i < levels; ++i)
+    cb.boundaries[i - 1] = static_cast<float>(b[i]);
+
+  double kept = 0.0;
+  for (std::size_t i = 0; i < levels; ++i) {
+    kept += c[i] * c[i] * (Phi(b[i + 1]) - Phi(b[i]));
+  }
+  cb.distortion_ = 1.0 - kept;  // E[(X−Q(X))²] with optimal centroids
+  return cb;
+}
+
+std::uint32_t GaussianCodebook::quantize(float x) const noexcept {
+  const auto it = std::upper_bound(boundaries.begin(), boundaries.end(), x);
+  return static_cast<std::uint32_t>(it - boundaries.begin());
+}
+
+const GaussianCodebook& GaussianCodebook::get(unsigned bits) {
+  static std::mutex mu;
+  static std::map<unsigned, GaussianCodebook> cache;
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache.find(bits);
+  if (it == cache.end()) {
+    it = cache.emplace(bits, make_codebook(bits)).first;
+  }
+  return it->second;
+}
+
+EdenEncodedRow eden_encode_row(std::span<const float> row,
+                               const StreamKey& key, unsigned bits) {
+  assert(is_pow2(row.size()));
+  const GaussianCodebook& cb = GaussianCodebook::get(bits);
+
+  std::vector<float> rotated(row.begin(), row.end());
+  SharedRng rng(key);
+  rht_inplace(rotated, rng);
+
+  const double rms =
+      std::sqrt(l2_norm_sq(rotated) / static_cast<double>(rotated.size()));
+  EdenEncodedRow out;
+  out.bits = bits;
+  out.codes.reserve(rotated.size());
+  double dot = 0.0;  // ⟨R, C⟩ with C at unit-normal scale
+  for (float r : rotated) {
+    const float normalized =
+        rms > 0.0 ? static_cast<float>(r / rms) : 0.0f;
+    const std::uint32_t code = cb.quantize(normalized);
+    out.codes.push_back(code);
+    dot += static_cast<double>(r) * cb.centroids[code];
+  }
+  // Unbiased scale (DRIVE's f generalized): r̂ = f·C, f = ‖R‖²/⟨R,C⟩.
+  out.scale = dot > 0.0 ? static_cast<float>(l2_norm_sq(rotated) / dot) : 0.0f;
+  return out;
+}
+
+std::vector<float> eden_decode_row(const EdenEncodedRow& enc,
+                                   std::size_t n, const StreamKey& key) {
+  assert(enc.codes.size() == n);
+  assert(is_pow2(n));
+  const GaussianCodebook& cb = GaussianCodebook::get(enc.bits);
+  std::vector<float> r_hat(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    r_hat[i] = enc.scale * cb.centroids[enc.codes[i]];
+  }
+  SharedRng rng(key);
+  irht_inplace(r_hat, rng);
+  return r_hat;
+}
+
+}  // namespace trimgrad::core

@@ -1,0 +1,62 @@
+// EDEN-style multi-bit rotated quantization (paper §5.1 / footnote 2).
+//
+// DRIVE's 1-bit sign head generalizes to any bit budget (EDEN): after the
+// randomized Hadamard rotation the coordinates are near-gaussian, so a
+// b-bit quantizer with the Lloyd-Max-optimal codebook for N(0,1) — scaled
+// by the row RMS — is near-optimal per coordinate. This module supplies the
+// versatile head encodings the paper's multi-level trimming needs: a switch
+// that can trim to different levels wants heads of 1, 2, or 4 bits, each as
+// accurate as that budget allows.
+//
+// Codebooks are derived at first use by Lloyd iteration on the exact
+// gaussian density (erf/exp closed forms), not samples, so they are
+// deterministic and match the published Max (1960) tables to ~1e-4.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/prng.h"
+
+namespace trimgrad::core {
+
+/// Lloyd-Max-optimal b-bit quantizer for the standard normal (2^b levels,
+/// symmetric). Cached per b; thread-compatible (first call per b computes).
+struct GaussianCodebook {
+  unsigned bits;
+  std::vector<float> centroids;   ///< 2^b values, ascending
+  std::vector<float> boundaries;  ///< 2^b − 1 thresholds, ascending
+
+  /// Index of the centroid whose cell contains x.
+  std::uint32_t quantize(float x) const noexcept;
+
+  /// Expected distortion E[(X − Q(X))²] for X ~ N(0,1) — the analytic NMSE
+  /// of this codebook before any unbiasedness scaling.
+  double distortion() const noexcept { return distortion_; }
+
+  static const GaussianCodebook& get(unsigned bits);
+
+ private:
+  double distortion_ = 0.0;
+  friend GaussianCodebook make_codebook(unsigned bits);
+};
+
+/// One EDEN-encoded row: b-bit head codes + the unbiased decode scale.
+struct EdenEncodedRow {
+  unsigned bits = 1;
+  std::vector<std::uint32_t> codes;  ///< one 2^b-level index per coordinate
+  float scale = 0.0f;                ///< unbiased scale (rides metadata)
+};
+
+/// Encode a power-of-two row at `bits` ∈ [1, 8]: rotate with the shared
+/// key, normalize by row RMS, quantize against the gaussian codebook, and
+/// compute the unbiased scale f = ‖R‖² / ⟨R, C⟩ (DRIVE's f generalized).
+EdenEncodedRow eden_encode_row(std::span<const float> row,
+                               const StreamKey& key, unsigned bits);
+
+/// Decode: r̂ = scale · centroid · rms, then inverse-rotate.
+std::vector<float> eden_decode_row(const EdenEncodedRow& enc,
+                                   std::size_t n, const StreamKey& key);
+
+}  // namespace trimgrad::core

@@ -1,0 +1,67 @@
+#include "core/hadamard.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace trimgrad::core {
+
+void fwht_inplace(std::span<float> data) noexcept {
+  const std::size_t n = data.size();
+  assert(is_pow2(n));
+  for (std::size_t len = 1; len < n; len <<= 1) {
+    for (std::size_t i = 0; i < n; i += len << 1) {
+      for (std::size_t j = i; j < i + len; ++j) {
+        const float a = data[j];
+        const float b = data[j + len];
+        data[j] = a + b;
+        data[j + len] = a - b;
+      }
+    }
+  }
+}
+
+void fwht_orthonormal_inplace(std::span<float> data) noexcept {
+  fwht_inplace(data);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(data.size()));
+  for (float& x : data) x *= scale;
+}
+
+void rht_inplace(std::span<float> data, Xoshiro256& rng) noexcept {
+  for (float& x : data) x *= rng.random_sign();
+  fwht_orthonormal_inplace(data);
+}
+
+void irht_inplace(std::span<float> data, Xoshiro256& rng) noexcept {
+  // (H·D)⁻¹ = D⁻¹·H⁻¹ = D·H for orthonormal H and ±1 diagonal D.
+  fwht_orthonormal_inplace(data);
+  for (float& x : data) x *= rng.random_sign();
+}
+
+RowSplit make_row_split(std::size_t total, std::size_t row_len) noexcept {
+  assert(is_pow2(row_len));
+  RowSplit s{};
+  s.row_len = row_len;
+  s.total = total;
+  if (total == 0) {
+    s.n_rows = 0;
+    s.tail_padded = 0;
+    return s;
+  }
+  const std::size_t full = total / row_len;
+  const std::size_t rem = total % row_len;
+  s.n_rows = full + (rem != 0 ? 1 : 0);
+  s.tail_padded = rem != 0 ? next_pow2(rem) : 0;
+  return s;
+}
+
+std::vector<float> extract_padded_row(std::span<const float> flat,
+                                      const RowSplit& split, std::size_t row) {
+  assert(row < split.n_rows);
+  const std::size_t off = split.offset(row);
+  const std::size_t real = split.real_len(row);
+  std::vector<float> out(split.padded_len(row), 0.0f);
+  for (std::size_t i = 0; i < real; ++i) out[i] = flat[off + i];
+  return out;
+}
+
+}  // namespace trimgrad::core

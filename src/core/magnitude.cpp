@@ -1,0 +1,46 @@
+#include "core/magnitude.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace trimgrad::core {
+
+std::vector<std::uint32_t> magnitude_order(std::span<const float> values) {
+  std::vector<std::uint32_t> perm(values.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = static_cast<std::uint32_t>(i);
+  std::stable_sort(perm.begin(), perm.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return std::fabs(values[a]) > std::fabs(values[b]);
+  });
+  return perm;
+}
+
+std::vector<float> apply_permutation(std::span<const float> values,
+                                     std::span<const std::uint32_t> perm) {
+  std::vector<float> out(perm.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) out[i] = values[perm[i]];
+  return out;
+}
+
+std::vector<float> invert_permutation(std::span<const float> placed,
+                                      std::span<const std::uint32_t> perm,
+                                      std::span<const std::uint8_t> survived) {
+  std::vector<float> out(perm.size(), 0.0f);
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    if (i < survived.size() && survived[i] == 0) continue;
+    out[perm[i]] = placed[i];
+  }
+  return out;
+}
+
+std::size_t permutation_overhead_bytes(std::size_t n) noexcept {
+  if (n <= 1) return 0;
+  unsigned bits = 0;
+  std::size_t v = n - 1;
+  while (v != 0) {
+    ++bits;
+    v >>= 1;
+  }
+  return (static_cast<std::size_t>(bits) * n + 7) / 8;
+}
+
+}  // namespace trimgrad::core

@@ -1,0 +1,204 @@
+#include "core/multilevel.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/bitpack.h"
+#include "core/hadamard.h"
+#include "core/rht_codec.h"
+
+namespace trimgrad::core {
+
+namespace {
+constexpr std::uint32_t kSignMask = 0x80000000u;
+constexpr std::uint32_t kMagMask = 0x7fffffffu;
+constexpr std::uint32_t kLowMask = 0x00ffffffu;  // low 24 bits
+}  // namespace
+
+const char* to_string(TrimLevel lv) noexcept {
+  switch (lv) {
+    case TrimLevel::kFull: return "full";
+    case TrimLevel::kMid: return "mid";
+    case TrimLevel::kHead: return "head";
+  }
+  return "?";
+}
+
+MlParts ml_split(float r) noexcept {
+  const std::uint32_t b = float_bits(r);
+  MlParts p;
+  p.sign = (b & kSignMask) == 0;
+  const std::uint32_t exp = (b >> 23) & 0xffu;
+  const std::uint32_t man = b & 0x007fffffu;
+  // B: low-6 exponent bits + top mantissa bit (7 bits).
+  p.mid = static_cast<std::uint8_t>(((exp & 0x3fu) << 1) | (man >> 22));
+  // C: high-2 exponent bits + low 22 mantissa bits (24 bits).
+  p.low = ((exp >> 6) << 22) | (man & 0x003fffffu);
+  return p;
+}
+
+float ml_join_full(const MlParts& p) noexcept {
+  const std::uint32_t exp =
+      (((p.low >> 22) & 0x3u) << 6) | ((p.mid >> 1) & 0x3fu);
+  const std::uint32_t man = (static_cast<std::uint32_t>(p.mid & 1u) << 22) |
+                            (p.low & 0x003fffffu);
+  return bits_float((p.sign ? 0u : kSignMask) | (exp << 23) | man);
+}
+
+float ml_join_mid(bool sign, std::uint8_t mid, float scale_f) noexcept {
+  // Note: exact zeros (exp = 0) share mid = 0 with exponents ≡ 0 (mod 64);
+  // the candidate search below resolves them naturally, because a zero row
+  // scale (all-zero input) drives exp_f to 0 and selects the denormal
+  // candidate, while a normal row scale never sits 32+ octaves away from a
+  // real coordinate.
+  const std::uint32_t exp_low6 = (mid >> 1) & 0x3fu;
+  const std::uint32_t man_msb = mid & 1u;
+  // Infer the two high exponent bits: pick the candidate exponent nearest
+  // the row scale's exponent. Rotated coordinates sit within a few octaves
+  // of f, far less than the 64-octave candidate spacing.
+  const std::uint32_t exp_f = (float_bits(scale_f) >> 23) & 0xffu;
+  std::uint32_t best_exp = exp_low6;
+  std::uint32_t best_dist = ~0u;
+  for (std::uint32_t hi = 0; hi < 4; ++hi) {
+    const std::uint32_t cand = (hi << 6) | exp_low6;
+    const std::uint32_t dist =
+        cand > exp_f ? cand - exp_f : exp_f - cand;
+    if (dist < best_dist) {
+      best_dist = dist;
+      best_exp = cand;
+    }
+  }
+  // Unknown low 22 mantissa bits -> linear bucket midpoint.
+  const std::uint32_t man = (man_msb << 22) | (1u << 21);
+  return bits_float((sign ? 0u : kSignMask) | (best_exp << 23) | man);
+}
+
+float ml_join_head(bool sign, float scale_f) noexcept {
+  return sign ? scale_f : -scale_f;
+}
+
+std::size_t MlPacket::wire_bytes_at(TrimLevel lv) const noexcept {
+  switch (lv) {
+    case TrimLevel::kFull: return wire_bytes();
+    case TrimLevel::kMid:
+      return kTransportHeaderBytes + region_a.size() + region_b.size();
+    case TrimLevel::kHead:
+      return kTransportHeaderBytes + region_a.size();
+  }
+  return wire_bytes();
+}
+
+void MlPacket::trim_to(TrimLevel lv) noexcept {
+  if (static_cast<std::uint8_t>(lv) <= static_cast<std::uint8_t>(level)) return;
+  level = lv;
+  if (lv == TrimLevel::kMid || lv == TrimLevel::kHead) {
+    region_c.clear();
+    region_c.shrink_to_fit();
+  }
+  if (lv == TrimLevel::kHead) {
+    region_b.clear();
+    region_b.shrink_to_fit();
+  }
+}
+
+MultilevelCodec::MultilevelCodec(Config cfg) : cfg_(std::move(cfg)) {
+  assert(is_pow2(cfg_.row_len));
+}
+
+std::size_t MultilevelCodec::coords_per_packet() const noexcept {
+  // 32 bits per coordinate across the three regions.
+  return cfg_.layout.payload_bytes() * 8 / 32;
+}
+
+MlEncodedMessage MultilevelCodec::encode(std::span<const float> grad,
+                                         std::uint32_t msg_id,
+                                         std::uint64_t epoch) const {
+  MlEncodedMessage out;
+  out.meta.msg_id = msg_id;
+  out.meta.epoch = epoch;
+  out.meta.total_coords = static_cast<std::uint32_t>(grad.size());
+  out.meta.row_len = static_cast<std::uint32_t>(cfg_.row_len);
+
+  const RowSplit split = make_row_split(grad.size(), cfg_.row_len);
+  const std::size_t per_pkt = coords_per_packet();
+  std::uint16_t seq = 0;
+
+  for (std::size_t r = 0; r < split.n_rows; ++r) {
+    std::vector<float> row = extract_padded_row(grad, split, r);
+    const StreamKey key{cfg_.shared_seed, epoch, msg_id, r};
+    // Reuse the 1-bit RHT encoder for rotation + scale, then re-split the
+    // rotated coordinates into the three regions.
+    RhtEncodedRow enc = rht_encode_row(row, key);
+    out.meta.row_scales.push_back(enc.scale_f);
+
+    const std::size_t row_base = split.offset(r);
+    for (std::size_t off = 0; off < enc.heads.size(); off += per_pkt) {
+      const std::size_t n = std::min(per_pkt, enc.heads.size() - off);
+      MlPacket pkt;
+      pkt.msg_id = msg_id;
+      pkt.row_id = static_cast<std::uint32_t>(r);
+      pkt.coord_base = static_cast<std::uint32_t>(row_base + off);
+      pkt.n_coords = static_cast<std::uint16_t>(n);
+      pkt.seq = seq++;
+      BitWriter a, b, c;
+      for (std::size_t j = 0; j < n; ++j) {
+        const MlParts parts = ml_split(rht_coord_from_parts(
+            enc.heads[off + j] != 0, enc.tails[off + j]));
+        a.put_bit(parts.sign);
+        b.put(parts.mid, 7);
+        c.put(parts.low, 24);
+      }
+      pkt.region_a = std::move(a).finish();
+      pkt.region_b = std::move(b).finish();
+      pkt.region_c = std::move(c).finish();
+      out.packets.push_back(std::move(pkt));
+    }
+  }
+  return out;
+}
+
+std::vector<float> MultilevelCodec::decode(std::span<const MlPacket> packets,
+                                           const MlMessageMeta& meta) const {
+  const RowSplit split = make_row_split(meta.total_coords, meta.row_len);
+  std::vector<float> out(meta.total_coords, 0.0f);
+
+  for (std::size_t r = 0; r < split.n_rows; ++r) {
+    const std::size_t padded = split.padded_len(r);
+    const std::size_t row_base = split.offset(r);
+    const float f = r < meta.row_scales.size() ? meta.row_scales[r] : 0.0f;
+    std::vector<float> r_hat(padded, 0.0f);
+    for (const auto& pkt : packets) {
+      if (pkt.row_id != r) continue;
+      BitReader a(pkt.region_a);
+      BitReader b(pkt.region_b);
+      BitReader c(pkt.region_c);
+      for (std::size_t j = 0; j < pkt.n_coords; ++j) {
+        const bool sign = a.get_bit();
+        const std::size_t local = pkt.coord_base - row_base + j;
+        if (local >= padded) continue;
+        switch (pkt.level) {
+          case TrimLevel::kFull: {
+            MlParts p{sign, static_cast<std::uint8_t>(b.get(7)),
+                      static_cast<std::uint32_t>(c.get(24))};
+            r_hat[local] = ml_join_full(p);
+            break;
+          }
+          case TrimLevel::kMid:
+            r_hat[local] =
+                ml_join_mid(sign, static_cast<std::uint8_t>(b.get(7)), f);
+            break;
+          case TrimLevel::kHead:
+            r_hat[local] = ml_join_head(sign, f);
+            break;
+        }
+      }
+    }
+    SharedRng rng(StreamKey{cfg_.shared_seed, meta.epoch, meta.msg_id, r});
+    irht_inplace(r_hat, rng);
+    const std::size_t real = split.real_len(r);
+    for (std::size_t i = 0; i < real; ++i) out[row_base + i] = r_hat[i];
+  }
+  return out;
+}
+
+}  // namespace trimgrad::core

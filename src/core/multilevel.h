@@ -1,0 +1,124 @@
+// Multi-level trimmable encoding (paper §5.1, built out as a working
+// extension rather than future work).
+//
+// A switch may face different congestion severities and want matching trim
+// strengths: the paper suggests trimming 32-bit coordinates to either 8 bits
+// (mild congestion, ~25 % of full size) or 1 bit (severe, ~3 %). That needs
+// a *prefix-decodable* three-part encoding:
+//
+//   region A — 1 bit/coord:  sign of the (RHT-rotated) coordinate
+//   region B — 7 bits/coord: the LOW 6 exponent bits + the top mantissa
+//               bit of the IEEE-754 value
+//   region C — 24 bits/coord: the 2 HIGH exponent bits + the low 22
+//               mantissa bits
+//
+// A + B + C reassemble the exact 32-bit float. A + B decode by inferring
+// the two missing high exponent bits from the row's reliable scale f —
+// RHT-rotated coordinates concentrate within a few octaves of f, so among
+// the four exponent candidates (64 octaves apart) the one nearest f's
+// exponent is unambiguous; the unknown low mantissa bits take their bucket
+// midpoint, giving ≈1 % NMSE at 8 bits/coordinate. A alone decodes to ±f
+// like the 1-bit RHT scheme (NMSE ≈ π/2 − 1). The packet layout places A,
+// then B, then C, so a switch implements the three congestion responses
+// purely as two different trim points on the same packet.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/packet.h"
+#include "core/prng.h"
+
+namespace trimgrad::core {
+
+/// How much of a multi-level packet survived.
+enum class TrimLevel : std::uint8_t {
+  kFull = 0,  ///< A+B+C: exact
+  kMid = 1,   ///< A+B: 8 bits/coordinate
+  kHead = 2,  ///< A: 1 bit/coordinate
+};
+
+const char* to_string(TrimLevel lv) noexcept;
+
+/// Split / reassemble one rotated coordinate.
+struct MlParts {
+  bool sign;          ///< region A bit (1 = non-negative)
+  std::uint8_t mid;   ///< region B: low-6 exponent bits + top mantissa bit
+  std::uint32_t low;  ///< region C: high-2 exponent bits + low 22 mantissa bits
+};
+MlParts ml_split(float r) noexcept;
+float ml_join_full(const MlParts& p) noexcept;  ///< exact float
+/// 8-bit decode: exponent high bits inferred from the row scale f;
+/// mid == 0 decodes to 0 (reserved for exact zeros).
+float ml_join_mid(bool sign, std::uint8_t mid, float scale_f) noexcept;
+float ml_join_head(bool sign, float scale_f) noexcept;  ///< ±f
+
+/// One multi-level trimmable packet: three payload regions + header model.
+struct MlPacket {
+  std::uint32_t msg_id = 0;
+  std::uint32_t row_id = 0;
+  std::uint32_t coord_base = 0;
+  std::uint16_t n_coords = 0;
+  std::uint16_t seq = 0;
+  TrimLevel level = TrimLevel::kFull;
+
+  std::vector<std::uint8_t> region_a;  ///< ceil(n/8) bytes of sign bits
+  std::vector<std::uint8_t> region_b;  ///< ceil(7n/8) bytes of mid codes
+  std::vector<std::uint8_t> region_c;  ///< 3n bytes of low bits
+
+  std::size_t wire_bytes() const noexcept {
+    return kTransportHeaderBytes + region_a.size() + region_b.size() +
+           region_c.size();
+  }
+  /// Wire size this packet would have at a given trim level.
+  std::size_t wire_bytes_at(TrimLevel lv) const noexcept;
+
+  /// Apply a trim. Trimming is monotone: a packet already at kHead stays
+  /// there even if asked for kMid.
+  void trim_to(TrimLevel lv) noexcept;
+};
+
+/// Per-message metadata (reliable channel): per-row unbiased scales.
+struct MlMessageMeta {
+  std::uint32_t msg_id = 0;
+  std::uint64_t epoch = 0;
+  std::uint32_t total_coords = 0;
+  std::uint32_t row_len = 0;
+  std::vector<float> row_scales;
+};
+
+struct MlEncodedMessage {
+  std::vector<MlPacket> packets;
+  MlMessageMeta meta;
+};
+
+/// RHT-rotated multi-level encoder/decoder. Shares the row-splitting and
+/// shared-seed conventions of the 1-bit RHT codec.
+class MultilevelCodec {
+ public:
+  struct Config {
+    PacketLayout layout{};  ///< only mtu/header used; P/Q implied by regions
+    std::size_t row_len = std::size_t{1} << 15;
+    std::uint64_t shared_seed = 1;
+  };
+
+  explicit MultilevelCodec(Config cfg);
+
+  MlEncodedMessage encode(std::span<const float> grad, std::uint32_t msg_id,
+                          std::uint64_t epoch) const;
+
+  /// Decode; packets may be at any mix of trim levels or missing.
+  std::vector<float> decode(std::span<const MlPacket> packets,
+                            const MlMessageMeta& meta) const;
+
+  /// Coordinates per packet for the 32-bit three-region layout.
+  std::size_t coords_per_packet() const noexcept;
+
+  const Config& config() const noexcept { return cfg_; }
+
+ private:
+  Config cfg_;
+};
+
+}  // namespace trimgrad::core

@@ -1,0 +1,27 @@
+#include "core/packet.h"
+
+namespace trimgrad::core {
+
+const char* to_string(Scheme s) noexcept {
+  switch (s) {
+    case Scheme::kBaseline: return "baseline";
+    case Scheme::kSign: return "sign";
+    case Scheme::kSQ: return "sq";
+    case Scheme::kSD: return "sd";
+    case Scheme::kRHT: return "rht";
+  }
+  return "?";
+}
+
+bool is_scalar(Scheme s) noexcept {
+  return s == Scheme::kSign || s == Scheme::kSQ || s == Scheme::kSD;
+}
+
+double PacketLayout::trim_ratio() const noexcept {
+  const std::size_t n = coords_per_packet();
+  const double full = static_cast<double>(full_packet_bytes(n));
+  const double trimmed = static_cast<double>(header_bytes + head_region_bytes(n));
+  return full > 0.0 ? 1.0 - trimmed / full : 0.0;
+}
+
+}  // namespace trimgrad::core

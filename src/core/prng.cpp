@@ -1,0 +1,19 @@
+#include "core/prng.h"
+
+#include <cmath>
+
+namespace trimgrad::core {
+
+double Xoshiro256::gaussian() noexcept {
+  // Marsaglia polar method.
+  for (;;) {
+    const double u = 2.0 * uniform() - 1.0;
+    const double v = 2.0 * uniform() - 1.0;
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+}  // namespace trimgrad::core

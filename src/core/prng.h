@@ -1,0 +1,128 @@
+// Deterministic pseudo-random number generation with *shared randomness*.
+//
+// The trimmable-gradient schemes in the paper (subtractive dithering, §3.1,
+// and the Randomized Hadamard Transform, §3.2) require the sender and the
+// receiver to derive identical random values without exchanging them. The
+// paper does this by seeding both sides with a combination of the training
+// epoch number and the collective-communication message id. `SharedRng`
+// reproduces that contract: it is a small counter-based generator keyed by
+// (seed, epoch, message id, row id) so any party holding the same key tuple
+// generates the same stream, and streams for different tuples are
+// statistically independent.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace trimgrad::core {
+
+/// SplitMix64 step: the standard 64-bit finalizer-based generator.
+/// Used both as a standalone mixer and to seed the larger generators.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless 64-bit mix of two words (used to derive stream keys).
+constexpr std::uint64_t mix64(std::uint64_t a, std::uint64_t b) noexcept {
+  std::uint64_t s = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+  return splitmix64(s);
+}
+
+/// xoshiro256** — fast, high-quality general-purpose generator.
+/// Satisfies std::uniform_random_bit_generator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256(std::uint64_t seed = 0x6a09e667f3bcc908ULL) noexcept {
+    // Seed the full 256-bit state through SplitMix64, per Vigna's guidance.
+    std::uint64_t s = seed;
+    for (auto& w : state_) w = splitmix64(s);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  constexpr double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [lo, hi).
+  constexpr float uniform(float lo, float hi) noexcept {
+    return lo + static_cast<float>(uniform()) * (hi - lo);
+  }
+
+  /// Bernoulli trial with success probability p.
+  constexpr bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Random sign in {-1.0f, +1.0f} from one state bit.
+  constexpr float random_sign() noexcept {
+    return ((*this)() & 1u) != 0 ? 1.0f : -1.0f;
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  constexpr std::uint64_t below(std::uint64_t n) noexcept {
+    // Lemire-style rejection-free multiply-shift; bias < 2^-64 * n,
+    // negligible for every use in this library.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>((*this)()) * n) >> 64);
+  }
+
+  /// Standard normal via Marsaglia polar method (no cached spare: the
+  /// gradient paths consume gaussians in bulk, so simplicity wins).
+  double gaussian() noexcept;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Key identifying one shared-randomness stream. Sender and receiver build
+/// identical keys from training-loop coordinates they both already know, so
+/// no random bits ever cross the network (paper §3.1/§3.2).
+struct StreamKey {
+  std::uint64_t seed = 0;     ///< per-job base seed (torch.cuda.manual_seed analogue)
+  std::uint64_t epoch = 0;    ///< training epoch / round number
+  std::uint64_t message = 0;  ///< collective-communication message id
+  std::uint64_t row = 0;      ///< RHT row index within the message
+
+  friend constexpr bool operator==(const StreamKey&, const StreamKey&) = default;
+
+  /// Collapse the tuple into a single 64-bit stream seed.
+  constexpr std::uint64_t derive() const noexcept {
+    return mix64(mix64(mix64(seed, epoch), message), row);
+  }
+};
+
+/// Shared-randomness stream: a Xoshiro256 deterministically derived from a
+/// StreamKey. Two parties constructing SharedRng from equal keys observe
+/// identical sequences.
+class SharedRng : public Xoshiro256 {
+ public:
+  explicit constexpr SharedRng(const StreamKey& key) noexcept
+      : Xoshiro256(key.derive()) {}
+};
+
+}  // namespace trimgrad::core

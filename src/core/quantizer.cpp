@@ -1,0 +1,117 @@
+#include "core/quantizer.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+#include "core/bitpack.h"
+#include "core/stats.h"
+
+namespace trimgrad::core {
+
+namespace {
+
+constexpr std::uint32_t kSignMask = 0x80000000u;
+constexpr std::uint32_t kMagMask = 0x7fffffffu;
+
+/// SQ/SD tail: sign(1) | exponent(8) | mantissa[22..1](22) — 31 bits.
+/// Drops the mantissa LSB so the stochastic head bit costs no extra space.
+constexpr std::uint32_t pack_signed_tail(float v) noexcept {
+  const std::uint32_t b = std::bit_cast<std::uint32_t>(v);
+  const std::uint32_t sign = b >> 31;
+  const std::uint32_t exp_man = (b & kMagMask) >> 1;  // drop mantissa LSB
+  return (sign << 30) | exp_man;
+}
+
+constexpr float unpack_signed_tail(std::uint32_t tail) noexcept {
+  const std::uint32_t sign = (tail >> 30) & 1u;
+  const std::uint32_t exp_man = (tail & 0x3fffffffu) << 1;  // LSB := 0
+  return std::bit_cast<float>((sign << 31) | exp_man);
+}
+
+constexpr float clip(float v, float l) noexcept {
+  return std::clamp(v, -l, l);
+}
+
+}  // namespace
+
+const char* to_string(ScalarScheme s) noexcept {
+  switch (s) {
+    case ScalarScheme::kSign: return "sign";
+    case ScalarScheme::kSQ: return "sq";
+    case ScalarScheme::kSD: return "sd";
+  }
+  return "?";
+}
+
+float scalar_scale(ScalarScheme scheme, std::span<const float> values) noexcept {
+  const float sigma = static_cast<float>(stddev(values));
+  return scheme == ScalarScheme::kSign ? sigma : kClipSigmas * sigma;
+}
+
+std::vector<float> make_dithers(std::size_t n, float scale_l, SharedRng rng) {
+  std::vector<float> out(n);
+  // Full-step dither for the ±L two-level quantizer (step 2L): U(−L, L).
+  for (auto& d : out) d = rng.uniform(-scale_l, scale_l);
+  return out;
+}
+
+HeadTail scalar_encode(ScalarScheme scheme, float v, float scale,
+                       Xoshiro256& private_rng, float dither) noexcept {
+  switch (scheme) {
+    case ScalarScheme::kSign:
+      // Head = sign bit (1 for non-negative); tail = exponent+mantissa.
+      return {(float_bits(v) & kSignMask) == 0, float_bits(v) & kMagMask};
+    case ScalarScheme::kSQ: {
+      const float l = scale;
+      const float c = l > 0.0f ? clip(v, l) : 0.0f;
+      const double p_plus = l > 0.0f ? (l + c) / (2.0 * l) : 0.5;
+      return {private_rng.bernoulli(p_plus), pack_signed_tail(v)};
+    }
+    case ScalarScheme::kSD:
+      return {v + dither >= 0.0f, pack_signed_tail(v)};
+  }
+  return {false, 0};
+}
+
+float scalar_decode_full(ScalarScheme scheme, bool head, std::uint32_t tail) noexcept {
+  switch (scheme) {
+    case ScalarScheme::kSign:
+      return bits_float((head ? 0u : kSignMask) | (tail & kMagMask));
+    case ScalarScheme::kSQ:
+    case ScalarScheme::kSD:
+      return unpack_signed_tail(tail);
+  }
+  return 0.0f;
+}
+
+float scalar_decode_trimmed(ScalarScheme scheme, bool head, float scale,
+                            float dither) noexcept {
+  const float s = head ? 1.0f : -1.0f;
+  switch (scheme) {
+    case ScalarScheme::kSign:
+    case ScalarScheme::kSQ:
+      return s * scale;  // {−σ,+σ} or {−L,+L}
+    case ScalarScheme::kSD:
+      return s * scale - dither;  // x̃ = Q(x) − ε
+  }
+  return 0.0f;
+}
+
+void scalar_encode_all(ScalarScheme scheme, std::span<const float> values,
+                       float scale, Xoshiro256& private_rng,
+                       std::span<const float> dithers,
+                       std::vector<std::uint8_t>& heads,
+                       std::vector<std::uint32_t>& tails) {
+  assert(scheme != ScalarScheme::kSD || dithers.size() >= values.size());
+  heads.reserve(heads.size() + values.size());
+  tails.reserve(tails.size() + values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const float d = scheme == ScalarScheme::kSD ? dithers[i] : 0.0f;
+    const HeadTail ht = scalar_encode(scheme, values[i], scale, private_rng, d);
+    heads.push_back(ht.head ? 1 : 0);
+    tails.push_back(ht.tail);
+  }
+}
+
+}  // namespace trimgrad::core

@@ -1,0 +1,94 @@
+// Scalar 1-bit trimmable quantizers (paper §3.1).
+//
+// Every gradient coordinate v is encoded into a P = 1 bit "head" plus a
+// Q = 31 bit "tail". The head must be a usable standalone compression when
+// the tail is trimmed away by a congested switch; the tail restores (nearly)
+// full precision when it survives. Three schemes from the paper:
+//
+//  * Sign-magnitude — head = sign(v); tail = the remaining 31 bits of the
+//    IEEE-754 float (exponent + mantissa). Untrimmed decode is bit-exact.
+//    Trimmed decode maps the sign to {−σ, +σ} using the message standard
+//    deviation σ, which rides in a reliable metadata packet.
+//  * Stochastic Quantization (SQ) — clip v to [−L, L] with L = 2.5σ
+//    (TernGrad's choice); head = +1 with probability (L+v)/2L, giving an
+//    unbiased estimator for unclipped coordinates. Trimmed decode: ±L.
+//  * Subtractive Dithering (SD) — head = sign(v + ε) with shared-randomness
+//    dither ε; trimmed decode: L·sign − ε. Sender and receiver regenerate
+//    identical ε from a SharedRng, so the dither costs no bandwidth. SD's
+//    error is input-independent and better in the worst case than SQ's.
+//    NOTE: the paper's text says ε ~ U(−L/2, L/2), but that range makes the
+//    estimator biased (E[x̃] = 2x for |x| ≤ L/2), contradicting the paper's
+//    own unbiasedness and input-independence claims. Classic subtractive
+//    dithering for a two-level ±L quantizer (step Δ = 2L) needs a dither
+//    spanning the full step: ε ~ U(−L, L). We implement the corrected
+//    range; see DESIGN.md.
+//
+// Tail format. For sign-magnitude the head already carries the sign, so the
+// 31-bit tail is exactly the float's exponent+mantissa and untrimmed decode
+// is lossless ("precise encoding of the original 32-bit number, without any
+// additional space overhead", §3.2). For SQ/SD the head bit is stochastic —
+// it does NOT determine the sign — so the tail must carry the sign itself:
+// we store sign(1) + exponent(8) + the top 22 mantissa bits, dropping the
+// least-significant mantissa bit (relative error ≤ 2⁻²³, far below gradient
+// noise). This keeps Q = 31 for every scheme so the packet layout and trim
+// arithmetic are scheme-independent.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/prng.h"
+
+namespace trimgrad::core {
+
+/// The three scalar head encodings of §3.1.
+enum class ScalarScheme : std::uint8_t { kSign = 0, kSQ = 1, kSD = 2 };
+
+/// Human-readable scheme name ("sign", "sq", "sd").
+const char* to_string(ScalarScheme s) noexcept;
+
+/// Decode scale carried in reliable metadata: σ for kSign, L = 2.5σ for
+/// kSQ/kSD. Computed over the whole message (paper sends "the standard
+/// deviation of the original gradient").
+float scalar_scale(ScalarScheme scheme, std::span<const float> values) noexcept;
+
+/// TernGrad clip multiplier: L = 2.5σ.
+inline constexpr float kClipSigmas = 2.5f;
+
+/// Generate the n shared dithers ε_i ~ U(−L, L) for SD, one per coordinate
+/// in index order. Both sides call this with equal keys. (Full-step dither;
+/// see the SD note above on the paper's U(−L/2, L/2) typo.)
+std::vector<float> make_dithers(std::size_t n, float scale_l, SharedRng rng);
+
+/// Result of encoding one coordinate: 1 head bit + 31-bit tail.
+struct HeadTail {
+  bool head;
+  std::uint32_t tail;  ///< low 31 bits valid
+};
+
+/// Encode one coordinate.
+///  - `scale` is σ (kSign) or L (kSQ/kSD).
+///  - `private_rng` supplies SQ's stochastic rounding (sender-only).
+///  - `dither` is ε_i for kSD (ignored otherwise).
+HeadTail scalar_encode(ScalarScheme scheme, float v, float scale,
+                       Xoshiro256& private_rng, float dither) noexcept;
+
+/// Decode a coordinate whose tail survived (untrimmed packet).
+float scalar_decode_full(ScalarScheme scheme, bool head, std::uint32_t tail) noexcept;
+
+/// Decode a coordinate whose tail was trimmed: only the head bit and the
+/// reliable metadata scale (plus, for SD, the regenerated dither) remain.
+float scalar_decode_trimmed(ScalarScheme scheme, bool head, float scale,
+                            float dither) noexcept;
+
+/// Vector convenience: encode all of `values`, appending to heads/tails.
+/// For kSD, `dithers` must have values.size() entries; may be empty for
+/// the other schemes.
+void scalar_encode_all(ScalarScheme scheme, std::span<const float> values,
+                       float scale, Xoshiro256& private_rng,
+                       std::span<const float> dithers,
+                       std::vector<std::uint8_t>& heads,
+                       std::vector<std::uint32_t>& tails);
+
+}  // namespace trimgrad::core

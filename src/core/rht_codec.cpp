@@ -1,0 +1,66 @@
+#include "core/rht_codec.h"
+
+#include <cassert>
+
+#include "core/bitpack.h"
+#include "core/hadamard.h"
+#include "core/stats.h"
+
+namespace trimgrad::core {
+
+namespace {
+constexpr std::uint32_t kSignMask = 0x80000000u;
+constexpr std::uint32_t kMagMask = 0x7fffffffu;
+}  // namespace
+
+float rht_coord_from_parts(bool head, std::uint32_t tail) noexcept {
+  // head = 1 means non-negative; tail carries exponent+mantissa.
+  return bits_float((head ? 0u : kSignMask) | (tail & kMagMask));
+}
+
+float rht_coord_trimmed(bool head, float scale_f) noexcept {
+  return head ? scale_f : -scale_f;
+}
+
+RhtEncodedRow rht_encode_row(std::span<const float> row, const StreamKey& key) {
+  assert(is_pow2(row.size()));
+  std::vector<float> rotated(row.begin(), row.end());
+  SharedRng rng(key);
+  rht_inplace(rotated, rng);
+
+  RhtEncodedRow out;
+  out.heads.reserve(rotated.size());
+  out.tails.reserve(rotated.size());
+  for (float r : rotated) {
+    const std::uint32_t b = float_bits(r);
+    out.heads.push_back((b & kSignMask) == 0 ? 1 : 0);
+    out.tails.push_back(b & kMagMask);
+  }
+
+  // Unbiased scale f = ‖V‖₂² / ‖R‖₁. The rotation is orthonormal so
+  // ‖V‖₂² = ‖R‖₂²; using the pre-rotation norm follows the paper exactly.
+  const double l1 = l1_norm(rotated);
+  out.scale_f = l1 > 0.0 ? static_cast<float>(l2_norm_sq(row) / l1) : 0.0f;
+  return out;
+}
+
+std::vector<float> rht_decode_row(std::span<const std::uint8_t> heads,
+                                  std::span<const std::uint32_t> tails,
+                                  std::span<const std::uint8_t> trimmed,
+                                  float scale_f, const StreamKey& key) {
+  assert(heads.size() == tails.size());
+  assert(heads.size() == trimmed.size());
+  assert(is_pow2(heads.size()));
+
+  std::vector<float> r_hat(heads.size());
+  for (std::size_t i = 0; i < heads.size(); ++i) {
+    r_hat[i] = trimmed[i] != 0
+                   ? rht_coord_trimmed(heads[i] != 0, scale_f)
+                   : rht_coord_from_parts(heads[i] != 0, tails[i]);
+  }
+  SharedRng rng(key);
+  irht_inplace(r_hat, rng);
+  return r_hat;
+}
+
+}  // namespace trimgrad::core

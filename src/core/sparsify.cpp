@@ -1,0 +1,70 @@
+#include "core/sparsify.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/stats.h"
+
+namespace trimgrad::core {
+
+namespace {
+std::size_t keep_count(std::size_t n, double keep_ratio) {
+  const double r = std::clamp(keep_ratio, 0.0, 1.0);
+  return static_cast<std::size_t>(std::ceil(r * static_cast<double>(n)));
+}
+}  // namespace
+
+void topk_sparsify_inplace(std::span<float> values, double keep_ratio) {
+  const std::size_t k = keep_count(values.size(), keep_ratio);
+  if (k >= values.size()) return;
+  if (k == 0) {
+    std::fill(values.begin(), values.end(), 0.0f);
+    return;
+  }
+  std::vector<float> mags(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) mags[i] = std::fabs(values[i]);
+  std::vector<float> sorted = mags;
+  std::nth_element(sorted.begin(), sorted.begin() + (k - 1), sorted.end(),
+                   std::greater<float>());
+  const float threshold = sorted[k - 1];
+  // Keep everything strictly above the threshold, then fill remaining slots
+  // with threshold-equal entries (handles ties deterministically by index).
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (mags[i] > threshold) ++kept;
+  }
+  std::size_t ties_to_keep = k - kept;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (mags[i] > threshold) continue;
+    if (mags[i] == threshold && ties_to_keep > 0) {
+      --ties_to_keep;
+      continue;
+    }
+    values[i] = 0.0f;
+  }
+}
+
+std::vector<std::uint32_t> topk_indices(std::span<const float> values,
+                                        std::size_t k) {
+  std::vector<std::uint32_t> idx(values.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = static_cast<std::uint32_t>(i);
+  if (k >= values.size()) return idx;
+  std::nth_element(idx.begin(), idx.begin() + k, idx.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return std::fabs(values[a]) > std::fabs(values[b]);
+                   });
+  idx.resize(k);
+  return idx;
+}
+
+double topk_energy_fraction(std::span<const float> values, double keep_ratio) {
+  const double total = l2_norm_sq(values);
+  if (total == 0.0) return 1.0;
+  const std::size_t k = keep_count(values.size(), keep_ratio);
+  auto idx = topk_indices(values, k);
+  double kept = 0.0;
+  for (std::uint32_t i : idx) kept += static_cast<double>(values[i]) * values[i];
+  return kept / total;
+}
+
+}  // namespace trimgrad::core

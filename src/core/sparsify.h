@@ -1,0 +1,31 @@
+// Ahead-of-time sparsification composed with just-in-time trimming
+// (paper §5.2/§5.3 extension).
+//
+// The sender can react to coarse-grained congestion-control feedback by
+// discarding a ratio of the smallest-magnitude gradient coordinates (the
+// MLT observation: the smallest ~20 % are nearly free to lose), *then*
+// encode the result trimmably so switches can still compress further under
+// unpredicted congestion. This module provides the top-k primitive and the
+// composition helper.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace trimgrad::core {
+
+/// Zero out all but the ceil(keep_ratio * n) largest-|v| coordinates,
+/// in place. keep_ratio is clamped to [0, 1]. Deterministic (stable
+/// nth_element by magnitude, ties kept arbitrarily but reproducibly).
+void topk_sparsify_inplace(std::span<float> values, double keep_ratio);
+
+/// Indices of the k largest-magnitude coordinates (unsorted order).
+std::vector<std::uint32_t> topk_indices(std::span<const float> values,
+                                        std::size_t k);
+
+/// Fraction of L2 mass retained by keeping the top-`keep_ratio` share of
+/// coordinates — the quantity behind MLT's "smallest 20 % are droppable".
+double topk_energy_fraction(std::span<const float> values, double keep_ratio);
+
+}  // namespace trimgrad::core

@@ -1,0 +1,77 @@
+#include "core/stats.h"
+
+#include <cmath>
+
+namespace trimgrad::core {
+
+double sum(std::span<const float> v) noexcept {
+  double s = 0.0;
+  for (float x : v) s += x;
+  return s;
+}
+
+double mean(std::span<const float> v) noexcept {
+  return v.empty() ? 0.0 : sum(v) / static_cast<double>(v.size());
+}
+
+double stddev(std::span<const float> v) noexcept {
+  if (v.size() < 2) return 0.0;
+  const double m = mean(v);
+  double acc = 0.0;
+  for (float x : v) {
+    const double d = x - m;
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(v.size()));
+}
+
+double l1_norm(std::span<const float> v) noexcept {
+  double s = 0.0;
+  for (float x : v) s += std::fabs(x);
+  return s;
+}
+
+double l2_norm_sq(std::span<const float> v) noexcept {
+  double s = 0.0;
+  for (float x : v) s += static_cast<double>(x) * x;
+  return s;
+}
+
+double l2_norm(std::span<const float> v) noexcept {
+  return std::sqrt(l2_norm_sq(v));
+}
+
+double nmse(std::span<const float> estimate,
+            std::span<const float> reference) noexcept {
+  double err = 0.0;
+  const std::size_t n =
+      estimate.size() < reference.size() ? estimate.size() : reference.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(estimate[i]) - reference[i];
+    err += d * d;
+  }
+  const double ref = l2_norm_sq(reference);
+  if (ref == 0.0) return err == 0.0 ? 0.0 : err;
+  return err / ref;
+}
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ == 0 ? 0.0 : m2_ / static_cast<double>(n_);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+}  // namespace trimgrad::core

@@ -1,0 +1,58 @@
+// Small statistics helpers used by the codecs.
+//
+// The scalar schemes need the gradient's standard deviation (σ is the
+// decode scale for sign-magnitude; L = 2.5σ clips SQ/SD, per TernGrad).
+// The RHT scheme needs the unbiased scale f = ‖V‖₂² / ‖R(V)‖₁ (§3.2).
+// These values ride in the small reliable metadata packets that the
+// switches never trim.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace trimgrad::core {
+
+/// Sum of elements.
+double sum(std::span<const float> v) noexcept;
+
+/// Arithmetic mean; 0 for empty input.
+double mean(std::span<const float> v) noexcept;
+
+/// Population standard deviation; 0 for inputs of size < 2.
+double stddev(std::span<const float> v) noexcept;
+
+/// L1 norm: sum of |v_i|.
+double l1_norm(std::span<const float> v) noexcept;
+
+/// Squared L2 norm: sum of v_i².
+double l2_norm_sq(std::span<const float> v) noexcept;
+
+/// L2 norm.
+double l2_norm(std::span<const float> v) noexcept;
+
+/// Normalized mean squared error between an estimate and a reference:
+/// ‖est − ref‖₂² / ‖ref‖₂². Returns 0 when both are zero vectors, and
+/// the raw squared error when only the reference is zero.
+double nmse(std::span<const float> estimate, std::span<const float> reference) noexcept;
+
+/// Welford single-pass accumulator for streaming mean/variance, used by
+/// the simulator's queue-occupancy and FCT statistics.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  double variance() const noexcept;  ///< population variance
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace trimgrad::core

@@ -1,0 +1,48 @@
+#include "core/transcript.h"
+
+#include <istream>
+#include <ostream>
+
+#include "core/prng.h"
+
+namespace trimgrad::core {
+
+std::uint64_t TrimTranscript::key(std::uint64_t epoch, std::uint32_t msg_id,
+                                  std::uint16_t seq) noexcept {
+  return mix64(epoch, (static_cast<std::uint64_t>(msg_id) << 16) | seq);
+}
+
+void TrimTranscript::record(std::uint64_t epoch, std::uint32_t msg_id,
+                            std::uint16_t seq, std::uint8_t level) {
+  events_.push_back(TrimEvent{epoch, msg_id, seq, level});
+  index_[key(epoch, msg_id, seq)] = level;
+}
+
+std::optional<std::uint8_t> TrimTranscript::lookup(std::uint64_t epoch,
+                                                   std::uint32_t msg_id,
+                                                   std::uint16_t seq) const {
+  const auto it = index_.find(key(epoch, msg_id, seq));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+void TrimTranscript::save(std::ostream& os) const {
+  for (const auto& e : events_) {
+    os << e.epoch << ' ' << e.msg_id << ' ' << e.seq << ' '
+       << static_cast<unsigned>(e.level) << '\n';
+  }
+}
+
+TrimTranscript TrimTranscript::load(std::istream& is) {
+  TrimTranscript t;
+  std::uint64_t epoch;
+  std::uint32_t msg_id;
+  unsigned seq, level;
+  while (is >> epoch >> msg_id >> seq >> level) {
+    t.record(epoch, msg_id, static_cast<std::uint16_t>(seq),
+             static_cast<std::uint8_t>(level));
+  }
+  return t;
+}
+
+}  // namespace trimgrad::core

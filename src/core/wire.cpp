@@ -1,0 +1,187 @@
+#include "core/wire.h"
+
+#include <cstring>
+
+namespace trimgrad::core {
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+}
+
+void put_f32(std::vector<std::uint8_t>& out, float v) {
+  std::uint32_t b;
+  std::memcpy(&b, &v, 4);
+  put_u32(out, b);
+}
+
+class Cursor {
+ public:
+  explicit Cursor(std::span<const std::uint8_t> data) : data_(data) {}
+
+  bool has(std::size_t n) const noexcept { return off_ + n <= data_.size(); }
+  std::size_t remaining() const noexcept { return data_.size() - off_; }
+
+  std::uint16_t u16() noexcept {
+    const std::uint16_t v = static_cast<std::uint16_t>(
+        data_[off_] | (static_cast<std::uint16_t>(data_[off_ + 1]) << 8));
+    off_ += 2;
+    return v;
+  }
+  std::uint32_t u32() noexcept {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(data_[off_ + i]) << (8 * i);
+    off_ += 4;
+    return v;
+  }
+  std::uint64_t u64() noexcept {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(data_[off_ + i]) << (8 * i);
+    off_ += 8;
+    return v;
+  }
+  float f32() noexcept {
+    const std::uint32_t b = u32();
+    float v;
+    std::memcpy(&v, &b, 4);
+    return v;
+  }
+  std::vector<std::uint8_t> bytes(std::size_t n) {
+    std::vector<std::uint8_t> out(data_.begin() + off_,
+                                  data_.begin() + off_ + n);
+    off_ += n;
+    return out;
+  }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t off_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_packet(const GradientPacket& pkt) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kWireHeaderBytes + pkt.head_region.size() +
+              pkt.tail_region.size());
+  put_u32(out, kWireMagic);
+  put_u32(out, pkt.msg_id);
+  put_u32(out, pkt.row_id);
+  put_u32(out, pkt.coord_base);
+  put_u16(out, pkt.n_coords);
+  put_u16(out, pkt.seq);
+  out.push_back(static_cast<std::uint8_t>(pkt.scheme));
+  out.push_back(pkt.p_bits);
+  out.push_back(pkt.q_bits);
+  out.push_back(pkt.trimmed ? 1 : 0);
+  put_u16(out, static_cast<std::uint16_t>(pkt.head_region.size()));
+  put_u16(out, static_cast<std::uint16_t>(pkt.tail_region.size()));
+  out.insert(out.end(), pkt.head_region.begin(), pkt.head_region.end());
+  out.insert(out.end(), pkt.tail_region.begin(), pkt.tail_region.end());
+  return out;
+}
+
+std::size_t wire_trim_point(const GradientPacket& pkt) noexcept {
+  return kWireHeaderBytes + pkt.head_region.size();
+}
+
+std::optional<GradientPacket> parse_packet(
+    std::span<const std::uint8_t> data) {
+  Cursor c(data);
+  if (!c.has(kWireHeaderBytes)) return std::nullopt;
+  if (c.u32() != kWireMagic) return std::nullopt;
+
+  GradientPacket pkt;
+  pkt.msg_id = c.u32();
+  pkt.row_id = c.u32();
+  pkt.coord_base = c.u32();
+  pkt.n_coords = c.u16();
+  pkt.seq = c.u16();
+  const std::uint8_t scheme = data[20];
+  if (scheme > static_cast<std::uint8_t>(Scheme::kRHT)) return std::nullopt;
+  pkt.scheme = static_cast<Scheme>(scheme);
+  pkt.p_bits = data[21];
+  pkt.q_bits = data[22];
+  const bool flagged_trimmed = (data[23] & 1) != 0;
+  c.bytes(4);  // skip scheme/p/q/flags already read positionally
+  const std::uint16_t head_bytes = c.u16();
+  const std::uint16_t tail_bytes = c.u16();
+
+  // The head region must be intact — switches never cut into it.
+  if (!c.has(head_bytes)) return std::nullopt;
+  pkt.head_region = c.bytes(head_bytes);
+
+  if (c.remaining() >= tail_bytes) {
+    pkt.tail_region = c.bytes(tail_bytes);
+    if (c.remaining() != 0) return std::nullopt;  // trailing garbage
+    pkt.trimmed = flagged_trimmed && pkt.tail_region.empty();
+    if (flagged_trimmed && !pkt.tail_region.empty()) {
+      // Inconsistent flag: treat the bytes as authoritative.
+      pkt.trimmed = false;
+    }
+  } else {
+    // Byte-truncated in the tail region: this is what a trimming switch
+    // produces. Whatever partial tail survived is unusable (tails are only
+    // decodable in full), so drop it.
+    pkt.trimmed = true;
+    pkt.tail_region.clear();
+    if (pkt.scheme == Scheme::kBaseline) pkt.head_region.clear();
+  }
+  return pkt;
+}
+
+std::vector<std::uint8_t> serialize_meta(const MessageMeta& meta) {
+  std::vector<std::uint8_t> out;
+  put_u32(out, kWireMagic ^ 0xffffffffu);  // distinct magic for metadata
+  put_u32(out, meta.msg_id);
+  put_u64(out, meta.epoch);
+  out.push_back(static_cast<std::uint8_t>(meta.scheme));
+  out.push_back(0);
+  out.push_back(0);
+  out.push_back(0);  // padding
+  put_u32(out, meta.total_coords);
+  put_u32(out, meta.row_len);
+  put_f32(out, meta.scalar_scale);
+  put_u32(out, static_cast<std::uint32_t>(meta.row_scales.size()));
+  for (float f : meta.row_scales) put_f32(out, f);
+  return out;
+}
+
+std::optional<MessageMeta> parse_meta(std::span<const std::uint8_t> data) {
+  Cursor c(data);
+  if (!c.has(32)) return std::nullopt;
+  if (c.u32() != (kWireMagic ^ 0xffffffffu)) return std::nullopt;
+  MessageMeta meta;
+  meta.msg_id = c.u32();
+  meta.epoch = c.u64();
+  const std::uint8_t scheme = data[16];
+  if (scheme > static_cast<std::uint8_t>(Scheme::kRHT)) return std::nullopt;
+  meta.scheme = static_cast<Scheme>(scheme);
+  c.bytes(4);  // scheme + padding
+  meta.total_coords = c.u32();
+  meta.row_len = c.u32();
+  meta.scalar_scale = c.f32();
+  const std::uint32_t n_scales = c.u32();
+  if (!c.has(static_cast<std::size_t>(n_scales) * 4)) return std::nullopt;
+  meta.row_scales.reserve(n_scales);
+  for (std::uint32_t i = 0; i < n_scales; ++i)
+    meta.row_scales.push_back(c.f32());
+  if (c.remaining() != 0) return std::nullopt;
+  return meta;
+}
+
+}  // namespace trimgrad::core

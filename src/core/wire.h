@@ -1,0 +1,62 @@
+// Wire-format serialization of trimmable packets and metadata.
+//
+// Everything else in the library models packets as structs; this module
+// pins down the actual byte layout, so that (a) a real implementation could
+// interoperate, and (b) the defining property of the design can be tested
+// literally: *truncating the serialized bytes at the trim point and parsing
+// what remains yields exactly the trimmed packet*.
+//
+// Packet layout (application header; rides inside the paper's modeled
+// 42-byte Ethernet/IP/UDP envelope, which is accounted separately):
+//
+//   offset  size  field
+//   0       4     magic "TGP1"
+//   4       4     msg_id        (little-endian u32)
+//   8       4     row_id
+//   12      4     coord_base
+//   16      2     n_coords      (u16)
+//   18      2     seq
+//   20      1     scheme
+//   21      1     p_bits
+//   22      1     q_bits
+//   23      1     flags         (bit 0: trimmed)
+//   24      2     head_bytes    (u16; length of the head region)
+//   26      2     tail_bytes    (u16; length of the tail region AS SENT)
+//   28      —     head region bytes, then tail region bytes
+//
+// The trim point of a serialized packet is 28 + head_bytes: a switch that
+// cuts the buffer there produces a shorter, still-parsable packet (the
+// parser infers trimming from the missing tail; it does not trust flags).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/codec.h"
+
+namespace trimgrad::core {
+
+inline constexpr std::size_t kWireHeaderBytes = 28;
+inline constexpr std::uint32_t kWireMagic = 0x31504754;  // "TGP1" LE
+
+/// Serialize a packet to its exact wire bytes (application layer).
+std::vector<std::uint8_t> serialize_packet(const GradientPacket& pkt);
+
+/// Trim point of a serialized packet: keep this many bytes to keep the
+/// whole head region.
+std::size_t wire_trim_point(const GradientPacket& pkt) noexcept;
+
+/// Parse a (possibly byte-truncated) buffer. Returns nullopt on malformed
+/// input: bad magic, header truncated mid-field, a cut inside the head
+/// region, or trailing garbage. A buffer cut anywhere in the tail region
+/// parses as a trimmed packet with the tail dropped (what a trimming switch
+/// produces); bit-exact tails require the full buffer.
+std::optional<GradientPacket> parse_packet(std::span<const std::uint8_t> data);
+
+/// Serialize / parse the reliable metadata (never trimmed, so symmetric).
+std::vector<std::uint8_t> serialize_meta(const MessageMeta& meta);
+std::optional<MessageMeta> parse_meta(std::span<const std::uint8_t> data);
+
+}  // namespace trimgrad::core

@@ -1,0 +1,57 @@
+#include "ddp/clock_model.h"
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "core/prng.h"
+
+namespace trimgrad::ddp {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+CodecCosts measure(core::Scheme scheme) {
+  const std::size_t n = std::size_t{1} << 16;
+  core::Xoshiro256 rng(1);
+  std::vector<float> probe(n);
+  for (auto& x : probe) x = static_cast<float>(rng.gaussian());
+
+  core::CodecConfig cfg;
+  cfg.scheme = scheme;
+  cfg.rht_row_len = std::size_t{1} << 12;
+  core::TrimmableEncoder enc(cfg);
+  core::TrimmableDecoder dec(cfg);
+
+  CodecCosts costs;
+  double best_enc = 1e9, best_dec = 1e9;
+  for (int rep = 0; rep < 3; ++rep) {
+    auto t0 = Clock::now();
+    auto msg = enc.encode(probe, static_cast<std::uint32_t>(rep), 1);
+    const double te = std::chrono::duration<double>(Clock::now() - t0).count();
+    t0 = Clock::now();
+    auto out = dec.decode(msg.packets, msg.meta);
+    const double td = std::chrono::duration<double>(Clock::now() - t0).count();
+    best_enc = std::min(best_enc, te);
+    best_dec = std::min(best_dec, td);
+  }
+  costs.encode_per_coord_s = best_enc / static_cast<double>(n);
+  costs.decode_per_coord_s = best_dec / static_cast<double>(n);
+  return costs;
+}
+
+}  // namespace
+
+const CodecCosts& calibrated_costs(core::Scheme scheme) {
+  static std::mutex mu;
+  static std::map<core::Scheme, CodecCosts> cache;
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = cache.find(scheme);
+  if (it == cache.end()) {
+    it = cache.emplace(scheme, measure(scheme)).first;
+  }
+  return it->second;
+}
+
+}  // namespace trimgrad::ddp

@@ -1,0 +1,32 @@
+// Deterministic round-time model for the DDP trainer.
+//
+// Figures 3/4 plot accuracy against wall-clock time. Measuring live CPU
+// time per cell makes the time axis depend on machine load, so sweep cells
+// become incomparable. Instead the trainer charges:
+//
+//   round = compute_round_s                       (modeled accelerator step)
+//         + encode_cost/coord × coords encoded    (calibrated once/process)
+//         + simulated comm time                   (channel)
+//         + decode_cost/coord × coords decoded
+//
+// The per-coordinate codec costs are measured once per (scheme, process) on
+// a fixed-size probe and then reused for every cell, so relative overheads
+// (RHT slower than scalar, baseline cheapest — the Fig. 5 shape) are real
+// measurements while the time axis stays reproducible within a run.
+#pragma once
+
+#include "core/codec.h"
+
+namespace trimgrad::ddp {
+
+struct CodecCosts {
+  double encode_per_coord_s = 0;  ///< seconds per coordinate encoded
+  double decode_per_coord_s = 0;  ///< seconds per coordinate decoded
+};
+
+/// Calibrated costs for a scheme; first call per scheme measures (three
+/// repetitions over a 2^16-coordinate probe, best-of), later calls hit a
+/// process-wide cache.
+const CodecCosts& calibrated_costs(core::Scheme scheme);
+
+}  // namespace trimgrad::ddp

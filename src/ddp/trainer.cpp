@@ -1,0 +1,185 @@
+#include "ddp/trainer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cmath>
+
+#include "ddp/clock_model.h"
+
+namespace trimgrad::ddp {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+}  // namespace
+
+DdpTrainer::DdpTrainer(const ml::SynthCifar& data,
+                       collective::Channel& channel, TrainerConfig cfg,
+                       const ModelFactory& factory)
+    : data_(data),
+      channel_(channel),
+      cfg_(cfg),
+      reducer_(channel, cfg.codec, cfg.algo),
+      batcher_(data.train_size(), cfg.global_batch, cfg.shuffle_seed),
+      augment_rng_(cfg.augment_seed) {
+  assert(cfg_.world >= 2);
+  assert(channel_.world_size() == cfg_.world);
+  replicas_.reserve(cfg_.world);
+  optims_.reserve(cfg_.world);
+  for (int r = 0; r < cfg_.world; ++r) {
+    replicas_.push_back(factory());
+    optims_.push_back(std::make_unique<ml::SgdMomentum>(cfg_.sgd));
+  }
+  // Exact replication: every rank starts from rank 0's parameters.
+  const auto flat = replicas_[0]->flat_params();
+  for (int r = 1; r < cfg_.world; ++r) replicas_[r]->set_flat_params(flat);
+}
+
+std::vector<std::vector<float>> DdpTrainer::all_reduce_buckets(
+    const std::vector<std::vector<float>>& grads, std::size_t epoch,
+    std::uint32_t round, EpochRecord& rec, RoundBreakdown& rb) {
+  const std::size_t n = grads[0].size();
+  const std::size_t bucket =
+      cfg_.bucket_floats == 0 ? n : std::min(cfg_.bucket_floats, n);
+  std::vector<std::vector<float>> out(grads.size(), std::vector<float>(n));
+
+  std::uint32_t msg_id = round * 1024;
+  for (std::size_t off = 0; off < n; off += bucket) {
+    const std::size_t len = std::min(bucket, n - off);
+    std::vector<std::vector<float>> slice(grads.size());
+    for (std::size_t r = 0; r < grads.size(); ++r) {
+      slice[r].assign(grads[r].begin() + off, grads[r].begin() + off + len);
+    }
+    auto result = reducer_.run(slice, msg_id++, epoch);
+    if (cfg_.modeled_clock) {
+      // Deterministic codec-time model: per-coordinate costs calibrated
+      // once per process; coords decoded == coords encoded for both
+      // algorithms.
+      const CodecCosts& costs = calibrated_costs(cfg_.codec.scheme);
+      const auto coords =
+          static_cast<double>(result.stats.coord_stats.total_coords);
+      rb.encode_s += costs.encode_per_coord_s * coords;
+      rb.decode_s += costs.decode_per_coord_s * coords;
+    } else {
+      rb.encode_s += result.stats.encode_seconds;
+      rb.decode_s += result.stats.decode_seconds;
+    }
+    rb.comm_s += result.stats.comm_time;
+    rec.trimmed_packets += result.stats.trimmed_packets;
+    rec.dropped_packets += result.stats.dropped_packets;
+    rec.retransmits += result.stats.retransmits;
+    rec.wire_bytes += result.stats.wire_bytes;
+    for (std::size_t r = 0; r < grads.size(); ++r) {
+      std::copy(result.outputs[r].begin(), result.outputs[r].end(),
+                out[r].begin() + off);
+    }
+  }
+  return out;
+}
+
+EpochRecord DdpTrainer::run_epoch(std::size_t epoch) {
+  EpochRecord rec;
+  rec.epoch = epoch;
+  const std::size_t n_batches = batcher_.batches_per_epoch();
+  double loss_sum = 0;
+  RoundBreakdown total_rb;
+
+  for (std::size_t b = 0; b < n_batches; ++b) {
+    RoundBreakdown rb;
+    std::vector<std::vector<float>> grads(cfg_.world);
+    double worst_compute = 0;
+    double round_loss = 0;
+
+    for (int r = 0; r < cfg_.world; ++r) {
+      const auto shard =
+          batcher_.worker_shard(epoch, b, static_cast<std::size_t>(r),
+                                static_cast<std::size_t>(cfg_.world));
+      std::vector<std::uint32_t> labels;
+      const auto t0 = Clock::now();
+      const ml::Tensor x = data_.train_batch(shard, labels, augment_rng_);
+      replicas_[r]->zero_grads();
+      const ml::Tensor logits = replicas_[r]->forward(x);
+      const auto lr = ml::softmax_cross_entropy(logits, labels);
+      replicas_[r]->backward(lr.grad);
+      const double compute = seconds_since(t0);
+      // DDP: workers compute in parallel; the round waits for the slowest.
+      worst_compute = std::max(worst_compute, compute);
+      round_loss += lr.loss / cfg_.world;
+      grads[r] = replicas_[r]->flat_grads();
+    }
+    rb.compute_s = cfg_.modeled_clock ? cfg_.compute_round_s : worst_compute;
+
+    const auto averaged = all_reduce_buckets(
+        grads, epoch, static_cast<std::uint32_t>(epoch * n_batches + b), rec,
+        rb);
+    for (int r = 0; r < cfg_.world; ++r) {
+      optims_[r]->step_flat(replicas_[r]->params(), averaged[r]);
+    }
+
+    loss_sum += round_loss;
+    total_rb.compute_s += rb.compute_s;
+    total_rb.encode_s += rb.encode_s;
+    total_rb.comm_s += rb.comm_s;
+    total_rb.decode_s += rb.decode_s;
+    sim_time_s_ += rb.total();
+  }
+
+  for (auto& opt : optims_) opt->end_epoch();
+
+  rec.sim_time_s = sim_time_s_;
+  rec.train_loss = loss_sum / static_cast<double>(n_batches);
+  rec.mean_round = {total_rb.compute_s / n_batches,
+                    total_rb.encode_s / n_batches,
+                    total_rb.comm_s / n_batches,
+                    total_rb.decode_s / n_batches};
+
+  // Replica drift from lossy per-rank decodes.
+  const auto ref = replicas_[0]->flat_params();
+  for (int r = 1; r < cfg_.world; ++r) {
+    const auto other = replicas_[r]->flat_params();
+    double worst = 0;
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      worst = std::max(worst,
+                       std::fabs(static_cast<double>(ref[i]) - other[i]));
+    }
+    rec.replica_divergence = std::max(rec.replica_divergence, worst);
+  }
+  return rec;
+}
+
+void DdpTrainer::evaluate(EpochRecord& rec) {
+  const std::size_t n = data_.test_size();
+  std::size_t done = 0;
+  double top1 = 0, top5 = 0;
+  while (done < n) {
+    const std::size_t count = std::min(cfg_.eval_batch, n - done);
+    std::vector<std::uint32_t> labels;
+    const ml::Tensor x = data_.test_batch(done, count, labels);
+    const ml::Tensor logits = replicas_[0]->forward(x);
+    top1 += ml::top_k_accuracy(logits, labels, 1) * count;
+    top5 += ml::top_k_accuracy(logits, labels, 5) * count;
+    done += count;
+  }
+  rec.top1 = top1 / static_cast<double>(n);
+  rec.top5 = top5 / static_cast<double>(n);
+}
+
+std::vector<EpochRecord> DdpTrainer::train() {
+  std::vector<EpochRecord> records;
+  records.reserve(cfg_.epochs);
+  for (std::size_t e = 0; e < cfg_.epochs; ++e) {
+    EpochRecord rec = run_epoch(e);
+    if (cfg_.eval_every > 0 &&
+        (e % cfg_.eval_every == 0 || e + 1 == cfg_.epochs)) {
+      evaluate(rec);
+    }
+    records.push_back(rec);
+  }
+  return records;
+}
+
+}  // namespace trimgrad::ddp

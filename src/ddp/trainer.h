@@ -1,0 +1,115 @@
+// Distributed data-parallel trainer — the PyTorch-DDP substitute that the
+// figure reproductions drive.
+//
+// W model replicas train on worker shards of each global batch. After the
+// backward pass, flat gradient buckets (the analogue of DDP's 25 MB fusion
+// buckets the paper hooks, §3.2) go through a trimmable-codec all-reduce
+// over the configured Channel. The simulated wall clock for a round is
+//
+//   round = max_w(compute_w) + encode + comm + decode
+//
+// where compute is measured CPU time for forward+backward, encode/decode
+// are measured codec time (the paper's Fig. 5 "encoding overhead"), and
+// comm is the channel's simulated transfer time (trim/drop penalties for
+// the reliable baseline included). Per-epoch records give accuracy vs
+// simulated time — exactly the axes of Figures 3 and 4.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "collective/allreduce.h"
+#include "ml/data.h"
+#include "ml/loss.h"
+#include "ml/model.h"
+#include "ml/optim.h"
+
+namespace trimgrad::ddp {
+
+struct TrainerConfig {
+  int world = 4;
+  std::size_t global_batch = 64;  ///< paper §4.1: batch size 64
+  std::size_t epochs = 20;
+  ml::SgdConfig sgd{};            ///< defaults match §4.1
+  core::CodecConfig codec{};
+  collective::Algorithm algo = collective::Algorithm::kPs;
+  /// Gradient bucket size in floats (25 MB / 4 B ≈ 6.5 M in PyTorch; scaled
+  /// to model size here). 0 = single bucket.
+  std::size_t bucket_floats = 0;
+  std::uint64_t shuffle_seed = 99;
+  std::uint64_t augment_seed = 17;
+  /// Deterministic clock (see ddp/clock_model.h): charge a fixed modeled
+  /// accelerator time per round plus calibrated per-coordinate codec costs,
+  /// instead of live CPU measurements that vary with machine load. Set
+  /// false to measure everything live (Fig. 5 part 1 does both).
+  bool modeled_clock = true;
+  double compute_round_s = 10e-3;  ///< modeled fwd+bwd time per round
+  std::size_t eval_every = 1;  ///< epochs between test-set evaluations
+  std::size_t eval_batch = 256;
+};
+
+/// Per-round time breakdown (Fig. 5's bars).
+struct RoundBreakdown {
+  double compute_s = 0;
+  double encode_s = 0;
+  double comm_s = 0;
+  double decode_s = 0;
+  double total() const noexcept {
+    return compute_s + encode_s + comm_s + decode_s;
+  }
+};
+
+struct EpochRecord {
+  std::size_t epoch = 0;
+  double sim_time_s = 0;  ///< cumulative simulated wall clock
+  double train_loss = 0;
+  double top1 = -1;       ///< −1 when the epoch was not evaluated
+  double top5 = -1;
+  RoundBreakdown mean_round;
+  std::size_t trimmed_packets = 0;
+  std::size_t dropped_packets = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t wire_bytes = 0;
+  /// Max L∞ distance between rank-0 and other replicas' parameters —
+  /// quantifies the drift lossy broadcast introduces.
+  double replica_divergence = 0;
+};
+
+class DdpTrainer {
+ public:
+  using ModelFactory = std::function<std::unique_ptr<ml::Sequential>()>;
+
+  DdpTrainer(const ml::SynthCifar& data, collective::Channel& channel,
+             TrainerConfig cfg, const ModelFactory& factory);
+
+  /// Run the full schedule; one record per epoch.
+  std::vector<EpochRecord> train();
+
+  /// Run a single epoch (exposed for fine-grained benches/tests).
+  EpochRecord run_epoch(std::size_t epoch);
+
+  /// Evaluate rank-0's replica on the test set.
+  void evaluate(EpochRecord& rec);
+
+  double sim_time() const noexcept { return sim_time_s_; }
+  ml::Sequential& replica(int rank) { return *replicas_.at(rank); }
+
+ private:
+  std::vector<std::vector<float>> all_reduce_buckets(
+      const std::vector<std::vector<float>>& grads, std::size_t epoch,
+      std::uint32_t round, EpochRecord& rec, RoundBreakdown& rb);
+
+  const ml::SynthCifar& data_;
+  collective::Channel& channel_;
+  TrainerConfig cfg_;
+  collective::AllReducer reducer_;
+  ml::Batcher batcher_;
+  std::vector<std::unique_ptr<ml::Sequential>> replicas_;
+  std::vector<std::unique_ptr<ml::SgdMomentum>> optims_;
+  core::Xoshiro256 augment_rng_;
+  double sim_time_s_ = 0;
+};
+
+}  // namespace trimgrad::ddp

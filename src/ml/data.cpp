@@ -1,0 +1,160 @@
+#include "ml/data.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace trimgrad::ml {
+
+SynthCifar::SynthCifar(SynthCifarConfig cfg) : cfg_(cfg) {
+  core::Xoshiro256 rng(cfg_.seed);
+  std::vector<std::vector<float>> protos;
+  protos.reserve(cfg_.classes);
+  for (std::size_t c = 0; c < cfg_.classes; ++c) {
+    protos.push_back(make_prototype(rng));
+  }
+  for (std::size_t c = 0; c < cfg_.classes; ++c) {
+    for (std::size_t i = 0; i < cfg_.train_per_class; ++i) {
+      train_images_.push_back(make_sample(protos[c], rng));
+      train_labels_.push_back(static_cast<std::uint32_t>(c));
+    }
+    for (std::size_t i = 0; i < cfg_.test_per_class; ++i) {
+      test_images_.push_back(make_sample(protos[c], rng));
+      test_labels_.push_back(static_cast<std::uint32_t>(c));
+    }
+  }
+}
+
+std::vector<float> SynthCifar::make_prototype(core::Xoshiro256& rng) const {
+  const std::size_t g = cfg_.proto_grid;
+  const std::size_t h = cfg_.height;
+  const std::size_t w = cfg_.width;
+  std::vector<float> proto(cfg_.channels * h * w);
+  std::vector<float> grid(g * g);
+  for (std::size_t c = 0; c < cfg_.channels; ++c) {
+    for (auto& x : grid) x = static_cast<float>(rng.gaussian());
+    // Bilinear upsample grid (g×g) to (h×w).
+    for (std::size_t y = 0; y < h; ++y) {
+      const float fy = static_cast<float>(y) * (g - 1) / (h - 1);
+      const std::size_t y0 = static_cast<std::size_t>(fy);
+      const std::size_t y1 = std::min(y0 + 1, g - 1);
+      const float ty = fy - static_cast<float>(y0);
+      for (std::size_t x = 0; x < w; ++x) {
+        const float fx = static_cast<float>(x) * (g - 1) / (w - 1);
+        const std::size_t x0 = static_cast<std::size_t>(fx);
+        const std::size_t x1 = std::min(x0 + 1, g - 1);
+        const float tx = fx - static_cast<float>(x0);
+        const float top = grid[y0 * g + x0] * (1 - tx) + grid[y0 * g + x1] * tx;
+        const float bot = grid[y1 * g + x0] * (1 - tx) + grid[y1 * g + x1] * tx;
+        proto[c * h * w + y * w + x] = top * (1 - ty) + bot * ty;
+      }
+    }
+  }
+  return proto;
+}
+
+std::vector<float> SynthCifar::make_sample(const std::vector<float>& proto,
+                                           core::Xoshiro256& rng) const {
+  std::vector<float> img(proto.size());
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    img[i] = proto[i] + cfg_.noise * static_cast<float>(rng.gaussian());
+  }
+  return img;
+}
+
+void SynthCifar::augment_into(std::span<const float> src, float* dst,
+                              core::Xoshiro256& rng) const {
+  const std::size_t h = cfg_.height;
+  const std::size_t w = cfg_.width;
+  if (!cfg_.augment) {
+    std::copy(src.begin(), src.end(), dst);
+    return;
+  }
+  const bool flip = rng.bernoulli(0.5);
+  const int sy = static_cast<int>(rng.below(5)) - 2;  // shift in [-2, 2]
+  const int sx = static_cast<int>(rng.below(5)) - 2;
+  for (std::size_t c = 0; c < cfg_.channels; ++c) {
+    const float* in = src.data() + c * h * w;
+    float* out = dst + c * h * w;
+    for (std::size_t y = 0; y < h; ++y) {
+      const int src_y = static_cast<int>(y) + sy;
+      for (std::size_t x = 0; x < w; ++x) {
+        std::size_t xx = flip ? (w - 1 - x) : x;
+        const int src_x = static_cast<int>(xx) + sx;
+        out[y * w + x] =
+            (src_y < 0 || src_y >= static_cast<int>(h) || src_x < 0 ||
+             src_x >= static_cast<int>(w))
+                ? 0.0f
+                : in[static_cast<std::size_t>(src_y) * w +
+                     static_cast<std::size_t>(src_x)];
+      }
+    }
+  }
+}
+
+Tensor SynthCifar::train_batch(std::span<const std::uint32_t> indices,
+                               std::vector<std::uint32_t>& labels,
+                               core::Xoshiro256& rng) const {
+  const std::size_t n = indices.size();
+  Tensor out({n, cfg_.channels, cfg_.height, cfg_.width});
+  labels.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t idx = indices[i];
+    assert(idx < train_images_.size());
+    augment_into(train_images_[idx], out.ptr() + i * sample_floats(), rng);
+    labels[i] = train_labels_[idx];
+  }
+  return out;
+}
+
+Tensor SynthCifar::test_batch(std::size_t offset, std::size_t count,
+                              std::vector<std::uint32_t>& labels) const {
+  assert(offset + count <= test_images_.size());
+  Tensor out({count, cfg_.channels, cfg_.height, cfg_.width});
+  labels.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto& img = test_images_[offset + i];
+    std::copy(img.begin(), img.end(), out.ptr() + i * sample_floats());
+    labels[i] = test_labels_[offset + i];
+  }
+  return out;
+}
+
+Batcher::Batcher(std::size_t dataset_size, std::size_t batch_size,
+                 std::uint64_t seed)
+    : n_(dataset_size), batch_size_(batch_size), seed_(seed) {
+  assert(batch_size_ > 0 && batch_size_ <= n_);
+}
+
+std::size_t Batcher::batches_per_epoch() const noexcept {
+  return n_ / batch_size_;
+}
+
+std::vector<std::uint32_t> Batcher::batch(std::size_t epoch,
+                                          std::size_t b) const {
+  assert(b < batches_per_epoch());
+  // Fisher–Yates with an epoch-keyed stream; regenerating the permutation
+  // per call keeps the Batcher stateless (any worker can ask for any batch).
+  std::vector<std::uint32_t> perm(n_);
+  for (std::size_t i = 0; i < n_; ++i) perm[i] = static_cast<std::uint32_t>(i);
+  core::SharedRng rng(core::StreamKey{seed_, epoch, 0, 0});
+  for (std::size_t i = n_ - 1; i > 0; --i) {
+    const std::size_t j = rng.below(i + 1);
+    std::swap(perm[i], perm[j]);
+  }
+  return std::vector<std::uint32_t>(perm.begin() + b * batch_size_,
+                                    perm.begin() + (b + 1) * batch_size_);
+}
+
+std::vector<std::uint32_t> Batcher::worker_shard(std::size_t epoch,
+                                                 std::size_t b,
+                                                 std::size_t worker,
+                                                 std::size_t world) const {
+  const auto full = batch(epoch, b);
+  const std::size_t per = full.size() / world;
+  const std::size_t lo = worker * per;
+  const std::size_t hi = worker + 1 == world ? full.size() : lo + per;
+  return std::vector<std::uint32_t>(full.begin() + lo, full.begin() + hi);
+}
+
+}  // namespace trimgrad::ml

@@ -1,0 +1,56 @@
+#include "ml/loss.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace trimgrad::ml {
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 std::span<const std::uint32_t> labels) {
+  const std::size_t batch = logits.dim(0);
+  const std::size_t classes = logits.dim(1);
+  assert(labels.size() == batch);
+
+  LossResult out;
+  out.grad = Tensor({batch, classes});
+  double total = 0.0;
+  for (std::size_t i = 0; i < batch; ++i) {
+    const float* row = logits.ptr() + i * classes;
+    float* grow = out.grad.ptr() + i * classes;
+    const float mx = *std::max_element(row, row + classes);
+    double denom = 0.0;
+    for (std::size_t c = 0; c < classes; ++c)
+      denom += std::exp(static_cast<double>(row[c]) - mx);
+    const double log_denom = std::log(denom);
+    const std::uint32_t label = labels[i];
+    total -= (static_cast<double>(row[label]) - mx - log_denom);
+    const float inv_b = 1.0f / static_cast<float>(batch);
+    for (std::size_t c = 0; c < classes; ++c) {
+      const double p = std::exp(static_cast<double>(row[c]) - mx) / denom;
+      grow[c] = (static_cast<float>(p) - (c == label ? 1.0f : 0.0f)) * inv_b;
+    }
+  }
+  out.loss = total / static_cast<double>(batch);
+  return out;
+}
+
+double top_k_accuracy(const Tensor& logits,
+                      std::span<const std::uint32_t> labels, std::size_t k) {
+  const std::size_t batch = logits.dim(0);
+  const std::size_t classes = logits.dim(1);
+  assert(labels.size() == batch);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < batch; ++i) {
+    const float* row = logits.ptr() + i * classes;
+    const float target = row[labels[i]];
+    // Rank of the label's logit: count entries strictly greater.
+    std::size_t greater = 0;
+    for (std::size_t c = 0; c < classes; ++c)
+      greater += row[c] > target ? 1 : 0;
+    if (greater < k) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(batch);
+}
+
+}  // namespace trimgrad::ml

@@ -1,0 +1,25 @@
+// Softmax cross-entropy (the paper's training loss) and accuracy metrics.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/tensor.h"
+
+namespace trimgrad::ml {
+
+struct LossResult {
+  double loss = 0.0;  ///< mean cross-entropy over the batch
+  Tensor grad;        ///< d loss / d logits, [B, classes]
+};
+
+/// logits: [B, classes]; labels: B entries in [0, classes).
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 std::span<const std::uint32_t> labels);
+
+/// Top-k accuracy of logits against labels (paper reports top-1 and top-5).
+double top_k_accuracy(const Tensor& logits,
+                      std::span<const std::uint32_t> labels, std::size_t k);
+
+}  // namespace trimgrad::ml

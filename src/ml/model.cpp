@@ -1,0 +1,51 @@
+#include "ml/model.h"
+
+namespace trimgrad::ml {
+
+std::unique_ptr<Sequential> make_mini_vgg(const ModelConfig& cfg,
+                                          std::size_t base_width) {
+  core::Xoshiro256 rng(cfg.init_seed);
+  auto net = std::make_unique<Sequential>();
+  const std::size_t w1 = base_width;
+  const std::size_t w2 = base_width * 2;
+  const std::size_t w3 = base_width * 4;
+
+  net->emplace<Conv2d>(cfg.channels, w1, rng);
+  net->emplace<ReLU>();
+  net->emplace<Conv2d>(w1, w1, rng);
+  net->emplace<ReLU>();
+  net->emplace<MaxPool2d>();  // H/2
+
+  net->emplace<Conv2d>(w1, w2, rng);
+  net->emplace<ReLU>();
+  net->emplace<Conv2d>(w2, w2, rng);
+  net->emplace<ReLU>();
+  net->emplace<MaxPool2d>();  // H/4
+
+  net->emplace<Conv2d>(w2, w3, rng);
+  net->emplace<ReLU>();
+  net->emplace<MaxPool2d>();  // H/8
+
+  net->emplace<Flatten>();
+  const std::size_t feat = w3 * (cfg.height / 8) * (cfg.width / 8);
+  net->emplace<Linear>(feat, w3 * 2, rng);
+  net->emplace<ReLU>();
+  net->emplace<Linear>(w3 * 2, cfg.classes, rng);
+  return net;
+}
+
+std::unique_ptr<Sequential> make_mlp(const ModelConfig& cfg,
+                                     std::size_t hidden) {
+  core::Xoshiro256 rng(cfg.init_seed);
+  auto net = std::make_unique<Sequential>();
+  net->emplace<Flatten>();
+  const std::size_t in = cfg.channels * cfg.height * cfg.width;
+  net->emplace<Linear>(in, hidden, rng);
+  net->emplace<ReLU>();
+  net->emplace<Linear>(hidden, hidden / 2, rng);
+  net->emplace<ReLU>();
+  net->emplace<Linear>(hidden / 2, cfg.classes, rng);
+  return net;
+}
+
+}  // namespace trimgrad::ml

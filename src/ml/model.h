@@ -1,0 +1,33 @@
+// Model builders: the scaled-down VGG used by the figure reproductions and
+// an MLP for fast benches.
+//
+// The paper trains VGG-19 on CIFAR-100 (§4.1). MiniVGG keeps the VGG shape
+// (3×3 conv blocks with doubling widths, max-pool between blocks, FC head)
+// scaled to CPU budgets; the claims under reproduction are about gradient
+// encodings, not architecture capacity (DESIGN.md substitutions).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "ml/layers.h"
+
+namespace trimgrad::ml {
+
+struct ModelConfig {
+  std::size_t classes = 100;
+  std::size_t channels = 3;
+  std::size_t height = 32;
+  std::size_t width = 32;
+  std::uint64_t init_seed = 7;
+};
+
+/// VGG-style convnet: [conv-relu ×2, pool] ×2, conv-relu-pool, FC head.
+std::unique_ptr<Sequential> make_mini_vgg(const ModelConfig& cfg,
+                                          std::size_t base_width = 16);
+
+/// Two-hidden-layer MLP (used where conv compute would dominate a bench).
+std::unique_ptr<Sequential> make_mlp(const ModelConfig& cfg,
+                                     std::size_t hidden = 256);
+
+}  // namespace trimgrad::ml

@@ -1,0 +1,46 @@
+#include "ml/optim.h"
+
+#include <cassert>
+
+namespace trimgrad::ml {
+
+void SgdMomentum::update_buffer(std::vector<float>& values,
+                                std::span<const float> grads,
+                                std::vector<float>& velocity) {
+  if (velocity.size() != values.size()) velocity.assign(values.size(), 0.0f);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    float g = grads[i];
+    if (cfg_.weight_decay != 0.0f) g += cfg_.weight_decay * values[i];
+    velocity[i] = cfg_.momentum * velocity[i] + g;
+    values[i] -= lr_ * velocity[i];
+  }
+}
+
+void SgdMomentum::step(const std::vector<ParamView>& params) {
+  if (velocity_.size() < params.size()) velocity_.resize(params.size());
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    update_buffer(*params[p].values, *params[p].grads, velocity_[p]);
+  }
+}
+
+void SgdMomentum::step_flat(const std::vector<ParamView>& params,
+                            std::span<const float> flat_grads) {
+  if (velocity_.size() < params.size()) velocity_.resize(params.size());
+  std::size_t off = 0;
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    const std::size_t n = params[p].values->size();
+    assert(off + n <= flat_grads.size());
+    update_buffer(*params[p].values, flat_grads.subspan(off, n),
+                  velocity_[p]);
+    off += n;
+  }
+}
+
+void SgdMomentum::end_epoch() {
+  ++epoch_;
+  if (cfg_.step_epochs > 0 && epoch_ % cfg_.step_epochs == 0) {
+    lr_ *= cfg_.gamma;
+  }
+}
+
+}  // namespace trimgrad::ml

@@ -1,0 +1,48 @@
+// SGD with momentum + StepLR — the paper's §4.1 training setup
+// ("SGD with momentum 0.9, initial learning rate 1e-3 with StepLR").
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ml/layers.h"
+
+namespace trimgrad::ml {
+
+struct SgdConfig {
+  float lr = 1e-3f;
+  float momentum = 0.9f;
+  float weight_decay = 0.0f;
+  /// StepLR: multiply lr by `gamma` every `step_epochs` epochs.
+  std::size_t step_epochs = 30;
+  float gamma = 0.5f;
+};
+
+class SgdMomentum {
+ public:
+  explicit SgdMomentum(SgdConfig cfg) : cfg_(cfg), lr_(cfg.lr) {}
+
+  /// Apply one update using the gradients currently in the param views.
+  void step(const std::vector<ParamView>& params);
+
+  /// Apply one update from a flat (e.g. all-reduced) gradient bucket.
+  void step_flat(const std::vector<ParamView>& params,
+                 std::span<const float> flat_grads);
+
+  /// Advance the StepLR schedule; call once per epoch.
+  void end_epoch();
+
+  float lr() const noexcept { return lr_; }
+  std::size_t epoch() const noexcept { return epoch_; }
+
+ private:
+  void update_buffer(std::vector<float>& values, std::span<const float> grads,
+                     std::vector<float>& velocity);
+
+  SgdConfig cfg_;
+  float lr_;
+  std::size_t epoch_ = 0;
+  std::vector<std::vector<float>> velocity_;  ///< lazily sized per buffer
+};
+
+}  // namespace trimgrad::ml

@@ -1,0 +1,49 @@
+#include "ml/tensor.h"
+
+namespace trimgrad::ml {
+
+void gemm_accumulate(const float* a, const float* b, float* c, std::size_t m,
+                     std::size_t k, std::size_t n) noexcept {
+  // i-k-j loop order: unit-stride inner loop over both B and C.
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float av = a[i * k + kk];
+      if (av == 0.0f) continue;
+      const float* brow = b + kk * n;
+      float* crow = c + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_at_b(const float* a, const float* b, float* c, std::size_t k,
+               std::size_t m, std::size_t n) noexcept {
+  // C(m×n) += Aᵀ·B with A stored k×m.
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const float* arow = a + kk * m;
+    const float* brow = b + kk * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_a_bt(const float* a, const float* b, float* c, std::size_t m,
+               std::size_t k, std::size_t n) noexcept {
+  // C(m×n) += A(m×k)·Bᵀ with B stored n×k.
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      crow[j] += acc;
+    }
+  }
+}
+
+}  // namespace trimgrad::ml

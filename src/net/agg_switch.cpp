@@ -1,0 +1,73 @@
+#include "net/agg_switch.h"
+
+#include <cassert>
+
+namespace trimgrad::net {
+
+void AggSwitchNode::register_group(std::vector<std::uint32_t> worker_flows,
+                                   std::uint32_t output_flow, NodeId server) {
+  Group g;
+  g.flows = std::move(worker_flows);
+  g.output_flow = output_flow;
+  g.server = server;
+  for (std::uint32_t f : g.flows) flow_to_group_[f] = groups_.size();
+  groups_.push_back(std::move(g));
+}
+
+void AggSwitchNode::emit_aggregate(Group& group, std::uint32_t seq,
+                                   PendingSeq& slot) {
+  Frame agg = slot.exemplar;  // copies addressing/sizing of a constituent
+  agg.id = sim_.next_frame_id();
+  agg.flow_id = group.output_flow;
+  agg.dst = group.server;
+  agg.seq = seq;
+  agg.cargo = std::make_shared<core::GradientPacket>(
+      core::rebuild_packet(*slot.exemplar.cargo, slot.sum));
+  agg.size_bytes = agg.cargo->wire_bytes();
+  agg.trim_size_bytes = agg.cargo->trimmed_wire_bytes();
+  ++counters_.aggregated_frames;
+  SwitchNode::on_frame(std::move(agg));
+}
+
+void AggSwitchNode::on_frame(Frame frame) {
+  const auto it = frame.kind == FrameKind::kData
+                      ? flow_to_group_.find(frame.flow_id)
+                      : flow_to_group_.end();
+  if (it == flow_to_group_.end()) {
+    SwitchNode::on_frame(std::move(frame));
+    return;
+  }
+  Group& group = groups_[it->second];
+  auto& slot = group.pending[frame.seq];
+
+  auto values = frame.cargo ? core::packet_values(*frame.cargo)
+                            : std::nullopt;
+  if (!values.has_value() || slot.poisoned) {
+    // Trimmed or unsupported: this seq can no longer aggregate exactly.
+    // Forward the constituent (and any buffered sum stays dropped — the
+    // server's transport recovers via the flow's own delivery semantics).
+    slot.poisoned = true;
+    ++counters_.bypassed_frames;
+    SwitchNode::on_frame(std::move(frame));
+    return;
+  }
+
+  if (slot.arrived == 0) {
+    slot.sum = std::move(*values);
+    slot.exemplar = frame;  // keep a template (shares cargo pointer)
+  } else {
+    assert(values->size() == slot.sum.size());
+    for (std::size_t i = 0; i < slot.sum.size(); ++i) {
+      slot.sum[i] += (*values)[i];
+    }
+  }
+  ++slot.arrived;
+  ++counters_.absorbed_frames;
+
+  if (slot.arrived == group.flows.size()) {
+    emit_aggregate(group, frame.seq, slot);
+    group.pending.erase(frame.seq);
+  }
+}
+
+}  // namespace trimgrad::net

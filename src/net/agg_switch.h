@@ -1,0 +1,66 @@
+// In-network gradient aggregation switch (ATP/SwitchML-style; paper §1).
+//
+// For registered aggregation groups the switch intercepts gradient data
+// frames, sums the payload values of corresponding packets from all W
+// workers, and forwards ONE aggregated frame to the server — a W× reduction
+// of fan-in traffic at the bottleneck.
+//
+// Interplay with trimming (the paper's §1 observation that "the servers or
+// switches do not adjust the gradient compression level based on network
+// congestion" even with INA): a trimmed constituent cannot be aggregated
+// without its reliable-channel scale, so the switch *bypasses* it — the
+// whole (seq) group falls back to plain forwarding, surfacing exactly the
+// INA/compression co-design gap. Counters expose how often that happens.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/agg_support.h"
+#include "net/switch_node.h"
+
+namespace trimgrad::net {
+
+class AggSwitchNode : public SwitchNode {
+ public:
+  AggSwitchNode(Simulator& sim, NodeId id, std::string name)
+      : SwitchNode(sim, id, std::move(name)) {}
+
+  /// Register an aggregation group: frames of any `worker_flows[i]` are
+  /// aggregated per (seq) across all flows and emitted as a single frame on
+  /// flow `output_flow` toward `server`.
+  void register_group(std::vector<std::uint32_t> worker_flows,
+                      std::uint32_t output_flow, NodeId server);
+
+  void on_frame(Frame frame) override;
+
+  struct Counters {
+    std::uint64_t aggregated_frames = 0;  ///< emitted aggregate frames
+    std::uint64_t absorbed_frames = 0;    ///< constituents consumed
+    std::uint64_t bypassed_frames = 0;    ///< trimmed/unsupported, forwarded
+  };
+  const Counters& agg_counters() const noexcept { return counters_; }
+
+ private:
+  struct PendingSeq {
+    std::vector<float> sum;
+    std::size_t arrived = 0;
+    Frame exemplar;  ///< header template for the aggregate
+    bool poisoned = false;  ///< a constituent bypassed: stop aggregating
+  };
+  struct Group {
+    std::vector<std::uint32_t> flows;
+    std::uint32_t output_flow = 0;
+    NodeId server = kInvalidNode;
+    std::unordered_map<std::uint32_t, PendingSeq> pending;  ///< by seq
+  };
+
+  void emit_aggregate(Group& group, std::uint32_t seq, PendingSeq& slot);
+
+  std::vector<Group> groups_;
+  std::unordered_map<std::uint32_t, std::size_t> flow_to_group_;
+  Counters counters_;
+};
+
+}  // namespace trimgrad::net

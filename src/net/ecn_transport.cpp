@@ -1,0 +1,241 @@
+#include "net/ecn_transport.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace trimgrad::net {
+
+// ------------------------------------------------------------- EcnSender --
+
+EcnSender::EcnSender(Host& host, NodeId dst, std::uint32_t flow_id,
+                     EcnConfig cfg)
+    : host_(host), dst_(dst), flow_id_(flow_id), cfg_(cfg) {
+  host_.bind(flow_id_, this);
+}
+
+EcnSender::~EcnSender() { host_.unbind(flow_id_); }
+
+void EcnSender::send_message(
+    std::vector<SendItem> items,
+    std::function<void(const FlowStats&)> on_complete) {
+  assert(!active_);
+  items_ = std::move(items);
+  acked_.assign(items_.size(), 0);
+  last_sent_.assign(items_.size(), -1.0);
+  next_new_ = 0;
+  acked_count_ = 0;
+  sent_unacked_ = 0;
+  window_ = cfg_.initial_window;
+  round_acks_ = 0;
+  round_marks_ = 0;
+  rto_cur_ = cfg_.rto;
+  active_ = true;
+  stats_ = FlowStats{};
+  stats_.start_time = host_.sim().now();
+  stats_.packets = items_.size();
+  on_complete_ = std::move(on_complete);
+  if (items_.empty()) {
+    complete();
+    return;
+  }
+  try_send_new();
+  arm_timer();
+}
+
+void EcnSender::try_send_new() {
+  while (in_flight() < window_ && next_new_ < items_.size()) {
+    send_packet(static_cast<std::uint32_t>(next_new_), false);
+    ++next_new_;
+  }
+}
+
+void EcnSender::send_packet(std::uint32_t seq, bool is_retransmit) {
+  const SendItem& item = items_[seq];
+  Frame f;
+  f.id = host_.sim().next_frame_id();
+  f.src = host_.id();
+  f.dst = dst_;
+  f.flow_id = flow_id_;
+  f.seq = seq;
+  f.kind = FrameKind::kData;
+  f.size_bytes = item.size_bytes;
+  f.trim_size_bytes = item.trim_size_bytes;
+  f.cargo = item.cargo;
+  if (acked_[seq] == 0 && last_sent_[seq] < 0) ++sent_unacked_;
+  last_sent_[seq] = host_.sim().now();
+  ++stats_.frames_sent;
+  stats_.bytes_sent += f.size_bytes;
+  if (is_retransmit) ++stats_.retransmits;
+  host_.send(std::move(f));
+}
+
+void EcnSender::end_of_window_round() {
+  // DCTCP: alpha <- (1-g)·alpha + g·F, window scaled by (1 − alpha/2) when
+  // any marks arrived this round, +1 otherwise.
+  const double fraction =
+      round_acks_ > 0
+          ? static_cast<double>(round_marks_) / static_cast<double>(round_acks_)
+          : 0.0;
+  alpha_ = (1.0 - cfg_.gain) * alpha_ + cfg_.gain * fraction;
+  if (round_marks_ > 0) {
+    const auto cut = static_cast<std::size_t>(
+        std::floor(static_cast<double>(window_) * (1.0 - alpha_ / 2.0)));
+    window_ = std::max(cfg_.min_window, cut);
+  } else {
+    window_ = std::min(cfg_.max_window, window_ + 1);
+  }
+  round_acks_ = 0;
+  round_marks_ = 0;
+}
+
+void EcnSender::on_frame(Frame frame) {
+  if (!active_) return;
+  if (frame.kind == FrameKind::kNack) {
+    const std::uint32_t seq = frame.ack_echo;
+    if (seq < items_.size() && acked_[seq] == 0 &&
+        host_.sim().now() - last_sent_[seq] >= cfg_.rto * 0.5) {
+      send_packet(seq, true);
+    }
+    return;
+  }
+  if (frame.kind != FrameKind::kAck) return;
+
+  const std::uint32_t seq = frame.ack_echo;
+  if (seq < items_.size() && acked_[seq] == 0) {
+    acked_[seq] = 1;
+    ++acked_count_;
+    assert(sent_unacked_ > 0);
+    --sent_unacked_;
+    if (frame.ack_was_trimmed) ++stats_.acked_trimmed;
+    else ++stats_.acked_full;
+    ++round_acks_;
+    if (frame.ecn) ++round_marks_;
+    if (round_acks_ >= window_) end_of_window_round();
+    rto_cur_ = cfg_.rto;
+    arm_timer();
+  }
+  if (acked_count_ == items_.size()) {
+    complete();
+  } else {
+    try_send_new();
+  }
+}
+
+void EcnSender::arm_timer() {
+  const std::uint64_t epoch = ++timer_epoch_;
+  host_.sim().schedule(rto_cur_, [this, epoch] { on_timeout(epoch); });
+}
+
+void EcnSender::on_timeout(std::uint64_t epoch) {
+  if (!active_ || epoch != timer_epoch_) return;
+  for (std::size_t seq = 0; seq < next_new_; ++seq) {
+    if (acked_[seq] == 0) {
+      send_packet(static_cast<std::uint32_t>(seq), true);
+      break;
+    }
+  }
+  rto_cur_ = std::min(rto_cur_ * 2.0, cfg_.rto_cap);
+  arm_timer();
+}
+
+void EcnSender::complete() {
+  active_ = false;
+  ++timer_epoch_;
+  stats_.completed = true;
+  stats_.end_time = host_.sim().now();
+  if (on_complete_) on_complete_(stats_);
+}
+
+// ----------------------------------------------------------- EcnReceiver --
+
+EcnReceiver::EcnReceiver(Host& host, NodeId peer, std::uint32_t flow_id,
+                         std::size_t expected_packets, EcnConfig cfg,
+                         std::function<void(const Frame&)> on_data)
+    : host_(host),
+      peer_(peer),
+      flow_id_(flow_id),
+      cfg_(cfg),
+      delivered_(expected_packets, 0),
+      on_data_(std::move(on_data)) {
+  stats_.expected = expected_packets;
+  host_.bind(flow_id_, this);
+}
+
+EcnReceiver::~EcnReceiver() { host_.unbind(flow_id_); }
+
+void EcnReceiver::send_ack(const Frame& data, bool was_trimmed) {
+  Frame ack;
+  ack.id = host_.sim().next_frame_id();
+  ack.src = host_.id();
+  ack.dst = data.src;
+  ack.flow_id = flow_id_;
+  ack.kind = FrameKind::kAck;
+  ack.size_bytes = kControlFrameBytes;
+  ack.ack_echo = data.seq;
+  ack.ack_was_trimmed = was_trimmed;
+  ack.ecn = data.ecn;  // echo the congestion-experienced mark (DCTCP)
+  host_.send(std::move(ack));
+}
+
+void EcnReceiver::on_frame(Frame frame) {
+  if (frame.kind != FrameKind::kData) return;
+  if (frame.seq >= delivered_.size()) return;
+  if (stats_.delivered_full + stats_.delivered_trimmed == 0) {
+    stats_.first_frame_time = host_.sim().now();
+  }
+  if (delivered_[frame.seq] != 0) {
+    ++stats_.duplicate_frames;
+    send_ack(frame, delivered_[frame.seq] == 2);
+    return;
+  }
+  if (frame.trimmed && !cfg_.trimmed_is_delivered) {
+    ++stats_.nacks_sent;
+    Frame nack;
+    nack.id = host_.sim().next_frame_id();
+    nack.src = host_.id();
+    nack.dst = frame.src;
+    nack.flow_id = flow_id_;
+    nack.kind = FrameKind::kNack;
+    nack.size_bytes = kControlFrameBytes;
+    nack.ack_echo = frame.seq;
+    host_.send(std::move(nack));
+    return;
+  }
+  delivered_[frame.seq] = frame.trimmed ? 2 : 1;
+  ++delivered_count_;
+  if (frame.trimmed) ++stats_.delivered_trimmed;
+  else ++stats_.delivered_full;
+  if (on_data_) on_data_(frame);
+  send_ack(frame, frame.trimmed);
+  if (complete()) stats_.complete_time = host_.sim().now();
+}
+
+// ---------------------------------------------------------------- EcnFlow --
+
+EcnFlow::EcnFlow(Simulator& sim, NodeId src, NodeId dst,
+                 std::uint32_t flow_id, EcnConfig cfg, std::size_t n_packets,
+                 std::function<void(const Frame&)> on_data)
+    : sim_(sim) {
+  auto& src_host = static_cast<Host&>(sim.node(src));
+  auto& dst_host = static_cast<Host&>(sim.node(dst));
+  sender_ = std::make_unique<EcnSender>(src_host, dst, flow_id, cfg);
+  receiver_ = std::make_unique<EcnReceiver>(dst_host, src, flow_id,
+                                            n_packets, cfg,
+                                            std::move(on_data));
+}
+
+void EcnFlow::start_at(SimTime when, std::vector<SendItem> items,
+                       std::function<void(const FlowStats&)> on_complete) {
+  assert(when >= sim_.now());
+  sim_.schedule(when - sim_.now(), [this, items = std::move(items),
+                                    cb = std::move(on_complete)]() mutable {
+    sender_->send_message(std::move(items), [this, cb = std::move(cb)](
+                                                const FlowStats& st) {
+      done_ = true;
+      if (cb) cb(st);
+    });
+  });
+}
+
+}  // namespace trimgrad::net

@@ -1,0 +1,130 @@
+// DCTCP-style ECN-reactive transport (paper §5.3's congestion-control
+// feedback loop).
+//
+// §5.3: a coarse congestion-control signal should drive *ahead-of-time*
+// compression (the sender's Q), while trimming handles what the control
+// loop cannot predict. This sender provides that loop: receivers echo ECN
+// marks on their ACKs; the sender maintains the DCTCP EWMA of the marked
+// fraction (alpha) and scales its window down by alpha/2 per marked round,
+// growing additively otherwise. The smoothed mark fraction is exported so
+// an AdaptiveQController (core/adaptive.h) can consume it as the §5.3
+// signal — see the EcnAwareTrainingLoop test.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/host.h"
+#include "net/transport.h"
+
+namespace trimgrad::net {
+
+struct EcnConfig {
+  std::size_t initial_window = 16;
+  std::size_t min_window = 2;
+  std::size_t max_window = 256;
+  double gain = 1.0 / 16.0;  ///< DCTCP alpha EWMA gain g
+  SimTime rto = 500e-6;
+  SimTime rto_cap = 5e-3;
+  bool trimmed_is_delivered = true;
+};
+
+class EcnSender : public FlowEndpoint {
+ public:
+  EcnSender(Host& host, NodeId dst, std::uint32_t flow_id, EcnConfig cfg);
+  ~EcnSender() override;
+
+  void send_message(std::vector<SendItem> items,
+                    std::function<void(const FlowStats&)> on_complete);
+  void on_frame(Frame frame) override;
+
+  const FlowStats& stats() const noexcept { return stats_; }
+  /// DCTCP alpha: EWMA of the per-window ECN-marked fraction in [0, 1].
+  double alpha() const noexcept { return alpha_; }
+  std::size_t window() const noexcept { return window_; }
+  bool active() const noexcept { return active_; }
+
+ private:
+  void try_send_new();
+  void send_packet(std::uint32_t seq, bool is_retransmit);
+  void end_of_window_round();
+  void arm_timer();
+  void on_timeout(std::uint64_t epoch);
+  void complete();
+  std::size_t in_flight() const noexcept { return sent_unacked_; }
+
+  Host& host_;
+  NodeId dst_;
+  std::uint32_t flow_id_;
+  EcnConfig cfg_;
+
+  std::vector<SendItem> items_;
+  std::vector<std::uint8_t> acked_;
+  std::vector<SimTime> last_sent_;
+  std::size_t next_new_ = 0;
+  std::size_t acked_count_ = 0;
+  std::size_t sent_unacked_ = 0;
+  std::size_t window_ = 0;
+  // Per-round mark accounting (a "round" = one window's worth of ACKs).
+  std::size_t round_acks_ = 0;
+  std::size_t round_marks_ = 0;
+  double alpha_ = 0.0;
+  SimTime rto_cur_ = 0;
+  std::uint64_t timer_epoch_ = 0;
+  bool active_ = false;
+  FlowStats stats_;
+  std::function<void(const FlowStats&)> on_complete_;
+};
+
+/// Receiver: the trim-aware Receiver already echoes delivery; ECN needs the
+/// mark echoed too, which the base Receiver's ACKs do not carry. This thin
+/// subclass-by-composition forwards data handling and sets `ecn` on ACKs.
+class EcnReceiver : public FlowEndpoint {
+ public:
+  EcnReceiver(Host& host, NodeId peer, std::uint32_t flow_id,
+              std::size_t expected_packets, EcnConfig cfg,
+              std::function<void(const Frame&)> on_data = {});
+  ~EcnReceiver() override;
+
+  void on_frame(Frame frame) override;
+  const ReceiverStats& stats() const noexcept { return stats_; }
+  bool complete() const noexcept {
+    return delivered_count_ == delivered_.size();
+  }
+
+ private:
+  void send_ack(const Frame& data, bool was_trimmed);
+
+  Host& host_;
+  NodeId peer_;
+  std::uint32_t flow_id_;
+  EcnConfig cfg_;
+  std::vector<std::uint8_t> delivered_;
+  std::size_t delivered_count_ = 0;
+  ReceiverStats stats_;
+  std::function<void(const Frame&)> on_data_;
+};
+
+/// ManagedFlow-style wiring for the ECN transport.
+class EcnFlow {
+ public:
+  EcnFlow(Simulator& sim, NodeId src, NodeId dst, std::uint32_t flow_id,
+          EcnConfig cfg, std::size_t n_packets,
+          std::function<void(const Frame&)> on_data = {});
+
+  void start_at(SimTime when, std::vector<SendItem> items,
+                std::function<void(const FlowStats&)> on_complete = {});
+
+  const FlowStats& stats() const noexcept { return sender_->stats(); }
+  const EcnSender& sender() const noexcept { return *sender_; }
+  bool done() const noexcept { return done_; }
+
+ private:
+  Simulator& sim_;
+  std::unique_ptr<EcnSender> sender_;
+  std::unique_ptr<EcnReceiver> receiver_;
+  bool done_ = false;
+};
+
+}  // namespace trimgrad::net

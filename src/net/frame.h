@@ -1,0 +1,71 @@
+// Simulated link-layer frames.
+//
+// A Frame is what traverses the simulated fabric: a size, addressing, and an
+// optional pointer to the gradient packet it carries (the "cargo"). The
+// simulator moves and mutates frames; the cargo is only touched when a
+// switch trims (copy-on-trim, so the sender's retransmit copy stays intact)
+// and when the receiver decodes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/packet.h"
+
+namespace trimgrad::net {
+
+using SimTime = double;  ///< seconds
+using NodeId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = 0xffffffffu;
+
+/// Frame kinds. Control frames (ACK/NACK/META/PULL) are small and ride the
+/// high-priority header queue on trimming switches, like NDP headers.
+enum class FrameKind : std::uint8_t {
+  kData = 0,
+  kAck = 1,
+  kNack = 2,
+  kMeta = 3,  ///< reliable metadata (codec scales) — never trimmed
+  kPull = 4,  ///< receiver-driven pacing credit (NDP-style), optional
+};
+
+const char* to_string(FrameKind k) noexcept;
+
+/// Size of a modeled control frame (minimum Ethernet frame).
+inline constexpr std::size_t kControlFrameBytes = 64;
+
+struct Frame {
+  std::uint64_t id = 0;        ///< unique per simulation, for tracing
+  NodeId src = kInvalidNode;   ///< originating host
+  NodeId dst = kInvalidNode;   ///< destination host
+  std::uint32_t flow_id = 0;
+  std::uint32_t seq = 0;       ///< transport sequence number
+  FrameKind kind = FrameKind::kData;
+  std::size_t size_bytes = 0;
+  /// Size the frame shrinks to if a switch trims it; 0 = not trimmable
+  /// (control frames, baseline flows on drop-tail fabrics).
+  std::size_t trim_size_bytes = 0;
+  bool trimmed = false;
+  bool ecn = false;            ///< congestion-experienced mark
+
+  /// ACK bookkeeping (valid when kind == kAck):
+  std::uint32_t ack_seq = 0;       ///< cumulative ack (next expected seq)
+  std::uint32_t ack_echo = 0;      ///< seq this ACK acknowledges
+  bool ack_was_trimmed = false;    ///< echoed trim flag
+
+  /// Gradient packet carried by data frames (optional; timing-only
+  /// experiments leave it null). Shared: switches copy-on-trim.
+  std::shared_ptr<const core::GradientPacket> cargo;
+
+  /// True if this frame may be trimmed by a congested switch.
+  bool trimmable() const noexcept {
+    return kind == FrameKind::kData && !trimmed && trim_size_bytes > 0 &&
+           trim_size_bytes < size_bytes;
+  }
+
+  /// Apply the trim: shrink to trim_size_bytes, flag, and (if cargo is
+  /// attached) replace it with a trimmed copy.
+  void trim();
+};
+
+}  // namespace trimgrad::net

@@ -1,0 +1,238 @@
+#include "net/pull_transport.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace trimgrad::net {
+
+// ------------------------------------------------------------ PullSender --
+
+PullSender::PullSender(Host& host, NodeId dst, std::uint32_t flow_id,
+                       PullConfig cfg)
+    : host_(host), dst_(dst), flow_id_(flow_id), cfg_(cfg) {
+  host_.bind(flow_id_, this);
+}
+
+PullSender::~PullSender() { host_.unbind(flow_id_); }
+
+void PullSender::send_message(
+    std::vector<SendItem> items,
+    std::function<void(const FlowStats&)> on_complete) {
+  assert(!active_);
+  items_ = std::move(items);
+  acked_.assign(items_.size(), 0);
+  last_sent_.assign(items_.size(), -1.0);
+  next_new_ = 0;
+  acked_count_ = 0;
+  rto_cur_ = cfg_.rto;
+  active_ = true;
+  stats_ = FlowStats{};
+  stats_.start_time = host_.sim().now();
+  stats_.packets = items_.size();
+  on_complete_ = std::move(on_complete);
+  if (items_.empty()) {
+    complete();
+    return;
+  }
+  // First-RTT burst; everything after is pull-granted.
+  const std::size_t burst = std::min(cfg_.initial_burst, items_.size());
+  for (std::size_t i = 0; i < burst; ++i) send_next_new();
+  arm_timer();
+}
+
+void PullSender::send_next_new() {
+  if (next_new_ >= items_.size()) return;
+  send_packet(static_cast<std::uint32_t>(next_new_), false);
+  ++next_new_;
+}
+
+void PullSender::send_packet(std::uint32_t seq, bool is_retransmit) {
+  const SendItem& item = items_[seq];
+  Frame f;
+  f.id = host_.sim().next_frame_id();
+  f.src = host_.id();
+  f.dst = dst_;
+  f.flow_id = flow_id_;
+  f.seq = seq;
+  f.kind = FrameKind::kData;
+  f.size_bytes = item.size_bytes;
+  f.trim_size_bytes = item.trim_size_bytes;
+  f.cargo = item.cargo;
+  last_sent_[seq] = host_.sim().now();
+  ++stats_.frames_sent;
+  stats_.bytes_sent += f.size_bytes;
+  if (is_retransmit) ++stats_.retransmits;
+  host_.send(std::move(f));
+}
+
+void PullSender::on_frame(Frame frame) {
+  if (!active_) return;
+  if (frame.kind == FrameKind::kPull) {
+    send_next_new();
+    return;
+  }
+  if (frame.kind != FrameKind::kAck) return;
+  const std::uint32_t seq = frame.ack_echo;
+  if (seq < items_.size() && acked_[seq] == 0) {
+    acked_[seq] = 1;
+    ++acked_count_;
+    if (frame.ack_was_trimmed) ++stats_.acked_trimmed;
+    else ++stats_.acked_full;
+    rto_cur_ = cfg_.rto;
+    arm_timer();
+  }
+  if (acked_count_ == items_.size()) complete();
+}
+
+void PullSender::arm_timer() {
+  const std::uint64_t epoch = ++timer_epoch_;
+  host_.sim().schedule(rto_cur_, [this, epoch] { on_timeout(epoch); });
+}
+
+void PullSender::on_timeout(std::uint64_t epoch) {
+  if (!active_ || epoch != timer_epoch_) return;
+  for (std::size_t seq = 0; seq < next_new_; ++seq) {
+    if (acked_[seq] == 0) {
+      send_packet(static_cast<std::uint32_t>(seq), true);
+      break;
+    }
+  }
+  // If the pull stream stalled (lost pulls), nudge a new packet too.
+  if (next_new_ < items_.size()) send_next_new();
+  rto_cur_ = std::min(rto_cur_ * 2.0, cfg_.rto_cap);
+  arm_timer();
+}
+
+void PullSender::complete() {
+  active_ = false;
+  ++timer_epoch_;
+  stats_.completed = true;
+  stats_.end_time = host_.sim().now();
+  if (on_complete_) on_complete_(stats_);
+}
+
+// ------------------------------------------------------------- PullPacer --
+
+void PullPacer::request(std::uint32_t flow_id, NodeId sender) {
+  queue_.emplace_back(flow_id, sender);
+  if (!armed_) {
+    armed_ = true;
+    host_.sim().schedule(interval_, [this] { fire(); });
+  }
+}
+
+void PullPacer::fire() {
+  if (queue_.empty()) {
+    armed_ = false;
+    return;
+  }
+  const auto [flow_id, sender] = queue_.front();
+  queue_.pop_front();
+  Frame pull;
+  pull.id = host_.sim().next_frame_id();
+  pull.src = host_.id();
+  pull.dst = sender;
+  pull.flow_id = flow_id;
+  pull.kind = FrameKind::kPull;
+  pull.size_bytes = kControlFrameBytes;
+  host_.send(std::move(pull));
+  ++emitted_;
+  host_.sim().schedule(interval_, [this] { fire(); });
+}
+
+// ---------------------------------------------------------- PullReceiver --
+
+PullReceiver::PullReceiver(Host& host, NodeId peer, std::uint32_t flow_id,
+                           std::size_t expected_packets, PullConfig cfg,
+                           std::function<void(const Frame&)> on_data,
+                           PullPacer* pacer)
+    : host_(host),
+      peer_(peer),
+      flow_id_(flow_id),
+      cfg_(cfg),
+      delivered_(expected_packets, 0),
+      pacer_(pacer),
+      on_data_(std::move(on_data)) {
+  if (pacer_ == nullptr) {
+    own_pacer_ = std::make_unique<PullPacer>(host_,
+                                             cfg_.effective_pull_interval());
+    pacer_ = own_pacer_.get();
+  }
+  stats_.expected = expected_packets;
+  host_.bind(flow_id_, this);
+}
+
+PullReceiver::~PullReceiver() { host_.unbind(flow_id_); }
+
+void PullReceiver::send_ack(const Frame& data, bool was_trimmed) {
+  Frame ack;
+  ack.id = host_.sim().next_frame_id();
+  ack.src = host_.id();
+  ack.dst = data.src;
+  ack.flow_id = flow_id_;
+  ack.kind = FrameKind::kAck;
+  ack.size_bytes = kControlFrameBytes;
+  ack.ack_echo = data.seq;
+  ack.ack_was_trimmed = was_trimmed;
+  host_.send(std::move(ack));
+}
+
+void PullReceiver::grant_pull() {
+  // One pull per delivered packet, but never more pulls than packets the
+  // sender still has to emit beyond its initial burst.
+  if (granted_ + cfg_.initial_burst >= delivered_.size()) return;
+  ++granted_;
+  pacer_->request(flow_id_, peer_);
+}
+
+void PullReceiver::on_frame(Frame frame) {
+  if (frame.kind != FrameKind::kData) return;
+  if (frame.seq >= delivered_.size()) return;
+  if (stats_.delivered_full + stats_.delivered_trimmed == 0) {
+    stats_.first_frame_time = host_.sim().now();
+  }
+  if (delivered_[frame.seq] != 0) {
+    ++stats_.duplicate_frames;
+    send_ack(frame, delivered_[frame.seq] == 2);
+    return;
+  }
+  delivered_[frame.seq] = frame.trimmed ? 2 : 1;
+  ++delivered_count_;
+  if (frame.trimmed) ++stats_.delivered_trimmed;
+  else ++stats_.delivered_full;
+  if (on_data_) on_data_(frame);
+  send_ack(frame, frame.trimmed);
+  grant_pull();
+  if (complete()) stats_.complete_time = host_.sim().now();
+}
+
+// -------------------------------------------------------------- PullFlow --
+
+PullFlow::PullFlow(Simulator& sim, NodeId src, NodeId dst,
+                   std::uint32_t flow_id, PullConfig cfg,
+                   std::size_t n_packets,
+                   std::function<void(const Frame&)> on_data,
+                   PullPacer* pacer)
+    : sim_(sim) {
+  auto& src_host = static_cast<Host&>(sim.node(src));
+  auto& dst_host = static_cast<Host&>(sim.node(dst));
+  sender_ = std::make_unique<PullSender>(src_host, dst, flow_id, cfg);
+  receiver_ = std::make_unique<PullReceiver>(dst_host, src, flow_id,
+                                             n_packets, cfg,
+                                             std::move(on_data), pacer);
+}
+
+void PullFlow::start_at(SimTime when, std::vector<SendItem> items,
+                        std::function<void(const FlowStats&)> on_complete) {
+  assert(when >= sim_.now());
+  sim_.schedule(when - sim_.now(), [this, items = std::move(items),
+                                    cb = std::move(on_complete)]() mutable {
+    sender_->send_message(std::move(items), [this, cb = std::move(cb)](
+                                                const FlowStats& st) {
+      done_ = true;
+      if (cb) cb(st);
+    });
+  });
+}
+
+}  // namespace trimgrad::net

@@ -1,0 +1,162 @@
+// NDP-style receiver-driven (pull-paced) transport.
+//
+// The window transports in net/transport.h are ACK-clocked; under N-to-1
+// incast every sender's initial window collides at the fan-in switch, which
+// is exactly when trimming fires. NDP's remedy — and the reason the paper's
+// §1 cites it as the trimming substrate — is receiver pacing: after the
+// first-RTT burst, the receiver hands out PULL credits spaced at its access
+// link rate, so the aggregate arrival rate at the bottleneck never exceeds
+// line rate and the queue stays near-empty in steady state.
+//
+// PullSender/PullReceiver implement that discipline on top of the same
+// frame/ACK machinery: trimmed arrivals still count as delivered (the
+// gradient decodes from heads), drops are still recovered by RTO, but new
+// transmissions beyond the initial burst are granted one-per-PULL.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "net/host.h"
+#include "net/transport.h"
+
+namespace trimgrad::net {
+
+struct PullConfig {
+  std::size_t initial_burst = 12;  ///< first-RTT window (BDP-ish)
+  SimTime rto = 500e-6;
+  SimTime rto_cap = 5e-3;
+  /// Pull spacing; receivers default it to the access-link serialization
+  /// time of one MTU frame when left at 0.
+  SimTime pull_interval = 0.0;
+  std::size_t mtu_bytes = 1500;
+  double access_bandwidth_bps = 100e9;
+
+  SimTime effective_pull_interval() const noexcept {
+    return pull_interval > 0.0
+               ? pull_interval
+               : static_cast<double>(mtu_bytes) * 8.0 / access_bandwidth_bps;
+  }
+};
+
+/// Host-wide pull pacer. NDP paces pulls at the *receiver host's* access
+/// link rate across ALL of its inbound flows — per-flow pacers would let an
+/// N-flow incast demand N× line rate. Receivers enqueue credits; the pacer
+/// emits them FIFO, one per interval.
+class PullPacer {
+ public:
+  PullPacer(Host& host, SimTime interval) : host_(host), interval_(interval) {}
+
+  /// Queue one pull credit addressed to `sender` for `flow_id`.
+  void request(std::uint32_t flow_id, NodeId sender);
+
+  std::size_t emitted() const noexcept { return emitted_; }
+
+ private:
+  void fire();
+
+  Host& host_;
+  SimTime interval_;
+  std::deque<std::pair<std::uint32_t, NodeId>> queue_;
+  bool armed_ = false;
+  std::size_t emitted_ = 0;
+};
+
+class PullSender : public FlowEndpoint {
+ public:
+  PullSender(Host& host, NodeId dst, std::uint32_t flow_id, PullConfig cfg);
+  ~PullSender() override;
+
+  void send_message(std::vector<SendItem> items,
+                    std::function<void(const FlowStats&)> on_complete);
+  void on_frame(Frame frame) override;
+
+  const FlowStats& stats() const noexcept { return stats_; }
+  bool active() const noexcept { return active_; }
+
+ private:
+  void send_packet(std::uint32_t seq, bool is_retransmit);
+  void send_next_new();
+  void arm_timer();
+  void on_timeout(std::uint64_t epoch);
+  void complete();
+
+  Host& host_;
+  NodeId dst_;
+  std::uint32_t flow_id_;
+  PullConfig cfg_;
+
+  std::vector<SendItem> items_;
+  std::vector<std::uint8_t> acked_;
+  std::vector<SimTime> last_sent_;
+  std::size_t next_new_ = 0;
+  std::size_t acked_count_ = 0;
+  SimTime rto_cur_ = 0;
+  std::uint64_t timer_epoch_ = 0;
+  bool active_ = false;
+  FlowStats stats_;
+  std::function<void(const FlowStats&)> on_complete_;
+};
+
+class PullReceiver : public FlowEndpoint {
+ public:
+  /// `pacer` may be shared by every receiver on the host (the NDP model);
+  /// nullptr gives this flow a private pacer at the configured interval.
+  PullReceiver(Host& host, NodeId peer, std::uint32_t flow_id,
+               std::size_t expected_packets, PullConfig cfg,
+               std::function<void(const Frame&)> on_data = {},
+               PullPacer* pacer = nullptr);
+  ~PullReceiver() override;
+
+  void on_frame(Frame frame) override;
+
+  const ReceiverStats& stats() const noexcept { return stats_; }
+  bool complete() const noexcept {
+    return delivered_count_ == delivered_.size();
+  }
+
+ private:
+  void send_ack(const Frame& data, bool was_trimmed);
+  void grant_pull();
+  void pacer_fire();
+
+  Host& host_;
+  NodeId peer_;
+  std::uint32_t flow_id_;
+  PullConfig cfg_;
+  std::vector<std::uint8_t> delivered_;
+  std::size_t delivered_count_ = 0;
+  std::size_t granted_ = 0;  ///< pull credits issued to a pacer
+  PullPacer* pacer_ = nullptr;
+  std::unique_ptr<PullPacer> own_pacer_;
+  ReceiverStats stats_;
+  std::function<void(const Frame&)> on_data_;
+};
+
+/// Convenience wiring mirroring ManagedFlow for the pull transport.
+class PullFlow {
+ public:
+  PullFlow(Simulator& sim, NodeId src, NodeId dst, std::uint32_t flow_id,
+           PullConfig cfg, std::size_t n_packets,
+           std::function<void(const Frame&)> on_data = {},
+           PullPacer* pacer = nullptr);
+
+  void start_at(SimTime when, std::vector<SendItem> items,
+                std::function<void(const FlowStats&)> on_complete = {});
+
+  const FlowStats& stats() const noexcept { return sender_->stats(); }
+  const ReceiverStats& receiver_stats() const noexcept {
+    return receiver_->stats();
+  }
+  bool done() const noexcept { return done_; }
+
+ private:
+  Simulator& sim_;
+  std::unique_ptr<PullSender> sender_;
+  std::unique_ptr<PullReceiver> receiver_;
+  bool done_ = false;
+};
+
+}  // namespace trimgrad::net

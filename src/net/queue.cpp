@@ -1,0 +1,77 @@
+#include "net/queue.h"
+
+namespace trimgrad::net {
+
+const char* to_string(QueuePolicy p) noexcept {
+  switch (p) {
+    case QueuePolicy::kDropTail: return "droptail";
+    case QueuePolicy::kTrim: return "trim";
+    case QueuePolicy::kEcn: return "ecn";
+  }
+  return "?";
+}
+
+bool EgressQueue::enqueue_header(Frame frame) {
+  if (header_bytes_ + frame.size_bytes > cfg_.header_capacity_bytes) {
+    ++counters_.dropped;
+    return false;
+  }
+  header_bytes_ += frame.size_bytes;
+  header_q_.push_back(std::move(frame));
+  ++counters_.enqueued;
+  return true;
+}
+
+bool EgressQueue::enqueue(Frame frame) {
+  occupancy_.add(static_cast<double>(data_bytes_));
+
+  // Control frames and already-trimmed frames ride the header queue
+  // whenever the policy has one (NDP forwards headers with priority).
+  const bool control = frame.kind != FrameKind::kData || frame.trimmed;
+  if (control && cfg_.policy == QueuePolicy::kTrim) {
+    return enqueue_header(std::move(frame));
+  }
+
+  if (data_bytes_ + frame.size_bytes <= cfg_.capacity_bytes) {
+    if (cfg_.policy == QueuePolicy::kEcn &&
+        data_bytes_ >= cfg_.ecn_threshold_bytes) {
+      frame.ecn = true;
+      ++counters_.ecn_marked;
+    }
+    data_bytes_ += frame.size_bytes;
+    if (data_bytes_ > counters_.max_data_bytes)
+      counters_.max_data_bytes = data_bytes_;
+    data_q_.push_back(std::move(frame));
+    ++counters_.enqueued;
+    return true;
+  }
+
+  // Overflow.
+  if (cfg_.policy == QueuePolicy::kTrim && frame.trimmable()) {
+    frame.trim();
+    ++counters_.trimmed;
+    return enqueue_header(std::move(frame));
+  }
+  ++counters_.dropped;
+  return false;
+}
+
+std::optional<Frame> EgressQueue::dequeue() {
+  if (!header_q_.empty()) {
+    Frame f = std::move(header_q_.front());
+    header_q_.pop_front();
+    header_bytes_ -= f.size_bytes;
+    ++counters_.dequeued;
+    return f;
+  }
+  if (!data_q_.empty()) {
+    Frame f = std::move(data_q_.front());
+    data_q_.pop_front();
+    data_bytes_ -= f.size_bytes;
+    ++counters_.dequeued;
+    return f;
+  }
+  return std::nullopt;
+}
+
+}  // namespace trimgrad::net

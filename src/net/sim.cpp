@@ -1,0 +1,98 @@
+#include "net/sim.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace trimgrad::net {
+
+Simulator::Simulator() = default;
+Simulator::~Simulator() = default;
+
+void Simulator::schedule(SimTime delay, std::function<void()> fn) {
+  assert(delay >= 0.0);
+  events_.push(Event{now_ + delay, ++event_counter_, std::move(fn)});
+}
+
+SimTime Simulator::run() {
+  while (!events_.empty()) {
+    // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+    // so copy the function handle (cheap relative to simulation work).
+    Event ev = events_.top();
+    events_.pop();
+    assert(ev.time >= now_);
+    now_ = ev.time;
+    ev.fn();
+  }
+  return now_;
+}
+
+void Simulator::run_until(SimTime t) {
+  while (!events_.empty() && events_.top().time <= t) {
+    Event ev = events_.top();
+    events_.pop();
+    now_ = ev.time;
+    ev.fn();
+  }
+  if (now_ < t) now_ = t;
+}
+
+Node& Simulator::node(NodeId id) {
+  if (id >= nodes_.size()) throw std::out_of_range("bad node id");
+  return *nodes_[id];
+}
+
+std::size_t Simulator::node_count() const noexcept { return nodes_.size(); }
+
+void Simulator::register_node(std::unique_ptr<Node> node) {
+  nodes_.push_back(std::move(node));
+}
+
+std::pair<std::size_t, std::size_t> Simulator::connect(NodeId a, NodeId b,
+                                                       LinkSpec link,
+                                                       QueueConfig qcfg_a,
+                                                       QueueConfig qcfg_b) {
+  Node& na = node(a);
+  Node& nb = node(b);
+  na.ports_.push_back(std::make_unique<Port>(link, qcfg_a, b));
+  nb.ports_.push_back(std::make_unique<Port>(link, qcfg_b, a));
+  return {na.ports_.size() - 1, nb.ports_.size() - 1};
+}
+
+bool Simulator::transmit(NodeId from, std::size_t port_idx, Frame frame) {
+  Node& n = node(from);
+  Port& p = n.port(port_idx);
+  const bool accepted = p.queue().enqueue(std::move(frame));
+  if (accepted && !p.transmitting_) drain_port(from, port_idx);
+  return accepted;
+}
+
+void Simulator::drain_port(NodeId node_id, std::size_t port_idx) {
+  Node& n = node(node_id);
+  Port& p = n.port(port_idx);
+  auto next = p.queue().dequeue();
+  if (!next) {
+    p.transmitting_ = false;
+    return;
+  }
+  p.transmitting_ = true;
+  Frame frame = std::move(*next);
+  const SimTime tx = p.link().tx_time(frame.size_bytes);
+  const SimTime prop = p.link().latency_s;
+  const NodeId peer = p.peer();
+  // Link is busy for the serialization time, then pulls the next frame.
+  schedule(tx, [this, node_id, port_idx] { drain_port(node_id, port_idx); });
+  // The frame lands at the peer after serialization + propagation.
+  schedule(tx + prop, [this, peer, f = std::move(frame)]() mutable {
+    ++delivered_;
+    node(peer).on_frame(std::move(f));
+  });
+}
+
+std::size_t Node::port_to(NodeId peer) const noexcept {
+  for (std::size_t i = 0; i < ports_.size(); ++i) {
+    if (ports_[i]->peer() == peer) return i;
+  }
+  return ports_.size();
+}
+
+}  // namespace trimgrad::net

@@ -1,0 +1,168 @@
+// Discrete-event simulation kernel.
+//
+// Single-threaded event queue with a monotone simulated clock, plus the node
+// registry and link wiring for the fabric. This is the ns-3 substitute the
+// reproduction needs: the paper defers closed-loop trimming studies to
+// "full-scale simulations" (§5.1); this kernel runs them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/queue.h"
+
+namespace trimgrad::net {
+
+class Node;
+
+/// Physical link parameters (one direction; connect() wires both).
+struct LinkSpec {
+  double bandwidth_bps = 100e9;  ///< 100 Gbps default, per the paper's testbed
+  SimTime latency_s = 1e-6;      ///< propagation delay
+
+  /// Serialization delay for a frame of `bytes`.
+  SimTime tx_time(std::size_t bytes) const noexcept {
+    return static_cast<double>(bytes) * 8.0 / bandwidth_bps;
+  }
+};
+
+/// An egress port: queue + attached unidirectional link to a peer node.
+/// Owned by its node; drained by the simulator's event loop.
+class Port {
+ public:
+  Port(LinkSpec link, QueueConfig qcfg, NodeId peer)
+      : link_(link), queue_(qcfg), peer_(peer) {}
+
+  const LinkSpec& link() const noexcept { return link_; }
+  NodeId peer() const noexcept { return peer_; }
+  EgressQueue& queue() noexcept { return queue_; }
+  const EgressQueue& queue() const noexcept { return queue_; }
+
+ private:
+  friend class Simulator;
+  LinkSpec link_;
+  EgressQueue queue_;
+  NodeId peer_;
+  bool transmitting_ = false;
+};
+
+/// The simulation engine: event queue, clock, node registry, link wiring.
+class Simulator {
+ public:
+  Simulator();
+  ~Simulator();
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const noexcept { return now_; }
+
+  /// Schedule `fn` to run `delay` seconds from now (delay >= 0).
+  void schedule(SimTime delay, std::function<void()> fn);
+
+  /// Run until the event queue drains. Returns the final clock value.
+  SimTime run();
+
+  /// Run until the clock reaches `t` (events at > t stay queued).
+  void run_until(SimTime t);
+
+  /// Construct a node of type T (T : public Node) and register it.
+  template <typename T, typename... Args>
+  T& add_node(Args&&... args) {
+    auto node = std::make_unique<T>(*this, next_node_id(),
+                                    std::forward<Args>(args)...);
+    T& ref = *node;
+    register_node(std::move(node));
+    return ref;
+  }
+
+  Node& node(NodeId id);
+  std::size_t node_count() const noexcept;
+
+  /// Wire a bidirectional link between two nodes: adds one egress port on
+  /// each side. Returns the port indices {on_a, on_b}.
+  std::pair<std::size_t, std::size_t> connect(NodeId a, NodeId b,
+                                              LinkSpec link,
+                                              QueueConfig qcfg_a,
+                                              QueueConfig qcfg_b);
+  std::pair<std::size_t, std::size_t> connect(NodeId a, NodeId b,
+                                              LinkSpec link,
+                                              QueueConfig qcfg) {
+    return connect(a, b, link, qcfg, qcfg);
+  }
+
+  /// Hand a frame to a node's egress port: enqueue and kick the drain loop.
+  /// Returns false if the queue dropped the frame.
+  bool transmit(NodeId from, std::size_t port_idx, Frame frame);
+
+  /// Fresh frame id for tracing.
+  std::uint64_t next_frame_id() noexcept { return ++frame_counter_; }
+
+  /// Total frames delivered to nodes (for conservation checks in tests).
+  std::uint64_t delivered_frames() const noexcept { return delivered_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t order;  ///< FIFO tiebreaker for equal times
+    std::function<void()> fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.order > b.order;
+    }
+  };
+
+  NodeId next_node_id() noexcept {
+    return static_cast<NodeId>(nodes_.size());
+  }
+  void register_node(std::unique_ptr<Node> node);
+  void drain_port(NodeId node_id, std::size_t port_idx);
+
+  SimTime now_ = 0.0;
+  std::uint64_t event_counter_ = 0;
+  std::uint64_t frame_counter_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+/// Base class for everything attached to the fabric.
+class Node {
+ public:
+  Node(Simulator& sim, NodeId id, std::string name)
+      : sim_(sim), id_(id), name_(std::move(name)) {}
+  virtual ~Node() = default;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// A frame has fully arrived at this node.
+  virtual void on_frame(Frame frame) = 0;
+
+  NodeId id() const noexcept { return id_; }
+  const std::string& name() const noexcept { return name_; }
+  Simulator& sim() noexcept { return sim_; }
+
+  std::size_t port_count() const noexcept { return ports_.size(); }
+  Port& port(std::size_t i) { return *ports_.at(i); }
+  const Port& port(std::size_t i) const { return *ports_.at(i); }
+
+  /// Index of the port whose link points at `peer`, or port_count() if none.
+  std::size_t port_to(NodeId peer) const noexcept;
+
+ protected:
+  Simulator& sim_;
+
+ private:
+  friend class Simulator;
+  NodeId id_;
+  std::string name_;
+  std::vector<std::unique_ptr<Port>> ports_;
+};
+
+}  // namespace trimgrad::net

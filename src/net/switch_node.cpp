@@ -1,0 +1,28 @@
+#include "net/switch_node.h"
+
+#include "core/prng.h"
+
+namespace trimgrad::net {
+
+void SwitchNode::on_frame(Frame frame) {
+  std::size_t out;
+  const auto it = routes_.find(frame.dst);
+  if (it != routes_.end() && !it->second.empty()) {
+    const auto& group = it->second;
+    if (group.size() == 1) {
+      out = group[0];
+    } else {
+      // Per-flow ECMP: deterministic hash keeps a flow on one path.
+      const std::uint64_t h = core::mix64(frame.flow_id, frame.dst);
+      out = group[h % group.size()];
+    }
+  } else if (default_port_ >= 0) {
+    out = static_cast<std::size_t>(default_port_);
+  } else {
+    ++unroutable_;
+    return;
+  }
+  sim_.transmit(id(), out, std::move(frame));
+}
+
+}  // namespace trimgrad::net

@@ -1,0 +1,48 @@
+// Output-queued switch with static routing and optional ECMP groups.
+//
+// Forwarding is a destination-indexed table built by the topology helpers.
+// Each egress port owns its queue (drop-tail / trim / ECN per QueueConfig),
+// so trimming is a purely local decision at the congested hop — exactly the
+// deployment model of §1 (Tofino / Trident 4 / Spectrum 2 support it today).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/sim.h"
+
+namespace trimgrad::net {
+
+class SwitchNode : public Node {
+ public:
+  SwitchNode(Simulator& sim, NodeId id, std::string name)
+      : Node(sim, id, std::move(name)) {}
+
+  /// Route frames for `dst` out of `port_idx`.
+  void set_route(NodeId dst, std::size_t port_idx) {
+    routes_[dst] = {port_idx};
+  }
+
+  /// ECMP: frames for `dst` hash (by flow id) across `port_idxs`.
+  void set_ecmp_route(NodeId dst, std::vector<std::size_t> port_idxs) {
+    routes_[dst] = std::move(port_idxs);
+  }
+
+  /// Fallback port when no table entry matches (e.g. leaf uplink).
+  void set_default_route(std::size_t port_idx) {
+    default_port_ = static_cast<std::ptrdiff_t>(port_idx);
+  }
+
+  void on_frame(Frame frame) override;
+
+  /// Frames that arrived with no usable route (counted, then dropped).
+  std::uint64_t unroutable() const noexcept { return unroutable_; }
+
+ private:
+  std::unordered_map<NodeId, std::vector<std::size_t>> routes_;
+  std::ptrdiff_t default_port_ = -1;
+  std::uint64_t unroutable_ = 0;
+};
+
+}  // namespace trimgrad::net

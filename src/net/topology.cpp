@@ -1,0 +1,107 @@
+#include "net/topology.h"
+
+#include <string>
+
+namespace trimgrad::net {
+
+std::vector<NodeId> LeafSpine::all_hosts() const {
+  std::vector<NodeId> out;
+  for (const auto& rack : hosts) out.insert(out.end(), rack.begin(), rack.end());
+  return out;
+}
+
+Dumbbell build_dumbbell(Simulator& sim, std::size_t n_left,
+                        std::size_t n_right, const FabricConfig& cfg) {
+  Dumbbell d;
+  auto& sl = sim.add_node<SwitchNode>("switch-L");
+  auto& sr = sim.add_node<SwitchNode>("switch-R");
+  d.left_switch = sl.id();
+  d.right_switch = sr.id();
+
+  // Bottleneck link between the two switches.
+  const auto [sl_core, sr_core] =
+      sim.connect(sl.id(), sr.id(), cfg.core_link, cfg.switch_queue);
+
+  for (std::size_t i = 0; i < n_left; ++i) {
+    auto& h = sim.add_node<Host>("hL" + std::to_string(i));
+    const auto [h_port, sw_port] = sim.connect(
+        h.id(), sl.id(), cfg.edge_link, cfg.host_queue, cfg.switch_queue);
+    (void)h_port;
+    d.left_hosts.push_back(h.id());
+    sl.set_route(h.id(), sw_port);
+  }
+  for (std::size_t i = 0; i < n_right; ++i) {
+    auto& h = sim.add_node<Host>("hR" + std::to_string(i));
+    const auto [h_port, sw_port] = sim.connect(
+        h.id(), sr.id(), cfg.edge_link, cfg.host_queue, cfg.switch_queue);
+    (void)h_port;
+    d.right_hosts.push_back(h.id());
+    sr.set_route(h.id(), sw_port);
+  }
+  // Anything not local goes across the bottleneck.
+  sl.set_default_route(sl_core);
+  sr.set_default_route(sr_core);
+  return d;
+}
+
+LeafSpine build_leaf_spine(Simulator& sim, std::size_t n_leaves,
+                           std::size_t n_spines, std::size_t hosts_per_leaf,
+                           const FabricConfig& cfg) {
+  LeafSpine t;
+  for (std::size_t s = 0; s < n_spines; ++s) {
+    auto& spine = sim.add_node<SwitchNode>("spine" + std::to_string(s));
+    t.spines.push_back(spine.id());
+  }
+  for (std::size_t l = 0; l < n_leaves; ++l) {
+    auto& leaf = sim.add_node<SwitchNode>("leaf" + std::to_string(l));
+    t.leaves.push_back(leaf.id());
+  }
+
+  // Leaf <-> spine mesh. Remember the port indices for routing.
+  // spine_ports[s][l] = port on spine s toward leaf l;
+  // leaf_uplinks[l][s] = port on leaf l toward spine s.
+  std::vector<std::vector<std::size_t>> spine_ports(n_spines);
+  std::vector<std::vector<std::size_t>> leaf_uplinks(n_leaves);
+  for (std::size_t l = 0; l < n_leaves; ++l) {
+    for (std::size_t s = 0; s < n_spines; ++s) {
+      const auto [leaf_port, spine_port] = sim.connect(
+          t.leaves[l], t.spines[s], cfg.core_link, cfg.switch_queue);
+      leaf_uplinks[l].push_back(leaf_port);
+      spine_ports[s].push_back(spine_port);
+    }
+  }
+
+  // Hosts under each leaf.
+  t.hosts.resize(n_leaves);
+  for (std::size_t l = 0; l < n_leaves; ++l) {
+    auto& leaf = static_cast<SwitchNode&>(sim.node(t.leaves[l]));
+    for (std::size_t h = 0; h < hosts_per_leaf; ++h) {
+      auto& host = sim.add_node<Host>("h" + std::to_string(l) + "-" +
+                                      std::to_string(h));
+      const auto [host_port, leaf_port] = sim.connect(
+          host.id(), t.leaves[l], cfg.edge_link, cfg.host_queue,
+          cfg.switch_queue);
+      (void)host_port;
+      t.hosts[l].push_back(host.id());
+      leaf.set_route(host.id(), leaf_port);
+      // Every spine knows which leaf owns this host.
+      for (std::size_t s = 0; s < n_spines; ++s) {
+        auto& spine = static_cast<SwitchNode&>(sim.node(t.spines[s]));
+        spine.set_route(host.id(), spine_ports[s][l]);
+      }
+    }
+  }
+  // Non-local traffic ECMPs up to the spines.
+  for (std::size_t l = 0; l < n_leaves; ++l) {
+    auto& leaf = static_cast<SwitchNode&>(sim.node(t.leaves[l]));
+    for (std::size_t other = 0; other < n_leaves; ++other) {
+      if (other == l) continue;
+      for (NodeId host : t.hosts[other]) {
+        leaf.set_ecmp_route(host, leaf_uplinks[l]);
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace trimgrad::net

@@ -1,0 +1,60 @@
+// Topology builders: dumbbell and two-tier leaf-spine fabrics.
+//
+// The dumbbell isolates one bottleneck link (baseline-vs-trimming FCT
+// studies, §4.4's in-text numbers). The leaf-spine models the shared,
+// oversubscribable fabric of the paper's motivating scenarios (§1): GPU
+// hosts scattered across racks behind an oversubscribed second tier.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/host.h"
+#include "net/sim.h"
+#include "net/switch_node.h"
+
+namespace trimgrad::net {
+
+struct FabricConfig {
+  LinkSpec edge_link{};              ///< host <-> first switch
+  LinkSpec core_link{};              ///< switch <-> switch
+  QueueConfig switch_queue{};        ///< applied to every switch egress port
+  QueueConfig host_queue{
+      QueuePolicy::kDropTail,
+      // Hosts get deep NIC queues: the fabric, not the NIC, is under test.
+      static_cast<std::size_t>(16) * 1024 * 1024,
+      64 * 1024,
+      8 * 1024 * 1024,
+  };
+};
+
+/// Dumbbell: `n_left` hosts — switch L — bottleneck — switch R — `n_right`
+/// hosts. Routes installed both ways.
+struct Dumbbell {
+  std::vector<NodeId> left_hosts;
+  std::vector<NodeId> right_hosts;
+  NodeId left_switch = kInvalidNode;
+  NodeId right_switch = kInvalidNode;
+};
+
+Dumbbell build_dumbbell(Simulator& sim, std::size_t n_left,
+                        std::size_t n_right, const FabricConfig& cfg);
+
+/// Two-tier leaf-spine: `hosts_per_leaf` hosts under each of `n_leaves`
+/// leaves, all leaves connected to every one of `n_spines` spines; per-flow
+/// ECMP across spines. Oversubscription = (hosts_per_leaf·edge_bw) /
+/// (n_spines·core_bw), controlled via FabricConfig link specs.
+struct LeafSpine {
+  std::vector<std::vector<NodeId>> hosts;  ///< [leaf][i]
+  std::vector<NodeId> leaves;
+  std::vector<NodeId> spines;
+
+  /// Flattened host list.
+  std::vector<NodeId> all_hosts() const;
+};
+
+LeafSpine build_leaf_spine(Simulator& sim, std::size_t n_leaves,
+                           std::size_t n_spines, std::size_t hosts_per_leaf,
+                           const FabricConfig& cfg);
+
+}  // namespace trimgrad::net

@@ -1,0 +1,136 @@
+#include "net/traffic.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "core/stats.h"
+
+namespace trimgrad::net {
+
+std::vector<SendItem> make_bulk_items(std::size_t n_packets,
+                                      std::size_t mtu_bytes,
+                                      std::size_t trim_size) {
+  std::vector<SendItem> items(n_packets);
+  for (auto& it : items) {
+    it.size_bytes = mtu_bytes;
+    it.trim_size_bytes = trim_size;
+  }
+  return items;
+}
+
+ManagedFlow::ManagedFlow(Simulator& sim, NodeId src, NodeId dst,
+                         std::uint32_t flow_id, TransportConfig cfg,
+                         std::size_t n_packets,
+                         std::function<void(const Frame&)> on_data)
+    : sim_(sim) {
+  auto& src_host = static_cast<Host&>(sim.node(src));
+  auto& dst_host = static_cast<Host&>(sim.node(dst));
+  sender_ = std::make_unique<Sender>(src_host, dst, flow_id, cfg);
+  receiver_ = std::make_unique<Receiver>(dst_host, src, flow_id, n_packets,
+                                         cfg, std::move(on_data));
+}
+
+void ManagedFlow::start_at(SimTime when, std::vector<SendItem> items,
+                           std::function<void(const FlowStats&)> on_complete) {
+  assert(when >= sim_.now());
+  sim_.schedule(when - sim_.now(), [this, items = std::move(items),
+                                    cb = std::move(on_complete)]() mutable {
+    sender_->send_message(std::move(items), [this, cb = std::move(cb)](
+                                                const FlowStats& st) {
+      done_ = true;
+      if (cb) cb(st);
+    });
+  });
+}
+
+IncastPattern::IncastPattern(Simulator& sim, std::vector<NodeId> senders,
+                             NodeId receiver, const Config& cfg) {
+  std::uint32_t flow_id = cfg.base_flow_id;
+  for (NodeId src : senders) {
+    auto flow = std::make_unique<ManagedFlow>(sim, src, receiver, flow_id++,
+                                              cfg.transport,
+                                              cfg.packets_per_sender);
+    flow->start_at(cfg.start, make_bulk_items(cfg.packets_per_sender,
+                                              cfg.mtu_bytes, cfg.trim_size));
+    flows_.push_back(std::move(flow));
+  }
+}
+
+std::vector<FlowStats> IncastPattern::flow_stats() const {
+  std::vector<FlowStats> out;
+  out.reserve(flows_.size());
+  for (const auto& f : flows_) out.push_back(f->stats());
+  return out;
+}
+
+SimTime IncastPattern::max_fct() const {
+  SimTime worst = 0;
+  for (const auto& f : flows_) {
+    if (f->stats().completed && f->stats().fct() > worst)
+      worst = f->stats().fct();
+  }
+  return worst;
+}
+
+double IncastPattern::mean_fct() const {
+  core::RunningStats rs;
+  for (const auto& f : flows_) {
+    if (f->stats().completed) rs.add(f->stats().fct());
+  }
+  return rs.mean();
+}
+
+std::size_t IncastPattern::completed_count() const {
+  std::size_t n = 0;
+  for (const auto& f : flows_) n += f->done() ? 1 : 0;
+  return n;
+}
+
+PoissonTraffic::PoissonTraffic(Simulator& sim, std::vector<NodeId> hosts,
+                               const Config& cfg)
+    : sim_(sim),
+      hosts_(std::move(hosts)),
+      cfg_(cfg),
+      rng_(cfg.seed),
+      next_flow_id_(cfg.base_flow_id) {
+  assert(hosts_.size() >= 2);
+  sim_.schedule(cfg_.start - sim_.now(), [this] { schedule_next(); });
+}
+
+void PoissonTraffic::schedule_next() {
+  if (sim_.now() >= cfg_.stop) return;
+  const double gap = -std::log(1.0 - rng_.uniform()) / cfg_.flows_per_sec;
+  sim_.schedule(gap, [this] {
+    if (sim_.now() >= cfg_.stop) return;
+    launch_flow();
+    schedule_next();
+  });
+}
+
+void PoissonTraffic::launch_flow() {
+  const std::size_t a = rng_.below(hosts_.size());
+  std::size_t b = rng_.below(hosts_.size() - 1);
+  if (b >= a) ++b;  // distinct src/dst, uniform over ordered pairs
+  auto flow = std::make_unique<ManagedFlow>(sim_, hosts_[a], hosts_[b],
+                                            next_flow_id_++, cfg_.transport,
+                                            cfg_.packets_per_flow);
+  flow->start_at(sim_.now(), make_bulk_items(cfg_.packets_per_flow,
+                                             cfg_.mtu_bytes, cfg_.trim_size));
+  flows_.push_back(std::move(flow));
+}
+
+std::size_t PoissonTraffic::completed() const {
+  std::size_t n = 0;
+  for (const auto& f : flows_) n += f->done() ? 1 : 0;
+  return n;
+}
+
+std::vector<SimTime> PoissonTraffic::fcts() const {
+  std::vector<SimTime> out;
+  for (const auto& f : flows_) {
+    if (f->done()) out.push_back(f->stats().fct());
+  }
+  return out;
+}
+
+}  // namespace trimgrad::net

@@ -1,0 +1,116 @@
+// Cross-traffic generators (paper §1: "collisions between different traffic
+// flows lead to occasional congestion ... or even packet loss").
+//
+//  * IncastPattern — N synchronized senders dump a fixed number of MTU
+//    packets at one receiver: the canonical trigger for shallow-buffer
+//    overflow and the scenario trimming was built for (NDP).
+//  * PoissonTraffic — background flows arriving as a Poisson process with
+//    a fixed flow size, between random host pairs; models the "other
+//    applications" sharing the fabric.
+//
+// Both own their Sender/Receiver endpoints and report per-flow FlowStats.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/prng.h"
+#include "net/transport.h"
+
+namespace trimgrad::net {
+
+/// Build `n_packets` MTU-sized SendItems, trimmable at `trim_size` (0 for
+/// untrimmable baseline traffic).
+std::vector<SendItem> make_bulk_items(std::size_t n_packets,
+                                      std::size_t mtu_bytes,
+                                      std::size_t trim_size);
+
+/// One flow wiring: sender endpoint at src, receiver endpoint at dst.
+/// Owns both; keeps FlowStats accessible after completion.
+class ManagedFlow {
+ public:
+  ManagedFlow(Simulator& sim, NodeId src, NodeId dst, std::uint32_t flow_id,
+              TransportConfig cfg, std::size_t n_packets,
+              std::function<void(const Frame&)> on_data = {});
+
+  /// Start at an absolute simulation time.
+  void start_at(SimTime when, std::vector<SendItem> items,
+                std::function<void(const FlowStats&)> on_complete = {});
+
+  const FlowStats& stats() const noexcept { return sender_->stats(); }
+  const ReceiverStats& receiver_stats() const noexcept {
+    return receiver_->stats();
+  }
+  std::uint32_t flow_id() const noexcept { return sender_->flow_id(); }
+  bool done() const noexcept { return done_; }
+
+ private:
+  Simulator& sim_;
+  std::unique_ptr<Sender> sender_;
+  std::unique_ptr<Receiver> receiver_;
+  bool done_ = false;
+};
+
+/// N-to-1 incast: all senders start simultaneously.
+class IncastPattern {
+ public:
+  struct Config {
+    std::size_t packets_per_sender = 64;
+    std::size_t mtu_bytes = 1500;
+    std::size_t trim_size = 88;     ///< 0 disables trimming for these flows
+    TransportConfig transport{};
+    SimTime start = 0.0;
+    std::uint32_t base_flow_id = 1000;
+  };
+
+  IncastPattern(Simulator& sim, std::vector<NodeId> senders, NodeId receiver,
+                const Config& cfg);
+
+  /// Stats after sim.run(): one entry per sender, same order.
+  std::vector<FlowStats> flow_stats() const;
+  /// Max/mean FCT across the fan-in — the straggler metric of §1.
+  SimTime max_fct() const;
+  double mean_fct() const;
+  std::size_t completed_count() const;
+
+ private:
+  std::vector<std::unique_ptr<ManagedFlow>> flows_;
+};
+
+/// Poisson background load between random host pairs.
+class PoissonTraffic {
+ public:
+  struct Config {
+    double flows_per_sec = 1e5;
+    std::size_t packets_per_flow = 16;
+    std::size_t mtu_bytes = 1500;
+    std::size_t trim_size = 0;      ///< background is plain traffic
+    TransportConfig transport{};
+    SimTime start = 0.0;
+    SimTime stop = 1e-3;            ///< stop *launching* new flows after this
+    std::uint32_t base_flow_id = 500000;
+    std::uint64_t seed = 42;
+  };
+
+  PoissonTraffic(Simulator& sim, std::vector<NodeId> hosts, const Config& cfg);
+
+  std::size_t launched() const noexcept { return flows_.size(); }
+  std::size_t completed() const;
+  /// FCTs of completed flows.
+  std::vector<SimTime> fcts() const;
+
+ private:
+  void schedule_next();
+  void launch_flow();
+
+  Simulator& sim_;
+  std::vector<NodeId> hosts_;
+  Config cfg_;
+  core::Xoshiro256 rng_;
+  std::uint32_t next_flow_id_;
+  std::vector<std::unique_ptr<ManagedFlow>> flows_;
+};
+
+}  // namespace trimgrad::net

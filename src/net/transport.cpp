@@ -1,0 +1,234 @@
+#include "net/transport.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace trimgrad::net {
+
+// ---------------------------------------------------------------- Sender --
+
+Sender::Sender(Host& host, NodeId dst, std::uint32_t flow_id,
+               TransportConfig cfg)
+    : host_(host), dst_(dst), flow_id_(flow_id), cfg_(cfg) {
+  host_.bind(flow_id_, this);
+}
+
+Sender::~Sender() { host_.unbind(flow_id_); }
+
+void Sender::send_message(std::vector<SendItem> items,
+                          std::function<void(const FlowStats&)> on_complete) {
+  assert(!active_ && "one message at a time per Sender");
+  items_ = std::move(items);
+  acked_.assign(items_.size(), 0);
+  send_count_.assign(items_.size(), 0);
+  last_sent_.assign(items_.size(), -1.0);
+  next_new_ = 0;
+  acked_count_ = 0;
+  sent_unacked_ = 0;
+  last_cum_ = 0;
+  dup_cum_ = 0;
+  rto_cur_ = cfg_.rto;
+  active_ = true;
+  stats_ = FlowStats{};
+  stats_.start_time = host_.sim().now();
+  stats_.packets = items_.size();
+  on_complete_ = std::move(on_complete);
+  if (items_.empty()) {
+    complete();
+    return;
+  }
+  try_send_new();
+  arm_timer();
+}
+
+void Sender::try_send_new() {
+  while (in_flight() < cfg_.window && next_new_ < items_.size()) {
+    send_packet(static_cast<std::uint32_t>(next_new_), false);
+    ++next_new_;
+  }
+}
+
+void Sender::send_packet(std::uint32_t seq, bool is_retransmit) {
+  const SendItem& item = items_[seq];
+  Frame f;
+  f.id = host_.sim().next_frame_id();
+  f.src = host_.id();
+  f.dst = dst_;
+  f.flow_id = flow_id_;
+  f.seq = seq;
+  f.kind = FrameKind::kData;
+  f.size_bytes = item.size_bytes;
+  f.trim_size_bytes = item.trim_size_bytes;
+  f.cargo = item.cargo;
+  if (send_count_[seq] == 0) ++sent_unacked_;
+  ++send_count_[seq];
+  last_sent_[seq] = host_.sim().now();
+  ++stats_.frames_sent;
+  stats_.bytes_sent += f.size_bytes;
+  if (is_retransmit) ++stats_.retransmits;
+  host_.send(std::move(f));
+}
+
+void Sender::on_frame(Frame frame) {
+  if (!active_) return;
+  if (frame.kind == FrameKind::kNack) {
+    // Reliable mode: a trimmed arrival is unusable; retransmit, but pace
+    // retransmissions to half an RTO per packet — an immediate resend into
+    // a still-congested queue would just be trimmed again (livelock).
+    const std::uint32_t seq = frame.ack_echo;
+    if (seq < items_.size() && acked_[seq] == 0 &&
+        host_.sim().now() - last_sent_[seq] >= cfg_.rto * 0.5) {
+      send_packet(seq, true);
+    }
+    return;
+  }
+  if (frame.kind != FrameKind::kAck) return;
+
+  const std::uint32_t seq = frame.ack_echo;
+  if (seq < items_.size() && acked_[seq] == 0) {
+    acked_[seq] = 1;
+    ++acked_count_;
+    assert(sent_unacked_ > 0);
+    --sent_unacked_;
+    if (frame.ack_was_trimmed) ++stats_.acked_trimmed;
+    else ++stats_.acked_full;
+    // Forward progress: reset the RTO clock.
+    rto_cur_ = cfg_.rto;
+    arm_timer();
+  }
+
+  // Triple-duplicate cumulative ACK => fast retransmit of the hole.
+  if (frame.ack_seq == last_cum_) {
+    if (++dup_cum_ == 3) {
+      dup_cum_ = 0;
+      const std::uint32_t hole = frame.ack_seq;
+      if (hole < next_new_ && hole < items_.size() && acked_[hole] == 0 &&
+          host_.sim().now() - last_sent_[hole] >= cfg_.rto * 0.5) {
+        send_packet(hole, true);
+      }
+    }
+  } else {
+    last_cum_ = frame.ack_seq;
+    dup_cum_ = 0;
+  }
+
+  if (acked_count_ == items_.size()) {
+    complete();
+  } else {
+    try_send_new();
+  }
+}
+
+void Sender::arm_timer() {
+  const std::uint64_t epoch = ++timer_epoch_;
+  host_.sim().schedule(rto_cur_, [this, epoch] { on_timeout(epoch); });
+}
+
+void Sender::on_timeout(std::uint64_t epoch) {
+  if (!active_ || epoch != timer_epoch_) return;
+  // Retransmit the oldest unacked packet that has been sent.
+  for (std::size_t seq = 0; seq < next_new_; ++seq) {
+    if (acked_[seq] == 0) {
+      send_packet(static_cast<std::uint32_t>(seq), true);
+      break;
+    }
+  }
+  rto_cur_ = std::min(rto_cur_ * 2.0, cfg_.rto_cap);
+  arm_timer();
+}
+
+void Sender::complete() {
+  active_ = false;
+  ++timer_epoch_;  // cancel pending timers
+  stats_.completed = true;
+  stats_.end_time = host_.sim().now();
+  if (on_complete_) on_complete_(stats_);
+}
+
+// -------------------------------------------------------------- Receiver --
+
+Receiver::Receiver(Host& host, NodeId peer, std::uint32_t flow_id,
+                   std::size_t expected_packets, TransportConfig cfg,
+                   std::function<void(const Frame&)> on_data,
+                   std::function<void(const ReceiverStats&)> on_complete)
+    : host_(host),
+      peer_(peer),
+      flow_id_(flow_id),
+      cfg_(cfg),
+      delivered_(expected_packets, 0),
+      on_data_(std::move(on_data)),
+      on_complete_(std::move(on_complete)) {
+  stats_.expected = expected_packets;
+  host_.bind(flow_id_, this);
+}
+
+Receiver::~Receiver() { host_.unbind(flow_id_); }
+
+std::uint32_t Receiver::cumulative_ack() const noexcept {
+  while (cum_cache_ < delivered_.size() && delivered_[cum_cache_] != 0) {
+    ++cum_cache_;
+  }
+  return static_cast<std::uint32_t>(cum_cache_);
+}
+
+void Receiver::send_ack(const Frame& data, bool was_trimmed) {
+  Frame ack;
+  ack.id = host_.sim().next_frame_id();
+  ack.src = host_.id();
+  ack.dst = data.src;
+  ack.flow_id = flow_id_;
+  ack.kind = FrameKind::kAck;
+  ack.size_bytes = kControlFrameBytes;
+  ack.ack_echo = data.seq;
+  ack.ack_seq = cumulative_ack();
+  ack.ack_was_trimmed = was_trimmed;
+  host_.send(std::move(ack));
+}
+
+void Receiver::send_nack(const Frame& data) {
+  Frame nack;
+  nack.id = host_.sim().next_frame_id();
+  nack.src = host_.id();
+  nack.dst = data.src;
+  nack.flow_id = flow_id_;
+  nack.kind = FrameKind::kNack;
+  nack.size_bytes = kControlFrameBytes;
+  nack.ack_echo = data.seq;
+  ++stats_.nacks_sent;
+  host_.send(std::move(nack));
+}
+
+void Receiver::on_frame(Frame frame) {
+  if (frame.kind != FrameKind::kData) return;
+  if (frame.seq >= delivered_.size()) return;  // malformed
+  if (stats_.delivered_full + stats_.delivered_trimmed == 0) {
+    stats_.first_frame_time = host_.sim().now();
+  }
+
+  if (delivered_[frame.seq] != 0) {
+    // Duplicate (retransmission after a lost ACK): re-ACK, don't re-deliver.
+    ++stats_.duplicate_frames;
+    send_ack(frame, delivered_[frame.seq] == 2);
+    return;
+  }
+
+  if (frame.trimmed && !cfg_.trimmed_is_delivered) {
+    // Reliable semantics: the payload is gone; demand a retransmission.
+    send_nack(frame);
+    return;
+  }
+
+  delivered_[frame.seq] = frame.trimmed ? 2 : 1;
+  ++delivered_count_;
+  if (frame.trimmed) ++stats_.delivered_trimmed;
+  else ++stats_.delivered_full;
+  if (on_data_) on_data_(frame);
+  send_ack(frame, frame.trimmed);
+
+  if (complete()) {
+    stats_.complete_time = host_.sim().now();
+    if (on_complete_) on_complete_(stats_);
+  }
+}
+
+}  // namespace trimgrad::net

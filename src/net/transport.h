@@ -1,0 +1,158 @@
+// Transport endpoints over the simulated fabric.
+//
+// Two senders implement the paper's comparison:
+//
+//  * Reliable (the NCCL-stand-in baseline): strict delivery semantics.
+//    Every packet must arrive in full. Drops are recovered by timeout and
+//    triple-duplicate-ACK fast retransmit; a trimmed arrival is useless to
+//    this transport (the payload is gone), so the receiver NACKs it for
+//    immediate retransmission. Under congestion this is the transport whose
+//    retransmission storms create the stragglers of §1.
+//
+//  * TrimAware: a trimmed arrival is an *acceptable delivery* — the decoder
+//    will reconstruct the coordinate from the 1-bit head (§2/§3). The
+//    receiver ACKs it like a full arrival and the sender never retransmits.
+//    Only outright drops (header-queue overflow, rare) are retransmitted.
+//
+// Both use a fixed window (BDP-sized by the caller) — congestion response
+// is the switch's trim decision, which is the paper's architectural point.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/host.h"
+#include "net/sim.h"
+
+namespace trimgrad::net {
+
+struct TransportConfig {
+  std::size_t window = 64;       ///< max packets in flight
+  SimTime rto = 200e-6;          ///< initial retransmission timeout
+  SimTime rto_cap = 5e-3;        ///< exponential backoff ceiling
+  bool trimmed_is_delivered = true;  ///< TrimAware: true; Reliable: false
+
+  static TransportConfig reliable() {
+    TransportConfig cfg;
+    cfg.trimmed_is_delivered = false;
+    return cfg;
+  }
+  static TransportConfig trim_aware() { return TransportConfig{}; }
+};
+
+struct FlowStats {
+  SimTime start_time = 0;
+  SimTime end_time = 0;
+  std::size_t packets = 0;         ///< message size in packets
+  std::uint64_t frames_sent = 0;   ///< data frames incl. retransmissions
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t acked_full = 0;    ///< packets delivered with tails intact
+  std::uint64_t acked_trimmed = 0; ///< packets delivered trimmed
+  bool completed = false;
+
+  SimTime fct() const noexcept { return end_time - start_time; }
+};
+
+/// One packet of an outgoing message.
+struct SendItem {
+  std::size_t size_bytes = 1500;
+  std::size_t trim_size_bytes = 0;  ///< 0 = never trimmable (e.g. metadata)
+  std::shared_ptr<const core::GradientPacket> cargo;  ///< optional data plane
+};
+
+/// Sender endpoint for one flow. Lives at the source host; receives the
+/// flow's ACK/NACK frames through the host's demux.
+class Sender : public FlowEndpoint {
+ public:
+  Sender(Host& host, NodeId dst, std::uint32_t flow_id, TransportConfig cfg);
+  ~Sender() override;
+
+  /// Begin transmitting. One message at a time per Sender; `on_complete`
+  /// fires when every packet has been acknowledged (full or trimmed).
+  void send_message(std::vector<SendItem> items,
+                    std::function<void(const FlowStats&)> on_complete);
+
+  void on_frame(Frame frame) override;
+
+  const FlowStats& stats() const noexcept { return stats_; }
+  bool active() const noexcept { return active_; }
+  std::uint32_t flow_id() const noexcept { return flow_id_; }
+
+ private:
+  void try_send_new();
+  void send_packet(std::uint32_t seq, bool is_retransmit);
+  void arm_timer();
+  void on_timeout(std::uint64_t epoch);
+  void complete();
+  std::size_t in_flight() const noexcept { return sent_unacked_; }
+
+  Host& host_;
+  NodeId dst_;
+  std::uint32_t flow_id_;
+  TransportConfig cfg_;
+
+  std::vector<SendItem> items_;
+  std::vector<std::uint8_t> acked_;
+  std::vector<std::uint16_t> send_count_;
+  std::vector<SimTime> last_sent_;
+  std::size_t next_new_ = 0;
+  std::size_t acked_count_ = 0;
+  std::size_t sent_unacked_ = 0;
+  std::uint32_t last_cum_ = 0;
+  int dup_cum_ = 0;
+  SimTime rto_cur_ = 0;
+  std::uint64_t timer_epoch_ = 0;
+  bool active_ = false;
+  FlowStats stats_;
+  std::function<void(const FlowStats&)> on_complete_;
+};
+
+struct ReceiverStats {
+  std::size_t expected = 0;
+  std::size_t delivered_full = 0;
+  std::size_t delivered_trimmed = 0;
+  std::uint64_t duplicate_frames = 0;
+  std::uint64_t nacks_sent = 0;
+  SimTime first_frame_time = 0;
+  SimTime complete_time = 0;
+};
+
+/// Receiver endpoint for one flow. Lives at the destination host.
+class Receiver : public FlowEndpoint {
+ public:
+  /// `on_data` fires once per newly delivered packet (full or trimmed) with
+  /// the arriving frame — the collective layer harvests cargo here.
+  Receiver(Host& host, NodeId peer, std::uint32_t flow_id,
+           std::size_t expected_packets, TransportConfig cfg,
+           std::function<void(const Frame&)> on_data = {},
+           std::function<void(const ReceiverStats&)> on_complete = {});
+  ~Receiver() override;
+
+  void on_frame(Frame frame) override;
+
+  const ReceiverStats& stats() const noexcept { return stats_; }
+  bool complete() const noexcept {
+    return delivered_count_ == stats_.expected;
+  }
+
+ private:
+  void send_ack(const Frame& data, bool was_trimmed);
+  void send_nack(const Frame& data);
+  std::uint32_t cumulative_ack() const noexcept;
+
+  Host& host_;
+  NodeId peer_;
+  std::uint32_t flow_id_;
+  TransportConfig cfg_;
+  std::vector<std::uint8_t> delivered_;  ///< 0 = no, 1 = full, 2 = trimmed
+  std::size_t delivered_count_ = 0;
+  mutable std::size_t cum_cache_ = 0;
+  ReceiverStats stats_;
+  std::function<void(const Frame&)> on_data_;
+  std::function<void(const ReceiverStats&)> on_complete_;
+};
+
+}  // namespace trimgrad::net

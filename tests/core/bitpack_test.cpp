@@ -1,0 +1,124 @@
+#include "core/bitpack.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/prng.h"
+
+namespace trimgrad::core {
+namespace {
+
+TEST(BytesForBits, RoundsUp) {
+  EXPECT_EQ(bytes_for_bits(0), 0u);
+  EXPECT_EQ(bytes_for_bits(1), 1u);
+  EXPECT_EQ(bytes_for_bits(8), 1u);
+  EXPECT_EQ(bytes_for_bits(9), 2u);
+  EXPECT_EQ(bytes_for_bits(365), 46u);  // the §2 head region for n=365, P=1
+}
+
+TEST(BitWriter, SingleBitsPackMsbFirst) {
+  BitWriter w;
+  w.put_bit(true);
+  w.put_bit(false);
+  w.put_bit(true);
+  auto buf = std::move(w).finish();
+  ASSERT_EQ(buf.size(), 1u);
+  EXPECT_EQ(buf[0], 0b10100000);
+}
+
+TEST(BitWriter, MultiBitValueSpansBytes) {
+  BitWriter w;
+  w.put(0x1ff, 9);  // 9 ones
+  auto buf = std::move(w).finish();
+  ASSERT_EQ(buf.size(), 2u);
+  EXPECT_EQ(buf[0], 0xff);
+  EXPECT_EQ(buf[1], 0x80);
+}
+
+TEST(BitWriter, MasksValueToWidth) {
+  BitWriter w;
+  w.put(0xffffffffffffffffULL, 4);
+  auto buf = std::move(w).finish();
+  ASSERT_EQ(buf.size(), 1u);
+  EXPECT_EQ(buf[0], 0xf0);
+}
+
+TEST(BitWriter, BitCountTracksExactly) {
+  BitWriter w;
+  w.put(1, 31);
+  w.put(1, 31);
+  w.put_bit(true);
+  EXPECT_EQ(w.bit_count(), 63u);
+  EXPECT_EQ(w.byte_count(), 8u);
+}
+
+TEST(BitRoundTrip, SingleBits) {
+  BitWriter w;
+  std::vector<bool> bits = {true, false, false, true, true, false, true,
+                            true, true,  false, false, true};
+  for (bool b : bits) w.put_bit(b);
+  auto buf = std::move(w).finish();
+  BitReader r(buf);
+  for (bool b : bits) EXPECT_EQ(r.get_bit(), b);
+}
+
+TEST(BitRoundTrip, ThirtyOneBitTails) {
+  // The exact width used by every Q=31 tail region.
+  BitWriter w;
+  std::vector<std::uint32_t> vals = {0, 1, 0x7fffffff, 0x40000000, 12345678};
+  for (auto v : vals) w.put(v, 31);
+  auto buf = std::move(w).finish();
+  BitReader r(buf);
+  for (auto v : vals) EXPECT_EQ(r.get(31), v);
+}
+
+TEST(BitRoundTrip, RandomizedMixedWidths) {
+  Xoshiro256 rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    BitWriter w;
+    std::vector<std::pair<std::uint64_t, unsigned>> items;
+    for (int i = 0; i < 200; ++i) {
+      const unsigned width = 1 + static_cast<unsigned>(rng.below(64));
+      std::uint64_t v = rng();
+      if (width < 64) v &= (std::uint64_t{1} << width) - 1;
+      items.emplace_back(v, width);
+      w.put(v, width);
+    }
+    auto buf = std::move(w).finish();
+    BitReader r(buf);
+    for (const auto& [v, width] : items) EXPECT_EQ(r.get(width), v);
+  }
+}
+
+TEST(BitReader, SkipAdvancesCursor) {
+  BitWriter w;
+  w.put(0b101, 3);
+  w.put(0xab, 8);
+  auto buf = std::move(w).finish();
+  BitReader r(buf);
+  r.skip(3);
+  EXPECT_EQ(r.get(8), 0xabu);
+}
+
+TEST(BitReader, BitsRemainingCountsDown) {
+  std::vector<std::uint8_t> data(4, 0);
+  BitReader r(data);
+  EXPECT_EQ(r.bits_remaining(), 32u);
+  r.get(5);
+  EXPECT_EQ(r.bits_remaining(), 27u);
+}
+
+TEST(FloatBits, RoundTripsExactly) {
+  for (float v : {0.0f, -0.0f, 1.0f, -1.0f, 3.14159f, -2.5e-30f, 1e30f}) {
+    EXPECT_EQ(bits_float(float_bits(v)), v);
+  }
+}
+
+TEST(FloatBits, SignBitIsBit31) {
+  EXPECT_EQ(float_bits(-1.0f) >> 31, 1u);
+  EXPECT_EQ(float_bits(1.0f) >> 31, 0u);
+}
+
+}  // namespace
+}  // namespace trimgrad::core

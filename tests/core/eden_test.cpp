@@ -1,0 +1,142 @@
+#include "core/eden.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/prng.h"
+#include "core/stats.h"
+
+namespace trimgrad::core {
+namespace {
+
+std::vector<float> gaussian_vec(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.gaussian());
+  return v;
+}
+
+TEST(Codebook, OneBitMatchesKnownOptimum) {
+  // Lloyd-Max 1-bit for N(0,1): ±sqrt(2/pi) ≈ ±0.7979, distortion 1−2/π.
+  const auto& cb = GaussianCodebook::get(1);
+  ASSERT_EQ(cb.centroids.size(), 2u);
+  EXPECT_NEAR(cb.centroids[1], std::sqrt(2.0 / 3.14159265), 1e-4);
+  EXPECT_NEAR(cb.centroids[0], -cb.centroids[1], 1e-6);
+  EXPECT_NEAR(cb.distortion(), 1.0 - 2.0 / 3.14159265, 1e-4);
+}
+
+TEST(Codebook, TwoBitMatchesMaxTable) {
+  // Max (1960) 4-level gaussian quantizer: centroids ±0.4528, ±1.510;
+  // boundary ±0.9816; distortion ≈ 0.1175.
+  const auto& cb = GaussianCodebook::get(2);
+  ASSERT_EQ(cb.centroids.size(), 4u);
+  EXPECT_NEAR(cb.centroids[2], 0.4528, 2e-3);
+  EXPECT_NEAR(cb.centroids[3], 1.510, 2e-3);
+  EXPECT_NEAR(cb.boundaries[2], 0.9816, 2e-3);
+  EXPECT_NEAR(cb.distortion(), 0.1175, 2e-3);
+}
+
+TEST(Codebook, FourBitDistortionMatchesMaxTable) {
+  // 16-level gaussian Lloyd-Max distortion ≈ 0.009497.
+  EXPECT_NEAR(GaussianCodebook::get(4).distortion(), 0.009497, 5e-4);
+}
+
+TEST(Codebook, DistortionDecreasesWithBits) {
+  double prev = 1.0;
+  for (unsigned b = 1; b <= 6; ++b) {
+    const double d = GaussianCodebook::get(b).distortion();
+    EXPECT_LT(d, prev) << b;
+    prev = d;
+  }
+}
+
+TEST(Codebook, QuantizeRoundsToNearestCentroid) {
+  const auto& cb = GaussianCodebook::get(2);
+  for (float x : {-3.0f, -0.7f, -0.1f, 0.2f, 1.2f, 4.0f}) {
+    const auto q = cb.quantize(x);
+    for (std::size_t i = 0; i < cb.centroids.size(); ++i) {
+      EXPECT_LE(std::fabs(cb.centroids[q] - x),
+                std::fabs(cb.centroids[i] - x) + 1e-6)
+          << x;
+    }
+  }
+}
+
+TEST(Codebook, SymmetricAroundZero) {
+  for (unsigned b : {1u, 2u, 3u, 4u}) {
+    const auto& cb = GaussianCodebook::get(b);
+    const std::size_t n = cb.centroids.size();
+    for (std::size_t i = 0; i < n / 2; ++i) {
+      EXPECT_NEAR(cb.centroids[i], -cb.centroids[n - 1 - i], 1e-4);
+    }
+  }
+}
+
+class EdenBitSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(EdenBitSweep, RoundTripNmseTracksCodebookDistortion) {
+  const unsigned bits = GetParam();
+  const std::size_t n = 1 << 14;
+  const auto v = gaussian_vec(n, bits);
+  const StreamKey key{3, 1, 4, 0};
+  const auto enc = eden_encode_row(v, key, bits);
+  const auto dec = eden_decode_row(enc, n, key);
+  // Unbiased scaling inflates the MSE-optimal distortion D to ~D/(1−D).
+  const double d = GaussianCodebook::get(bits).distortion();
+  const double expected = d / (1.0 - d);
+  EXPECT_NEAR(nmse(dec, v), expected, expected * 0.25 + 0.003) << bits;
+}
+
+TEST_P(EdenBitSweep, CodesFitInBits) {
+  const unsigned bits = GetParam();
+  const auto v = gaussian_vec(1 << 10, 7);
+  const auto enc = eden_encode_row(v, StreamKey{1, 1, 1, 0}, bits);
+  for (auto code : enc.codes) EXPECT_LT(code, 1u << bits);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, EdenBitSweep, ::testing::Values(1u, 2u, 4u, 8u));
+
+TEST(Eden, OneBitMatchesRhtSignScheme) {
+  // At b=1 EDEN degenerates to DRIVE's sign encoding: NMSE ≈ π/2 − 1.
+  const std::size_t n = 1 << 14;
+  const auto v = gaussian_vec(n, 9);
+  const StreamKey key{5, 5, 5, 0};
+  const auto enc = eden_encode_row(v, key, 1);
+  const auto dec = eden_decode_row(enc, n, key);
+  EXPECT_NEAR(nmse(dec, v), 3.14159265 / 2 - 1, 0.05);
+}
+
+TEST(Eden, SharedKeyRequiredForDecode) {
+  const std::size_t n = 1 << 10;
+  const auto v = gaussian_vec(n, 10);
+  const auto enc = eden_encode_row(v, StreamKey{1, 2, 3, 0}, 4);
+  const auto good = eden_decode_row(enc, n, StreamKey{1, 2, 3, 0});
+  const auto bad = eden_decode_row(enc, n, StreamKey{1, 2, 3, 1});
+  EXPECT_LT(nmse(good, v), 0.05);
+  EXPECT_GT(nmse(bad, v), 0.5);
+}
+
+TEST(Eden, ZeroRowStaysZero) {
+  const std::vector<float> zeros(256, 0.0f);
+  const auto enc = eden_encode_row(zeros, StreamKey{1, 1, 1, 0}, 2);
+  EXPECT_FLOAT_EQ(enc.scale, 0.0f);
+  const auto dec = eden_decode_row(enc, 256, StreamKey{1, 1, 1, 0});
+  for (float x : dec) EXPECT_FLOAT_EQ(x, 0.0f);
+}
+
+TEST(Eden, SkewedInputStillDecodesWell) {
+  // The rotation normalizes skew: an all-positive input works as well as a
+  // centered one at 4 bits.
+  std::vector<float> v(1 << 12);
+  Xoshiro256 rng(11);
+  for (auto& x : v) x = 2.0f + 0.1f * static_cast<float>(rng.gaussian());
+  const StreamKey key{7, 7, 7, 0};
+  const auto enc = eden_encode_row(v, key, 4);
+  const auto dec = eden_decode_row(enc, v.size(), key);
+  EXPECT_LT(nmse(dec, v), 0.03);
+}
+
+}  // namespace
+}  // namespace trimgrad::core

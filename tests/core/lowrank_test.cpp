@@ -1,0 +1,220 @@
+#include "core/lowrank.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/prng.h"
+#include "core/stats.h"
+
+namespace trimgrad::core {
+namespace {
+
+/// Matrix with planted low-rank structure: sum of `true_rank` decaying
+/// outer products plus optional noise.
+std::vector<float> planted_matrix(std::size_t rows, std::size_t cols,
+                                  std::size_t true_rank, float noise,
+                                  std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<float> m(rows * cols, 0.0f);
+  for (std::size_t k = 0; k < true_rank; ++k) {
+    const float strength = std::pow(0.4f, static_cast<float>(k));
+    std::vector<float> u(rows), v(cols);
+    for (auto& x : u) x = static_cast<float>(rng.gaussian());
+    for (auto& x : v) x = static_cast<float>(rng.gaussian());
+    for (std::size_t i = 0; i < rows; ++i) {
+      for (std::size_t j = 0; j < cols; ++j) {
+        m[i * cols + j] += strength * u[i] * v[j];
+      }
+    }
+  }
+  for (auto& x : m) x += noise * static_cast<float>(rng.gaussian());
+  return m;
+}
+
+TEST(PowerFactorize, ExactlyRecoversTrueRankMatrix) {
+  const std::size_t rows = 48, cols = 32;
+  const auto m = planted_matrix(rows, cols, 3, 0.0f, 1);
+  const auto f = power_factorize(m, rows, cols, 3, 3, 7);
+  const auto rec = f.reconstruct(3);
+  EXPECT_LT(nmse(rec, m), 1e-6);
+}
+
+TEST(PowerFactorize, HigherRankNeverHurts) {
+  const std::size_t rows = 40, cols = 24;
+  const auto m = planted_matrix(rows, cols, 6, 0.05f, 2);
+  double prev = 1e9;
+  for (std::size_t r : {1u, 2u, 4u, 8u}) {
+    const auto f = power_factorize(m, rows, cols, r, 3, 7);
+    const double e = nmse(f.reconstruct(r), m);
+    EXPECT_LE(e, prev + 1e-9) << r;
+    prev = e;
+  }
+}
+
+TEST(PowerFactorize, ImportanceIsDescending) {
+  const auto m = planted_matrix(30, 20, 5, 0.1f, 3);
+  const auto f = power_factorize(m, 30, 20, 5, 3, 7);
+  for (std::size_t k = 1; k < f.importance.size(); ++k) {
+    EXPECT_GE(f.importance[k - 1], f.importance[k]);
+  }
+}
+
+TEST(PowerFactorize, PrefixReconstructionDegradesGracefully) {
+  // Using only the top components must track the planted decay.
+  const auto m = planted_matrix(64, 32, 4, 0.0f, 4);
+  const auto f = power_factorize(m, 64, 32, 4, 3, 7);
+  double prev = -1.0;
+  for (std::size_t use = 4; use >= 1; --use) {
+    const double e = nmse(f.reconstruct(use), m);
+    EXPECT_GE(e, prev - 1e-9) << use;  // error grows as components drop
+    prev = e;
+    if (use == 1) {
+      // Top component of a 0.4-decay spectrum keeps >=80 % of the energy.
+      EXPECT_LT(e, 0.25);
+    }
+  }
+}
+
+TEST(PowerFactorize, QIsOrthonormal) {
+  const auto m = planted_matrix(32, 24, 4, 0.2f, 5);
+  const auto f = power_factorize(m, 32, 24, 4, 2, 7);
+  for (std::size_t a = 0; a < f.rank; ++a) {
+    for (std::size_t b = 0; b <= a; ++b) {
+      double dot = 0;
+      for (std::size_t j = 0; j < f.cols; ++j) {
+        dot += double(f.q[a * f.cols + j]) * f.q[b * f.cols + j];
+      }
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-4) << a << "," << b;
+    }
+  }
+}
+
+TEST(PowerFactorize, DeterministicInSeed) {
+  const auto m = planted_matrix(20, 16, 2, 0.1f, 6);
+  const auto a = power_factorize(m, 20, 16, 2, 2, 99);
+  const auto b = power_factorize(m, 20, 16, 2, 2, 99);
+  EXPECT_EQ(a.p, b.p);
+  EXPECT_EQ(a.q, b.q);
+}
+
+// ---- trimmable codec ----
+
+LowRankCodec::Config codec_cfg(std::size_t rank) {
+  LowRankCodec::Config cfg;
+  cfg.rank = rank;
+  cfg.power_iters = 3;
+  return cfg;
+}
+
+TEST(LowRankCodecTest, UntrimmedDecodeMatchesFactorization) {
+  const std::size_t rows = 128, cols = 64;
+  const auto m = planted_matrix(rows, cols, 4, 0.0f, 7);
+  LowRankCodec codec(codec_cfg(4));
+  const auto enc = codec.encode(m, rows, cols, 1);
+  const auto dec = codec.decode(enc.packets, enc.meta);
+  EXPECT_LT(nmse(dec, m), 1e-5);
+}
+
+TEST(LowRankCodecTest, PacketsCoverAllRowsOnce) {
+  const std::size_t rows = 500, cols = 32;
+  const auto m = planted_matrix(rows, cols, 2, 0.1f, 8);
+  LowRankCodec codec(codec_cfg(4));
+  const auto enc = codec.encode(m, rows, cols, 1);
+  std::vector<int> cover(rows, 0);
+  for (const auto& p : enc.packets) {
+    for (std::size_t i = 0; i < p.n_rows; ++i) ++cover[p.row_base + i];
+    EXPECT_LE(p.wire_bytes(), codec.config().layout.mtu_bytes + 64);
+  }
+  for (int c : cover) EXPECT_EQ(c, 1);
+}
+
+TEST(LowRankCodecTest, TrimAffectsOnlyLeastImportantRanks) {
+  // The §5.3 desideratum: trim ANY subset of packets to depth k — the
+  // result must equal the rank-k reconstruction on those slices, i.e. the
+  // damage is confined to components k..r−1.
+  const std::size_t rows = 96, cols = 48;
+  const auto m = planted_matrix(rows, cols, 4, 0.0f, 9);
+  LowRankCodec codec(codec_cfg(4));
+
+  auto enc = codec.encode(m, rows, cols, 1);
+  // Trim alternating packets to rank 1.
+  for (std::size_t i = 0; i < enc.packets.size(); i += 2) {
+    enc.packets[i].trim_to_rank(1);
+  }
+  const auto dec = codec.decode(enc.packets, enc.meta);
+
+  const auto f = power_factorize(m, rows, cols, 4, 3, codec.config().seed);
+  const auto full = f.reconstruct(4);
+  const auto rank1 = f.reconstruct(1);
+  for (const auto& pkt : enc.packets) {
+    const auto& expect = pkt.kept == 1 ? rank1 : full;
+    for (std::size_t i = 0; i < pkt.n_rows; ++i) {
+      const std::size_t row = pkt.row_base + i;
+      for (std::size_t j = 0; j < cols; ++j) {
+        EXPECT_NEAR(dec[row * cols + j], expect[row * cols + j], 1e-4);
+      }
+    }
+  }
+}
+
+TEST(LowRankCodecTest, TrimDepthErrorIsMonotone) {
+  const std::size_t rows = 128, cols = 64;
+  const auto m = planted_matrix(rows, cols, 6, 0.02f, 10);
+  LowRankCodec codec(codec_cfg(6));
+  double prev = -1;
+  for (std::uint16_t keep : {6, 4, 2, 1}) {
+    auto enc = codec.encode(m, rows, cols, 1);
+    for (auto& p : enc.packets) p.trim_to_rank(keep);
+    const double e = nmse(codec.decode(enc.packets, enc.meta), m);
+    EXPECT_GT(e, prev) << keep;
+    prev = e;
+  }
+}
+
+TEST(LowRankCodecTest, TrimIsMonotoneOnPacket) {
+  const auto m = planted_matrix(64, 32, 3, 0.1f, 11);
+  LowRankCodec codec(codec_cfg(3));
+  auto enc = codec.encode(m, 64, 32, 1);
+  auto& pkt = enc.packets[0];
+  const auto bytes_full = pkt.wire_bytes();
+  pkt.trim_to_rank(1);
+  const auto bytes_r1 = pkt.wire_bytes();
+  EXPECT_LT(bytes_r1, bytes_full);
+  pkt.trim_to_rank(2);  // must not grow back
+  EXPECT_EQ(pkt.kept, 1);
+  EXPECT_EQ(pkt.wire_bytes(), bytes_r1);
+}
+
+TEST(LowRankCodecTest, LostPacketsZeroTheirRows) {
+  const std::size_t rows = 200, cols = 16;
+  const auto m = planted_matrix(rows, cols, 2, 0.0f, 12);
+  LowRankCodec codec(codec_cfg(2));
+  auto enc = codec.encode(m, rows, cols, 1);
+  std::vector<LowRankPacket> kept(enc.packets.begin() + 1,
+                                  enc.packets.end());
+  const auto dec = codec.decode(kept, enc.meta);
+  const std::size_t lost_rows = enc.packets[0].n_rows;
+  for (std::size_t i = 0; i < lost_rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      EXPECT_FLOAT_EQ(dec[(enc.packets[0].row_base + i) * cols + j], 0.0f);
+    }
+  }
+}
+
+TEST(LowRankCodecTest, CompressionRatioMatchesRankFraction) {
+  const std::size_t rows = 1024, cols = 512;
+  const auto m = planted_matrix(rows, cols, 2, 0.1f, 13);
+  LowRankCodec codec(codec_cfg(4));
+  const auto enc = codec.encode(m, rows, cols, 1);
+  std::size_t bytes = enc.meta.wire_bytes();
+  for (const auto& p : enc.packets) bytes += p.wire_bytes();
+  // (rows+cols)·rank floats vs rows·cols — a big win for real layers.
+  const double expected =
+      static_cast<double>((rows + cols) * 4) / (rows * cols);
+  EXPECT_LT(static_cast<double>(bytes) / (m.size() * 4), expected * 1.5);
+}
+
+}  // namespace
+}  // namespace trimgrad::core

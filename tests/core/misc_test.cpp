@@ -1,0 +1,181 @@
+// Tests for sparsify (§5.2), transcript (§5.4) and magnitude layout (§2).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "core/magnitude.h"
+#include "core/prng.h"
+#include "core/sparsify.h"
+#include "core/stats.h"
+#include "core/transcript.h"
+
+namespace trimgrad::core {
+namespace {
+
+std::vector<float> gaussian_vec(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.gaussian());
+  return v;
+}
+
+// ---- sparsify ----
+
+TEST(Sparsify, KeepsExactlyTopK) {
+  std::vector<float> v = {0.1f, -5.0f, 0.2f, 3.0f, -0.05f, 1.0f};
+  topk_sparsify_inplace(v, 0.5);  // keep ceil(3) = 3
+  std::size_t nonzero = 0;
+  for (float x : v) nonzero += x != 0.0f ? 1 : 0;
+  EXPECT_EQ(nonzero, 3u);
+  EXPECT_FLOAT_EQ(v[1], -5.0f);
+  EXPECT_FLOAT_EQ(v[3], 3.0f);
+  EXPECT_FLOAT_EQ(v[5], 1.0f);
+}
+
+TEST(Sparsify, KeepAllIsNoOp) {
+  auto v = gaussian_vec(100, 1);
+  auto orig = v;
+  topk_sparsify_inplace(v, 1.0);
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Sparsify, KeepNoneZerosEverything) {
+  auto v = gaussian_vec(100, 2);
+  topk_sparsify_inplace(v, 0.0);
+  for (float x : v) EXPECT_FLOAT_EQ(x, 0.0f);
+}
+
+TEST(Sparsify, HandlesTiesDeterministically) {
+  std::vector<float> v = {1.0f, 1.0f, 1.0f, 1.0f};
+  topk_sparsify_inplace(v, 0.5);
+  std::size_t nonzero = 0;
+  for (float x : v) nonzero += x != 0.0f ? 1 : 0;
+  EXPECT_EQ(nonzero, 2u);
+}
+
+TEST(Sparsify, TopkIndicesAreTheLargest) {
+  std::vector<float> v = {0.1f, -5.0f, 0.2f, 3.0f};
+  auto idx = topk_indices(v, 2);
+  ASSERT_EQ(idx.size(), 2u);
+  EXPECT_TRUE((idx[0] == 1 && idx[1] == 3) || (idx[0] == 3 && idx[1] == 1));
+}
+
+TEST(Sparsify, EnergyFractionMatchesMltObservation) {
+  // MLT/§2: dropping the smallest 20 % of gaussian-like gradients loses very
+  // little L2 mass — the top 80 % keep the overwhelming share.
+  auto v = gaussian_vec(100000, 3);
+  const double kept = topk_energy_fraction(v, 0.8);
+  EXPECT_GT(kept, 0.97);
+  // ... but the top 20 % alone already hold most of the energy.
+  EXPECT_GT(topk_energy_fraction(v, 0.2), 0.5);
+}
+
+TEST(Sparsify, EnergyFractionIsMonotone) {
+  auto v = gaussian_vec(10000, 4);
+  double prev = 0;
+  for (double r : {0.1, 0.3, 0.5, 0.7, 1.0}) {
+    const double e = topk_energy_fraction(v, r);
+    EXPECT_GE(e, prev);
+    prev = e;
+  }
+  EXPECT_DOUBLE_EQ(prev, 1.0);
+}
+
+// ---- transcript ----
+
+TEST(Transcript, RecordAndLookup) {
+  TrimTranscript t;
+  t.record(3, 14, 7, 1);
+  t.record(3, 14, 9, 2);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.lookup(3, 14, 7).value(), 1);
+  EXPECT_EQ(t.lookup(3, 14, 9).value(), 2);
+  EXPECT_FALSE(t.lookup(3, 14, 8).has_value());
+  EXPECT_FALSE(t.lookup(4, 14, 7).has_value());
+}
+
+TEST(Transcript, SaveLoadRoundTrip) {
+  TrimTranscript t;
+  for (int i = 0; i < 100; ++i)
+    t.record(i % 5, i % 11, static_cast<std::uint16_t>(i),
+             static_cast<std::uint8_t>(1 + i % 2));
+  std::stringstream ss;
+  t.save(ss);
+  const TrimTranscript back = TrimTranscript::load(ss);
+  EXPECT_EQ(back, t);
+  EXPECT_EQ(back.lookup(2, 7, 7), t.lookup(2, 7, 7));
+}
+
+TEST(Transcript, EmptyTranscriptSavesNothing) {
+  TrimTranscript t;
+  std::stringstream ss;
+  t.save(ss);
+  EXPECT_TRUE(ss.str().empty());
+  EXPECT_EQ(TrimTranscript::load(ss).size(), 0u);
+}
+
+TEST(Transcript, EventsPreserveOrder) {
+  TrimTranscript t;
+  t.record(1, 1, 5);
+  t.record(1, 1, 2);
+  ASSERT_EQ(t.events().size(), 2u);
+  EXPECT_EQ(t.events()[0].seq, 5);
+  EXPECT_EQ(t.events()[1].seq, 2);
+}
+
+// ---- magnitude layout ----
+
+TEST(Magnitude, OrderSortsByAbsDescending) {
+  std::vector<float> v = {0.5f, -3.0f, 2.0f, -0.1f};
+  auto perm = magnitude_order(v);
+  EXPECT_EQ(perm, (std::vector<std::uint32_t>{1, 2, 0, 3}));
+}
+
+TEST(Magnitude, StableForTies) {
+  std::vector<float> v = {1.0f, -1.0f, 1.0f};
+  auto perm = magnitude_order(v);
+  EXPECT_EQ(perm, (std::vector<std::uint32_t>{0, 1, 2}));
+}
+
+TEST(Magnitude, ApplyInvertRoundTrip) {
+  auto v = gaussian_vec(1000, 5);
+  auto perm = magnitude_order(v);
+  auto placed = apply_permutation(v, perm);
+  std::vector<std::uint8_t> all_survive(v.size(), 1);
+  auto back = invert_permutation(placed, perm, all_survive);
+  EXPECT_EQ(back, v);
+}
+
+TEST(Magnitude, PlacedValuesAreSorted) {
+  auto v = gaussian_vec(500, 6);
+  auto placed = apply_permutation(v, magnitude_order(v));
+  for (std::size_t i = 1; i < placed.size(); ++i)
+    EXPECT_GE(std::fabs(placed[i - 1]), std::fabs(placed[i]));
+}
+
+TEST(Magnitude, TrimmingTailLosesOnlySmallCoordinates) {
+  // The §2 strawman's selling point: losing the last 20 % of the placement
+  // order costs almost no L2 mass.
+  auto v = gaussian_vec(10000, 7);
+  auto perm = magnitude_order(v);
+  auto placed = apply_permutation(v, perm);
+  std::vector<std::uint8_t> survived(v.size(), 1);
+  for (std::size_t i = v.size() * 8 / 10; i < v.size(); ++i) survived[i] = 0;
+  auto back = invert_permutation(placed, perm, survived);
+  EXPECT_LT(nmse(back, v), 0.03);
+}
+
+TEST(Magnitude, PermutationOverheadFormula) {
+  EXPECT_EQ(permutation_overhead_bytes(0), 0u);
+  EXPECT_EQ(permutation_overhead_bytes(1), 0u);
+  EXPECT_EQ(permutation_overhead_bytes(2), 1u);      // 1 bit × 2 → 1 byte
+  EXPECT_EQ(permutation_overhead_bytes(256), 256u);  // 8 bits × 256
+  // The overhead is real: ~2 bytes/coord at 2^16 coords — why the paper
+  // moved past this layout.
+  EXPECT_EQ(permutation_overhead_bytes(1 << 16), (16u << 16) / 8);
+}
+
+}  // namespace
+}  // namespace trimgrad::core

@@ -1,0 +1,192 @@
+#include "core/multilevel.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/prng.h"
+#include "core/stats.h"
+
+namespace trimgrad::core {
+namespace {
+
+std::vector<float> gaussian_vec(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.gaussian());
+  return v;
+}
+
+MultilevelCodec::Config small_cfg() {
+  MultilevelCodec::Config cfg;
+  cfg.row_len = 1 << 10;
+  cfg.shared_seed = 7;
+  return cfg;
+}
+
+TEST(MlParts, SplitJoinIsBitExact) {
+  for (float r : {0.0f, -0.0f, 1.0f, -1.0f, 0.123f, -4.5e-20f, 7.7e18f}) {
+    const MlParts p = ml_split(r);
+    EXPECT_EQ(ml_join_full(p), r) << r;
+  }
+}
+
+TEST(MlParts, MidDecodeWithinHalfMantissaBucket) {
+  // With the high exponent bits inferred from f, the 8-bit decode is exact
+  // in exponent and half-mantissa: relative error < 25 %.
+  for (float r : {0.001f, 0.5f, 1.0f, 3.7f, 123.0f, -0.02f, -999.0f}) {
+    const MlParts p = ml_split(r);
+    // f within a few octaves of |r|, as for rotated rows.
+    const float f = 0.7f * std::fabs(r);
+    const float mid = ml_join_mid(p.sign, p.mid, f);
+    EXPECT_EQ(std::signbit(mid), std::signbit(r)) << r;
+    const double ratio = std::fabs(mid / r);
+    EXPECT_GT(ratio, 0.75) << r;
+    EXPECT_LT(ratio, 1.33) << r;
+  }
+}
+
+TEST(MlParts, ZeroRowDecodesToNearZero) {
+  // All-zero input => f = 0 => the exponent inference picks the denormal
+  // candidate, so the 8-bit decode of a true zero is ≈ 0.
+  const MlParts p = ml_split(0.0f);
+  EXPECT_EQ(p.mid, 0);
+  EXPECT_LT(std::fabs(ml_join_mid(p.sign, p.mid, 0.0f)), 1e-30f);
+}
+
+TEST(MlParts, PowerOfTwoOctaveBucketsDoNotCollapseToZero) {
+  // Regression: exponents ≡ 0 (mod 64) (e.g. |r| in [2,4), exp = 128) share
+  // mid codes with zeros and must still decode near their magnitude.
+  for (float r : {2.5f, -3.9f, 2.0f}) {
+    const MlParts p = ml_split(r);
+    const float mid = ml_join_mid(p.sign, p.mid, 1.0f);
+    EXPECT_NEAR(std::fabs(mid / r), 1.0, 0.3) << r;
+  }
+}
+
+TEST(MlParts, ExponentInferenceRobustAcrossOctaves) {
+  // The candidate exponents are 64 octaves apart; any f within ±31 octaves
+  // of the truth selects correctly.
+  const float r = 3.0f;
+  const MlParts p = ml_split(r);
+  for (float f : {3.0f * 1e-9f, 3.0f, 3.0f * 1e9f}) {
+    const float mid = ml_join_mid(p.sign, p.mid, f);
+    EXPECT_NEAR(std::fabs(mid / r), 1.0, 0.25) << "f=" << f;
+  }
+}
+
+TEST(MlParts, HeadDecodeIsSignTimesF) {
+  EXPECT_FLOAT_EQ(ml_join_head(true, 0.3f), 0.3f);
+  EXPECT_FLOAT_EQ(ml_join_head(false, 0.3f), -0.3f);
+}
+
+TEST(MlPacket, TrimLevelsShrinkMonotonically) {
+  MlPacket pkt;
+  pkt.n_coords = 100;
+  pkt.region_a.assign(13, 0);
+  pkt.region_b.assign(88, 0);
+  pkt.region_c.assign(300, 0);
+  const auto full = pkt.wire_bytes();
+  const auto mid = pkt.wire_bytes_at(TrimLevel::kMid);
+  const auto head = pkt.wire_bytes_at(TrimLevel::kHead);
+  EXPECT_GT(full, mid);
+  EXPECT_GT(mid, head);
+  EXPECT_EQ(head, kTransportHeaderBytes + 13u);
+}
+
+TEST(MlPacket, TrimToMidDropsOnlyRegionC) {
+  MlPacket pkt;
+  pkt.region_a.assign(2, 0);
+  pkt.region_b.assign(14, 0);
+  pkt.region_c.assign(48, 0);
+  pkt.trim_to(TrimLevel::kMid);
+  EXPECT_EQ(pkt.level, TrimLevel::kMid);
+  EXPECT_FALSE(pkt.region_b.empty());
+  EXPECT_TRUE(pkt.region_c.empty());
+}
+
+TEST(MlPacket, TrimIsMonotone) {
+  MlPacket pkt;
+  pkt.region_a.assign(2, 0);
+  pkt.region_b.assign(14, 0);
+  pkt.region_c.assign(48, 0);
+  pkt.trim_to(TrimLevel::kHead);
+  pkt.trim_to(TrimLevel::kMid);  // must not "untrim"
+  EXPECT_EQ(pkt.level, TrimLevel::kHead);
+  EXPECT_TRUE(pkt.region_b.empty());
+}
+
+TEST(MlCodec, FullLevelRoundTripsExactly) {
+  const auto v = gaussian_vec(5000, 1);
+  MultilevelCodec codec(small_cfg());
+  const MlEncodedMessage msg = codec.encode(v, 3, 5);
+  const auto dec = codec.decode(msg.packets, msg.meta);
+  EXPECT_LT(nmse(dec, v), 1e-10);
+}
+
+TEST(MlCodec, MidLevelBeatsHeadLevel) {
+  const auto v = gaussian_vec(8192, 2);
+  MultilevelCodec codec(small_cfg());
+
+  MlEncodedMessage mid_msg = codec.encode(v, 1, 1);
+  for (auto& p : mid_msg.packets) p.trim_to(TrimLevel::kMid);
+  const double mid_err = nmse(codec.decode(mid_msg.packets, mid_msg.meta), v);
+
+  MlEncodedMessage head_msg = codec.encode(v, 1, 1);
+  for (auto& p : head_msg.packets) p.trim_to(TrimLevel::kHead);
+  const double head_err = nmse(codec.decode(head_msg.packets, head_msg.meta), v);
+
+  EXPECT_LT(mid_err, head_err * 0.1);  // 8 bits should be much better
+  EXPECT_LT(mid_err, 0.03);
+  EXPECT_LT(head_err, 0.65);  // same regime as 1-bit RHT (π/2−1)
+}
+
+TEST(MlCodec, MixedLevelsDecodeTogether) {
+  const auto v = gaussian_vec(4096, 3);
+  MultilevelCodec codec(small_cfg());
+  MlEncodedMessage msg = codec.encode(v, 1, 1);
+  Xoshiro256 rng(44);
+  for (auto& p : msg.packets) {
+    const double u = rng.uniform();
+    if (u < 0.33) p.trim_to(TrimLevel::kHead);
+    else if (u < 0.66) p.trim_to(TrimLevel::kMid);
+  }
+  const double e = nmse(codec.decode(msg.packets, msg.meta), v);
+  EXPECT_LT(e, 0.35);
+  EXPECT_GT(e, 0.0);
+}
+
+TEST(MlCodec, MissingPacketsDecodeToZeroContribution) {
+  const auto v = gaussian_vec(2048, 4);
+  MultilevelCodec codec(small_cfg());
+  MlEncodedMessage msg = codec.encode(v, 1, 1);
+  std::vector<MlPacket> half(msg.packets.begin(),
+                             msg.packets.begin() + msg.packets.size() / 2);
+  const auto dec = codec.decode(half, msg.meta);
+  EXPECT_LT(nmse(dec, v), 1.1);  // never worse than losing the whole signal
+}
+
+TEST(MlCodec, SizeLevelsMatchPaperTargets) {
+  // §5.1: trim to ~25 % (8-bit) or ~3 % (1-bit) of the original size.
+  const auto v = gaussian_vec(1 << 14, 5);
+  MultilevelCodec codec(small_cfg());
+  const MlEncodedMessage msg = codec.encode(v, 1, 1);
+  std::size_t full = 0, mid = 0, head = 0;
+  for (const auto& p : msg.packets) {
+    full += p.wire_bytes();
+    mid += p.wire_bytes_at(TrimLevel::kMid);
+    head += p.wire_bytes_at(TrimLevel::kHead);
+  }
+  EXPECT_NEAR(static_cast<double>(mid) / full, 0.25, 0.05);
+  EXPECT_NEAR(static_cast<double>(head) / full, 0.06, 0.04);
+}
+
+TEST(MlCodec, LevelNames) {
+  EXPECT_STREQ(to_string(TrimLevel::kFull), "full");
+  EXPECT_STREQ(to_string(TrimLevel::kMid), "mid");
+  EXPECT_STREQ(to_string(TrimLevel::kHead), "head");
+}
+
+}  // namespace
+}  // namespace trimgrad::core

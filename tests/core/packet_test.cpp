@@ -1,0 +1,107 @@
+#include "core/packet.h"
+
+#include <gtest/gtest.h>
+
+namespace trimgrad::core {
+namespace {
+
+TEST(PacketLayout, PaperMtuArithmetic) {
+  // §2's worked example: 1500-byte MTU, 42-byte header, P=1/Q=31.
+  PacketLayout layout;
+  EXPECT_EQ(layout.payload_bytes(), 1458u);
+  // "about n = 365 coordinates": floor(1458·8 / 32) = 364.
+  EXPECT_EQ(layout.coords_per_packet(), 364u);
+  // Head region ceil(364/8) = 46 bytes; paper rounds to "45 bytes".
+  EXPECT_EQ(layout.head_region_bytes(layout.coords_per_packet()), 46u);
+  // Trim point 42 + 46 = 88 bytes; paper's is 87 (same rounding).
+  EXPECT_EQ(layout.trim_point_bytes(), 88u);
+  // Compression ratio ≈ 94 % ("achieving a compression ratio of 94.2%").
+  EXPECT_NEAR(layout.trim_ratio(), 0.94, 0.01);
+}
+
+TEST(PacketLayout, TrimRatioApproachesQOverPQ) {
+  // §2: trimming shrinks the packet by approximately Q/(P+Q).
+  for (unsigned p : {1u, 2u, 4u, 8u, 16u}) {
+    PacketLayout layout;
+    layout.p_bits = p;
+    layout.q_bits = 32 - p;
+    const double expected = static_cast<double>(layout.q_bits) / 32.0;
+    EXPECT_NEAR(layout.trim_ratio(), expected, 0.05) << "P=" << p;
+  }
+}
+
+TEST(PacketLayout, SmallMtu) {
+  PacketLayout layout;
+  layout.mtu_bytes = 256;
+  EXPECT_EQ(layout.payload_bytes(), 214u);
+  EXPECT_EQ(layout.coords_per_packet(), 53u);
+  EXPECT_GT(layout.trim_ratio(), 0.8);
+}
+
+TEST(PacketLayout, BaselineLayoutHasNoHeadRegion) {
+  PacketLayout layout;
+  layout.p_bits = 0;
+  layout.q_bits = 32;
+  EXPECT_EQ(layout.coords_per_packet(), 364u);
+  EXPECT_EQ(layout.head_region_bytes(364), 0u);
+}
+
+TEST(GradientPacket, WireBytesSumsRegions) {
+  GradientPacket pkt;
+  pkt.head_region.assign(46, 0);
+  pkt.tail_region.assign(1412, 0);
+  EXPECT_EQ(pkt.wire_bytes(), 42u + 46u + 1412u);
+}
+
+TEST(GradientPacket, TrimDropsTailAndSetsFlag) {
+  GradientPacket pkt;
+  pkt.scheme = Scheme::kRHT;
+  pkt.head_region.assign(46, 0xaa);
+  pkt.tail_region.assign(1412, 0xbb);
+  const auto expected_trimmed = pkt.trimmed_wire_bytes();
+  pkt.trim();
+  EXPECT_TRUE(pkt.trimmed);
+  EXPECT_TRUE(pkt.tail_region.empty());
+  EXPECT_EQ(pkt.head_region.size(), 46u);
+  EXPECT_EQ(pkt.wire_bytes(), expected_trimmed);
+}
+
+TEST(GradientPacket, TrimIsIdempotent) {
+  GradientPacket pkt;
+  pkt.scheme = Scheme::kSign;
+  pkt.head_region.assign(10, 1);
+  pkt.tail_region.assign(100, 2);
+  pkt.trim();
+  const auto size_after_first = pkt.wire_bytes();
+  pkt.trim();
+  EXPECT_EQ(pkt.wire_bytes(), size_after_first);
+}
+
+TEST(GradientPacket, BaselineTrimLosesEverything) {
+  // Fig. 2a: no head/tail split, so trimming a baseline packet leaves only
+  // the header — all coordinates are gone.
+  GradientPacket pkt;
+  pkt.scheme = Scheme::kBaseline;
+  pkt.tail_region.assign(1456, 3);
+  pkt.trim();
+  EXPECT_EQ(pkt.wire_bytes(), kTransportHeaderBytes);
+}
+
+TEST(SchemeNames, AllDistinct) {
+  EXPECT_STREQ(to_string(Scheme::kBaseline), "baseline");
+  EXPECT_STREQ(to_string(Scheme::kSign), "sign");
+  EXPECT_STREQ(to_string(Scheme::kSQ), "sq");
+  EXPECT_STREQ(to_string(Scheme::kSD), "sd");
+  EXPECT_STREQ(to_string(Scheme::kRHT), "rht");
+}
+
+TEST(SchemeNames, IsScalarClassification) {
+  EXPECT_FALSE(is_scalar(Scheme::kBaseline));
+  EXPECT_TRUE(is_scalar(Scheme::kSign));
+  EXPECT_TRUE(is_scalar(Scheme::kSQ));
+  EXPECT_TRUE(is_scalar(Scheme::kSD));
+  EXPECT_FALSE(is_scalar(Scheme::kRHT));
+}
+
+}  // namespace
+}  // namespace trimgrad::core

@@ -1,0 +1,135 @@
+#include "core/prng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace trimgrad::core {
+namespace {
+
+TEST(SplitMix64, ProducesKnownGoodDispersion) {
+  std::uint64_t s = 0;
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(splitmix64(s));
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(Mix64, IsOrderSensitive) {
+  EXPECT_NE(mix64(1, 2), mix64(2, 1));
+  EXPECT_NE(mix64(0, 0), 0u);
+}
+
+TEST(Xoshiro256, SameSeedSameStream) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Xoshiro256, UniformInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro256, UniformRangeRespectsBounds) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const float u = rng.uniform(-2.5f, 1.5f);
+    EXPECT_GE(u, -2.5f);
+    EXPECT_LT(u, 1.5f);
+  }
+}
+
+TEST(Xoshiro256, UniformMeanIsCentered) {
+  Xoshiro256 rng(11);
+  double acc = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) acc += rng.uniform();
+  EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, BernoulliMatchesProbability) {
+  Xoshiro256 rng(3);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Xoshiro256, RandomSignIsBalanced) {
+  Xoshiro256 rng(5);
+  double acc = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) acc += rng.random_sign();
+  EXPECT_NEAR(acc / n, 0.0, 0.02);
+}
+
+TEST(Xoshiro256, BelowStaysInRange) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Xoshiro256, BelowCoversAllResidues) {
+  Xoshiro256 rng(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Xoshiro256, GaussianMomentsMatchStandardNormal) {
+  Xoshiro256 rng(17);
+  double sum = 0, sum_sq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(StreamKey, EqualKeysDeriveEqualSeeds) {
+  const StreamKey a{1, 2, 3, 4};
+  const StreamKey b{1, 2, 3, 4};
+  EXPECT_EQ(a.derive(), b.derive());
+}
+
+TEST(StreamKey, EachFieldChangesTheStream) {
+  const StreamKey base{1, 2, 3, 4};
+  EXPECT_NE(base.derive(), (StreamKey{9, 2, 3, 4}).derive());
+  EXPECT_NE(base.derive(), (StreamKey{1, 9, 3, 4}).derive());
+  EXPECT_NE(base.derive(), (StreamKey{1, 2, 9, 4}).derive());
+  EXPECT_NE(base.derive(), (StreamKey{1, 2, 3, 9}).derive());
+}
+
+TEST(SharedRng, SenderReceiverAgreeWithoutCommunication) {
+  // The §3.1/§3.2 shared-randomness contract: both sides derive identical
+  // dither/rotation streams from loop coordinates alone.
+  SharedRng sender(StreamKey{77, 5, 12, 3});
+  SharedRng receiver(StreamKey{77, 5, 12, 3});
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(sender(), receiver());
+}
+
+TEST(SharedRng, RowsAreIndependentStreams) {
+  SharedRng row0(StreamKey{77, 5, 12, 0});
+  SharedRng row1(StreamKey{77, 5, 12, 1});
+  int equal = 0;
+  for (int i = 0; i < 256; ++i)
+    if (row0() == row1()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+}  // namespace
+}  // namespace trimgrad::core

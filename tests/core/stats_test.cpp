@@ -1,0 +1,86 @@
+#include "core/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/prng.h"
+
+namespace trimgrad::core {
+namespace {
+
+TEST(Stats, SumAndMean) {
+  std::vector<float> v = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(sum(v), 10.0);
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+}
+
+TEST(Stats, EmptyInputsAreZero) {
+  std::vector<float> v;
+  EXPECT_DOUBLE_EQ(sum(v), 0.0);
+  EXPECT_DOUBLE_EQ(mean(v), 0.0);
+  EXPECT_DOUBLE_EQ(stddev(v), 0.0);
+  EXPECT_DOUBLE_EQ(l1_norm(v), 0.0);
+  EXPECT_DOUBLE_EQ(l2_norm(v), 0.0);
+}
+
+TEST(Stats, StddevOfConstantIsZero) {
+  std::vector<float> v(100, 3.5f);
+  EXPECT_DOUBLE_EQ(stddev(v), 0.0);
+}
+
+TEST(Stats, StddevKnownValue) {
+  std::vector<float> v = {2, 4, 4, 4, 5, 5, 7, 9};  // classic σ=2 example
+  EXPECT_NEAR(stddev(v), 2.0, 1e-9);
+}
+
+TEST(Stats, Norms) {
+  std::vector<float> v = {3, -4};
+  EXPECT_DOUBLE_EQ(l1_norm(v), 7.0);
+  EXPECT_DOUBLE_EQ(l2_norm_sq(v), 25.0);
+  EXPECT_DOUBLE_EQ(l2_norm(v), 5.0);
+}
+
+TEST(Nmse, ZeroForPerfectEstimate) {
+  std::vector<float> v = {1, -2, 3};
+  EXPECT_DOUBLE_EQ(nmse(v, v), 0.0);
+}
+
+TEST(Nmse, NormalizesByReferenceEnergy) {
+  std::vector<float> ref = {2, 0};
+  std::vector<float> est = {0, 0};
+  EXPECT_DOUBLE_EQ(nmse(est, ref), 1.0);  // ‖0−ref‖²/‖ref‖² = 1
+}
+
+TEST(Nmse, BothZeroIsZero) {
+  std::vector<float> z = {0, 0};
+  EXPECT_DOUBLE_EQ(nmse(z, z), 0.0);
+}
+
+TEST(RunningStats, MatchesBatchComputation) {
+  Xoshiro256 rng(4);
+  std::vector<float> v(5000);
+  for (auto& x : v) x = rng.uniform(-3.f, 5.f);
+  RunningStats rs;
+  for (float x : v) rs.add(x);
+  EXPECT_EQ(rs.count(), v.size());
+  EXPECT_NEAR(rs.mean(), mean(v), 1e-9);
+  EXPECT_NEAR(rs.stddev(), stddev(v), 1e-6);
+}
+
+TEST(RunningStats, TracksMinMax) {
+  RunningStats rs;
+  for (double x : {3.0, -1.0, 7.0, 2.0}) rs.add(x);
+  EXPECT_DOUBLE_EQ(rs.min(), -1.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 7.0);
+}
+
+TEST(RunningStats, EmptyIsSafe) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace trimgrad::core

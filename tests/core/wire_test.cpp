@@ -1,0 +1,182 @@
+#include "core/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/prng.h"
+#include "core/stats.h"
+
+namespace trimgrad::core {
+namespace {
+
+std::vector<float> gaussian_vec(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.gaussian());
+  return v;
+}
+
+CodecConfig cfg_of(Scheme s) {
+  CodecConfig cfg;
+  cfg.scheme = s;
+  cfg.rht_row_len = 1 << 10;
+  return cfg;
+}
+
+bool packets_equal(const GradientPacket& a, const GradientPacket& b) {
+  return a.msg_id == b.msg_id && a.row_id == b.row_id &&
+         a.coord_base == b.coord_base && a.n_coords == b.n_coords &&
+         a.seq == b.seq && a.scheme == b.scheme && a.p_bits == b.p_bits &&
+         a.q_bits == b.q_bits && a.trimmed == b.trimmed &&
+         a.head_region == b.head_region && a.tail_region == b.tail_region;
+}
+
+class WireSchemes : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(WireSchemes, SerializeParseRoundTrip) {
+  TrimmableEncoder enc(cfg_of(GetParam()));
+  const auto msg = enc.encode(gaussian_vec(3000, 1), 7, 3);
+  for (const auto& pkt : msg.packets) {
+    const auto bytes = serialize_packet(pkt);
+    const auto back = parse_packet(bytes);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_TRUE(packets_equal(pkt, *back));
+  }
+}
+
+TEST_P(WireSchemes, TrimmedPacketRoundTrips) {
+  TrimmableEncoder enc(cfg_of(GetParam()));
+  auto msg = enc.encode(gaussian_vec(1500, 2), 1, 1);
+  msg.packets[0].trim();
+  const auto bytes = serialize_packet(msg.packets[0]);
+  const auto back = parse_packet(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->trimmed);
+  EXPECT_TRUE(packets_equal(msg.packets[0], *back));
+}
+
+TEST_P(WireSchemes, ByteTruncationAtTrimPointEqualsTrim) {
+  // The design's defining property, tested on literal bytes: a switch that
+  // cuts the buffer at the trim point produces exactly trim().
+  TrimmableEncoder enc(cfg_of(GetParam()));
+  auto msg = enc.encode(gaussian_vec(2000, 3), 2, 5);
+  for (auto& pkt : msg.packets) {
+    auto bytes = serialize_packet(pkt);
+    bytes.resize(wire_trim_point(pkt));  // the switch's cut
+    const auto parsed = parse_packet(bytes);
+    ASSERT_TRUE(parsed.has_value());
+    pkt.trim();  // the in-memory model of the same action
+    EXPECT_TRUE(packets_equal(pkt, *parsed));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, WireSchemes,
+                         ::testing::Values(Scheme::kBaseline, Scheme::kSign,
+                                           Scheme::kSQ, Scheme::kSD,
+                                           Scheme::kRHT),
+                         [](const ::testing::TestParamInfo<Scheme>& info) {
+                           return to_string(info.param);
+                         });
+
+TEST(Wire, TruncationInsideTailStillParsesAsTrimmed) {
+  TrimmableEncoder enc(cfg_of(Scheme::kRHT));
+  const auto msg = enc.encode(gaussian_vec(1000, 4), 1, 1);
+  auto bytes = serialize_packet(msg.packets[0]);
+  bytes.resize(wire_trim_point(msg.packets[0]) + 7);  // mid-tail cut
+  const auto parsed = parse_packet(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->trimmed);
+  EXPECT_TRUE(parsed->tail_region.empty());
+}
+
+TEST(Wire, TruncationInsideHeadIsMalformed) {
+  TrimmableEncoder enc(cfg_of(Scheme::kRHT));
+  const auto msg = enc.encode(gaussian_vec(1000, 5), 1, 1);
+  auto bytes = serialize_packet(msg.packets[0]);
+  bytes.resize(wire_trim_point(msg.packets[0]) - 3);
+  EXPECT_FALSE(parse_packet(bytes).has_value());
+}
+
+TEST(Wire, BadMagicRejected) {
+  TrimmableEncoder enc(cfg_of(Scheme::kSign));
+  const auto msg = enc.encode(gaussian_vec(100, 6), 1, 1);
+  auto bytes = serialize_packet(msg.packets[0]);
+  bytes[0] ^= 0xff;
+  EXPECT_FALSE(parse_packet(bytes).has_value());
+}
+
+TEST(Wire, TrailingGarbageRejected) {
+  TrimmableEncoder enc(cfg_of(Scheme::kSign));
+  const auto msg = enc.encode(gaussian_vec(100, 7), 1, 1);
+  auto bytes = serialize_packet(msg.packets[0]);
+  bytes.push_back(0xde);
+  EXPECT_FALSE(parse_packet(bytes).has_value());
+}
+
+TEST(Wire, EmptyAndTinyBuffersRejected) {
+  EXPECT_FALSE(parse_packet({}).has_value());
+  std::vector<std::uint8_t> tiny(10, 0);
+  EXPECT_FALSE(parse_packet(tiny).has_value());
+}
+
+TEST(Wire, EndToEndThroughBytesDecodesCorrectly) {
+  // Full pipeline over literal bytes: encode -> serialize -> trim half the
+  // buffers by truncation -> parse -> decode.
+  const auto v = gaussian_vec(8192, 8);
+  TrimmableEncoder enc(cfg_of(Scheme::kRHT));
+  TrimmableDecoder dec(cfg_of(Scheme::kRHT));
+  const auto msg = enc.encode(v, 9, 2);
+
+  std::vector<GradientPacket> received;
+  for (std::size_t i = 0; i < msg.packets.size(); ++i) {
+    auto bytes = serialize_packet(msg.packets[i]);
+    if (i % 2 == 0) bytes.resize(wire_trim_point(msg.packets[i]));
+    auto parsed = parse_packet(bytes);
+    ASSERT_TRUE(parsed.has_value());
+    received.push_back(std::move(*parsed));
+  }
+  const auto meta_bytes = serialize_meta(msg.meta);
+  const auto meta = parse_meta(meta_bytes);
+  ASSERT_TRUE(meta.has_value());
+  const auto out = dec.decode(received, *meta);
+  EXPECT_GT(out.stats.trimmed_coords, 0u);
+  EXPECT_LT(nmse(out.values, v), 0.4);
+}
+
+TEST(WireMeta, RoundTripsAllFields) {
+  MessageMeta meta;
+  meta.msg_id = 42;
+  meta.epoch = 0x1234567890abcdefULL;
+  meta.scheme = Scheme::kRHT;
+  meta.total_coords = 100000;
+  meta.row_len = 1 << 15;
+  meta.scalar_scale = 0.0f;
+  meta.row_scales = {1.5f, -2.25f, 0.001f, 3e10f};
+  const auto bytes = serialize_meta(meta);
+  const auto back = parse_meta(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->msg_id, meta.msg_id);
+  EXPECT_EQ(back->epoch, meta.epoch);
+  EXPECT_EQ(back->scheme, meta.scheme);
+  EXPECT_EQ(back->total_coords, meta.total_coords);
+  EXPECT_EQ(back->row_len, meta.row_len);
+  EXPECT_EQ(back->row_scales, meta.row_scales);
+}
+
+TEST(WireMeta, TruncatedMetaRejected) {
+  MessageMeta meta;
+  meta.row_scales = {1.0f, 2.0f};
+  auto bytes = serialize_meta(meta);
+  bytes.resize(bytes.size() - 3);
+  EXPECT_FALSE(parse_meta(bytes).has_value());
+}
+
+TEST(WireMeta, MetaMagicDistinctFromPacketMagic) {
+  MessageMeta meta;
+  const auto bytes = serialize_meta(meta);
+  EXPECT_FALSE(parse_packet(bytes).has_value());
+}
+
+}  // namespace
+}  // namespace trimgrad::core

@@ -1,0 +1,228 @@
+// DDP trainer integration: distributed training through the full trimmable
+// pipeline must learn, and must degrade in the paper's ordering.
+#include "ddp/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "collective/inject_channel.h"
+#include "collective/sim_channel.h"
+#include "net/topology.h"
+
+namespace trimgrad::ddp {
+namespace {
+
+ml::SynthCifarConfig tiny_data() {
+  ml::SynthCifarConfig cfg;
+  cfg.classes = 10;
+  cfg.height = cfg.width = 8;
+  cfg.train_per_class = 16;
+  cfg.test_per_class = 8;
+  cfg.proto_grid = 3;
+  return cfg;
+}
+
+TrainerConfig tiny_trainer(core::Scheme scheme) {
+  TrainerConfig cfg;
+  cfg.world = 4;
+  cfg.global_batch = 32;
+  cfg.epochs = 6;
+  cfg.sgd.lr = 0.05f;
+  cfg.codec.scheme = scheme;
+  cfg.codec.rht_row_len = 1 << 10;
+  cfg.eval_every = 1;
+  return cfg;
+}
+
+DdpTrainer::ModelFactory mlp_factory() {
+  return [] {
+    ml::ModelConfig mcfg;
+    mcfg.classes = 10;
+    mcfg.height = mcfg.width = 8;
+    return ml::make_mlp(mcfg, 48);
+  };
+}
+
+collective::InjectChannel make_channel(int world, double trim_rate,
+                                       bool reliable = false) {
+  collective::InjectChannel::Config ccfg;
+  ccfg.world = world;
+  ccfg.injector.trim_rate = trim_rate;
+  ccfg.reliable = reliable;
+  return collective::InjectChannel(ccfg);
+}
+
+TEST(DdpTrainer, CleanChannelMatchesAccuracyOfTrimFreeRun) {
+  auto channel = make_channel(4, 0.0);
+  ml::SynthCifar data(tiny_data());
+  DdpTrainer trainer(data, channel, tiny_trainer(core::Scheme::kRHT),
+                     mlp_factory());
+  const auto records = trainer.train();
+  ASSERT_EQ(records.size(), 6u);
+  EXPECT_GT(records.back().top1, 0.35);  // 10 classes, random = 0.1
+  EXPECT_GT(records.back().top1, records.front().top1);
+}
+
+TEST(DdpTrainer, SimTimeIsMonotone) {
+  auto channel = make_channel(4, 0.0);
+  ml::SynthCifar data(tiny_data());
+  auto cfg = tiny_trainer(core::Scheme::kSQ);
+  cfg.epochs = 3;
+  DdpTrainer trainer(data, channel, cfg, mlp_factory());
+  const auto records = trainer.train();
+  double prev = 0;
+  for (const auto& r : records) {
+    EXPECT_GT(r.sim_time_s, prev);
+    prev = r.sim_time_s;
+    EXPECT_GT(r.mean_round.compute_s, 0.0);
+    EXPECT_GT(r.mean_round.comm_s, 0.0);
+  }
+}
+
+TEST(DdpTrainer, ReplicasStayIdenticalWithoutTrimming) {
+  auto channel = make_channel(4, 0.0);
+  ml::SynthCifar data(tiny_data());
+  auto cfg = tiny_trainer(core::Scheme::kRHT);
+  cfg.epochs = 2;
+  DdpTrainer trainer(data, channel, cfg, mlp_factory());
+  const auto records = trainer.train();
+  // Untrimmed RHT decodes near-exactly, so replicas stay in lockstep.
+  EXPECT_LT(records.back().replica_divergence, 1e-3);
+}
+
+TEST(DdpTrainer, TrimmingCausesBoundedReplicaDrift) {
+  auto channel = make_channel(4, 0.3);
+  ml::SynthCifar data(tiny_data());
+  auto cfg = tiny_trainer(core::Scheme::kRHT);
+  cfg.epochs = 2;
+  DdpTrainer trainer(data, channel, cfg, mlp_factory());
+  const auto records = trainer.train();
+  EXPECT_GT(records.back().trimmed_packets, 0u);
+  EXPECT_GT(records.back().replica_divergence, 0.0);
+  EXPECT_LT(records.back().replica_divergence, 1.0);
+}
+
+// Run one (scheme, trim-rate) cell on the *heterogeneous* setup that
+// exposes the paper's scheme ordering: a conv net (whose per-layer gradient
+// scales differ widely, so one message-wide sigma is destructive) on a task
+// with a real noise floor. Mirrors bench/ddp_sweep.h.
+std::vector<EpochRecord> run_hetero_cell(core::Scheme scheme,
+                                         double trim_rate) {
+  ml::SynthCifarConfig dcfg;
+  dcfg.classes = 20;
+  dcfg.height = dcfg.width = 16;
+  dcfg.train_per_class = 30;
+  dcfg.test_per_class = 10;
+  dcfg.noise = 1.5f;
+  ml::SynthCifar data(dcfg);
+
+  collective::InjectChannel::Config ccfg;
+  ccfg.world = 4;
+  ccfg.injector.trim_rate = trim_rate;
+  collective::InjectChannel channel(ccfg);
+
+  TrainerConfig tcfg;
+  tcfg.world = 4;
+  tcfg.global_batch = 60;
+  tcfg.epochs = 8;
+  tcfg.sgd.lr = 0.03f;
+  tcfg.codec.scheme = scheme;
+  tcfg.codec.rht_row_len = std::size_t{1} << 12;
+  DdpTrainer trainer(data, channel, tcfg, [&dcfg] {
+    ml::ModelConfig mcfg;
+    mcfg.classes = dcfg.classes;
+    mcfg.height = dcfg.height;
+    mcfg.width = dcfg.width;
+    return ml::make_mini_vgg(mcfg, 6);
+  });
+  return trainer.train();
+}
+
+TEST(DdpTrainer, RhtSurvivesHeavyTrimmingWhereSignAndSqDegrade) {
+  // The core Fig. 3 claim at the test scale: at 50 % trimming, RHT keeps
+  // learning while sign-magnitude and SQ fall toward chance (5 %).
+  const auto rht = run_hetero_cell(core::Scheme::kRHT, 0.5);
+  const auto sign = run_hetero_cell(core::Scheme::kSign, 0.5);
+  const auto sq = run_hetero_cell(core::Scheme::kSQ, 0.5);
+  EXPECT_GT(rht.back().top1, 0.15);
+  EXPECT_GT(rht.back().top1, sign.back().top1 + 0.05);
+  EXPECT_GT(rht.back().top1, sq.back().top1 + 0.05);
+  EXPECT_LT(rht.back().train_loss, sign.back().train_loss);
+  EXPECT_LT(rht.back().train_loss, sq.back().train_loss);
+}
+
+TEST(DdpTrainer, TrainsEndToEndOverTheSimulatedFabric) {
+  // Full-stack integration: DDP where every gradient transfer is a real
+  // flow through trimming switches (SimChannel) — trimming *emerges* from
+  // queue overflow, and training still learns.
+  net::Simulator sim;
+  net::FabricConfig fcfg;
+  fcfg.core_link = {10e9, 1e-6};
+  fcfg.switch_queue.policy = net::QueuePolicy::kTrim;
+  fcfg.switch_queue.capacity_bytes = 20 * 1024;
+  fcfg.switch_queue.header_capacity_bytes = 64 * 1024;
+  const net::Dumbbell topo = net::build_dumbbell(sim, 2, 2, fcfg);
+  std::vector<net::NodeId> ranks = {topo.left_hosts[0], topo.left_hosts[1],
+                                    topo.right_hosts[0], topo.right_hosts[1]};
+  collective::SimChannel channel(sim, ranks, collective::SimChannel::Config{});
+
+  ml::SynthCifar data(tiny_data());
+  auto cfg = tiny_trainer(core::Scheme::kRHT);
+  cfg.epochs = 5;
+  DdpTrainer trainer(data, channel, cfg, mlp_factory());
+  const auto records = trainer.train();
+
+  EXPECT_GT(records.back().top1, 0.3);
+  EXPECT_GT(records.back().trimmed_packets, 0u)
+      << "the shallow fabric should have trimmed emergently";
+  EXPECT_GT(records.back().sim_time_s, 0.0);
+}
+
+TEST(DdpTrainer, SignDegradesAtTwoPercentTrim) {
+  // §3.1: "this simple method severely affects training convergence, even
+  // with only 2% of packets being trimmed". At test scale: a measurable
+  // top-5 drop vs its own clean run.
+  const auto clean = run_hetero_cell(core::Scheme::kSign, 0.0);
+  const auto trimmed = run_hetero_cell(core::Scheme::kSign, 0.02);
+  EXPECT_LT(trimmed.back().top5, clean.back().top5 - 0.05);
+}
+
+TEST(DdpTrainer, BaselineReliableLearnsButPaysCommTime) {
+  ml::SynthCifar data(tiny_data());
+  auto clean = make_channel(4, 0.0, /*reliable=*/true);
+  auto cfg = tiny_trainer(core::Scheme::kBaseline);
+  cfg.epochs = 3;
+  DdpTrainer no_drop(data, clean, cfg, mlp_factory());
+  const auto quiet = no_drop.train();
+
+  auto congested = make_channel(4, 0.05, /*reliable=*/true);
+  DdpTrainer dropping(data, congested, cfg, mlp_factory());
+  const auto noisy = dropping.train();
+
+  // Identical learning (retransmission restores every gradient bit)...
+  EXPECT_NEAR(quiet.back().train_loss, noisy.back().train_loss, 1e-6);
+  // ...but congestion inflates communication time.
+  EXPECT_GT(noisy.back().sim_time_s, quiet.back().sim_time_s);
+  EXPECT_GT(noisy.back().retransmits, 0u);
+}
+
+TEST(DdpTrainer, BucketingSplitsTheMessageWithoutChangingResults) {
+  ml::SynthCifar data(tiny_data());
+  auto c1 = make_channel(4, 0.0);
+  auto cfg1 = tiny_trainer(core::Scheme::kSD);
+  cfg1.epochs = 2;
+  DdpTrainer one_bucket(data, c1, cfg1, mlp_factory());
+  const auto r1 = one_bucket.train();
+
+  auto c2 = make_channel(4, 0.0);
+  auto cfg2 = cfg1;
+  cfg2.bucket_floats = 1024;  // many buckets
+  DdpTrainer many_buckets(data, c2, cfg2, mlp_factory());
+  const auto r2 = many_buckets.train();
+
+  // Same data, same seeds, no trimming: training should track closely
+  // (bucket boundaries change SD dither streams, hence not bit-identical).
+  EXPECT_NEAR(r1.back().train_loss, r2.back().train_loss, 0.15);
+}
+
+}  // namespace
+}  // namespace trimgrad::ddp

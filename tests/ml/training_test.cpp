@@ -1,0 +1,230 @@
+// Loss, optimizer, data, and single-process end-to-end learning tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/data.h"
+#include "ml/loss.h"
+#include "ml/model.h"
+#include "ml/optim.h"
+
+namespace trimgrad::ml {
+namespace {
+
+TEST(CrossEntropy, UniformLogitsGiveLogC) {
+  Tensor logits({2, 4});  // all zeros -> uniform distribution
+  std::vector<std::uint32_t> labels = {0, 3};
+  const auto r = softmax_cross_entropy(logits, labels);
+  EXPECT_NEAR(r.loss, std::log(4.0), 1e-6);
+}
+
+TEST(CrossEntropy, ConfidentCorrectPredictionHasLowLoss) {
+  Tensor logits({1, 3}, {10.0f, 0.0f, 0.0f});
+  std::vector<std::uint32_t> labels = {0};
+  EXPECT_LT(softmax_cross_entropy(logits, labels).loss, 1e-3);
+}
+
+TEST(CrossEntropy, GradientSumsToZeroPerRow) {
+  Tensor logits({2, 5}, {1, 2, 3, 4, 5, -1, 0, 1, 0, -1});
+  std::vector<std::uint32_t> labels = {2, 0};
+  const auto r = softmax_cross_entropy(logits, labels);
+  for (std::size_t i = 0; i < 2; ++i) {
+    double s = 0;
+    for (std::size_t c = 0; c < 5; ++c) s += r.grad.data[i * 5 + c];
+    EXPECT_NEAR(s, 0.0, 1e-6);
+  }
+}
+
+TEST(CrossEntropy, GradientMatchesNumerical) {
+  Tensor logits({1, 4}, {0.5f, -1.0f, 2.0f, 0.0f});
+  std::vector<std::uint32_t> labels = {1};
+  const auto r = softmax_cross_entropy(logits, labels);
+  const float eps = 1e-3f;
+  for (std::size_t c = 0; c < 4; ++c) {
+    Tensor lp = logits;
+    lp.data[c] += eps;
+    Tensor lm = logits;
+    lm.data[c] -= eps;
+    const double numeric = (softmax_cross_entropy(lp, labels).loss -
+                            softmax_cross_entropy(lm, labels).loss) /
+                           (2.0 * eps);
+    EXPECT_NEAR(r.grad.data[c], numeric, 1e-4) << c;
+  }
+}
+
+TEST(TopK, RanksCorrectly) {
+  Tensor logits({2, 4}, {0.1f, 0.9f, 0.3f, 0.2f, 5.0f, 1.0f, 2.0f, 3.0f});
+  std::vector<std::uint32_t> labels = {1, 2};  // row0 correct, row1 rank-3
+  EXPECT_DOUBLE_EQ(top_k_accuracy(logits, labels, 1), 0.5);
+  EXPECT_DOUBLE_EQ(top_k_accuracy(logits, labels, 3), 1.0);
+}
+
+TEST(Sgd, GradientDescentReducesQuadratic) {
+  // Minimize f(w) = ||w||^2 / 2 with gradients g = w.
+  std::vector<float> w = {5.0f, -3.0f};
+  std::vector<float> g(2);
+  ParamView view{&w, &g};
+  SgdConfig cfg;
+  cfg.lr = 0.1f;
+  cfg.momentum = 0.0f;
+  SgdMomentum opt(cfg);
+  for (int i = 0; i < 100; ++i) {
+    g = w;
+    opt.step({view});
+  }
+  EXPECT_NEAR(w[0], 0.0f, 1e-3f);
+  EXPECT_NEAR(w[1], 0.0f, 1e-3f);
+}
+
+TEST(Sgd, MomentumAcceleratesOnConsistentGradient) {
+  std::vector<float> w_plain = {0.0f}, g_plain = {1.0f};
+  std::vector<float> w_mom = {0.0f}, g_mom = {1.0f};
+  SgdConfig plain_cfg;
+  plain_cfg.lr = 0.01f;
+  plain_cfg.momentum = 0.0f;
+  SgdConfig mom_cfg = plain_cfg;
+  mom_cfg.momentum = 0.9f;
+  SgdMomentum plain(plain_cfg), mom(mom_cfg);
+  for (int i = 0; i < 20; ++i) {
+    plain.step({{&w_plain, &g_plain}});
+    mom.step({{&w_mom, &g_mom}});
+  }
+  EXPECT_LT(w_mom[0], w_plain[0]);  // moved further (both negative direction)
+}
+
+TEST(Sgd, StepLrDecaysOnSchedule) {
+  SgdConfig cfg;
+  cfg.lr = 1.0f;
+  cfg.step_epochs = 2;
+  cfg.gamma = 0.5f;
+  SgdMomentum opt(cfg);
+  EXPECT_FLOAT_EQ(opt.lr(), 1.0f);
+  opt.end_epoch();
+  EXPECT_FLOAT_EQ(opt.lr(), 1.0f);
+  opt.end_epoch();
+  EXPECT_FLOAT_EQ(opt.lr(), 0.5f);
+  opt.end_epoch();
+  opt.end_epoch();
+  EXPECT_FLOAT_EQ(opt.lr(), 0.25f);
+}
+
+TEST(Sgd, StepFlatMatchesPerBufferStep) {
+  std::vector<float> w1 = {1, 2}, g1 = {0.1f, 0.2f};
+  std::vector<float> w2 = {3}, g2 = {0.3f};
+  std::vector<float> w1b = w1, g1b = g1, w2b = w2, g2b = g2;
+  SgdConfig cfg;
+  SgdMomentum a(cfg), b(cfg);
+  a.step({{&w1, &g1}, {&w2, &g2}});
+  std::vector<float> flat = {0.1f, 0.2f, 0.3f};
+  b.step_flat({{&w1b, &g1b}, {&w2b, &g2b}}, flat);
+  EXPECT_EQ(w1, w1b);
+  EXPECT_EQ(w2, w2b);
+}
+
+SynthCifarConfig tiny_data_cfg() {
+  SynthCifarConfig cfg;
+  cfg.classes = 10;
+  cfg.height = cfg.width = 8;
+  cfg.train_per_class = 20;
+  cfg.test_per_class = 10;
+  cfg.proto_grid = 3;
+  return cfg;
+}
+
+TEST(SynthCifar, DeterministicInSeed) {
+  SynthCifar a(tiny_data_cfg()), b(tiny_data_cfg());
+  std::vector<std::uint32_t> la, lb;
+  const Tensor ta = a.test_batch(0, 16, la);
+  const Tensor tb = b.test_batch(0, 16, lb);
+  EXPECT_EQ(ta.data, tb.data);
+  EXPECT_EQ(la, lb);
+}
+
+TEST(SynthCifar, SizesMatchConfig) {
+  SynthCifar data(tiny_data_cfg());
+  EXPECT_EQ(data.train_size(), 200u);
+  EXPECT_EQ(data.test_size(), 100u);
+  EXPECT_EQ(data.sample_floats(), 3u * 8 * 8);
+}
+
+TEST(SynthCifar, LabelsCoverAllClasses) {
+  SynthCifar data(tiny_data_cfg());
+  std::vector<std::uint32_t> labels;
+  data.test_batch(0, data.test_size(), labels);
+  std::vector<int> seen(10, 0);
+  for (auto l : labels) ++seen[l];
+  for (int c = 0; c < 10; ++c) EXPECT_EQ(seen[c], 10) << c;
+}
+
+TEST(SynthCifar, AugmentationChangesPixelsNotLabels) {
+  SynthCifar data(tiny_data_cfg());
+  std::vector<std::uint32_t> idx = {0, 1};
+  std::vector<std::uint32_t> l1, l2;
+  core::Xoshiro256 rng1(1), rng2(2);
+  const Tensor b1 = data.train_batch(idx, l1, rng1);
+  const Tensor b2 = data.train_batch(idx, l2, rng2);
+  EXPECT_EQ(l1, l2);
+  EXPECT_NE(b1.data, b2.data);  // different augmentation draws
+}
+
+TEST(Batcher, CoversEachIndexOncePerEpoch) {
+  Batcher batcher(100, 10, 5);
+  EXPECT_EQ(batcher.batches_per_epoch(), 10u);
+  std::vector<int> seen(100, 0);
+  for (std::size_t b = 0; b < 10; ++b) {
+    for (auto i : batcher.batch(3, b)) ++seen[i];
+  }
+  for (int c : seen) EXPECT_EQ(c, 1);
+}
+
+TEST(Batcher, DifferentEpochsShuffleDifferently) {
+  Batcher batcher(64, 64, 5);
+  EXPECT_NE(batcher.batch(0, 0), batcher.batch(1, 0));
+}
+
+TEST(Batcher, WorkerShardsPartitionTheBatch) {
+  Batcher batcher(64, 16, 5);
+  const auto full = batcher.batch(2, 1);
+  std::vector<std::uint32_t> joined;
+  for (std::size_t w = 0; w < 4; ++w) {
+    const auto shard = batcher.worker_shard(2, 1, w, 4);
+    EXPECT_EQ(shard.size(), 4u);
+    joined.insert(joined.end(), shard.begin(), shard.end());
+  }
+  EXPECT_EQ(joined, full);
+}
+
+TEST(EndToEnd, SingleProcessTrainingLearnsSynthCifar) {
+  // The substrate sanity check behind every figure: an MLP must beat random
+  // guessing (10 %) by a wide margin after a few epochs of plain SGD.
+  SynthCifar data(tiny_data_cfg());
+  ModelConfig mcfg;
+  mcfg.classes = 10;
+  mcfg.height = mcfg.width = 8;
+  auto net = make_mlp(mcfg, 64);
+  SgdConfig scfg;
+  scfg.lr = 0.05f;
+  SgdMomentum opt(scfg);
+  Batcher batcher(data.train_size(), 20, 1);
+  core::Xoshiro256 aug_rng(3);
+
+  for (std::size_t epoch = 0; epoch < 12; ++epoch) {
+    for (std::size_t b = 0; b < batcher.batches_per_epoch(); ++b) {
+      std::vector<std::uint32_t> labels;
+      const Tensor x = data.train_batch(batcher.batch(epoch, b), labels, aug_rng);
+      net->zero_grads();
+      const Tensor logits = net->forward(x);
+      const auto lr = softmax_cross_entropy(logits, labels);
+      net->backward(lr.grad);
+      opt.step(net->params());
+    }
+    opt.end_epoch();
+  }
+  std::vector<std::uint32_t> labels;
+  const Tensor x = data.test_batch(0, data.test_size(), labels);
+  const double top1 = top_k_accuracy(net->forward(x), labels, 1);
+  EXPECT_GT(top1, 0.5) << "substrate failed to learn an easy dataset";
+}
+
+}  // namespace
+}  // namespace trimgrad::ml

@@ -1,0 +1,217 @@
+// In-network aggregation switch: data-plane correctness and the
+// trimming-interplay fallback. Frames are injected raw (ATP-style switch
+// ACKing is out of scope; transports are exercised elsewhere).
+#include "net/agg_switch.h"
+
+#include <gtest/gtest.h>
+
+#include "core/codec.h"
+#include "core/stats.h"
+#include "net/host.h"
+
+namespace trimgrad::net {
+namespace {
+
+using core::CodecConfig;
+using core::Scheme;
+
+std::vector<float> gaussian_vec(std::size_t n, std::uint64_t seed) {
+  core::Xoshiro256 rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.gaussian());
+  return v;
+}
+
+/// Endpoint that collects arriving cargo packets.
+class Collector : public FlowEndpoint {
+ public:
+  void on_frame(Frame frame) override {
+    frames.push_back(std::move(frame));
+  }
+  std::vector<Frame> frames;
+};
+
+struct Rig {
+  Simulator sim;
+  std::vector<Host*> workers;
+  Host* server = nullptr;
+  AggSwitchNode* sw = nullptr;
+  Collector collector;
+
+  explicit Rig(std::size_t n_workers, std::uint32_t output_flow = 100) {
+    auto& s = sim.add_node<AggSwitchNode>("agg-switch");
+    sw = &s;
+    QueueConfig qcfg;
+    qcfg.policy = QueuePolicy::kTrim;
+    for (std::size_t i = 0; i < n_workers; ++i) {
+      auto& h = sim.add_node<Host>("w" + std::to_string(i));
+      const auto [hp, sp] = sim.connect(h.id(), s.id(), LinkSpec{}, qcfg);
+      (void)hp;
+      s.set_route(h.id(), sp);
+      workers.push_back(&h);
+    }
+    auto& srv = sim.add_node<Host>("server");
+    const auto [hp, sp] = sim.connect(srv.id(), s.id(), LinkSpec{}, qcfg);
+    (void)hp;
+    s.set_route(srv.id(), sp);
+    server = &srv;
+    std::vector<std::uint32_t> flows;
+    for (std::size_t i = 0; i < n_workers; ++i)
+      flows.push_back(static_cast<std::uint32_t>(i + 1));
+    s.register_group(flows, output_flow, srv.id());
+    srv.bind(output_flow, &collector);
+    for (std::uint32_t f : flows) srv.bind(f, &collector);  // bypass path
+  }
+
+  void send_message(std::size_t worker, const core::EncodedMessage& msg,
+                    bool trim_first_packet = false) {
+    for (std::size_t i = 0; i < msg.packets.size(); ++i) {
+      Frame f;
+      f.id = sim.next_frame_id();
+      f.src = workers[worker]->id();
+      f.dst = server->id();
+      f.flow_id = static_cast<std::uint32_t>(worker + 1);
+      f.seq = msg.packets[i].seq;
+      f.kind = FrameKind::kData;
+      auto cargo = std::make_shared<core::GradientPacket>(msg.packets[i]);
+      if (trim_first_packet && i == 0) cargo->trim();
+      f.size_bytes = cargo->wire_bytes();
+      f.trim_size_bytes = cargo->trimmed_wire_bytes();
+      f.trimmed = cargo->trimmed;
+      f.cargo = std::move(cargo);
+      workers[worker]->send(std::move(f));
+    }
+  }
+};
+
+CodecConfig cfg_of(Scheme s) {
+  CodecConfig cfg;
+  cfg.scheme = s;
+  cfg.rht_row_len = 1 << 10;
+  cfg.shared_seed = 77;
+  return cfg;
+}
+
+class AggSchemes : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(AggSchemes, AggregateDecodesToSumOfWorkers) {
+  const Scheme scheme = GetParam();
+  const std::size_t world = 3, n = 3000;
+  Rig rig(world);
+
+  // All workers encode with the SAME keys (msg_id/epoch/seed), as INA
+  // requires: identical rotations make rotated payloads additive.
+  std::vector<std::vector<float>> grads;
+  core::TrimmableEncoder enc(cfg_of(scheme));
+  for (std::size_t w = 0; w < world; ++w) {
+    grads.push_back(gaussian_vec(n, 10 + w));
+    rig.send_message(w, enc.encode(grads.back(), 1, 1));
+  }
+  rig.sim.run();
+
+  // Server received exactly one aggregate per seq, not 3 constituents.
+  core::EncodedMessage probe = enc.encode(grads[0], 1, 1);
+  ASSERT_EQ(rig.collector.frames.size(), probe.packets.size());
+  EXPECT_EQ(rig.sw->agg_counters().aggregated_frames, probe.packets.size());
+  EXPECT_EQ(rig.sw->agg_counters().bypassed_frames, 0u);
+
+  // Decode the aggregates with the common metadata: equals the exact sum.
+  std::vector<core::GradientPacket> pkts;
+  for (const auto& f : rig.collector.frames) pkts.push_back(*f.cargo);
+  core::TrimmableDecoder dec(cfg_of(scheme));
+  const auto out = dec.decode(pkts, probe.meta);
+  std::vector<float> expected(n, 0.0f);
+  for (const auto& g : grads) {
+    for (std::size_t i = 0; i < n; ++i) expected[i] += g[i];
+  }
+  EXPECT_LT(core::nmse(out.values, expected), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, AggSchemes,
+                         ::testing::Values(Scheme::kBaseline, Scheme::kSign,
+                                           Scheme::kRHT),
+                         [](const ::testing::TestParamInfo<Scheme>& info) {
+                           return to_string(info.param);
+                         });
+
+TEST(AggSwitch, ReducesServerIngressByWorldFactor) {
+  const std::size_t world = 4, n = 5000;
+  Rig rig(world);
+  core::TrimmableEncoder enc(cfg_of(Scheme::kRHT));
+  std::uint64_t sent_bytes = 0;
+  for (std::size_t w = 0; w < world; ++w) {
+    const auto msg = enc.encode(gaussian_vec(n, w), 1, 1);
+    for (const auto& p : msg.packets) sent_bytes += p.wire_bytes();
+    rig.send_message(w, msg);
+  }
+  rig.sim.run();
+  std::uint64_t received_bytes = 0;
+  for (const auto& f : rig.collector.frames) received_bytes += f.size_bytes;
+  EXPECT_NEAR(static_cast<double>(received_bytes) / sent_bytes, 1.0 / world,
+              0.05);
+}
+
+TEST(AggSwitch, TrimmedConstituentPoisonsOnlyItsSeq) {
+  const std::size_t world = 2, n = 2500;
+  Rig rig(world);
+  core::TrimmableEncoder enc(cfg_of(Scheme::kRHT));
+  const auto g0 = gaussian_vec(n, 1);
+  const auto g1 = gaussian_vec(n, 2);
+  rig.send_message(0, enc.encode(g0, 1, 1), /*trim_first_packet=*/true);
+  rig.send_message(1, enc.encode(g1, 1, 1));
+  rig.sim.run();
+
+  const auto& c = rig.sw->agg_counters();
+  EXPECT_GT(c.bypassed_frames, 0u);
+  EXPECT_GT(c.aggregated_frames, 0u);
+  // seq 0 bypassed (both constituents forwarded or one absorbed-then-lost),
+  // all other seqs aggregated.
+  const auto probe = enc.encode(g0, 1, 1);
+  EXPECT_EQ(c.aggregated_frames, probe.packets.size() - 1);
+}
+
+TEST(AggSwitch, NonGroupTrafficRoutesNormally) {
+  Rig rig(2);
+  Collector other;
+  rig.server->bind(999, &other);
+  Frame f;
+  f.id = rig.sim.next_frame_id();
+  f.src = rig.workers[0]->id();
+  f.dst = rig.server->id();
+  f.flow_id = 999;
+  f.kind = FrameKind::kData;
+  f.size_bytes = 500;
+  rig.workers[0]->send(std::move(f));
+  rig.sim.run();
+  ASSERT_EQ(other.frames.size(), 1u);
+  EXPECT_EQ(rig.sw->agg_counters().absorbed_frames, 0u);
+}
+
+TEST(AggSupport, SqSdAreNotAggregatable) {
+  EXPECT_FALSE(core::is_aggregatable(Scheme::kSQ));
+  EXPECT_FALSE(core::is_aggregatable(Scheme::kSD));
+  core::TrimmableEncoder enc(cfg_of(Scheme::kSD));
+  const auto msg = enc.encode(gaussian_vec(100, 3), 1, 1);
+  EXPECT_FALSE(core::packet_values(msg.packets[0]).has_value());
+}
+
+TEST(AggSupport, TrimmedPacketHasNoValues) {
+  core::TrimmableEncoder enc(cfg_of(Scheme::kRHT));
+  auto msg = enc.encode(gaussian_vec(100, 4), 1, 1);
+  EXPECT_TRUE(core::packet_values(msg.packets[0]).has_value());
+  msg.packets[0].trim();
+  EXPECT_FALSE(core::packet_values(msg.packets[0]).has_value());
+}
+
+TEST(AggSupport, RebuildRoundTrips) {
+  core::TrimmableEncoder enc(cfg_of(Scheme::kRHT));
+  const auto msg = enc.encode(gaussian_vec(500, 5), 2, 3);
+  const auto vals = core::packet_values(msg.packets[0]);
+  ASSERT_TRUE(vals.has_value());
+  const auto rebuilt = core::rebuild_packet(msg.packets[0], *vals);
+  EXPECT_EQ(rebuilt.head_region, msg.packets[0].head_region);
+  EXPECT_EQ(rebuilt.tail_region, msg.packets[0].tail_region);
+}
+
+}  // namespace
+}  // namespace trimgrad::net

@@ -1,0 +1,142 @@
+// Fabric-wide invariants under randomized load: nothing is silently lost,
+// queue accounting balances, and completion implies delivery.
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+#include "net/traffic.h"
+
+namespace trimgrad::net {
+namespace {
+
+struct QueueTotals {
+  std::uint64_t enqueued = 0;
+  std::uint64_t dequeued = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t trimmed = 0;
+  bool all_empty = true;
+};
+
+QueueTotals totals(Simulator& sim, std::size_t node_count) {
+  QueueTotals t;
+  for (NodeId id = 0; id < node_count; ++id) {
+    auto& node = sim.node(id);
+    for (std::size_t p = 0; p < node.port_count(); ++p) {
+      const auto& q = node.port(p).queue();
+      t.enqueued += q.counters().enqueued;
+      t.dequeued += q.counters().dequeued;
+      t.dropped += q.counters().dropped;
+      t.trimmed += q.counters().trimmed;
+      t.all_empty = t.all_empty && q.empty();
+    }
+  }
+  return t;
+}
+
+class PolicySweep : public ::testing::TestWithParam<QueuePolicy> {};
+
+TEST_P(PolicySweep, QueueAccountingBalancesUnderRandomLoad) {
+  Simulator sim;
+  FabricConfig cfg;
+  cfg.core_link = {20e9, 1e-6};
+  cfg.switch_queue.policy = GetParam();
+  cfg.switch_queue.capacity_bytes = 20 * 1024;
+  const Dumbbell topo = build_dumbbell(sim, 4, 4, cfg);
+  std::vector<NodeId> hosts = topo.left_hosts;
+  hosts.insert(hosts.end(), topo.right_hosts.begin(), topo.right_hosts.end());
+
+  PoissonTraffic::Config pcfg;
+  pcfg.flows_per_sec = 5e5;
+  pcfg.stop = 1e-3;
+  pcfg.packets_per_flow = 12;
+  pcfg.trim_size = GetParam() == QueuePolicy::kTrim ? 88 : 0;
+  pcfg.transport = GetParam() == QueuePolicy::kTrim
+                       ? TransportConfig::trim_aware()
+                       : TransportConfig::reliable();
+  PoissonTraffic bg(sim, hosts, pcfg);
+  sim.run();
+
+  const QueueTotals t = totals(sim, sim.node_count());
+  // At quiescence every accepted frame was transmitted.
+  EXPECT_TRUE(t.all_empty);
+  EXPECT_EQ(t.enqueued, t.dequeued);
+  // Every launched flow completed (reliable: retransmits; trim-aware:
+  // trims count as delivery).
+  EXPECT_EQ(bg.completed(), bg.launched());
+  EXPECT_GT(bg.launched(), 50u);
+}
+
+TEST_P(PolicySweep, DropTailNeverTrimsAndTrimPolicyRarelyDrops) {
+  Simulator sim;
+  FabricConfig cfg;
+  cfg.core_link = {10e9, 1e-6};
+  cfg.switch_queue.policy = GetParam();
+  cfg.switch_queue.capacity_bytes = 15 * 1024;
+  const Dumbbell topo = build_dumbbell(sim, 6, 1, cfg);
+
+  IncastPattern::Config icfg;
+  icfg.packets_per_sender = 128;
+  icfg.trim_size = GetParam() == QueuePolicy::kTrim ? 88 : 0;
+  icfg.transport = GetParam() == QueuePolicy::kTrim
+                       ? TransportConfig::trim_aware()
+                       : TransportConfig::reliable();
+  IncastPattern incast(sim, topo.left_hosts, topo.right_hosts[0], icfg);
+  sim.run();
+  EXPECT_EQ(incast.completed_count(), topo.left_hosts.size());
+
+  const QueueTotals t = totals(sim, sim.node_count());
+  if (GetParam() == QueuePolicy::kDropTail) {
+    EXPECT_EQ(t.trimmed, 0u);
+    EXPECT_GT(t.dropped, 0u);  // 6-to-1 incast must overflow 15 KB
+  } else {
+    EXPECT_GT(t.trimmed, 0u);
+    // Headers queue is sized to absorb the trims of this incast.
+    EXPECT_EQ(t.dropped, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, PolicySweep,
+                         ::testing::Values(QueuePolicy::kDropTail,
+                                           QueuePolicy::kTrim),
+                         [](const ::testing::TestParamInfo<QueuePolicy>& i) {
+                           return to_string(i.param);
+                         });
+
+TEST(Conservation, DeliveredFramesMatchesDequeues) {
+  // Every dequeued frame is delivered to exactly one node after its link
+  // delay (no duplication, no loss in flight).
+  Simulator sim;
+  FabricConfig cfg;
+  const Dumbbell topo = build_dumbbell(sim, 2, 2, cfg);
+  ManagedFlow flow(sim, topo.left_hosts[0], topo.right_hosts[0], 1,
+                   TransportConfig::reliable(), 50);
+  flow.start_at(0.0, make_bulk_items(50, 1500, 0));
+  sim.run();
+  const QueueTotals t = totals(sim, sim.node_count());
+  EXPECT_EQ(sim.delivered_frames(), t.dequeued);
+}
+
+TEST(Conservation, EcnMarksPropagateEndToEnd) {
+  Simulator sim;
+  FabricConfig cfg;
+  cfg.core_link = {10e9, 1e-6};
+  cfg.switch_queue.policy = QueuePolicy::kEcn;
+  cfg.switch_queue.capacity_bytes = 60 * 1024;
+  cfg.switch_queue.ecn_threshold_bytes = 10 * 1024;
+  const Dumbbell topo = build_dumbbell(sim, 4, 1, cfg);
+
+  std::size_t marked = 0;
+  std::vector<std::unique_ptr<ManagedFlow>> flows;
+  for (std::size_t i = 0; i < 4; ++i) {
+    auto f = std::make_unique<ManagedFlow>(
+        sim, topo.left_hosts[i], topo.right_hosts[0],
+        static_cast<std::uint32_t>(i + 1), TransportConfig::reliable(), 64,
+        [&](const Frame& fr) { marked += fr.ecn ? 1 : 0; });
+    f->start_at(0.0, make_bulk_items(64, 1500, 0));
+    flows.push_back(std::move(f));
+  }
+  sim.run();
+  EXPECT_GT(marked, 0u) << "4-to-1 incast above the ECN threshold must mark";
+}
+
+}  // namespace
+}  // namespace trimgrad::net

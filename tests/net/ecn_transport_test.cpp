@@ -1,0 +1,170 @@
+// DCTCP-style ECN transport + the §5.3 loop: ECN feedback driving
+// ahead-of-time Q adaptation while trimming covers the residual.
+#include "net/ecn_transport.h"
+
+#include <gtest/gtest.h>
+
+#include "core/adaptive.h"
+#include "net/topology.h"
+#include "net/traffic.h"
+
+namespace trimgrad::net {
+namespace {
+
+struct Bench {
+  Simulator sim;
+  Dumbbell topo;
+
+  explicit Bench(QueuePolicy policy, std::size_t queue_kb = 60,
+                 std::size_t ecn_kb = 15) {
+    FabricConfig cfg;
+    cfg.edge_link = {100e9, 1e-6};
+    cfg.core_link = {10e9, 1e-6};
+    cfg.switch_queue.policy = policy;
+    cfg.switch_queue.capacity_bytes = queue_kb * 1024;
+    cfg.switch_queue.ecn_threshold_bytes = ecn_kb * 1024;
+    cfg.switch_queue.header_capacity_bytes = 64 * 1024;
+    topo = build_dumbbell(sim, 4, 2, cfg);
+  }
+};
+
+TEST(EcnTransport, SingleFlowCompletesCleanly) {
+  Bench b(QueuePolicy::kEcn);
+  EcnFlow flow(b.sim, b.topo.left_hosts[0], b.topo.right_hosts[0], 1,
+               EcnConfig{}, 64);
+  flow.start_at(0.0, make_bulk_items(64, 1500, 0));
+  b.sim.run();
+  EXPECT_TRUE(flow.done());
+  EXPECT_EQ(flow.stats().acked_full, 64u);
+  EXPECT_EQ(flow.stats().retransmits, 0u);
+}
+
+TEST(EcnTransport, AlphaRisesUnderCongestion) {
+  // 4-to-1 incast above the marking threshold: alpha must move off zero.
+  Bench b(QueuePolicy::kEcn);
+  std::vector<std::unique_ptr<EcnFlow>> flows;
+  std::uint32_t id = 1;
+  for (NodeId src : b.topo.left_hosts) {
+    auto f = std::make_unique<EcnFlow>(b.sim, src, b.topo.right_hosts[0],
+                                       id++, EcnConfig{}, 256);
+    f->start_at(0.0, make_bulk_items(256, 1500, 0));
+    flows.push_back(std::move(f));
+  }
+  b.sim.run();
+  double max_alpha = 0;
+  for (const auto& f : flows) {
+    EXPECT_TRUE(f->done());
+    max_alpha = std::max(max_alpha, f->sender().alpha());
+  }
+  EXPECT_GT(max_alpha, 0.05);
+}
+
+TEST(EcnTransport, WindowBacksOffUnderMarksAndRecovers) {
+  Bench b(QueuePolicy::kEcn);
+  EcnConfig cfg;
+  cfg.initial_window = 64;
+  // Heavy self-congestion: a window far above the 12.3 KB BDP against a
+  // 15 KB marking threshold.
+  std::vector<std::unique_ptr<EcnFlow>> flows;
+  std::uint32_t id = 1;
+  for (NodeId src : b.topo.left_hosts) {
+    auto f = std::make_unique<EcnFlow>(b.sim, src, b.topo.right_hosts[0],
+                                       id++, cfg, 512);
+    f->start_at(0.0, make_bulk_items(512, 1500, 0));
+    flows.push_back(std::move(f));
+  }
+  b.sim.run();
+  for (const auto& f : flows) {
+    EXPECT_TRUE(f->done());
+    EXPECT_LT(f->sender().window(), 64u)
+        << "window should have backed off from the initial burst";
+  }
+}
+
+TEST(EcnTransport, LowerMarkingThresholdKeepsQueuesShorter) {
+  // The initial bursts overflow either way (high-water mark is capacity);
+  // DCTCP's effect is on *steady-state* occupancy, so compare the mean.
+  auto run = [](std::size_t ecn_kb) {
+    Bench b(QueuePolicy::kEcn, 60, ecn_kb);
+    std::vector<std::unique_ptr<EcnFlow>> flows;
+    std::uint32_t id = 1;
+    for (NodeId src : b.topo.left_hosts) {
+      auto f = std::make_unique<EcnFlow>(b.sim, src, b.topo.right_hosts[0],
+                                         id++, EcnConfig{}, 256);
+      f->start_at(0.0, make_bulk_items(256, 1500, 0));
+      flows.push_back(std::move(f));
+    }
+    b.sim.run();
+    double worst_mean = 0;
+    for (NodeId sw : {b.topo.left_switch, b.topo.right_switch}) {
+      auto& node = b.sim.node(sw);
+      for (std::size_t p = 0; p < node.port_count(); ++p) {
+        worst_mean =
+            std::max(worst_mean, node.port(p).queue().occupancy().mean());
+      }
+    }
+    return worst_mean;
+  };
+  EXPECT_LT(run(8), run(48));
+}
+
+TEST(EcnTransport, TrimmedDeliveryCountsOnTrimmingFabric) {
+  // ECN sender over a trimming fabric: marks are absent (kTrim does not
+  // mark) but trimmed arrivals are accepted like the trim-aware transport.
+  Bench b(QueuePolicy::kTrim, 15);
+  std::vector<std::unique_ptr<EcnFlow>> flows;
+  std::uint32_t id = 1;
+  for (NodeId src : b.topo.left_hosts) {
+    EcnConfig cfg;
+    cfg.initial_window = 64;
+    auto f = std::make_unique<EcnFlow>(b.sim, src, b.topo.right_hosts[0],
+                                       id++, cfg, 128);
+    f->start_at(0.0, make_bulk_items(128, 1500, 88));
+    flows.push_back(std::move(f));
+  }
+  b.sim.run();
+  std::uint64_t trimmed = 0;
+  for (const auto& f : flows) {
+    EXPECT_TRUE(f->done());
+    trimmed += f->stats().acked_trimmed;
+    EXPECT_EQ(f->stats().retransmits, 0u);
+  }
+  EXPECT_GT(trimmed, 0u);
+}
+
+TEST(EcnTransport, AlphaDrivesAdaptiveQ) {
+  // The §5.3 composition: run a congested transfer, feed the measured
+  // DCTCP alpha into the Q controller, and verify the sender would lower
+  // its ahead-of-time precision — then a quiet transfer recovers it.
+  core::AdaptiveQController ctl;
+  auto alpha_of = [](std::size_t senders, std::size_t window) {
+    Bench b(QueuePolicy::kEcn);
+    EcnConfig cfg;
+    cfg.initial_window = window;
+    cfg.max_window = window;  // pin: we are probing the fabric, not DCTCP
+    std::vector<std::unique_ptr<EcnFlow>> flows;
+    std::uint32_t id = 1;
+    for (std::size_t i = 0; i < senders; ++i) {
+      auto f = std::make_unique<EcnFlow>(b.sim, b.topo.left_hosts[i],
+                                         b.topo.right_hosts[0], id++, cfg,
+                                         256);
+      f->start_at(0.0, make_bulk_items(256, 1500, 0));
+      flows.push_back(std::move(f));
+    }
+    b.sim.run();
+    double worst = 0;
+    for (const auto& f : flows) worst = std::max(worst, f->sender().alpha());
+    return worst;
+  };
+  const double congested = alpha_of(4, 16);  // incast above the threshold
+  ctl.observe(congested);
+  EXPECT_LT(ctl.q(), 31u) << "congestion should reduce ahead-of-time Q";
+  const unsigned reduced = ctl.q();
+  const double quiet = alpha_of(1, 4);  // one flow below the threshold
+  EXPECT_LT(quiet, 0.05);
+  for (int i = 0; i < 20; ++i) ctl.observe(quiet);
+  EXPECT_GT(ctl.q(), reduced) << "quiet network should restore precision";
+}
+
+}  // namespace
+}  // namespace trimgrad::net

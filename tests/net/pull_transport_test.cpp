@@ -1,0 +1,158 @@
+#include "net/pull_transport.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+#include "net/traffic.h"
+
+namespace trimgrad::net {
+namespace {
+
+struct Bench {
+  Simulator sim;
+  Dumbbell topo;
+
+  explicit Bench(QueuePolicy policy, double core_gbps = 10.0,
+                 std::size_t queue_kb = 15) {
+    FabricConfig cfg;
+    cfg.edge_link = {100e9, 1e-6};
+    cfg.core_link = {core_gbps * 1e9, 1e-6};
+    cfg.switch_queue.policy = policy;
+    cfg.switch_queue.capacity_bytes = queue_kb * 1024;
+    cfg.switch_queue.header_capacity_bytes = 64 * 1024;
+    topo = build_dumbbell(sim, 6, 2, cfg);
+  }
+};
+
+PullConfig cfg_for(double bottleneck_gbps) {
+  PullConfig cfg;
+  cfg.initial_burst = 8;
+  cfg.access_bandwidth_bps = bottleneck_gbps * 1e9;
+  return cfg;
+}
+
+TEST(PullTransport, SingleFlowCompletes) {
+  Bench b(QueuePolicy::kTrim, 10.0, 2048);
+  PullFlow flow(b.sim, b.topo.left_hosts[0], b.topo.right_hosts[0], 1,
+                cfg_for(10.0), 64);
+  flow.start_at(0.0, make_bulk_items(64, 1500, 88));
+  b.sim.run();
+  EXPECT_TRUE(flow.done());
+  EXPECT_TRUE(flow.stats().completed);
+  EXPECT_EQ(flow.stats().acked_full + flow.stats().acked_trimmed, 64u);
+}
+
+TEST(PullTransport, PacingBoundsThroughputToPullRate) {
+  // One flow, deep buffers: FCT ~ n_packets x pull_interval (plus the
+  // initial burst), i.e. the receiver's pacer is the clock.
+  Bench b(QueuePolicy::kTrim, 10.0, 2048);
+  PullConfig cfg = cfg_for(10.0);
+  PullFlow flow(b.sim, b.topo.left_hosts[0], b.topo.right_hosts[0], 1, cfg,
+                100);
+  flow.start_at(0.0, make_bulk_items(100, 1500, 88));
+  b.sim.run();
+  const double interval = cfg.effective_pull_interval();
+  EXPECT_GE(flow.stats().fct(), (100 - cfg.initial_burst - 1) * interval);
+  EXPECT_LT(flow.stats().fct(), 100 * interval * 1.5 + 1e-4);
+}
+
+TEST(PullTransport, IncastTrimsFarLessThanWindowTransport) {
+  // The NDP claim: receiver pacing confines congestion to the first-RTT
+  // burst, so a 6-to-1 incast trims an order of magnitude less than
+  // window-clocked senders pushing the same bytes.
+  const std::size_t pkts = 128;
+  std::uint64_t window_trims = 0, pull_trims = 0;
+  {
+    Bench b(QueuePolicy::kTrim);
+    IncastPattern::Config icfg;
+    icfg.packets_per_sender = pkts;
+    icfg.trim_size = 88;
+    icfg.transport = TransportConfig::trim_aware();
+    IncastPattern incast(b.sim, b.topo.left_hosts, b.topo.right_hosts[0],
+                         icfg);
+    b.sim.run();
+    for (const auto& st : incast.flow_stats()) window_trims += st.acked_trimmed;
+    EXPECT_EQ(incast.completed_count(), 6u);
+  }
+  {
+    Bench b(QueuePolicy::kTrim);
+    auto& rx_host = static_cast<Host&>(b.sim.node(b.topo.right_hosts[0]));
+    // One pacer per receiving host, shared across the fan-in (NDP model).
+    PullPacer pacer(rx_host, cfg_for(10.0).effective_pull_interval());
+    std::vector<std::unique_ptr<PullFlow>> flows;
+    std::uint32_t id = 1;
+    for (NodeId src : b.topo.left_hosts) {
+      auto f = std::make_unique<PullFlow>(b.sim, src, b.topo.right_hosts[0],
+                                          id++, cfg_for(10.0), pkts, nullptr,
+                                          &pacer);
+      f->start_at(0.0, make_bulk_items(pkts, 1500, 88));
+      flows.push_back(std::move(f));
+    }
+    b.sim.run();
+    EXPECT_GT(pacer.emitted(), 0u);
+    for (const auto& f : flows) {
+      EXPECT_TRUE(f->done());
+      pull_trims += f->stats().acked_trimmed;
+    }
+  }
+  EXPECT_GT(window_trims, 0u);
+  EXPECT_LT(pull_trims * 5, window_trims)
+      << "pull pacing should cut trims at least 5x";
+}
+
+TEST(PullTransport, SurvivesDropTailFabric) {
+  // Pulls/ACKs can be lost on a drop-tail fabric; the RTO path must still
+  // finish the flow.
+  Bench b(QueuePolicy::kDropTail, 10.0, 10);
+  std::vector<std::unique_ptr<PullFlow>> flows;
+  std::uint32_t id = 1;
+  for (NodeId src : b.topo.left_hosts) {
+    auto f = std::make_unique<PullFlow>(b.sim, src, b.topo.right_hosts[0],
+                                        id++, cfg_for(10.0), 48);
+    f->start_at(0.0, make_bulk_items(48, 1500, 0));
+    flows.push_back(std::move(f));
+  }
+  b.sim.run();
+  for (const auto& f : flows) {
+    EXPECT_TRUE(f->done());
+    EXPECT_EQ(f->stats().acked_full, 48u);
+  }
+}
+
+TEST(PullTransport, TrimmedArrivalsAreNotRetransmitted) {
+  Bench b(QueuePolicy::kTrim, 10.0, 10);
+  std::vector<std::unique_ptr<PullFlow>> flows;
+  std::uint32_t id = 1;
+  for (NodeId src : b.topo.left_hosts) {
+    PullConfig cfg = cfg_for(10.0);
+    cfg.initial_burst = 32;  // provoke first-burst trimming
+    auto f = std::make_unique<PullFlow>(b.sim, src, b.topo.right_hosts[0],
+                                        id++, cfg, 64);
+    f->start_at(0.0, make_bulk_items(64, 1500, 88));
+    flows.push_back(std::move(f));
+  }
+  b.sim.run();
+  std::uint64_t trims = 0, retx = 0;
+  for (const auto& f : flows) {
+    trims += f->stats().acked_trimmed;
+    retx += f->stats().retransmits;
+  }
+  EXPECT_GT(trims, 0u);
+  EXPECT_EQ(retx, 0u);
+}
+
+TEST(PullTransport, EmptyMessageCompletes) {
+  Bench b(QueuePolicy::kTrim, 10.0, 2048);
+  auto& host = static_cast<Host&>(b.sim.node(b.topo.left_hosts[0]));
+  PullSender sender(host, b.topo.right_hosts[0], 7, cfg_for(10.0));
+  bool fired = false;
+  sender.send_message({}, [&](const FlowStats& st) {
+    fired = true;
+    EXPECT_TRUE(st.completed);
+  });
+  b.sim.run();
+  EXPECT_TRUE(fired);
+}
+
+}  // namespace
+}  // namespace trimgrad::net

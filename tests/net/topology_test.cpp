@@ -1,0 +1,158 @@
+#include "net/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/traffic.h"
+#include "net/transport.h"
+
+namespace trimgrad::net {
+namespace {
+
+FabricConfig default_cfg() {
+  FabricConfig cfg;
+  cfg.edge_link = {100e9, 1e-6};
+  cfg.core_link = {100e9, 1e-6};
+  return cfg;
+}
+
+TEST(Dumbbell, NodeCountsAndIds) {
+  Simulator sim;
+  const Dumbbell d = build_dumbbell(sim, 3, 5, default_cfg());
+  EXPECT_EQ(d.left_hosts.size(), 3u);
+  EXPECT_EQ(d.right_hosts.size(), 5u);
+  EXPECT_EQ(sim.node_count(), 3u + 5u + 2u);
+  std::set<NodeId> ids(d.left_hosts.begin(), d.left_hosts.end());
+  ids.insert(d.right_hosts.begin(), d.right_hosts.end());
+  ids.insert(d.left_switch);
+  ids.insert(d.right_switch);
+  EXPECT_EQ(ids.size(), 10u);  // all distinct
+}
+
+TEST(Dumbbell, CrossTrafficReachesEitherDirection) {
+  Simulator sim;
+  const Dumbbell d = build_dumbbell(sim, 2, 2, default_cfg());
+  ManagedFlow l2r(sim, d.left_hosts[0], d.right_hosts[1], 1,
+                  TransportConfig::reliable(), 4);
+  ManagedFlow r2l(sim, d.right_hosts[0], d.left_hosts[1], 2,
+                  TransportConfig::reliable(), 4);
+  l2r.start_at(0.0, make_bulk_items(4, 1500, 0));
+  r2l.start_at(0.0, make_bulk_items(4, 1500, 0));
+  sim.run();
+  EXPECT_TRUE(l2r.done());
+  EXPECT_TRUE(r2l.done());
+}
+
+TEST(Dumbbell, SameSideTrafficDoesNotCrossBottleneck) {
+  Simulator sim;
+  const Dumbbell d = build_dumbbell(sim, 2, 1, default_cfg());
+  ManagedFlow local(sim, d.left_hosts[0], d.left_hosts[1], 1,
+                    TransportConfig::reliable(), 4);
+  local.start_at(0.0, make_bulk_items(4, 1500, 0));
+  sim.run();
+  EXPECT_TRUE(local.done());
+  // The bottleneck port (core port was created first on each switch) must
+  // have carried nothing.
+  auto& sw = sim.node(d.left_switch);
+  EXPECT_EQ(sw.port(0).queue().counters().enqueued, 0u);
+}
+
+TEST(LeafSpine, StructureAndCounts) {
+  Simulator sim;
+  const LeafSpine t = build_leaf_spine(sim, 3, 2, 4, default_cfg());
+  EXPECT_EQ(t.leaves.size(), 3u);
+  EXPECT_EQ(t.spines.size(), 2u);
+  EXPECT_EQ(t.all_hosts().size(), 12u);
+  EXPECT_EQ(sim.node_count(), 3u + 2u + 12u);
+  // Each leaf: 2 uplinks + 4 host ports.
+  for (NodeId leaf : t.leaves) EXPECT_EQ(sim.node(leaf).port_count(), 6u);
+  // Each spine: 3 leaf ports.
+  for (NodeId spine : t.spines) EXPECT_EQ(sim.node(spine).port_count(), 3u);
+}
+
+TEST(LeafSpine, AnyPairCanCommunicate) {
+  Simulator sim;
+  const LeafSpine t = build_leaf_spine(sim, 2, 2, 2, default_cfg());
+  std::uint32_t flow_id = 1;
+  std::vector<std::unique_ptr<ManagedFlow>> flows;
+  const auto hosts = t.all_hosts();
+  for (NodeId a : hosts) {
+    for (NodeId b : hosts) {
+      if (a == b) continue;
+      auto f = std::make_unique<ManagedFlow>(sim, a, b, flow_id++,
+                                             TransportConfig::reliable(), 2);
+      f->start_at(0.0, make_bulk_items(2, 1500, 0));
+      flows.push_back(std::move(f));
+    }
+  }
+  sim.run();
+  for (const auto& f : flows) EXPECT_TRUE(f->done());
+  // Nothing unroutable anywhere.
+  for (NodeId s : t.spines)
+    EXPECT_EQ(static_cast<SwitchNode&>(sim.node(s)).unroutable(), 0u);
+  for (NodeId l : t.leaves)
+    EXPECT_EQ(static_cast<SwitchNode&>(sim.node(l)).unroutable(), 0u);
+}
+
+TEST(LeafSpine, EcmpSpreadsFlowsAcrossSpines) {
+  Simulator sim;
+  const LeafSpine t = build_leaf_spine(sim, 2, 4, 2, default_cfg());
+  // Many flows from leaf 0 to leaf 1; count how many spines carried data.
+  std::vector<std::unique_ptr<ManagedFlow>> flows;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    auto f = std::make_unique<ManagedFlow>(
+        sim, t.hosts[0][i % 2], t.hosts[1][i % 2], 100 + i,
+        TransportConfig::reliable(), 2);
+    f->start_at(0.0, make_bulk_items(2, 1500, 0));
+    flows.push_back(std::move(f));
+  }
+  sim.run();
+  int spines_used = 0;
+  for (NodeId s : t.spines) {
+    auto& spine = sim.node(s);
+    std::uint64_t carried = 0;
+    for (std::size_t p = 0; p < spine.port_count(); ++p)
+      carried += spine.port(p).queue().counters().enqueued;
+    if (carried > 0) ++spines_used;
+  }
+  EXPECT_GE(spines_used, 3) << "64 flows should hash across >= 3 of 4 spines";
+}
+
+TEST(Poisson, BackgroundFlowsLaunchAndComplete) {
+  Simulator sim;
+  const Dumbbell d = build_dumbbell(sim, 4, 4, default_cfg());
+  std::vector<NodeId> hosts = d.left_hosts;
+  hosts.insert(hosts.end(), d.right_hosts.begin(), d.right_hosts.end());
+  PoissonTraffic::Config cfg;
+  cfg.flows_per_sec = 2e5;
+  cfg.stop = 0.5e-3;
+  cfg.packets_per_flow = 4;
+  cfg.transport = TransportConfig::reliable();
+  PoissonTraffic bg(sim, hosts, cfg);
+  sim.run();
+  EXPECT_GT(bg.launched(), 20u);   // ~100 expected
+  EXPECT_LT(bg.launched(), 500u);
+  EXPECT_EQ(bg.completed(), bg.launched());
+  for (SimTime fct : bg.fcts()) EXPECT_GT(fct, 0.0);
+}
+
+TEST(Poisson, DeterministicUnderSeed) {
+  auto run = [](std::uint64_t seed) {
+    Simulator sim;
+    const Dumbbell d = build_dumbbell(sim, 2, 2, default_cfg());
+    std::vector<NodeId> hosts = d.left_hosts;
+    hosts.insert(hosts.end(), d.right_hosts.begin(), d.right_hosts.end());
+    PoissonTraffic::Config cfg;
+    cfg.flows_per_sec = 1e5;
+    cfg.stop = 0.5e-3;
+    cfg.seed = seed;
+    PoissonTraffic bg(sim, hosts, cfg);
+    sim.run();
+    return bg.launched();
+  };
+  EXPECT_EQ(run(7), run(7));
+}
+
+}  // namespace
+}  // namespace trimgrad::net

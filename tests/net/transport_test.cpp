@@ -1,0 +1,215 @@
+// Transport behaviour over a live simulated fabric.
+#include "net/transport.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topology.h"
+#include "net/traffic.h"
+
+namespace trimgrad::net {
+namespace {
+
+/// 2-host dumbbell with a configurable bottleneck queue policy.
+struct Bench {
+  Simulator sim;
+  Dumbbell topo;
+
+  /// Default queues are deep (no loss); congestion tests pass a shallow
+  /// queue_kb explicitly. Header queues are NDP-style generous so trims
+  /// themselves are never dropped.
+  explicit Bench(QueuePolicy policy, double core_gbps = 10.0,
+                 std::size_t queue_kb = 2048) {
+    FabricConfig cfg;
+    cfg.edge_link = {100e9, 1e-6};
+    cfg.core_link = {core_gbps * 1e9, 1e-6};
+    cfg.switch_queue.policy = policy;
+    cfg.switch_queue.capacity_bytes = queue_kb * 1024;
+    cfg.switch_queue.header_capacity_bytes = 64 * 1024;
+    topo = build_dumbbell(sim, 4, 4, cfg);
+  }
+};
+
+TEST(Transport, SingleFlowCompletesAndDeliversEverything) {
+  Bench b(QueuePolicy::kDropTail);
+  ManagedFlow flow(b.sim, b.topo.left_hosts[0], b.topo.right_hosts[0], 1,
+                   TransportConfig::reliable(), 32);
+  flow.start_at(0.0, make_bulk_items(32, 1500, 0));
+  b.sim.run();
+  EXPECT_TRUE(flow.done());
+  EXPECT_TRUE(flow.stats().completed);
+  EXPECT_EQ(flow.stats().acked_full, 32u);
+  EXPECT_EQ(flow.stats().retransmits, 0u);
+  EXPECT_EQ(flow.receiver_stats().delivered_full, 32u);
+}
+
+TEST(Transport, FctMatchesBandwidthDelayArithmetic) {
+  Bench b(QueuePolicy::kDropTail, /*core_gbps=*/10.0);
+  const std::size_t n = 100;
+  ManagedFlow flow(b.sim, b.topo.left_hosts[0], b.topo.right_hosts[0], 1,
+                   TransportConfig::reliable(), n);
+  flow.start_at(0.0, make_bulk_items(n, 1500, 0));
+  b.sim.run();
+  // 100 x 1500B over the 10 Gbps bottleneck = 120 us serialization, plus
+  // a handful of microseconds of propagation and ACK return.
+  const SimTime lower = n * 1500 * 8.0 / 10e9;
+  EXPECT_GE(flow.stats().fct(), lower);
+  EXPECT_LT(flow.stats().fct(), lower * 1.5 + 20e-6);
+}
+
+TEST(Transport, WindowLimitsInFlight) {
+  Bench b(QueuePolicy::kDropTail);
+  TransportConfig cfg = TransportConfig::reliable();
+  cfg.window = 2;  // tiny window => ack-clocked, slower but correct
+  ManagedFlow flow(b.sim, b.topo.left_hosts[0], b.topo.right_hosts[0], 1, cfg,
+                   16);
+  flow.start_at(0.0, make_bulk_items(16, 1500, 0));
+  b.sim.run();
+  EXPECT_TRUE(flow.stats().completed);
+  EXPECT_EQ(flow.stats().acked_full, 16u);
+}
+
+TEST(Transport, ReliableRecoversFromCongestionDrops) {
+  // 8-to-1 incast through a shallow drop-tail bottleneck: drops happen,
+  // retransmissions recover every byte.
+  Bench b(QueuePolicy::kDropTail, 10.0, /*queue_kb=*/15);
+  IncastPattern::Config cfg;
+  cfg.packets_per_sender = 64;
+  cfg.trim_size = 0;
+  cfg.transport = TransportConfig::reliable();
+  std::vector<NodeId> senders = b.topo.left_hosts;
+  IncastPattern incast(b.sim, senders, b.topo.right_hosts[0], cfg);
+  b.sim.run();
+  EXPECT_EQ(incast.completed_count(), senders.size());
+  std::uint64_t total_retx = 0;
+  for (const auto& st : incast.flow_stats()) {
+    EXPECT_TRUE(st.completed);
+    EXPECT_EQ(st.acked_full, 64u);
+    total_retx += st.retransmits;
+  }
+  EXPECT_GT(total_retx, 0u) << "incast through 15 KB buffer must drop";
+}
+
+TEST(Transport, TrimAwareCompletesWithoutRetransmits) {
+  Bench b(QueuePolicy::kTrim, 10.0, /*queue_kb=*/15);
+  IncastPattern::Config cfg;
+  cfg.packets_per_sender = 64;
+  cfg.trim_size = 88;
+  cfg.transport = TransportConfig::trim_aware();
+  IncastPattern incast(b.sim, b.topo.left_hosts, b.topo.right_hosts[0], cfg);
+  b.sim.run();
+  EXPECT_EQ(incast.completed_count(), b.topo.left_hosts.size());
+  std::uint64_t total_retx = 0, total_trimmed = 0;
+  for (const auto& st : incast.flow_stats()) {
+    EXPECT_TRUE(st.completed);
+    total_retx += st.retransmits;
+    total_trimmed += st.acked_trimmed;
+  }
+  EXPECT_GT(total_trimmed, 0u) << "incast must cause trimming";
+  EXPECT_EQ(total_retx, 0u) << "trimmed packets are never retransmitted";
+}
+
+TEST(Transport, TrimmingBeatsDropTailOnTailLatency) {
+  // The paper's headline mechanism claim: under incast, trimming keeps the
+  // slowest flow's completion time far below the retransmission-bound
+  // drop-tail baseline.
+  const std::size_t kSenders = 4;
+  SimTime droptail_fct, trim_fct;
+  {
+    Bench b(QueuePolicy::kDropTail, 10.0, 15);
+    IncastPattern::Config cfg;
+    cfg.packets_per_sender = 128;
+    cfg.trim_size = 0;
+    cfg.transport = TransportConfig::reliable();
+    IncastPattern incast(b.sim, b.topo.left_hosts, b.topo.right_hosts[0], cfg);
+    b.sim.run();
+    EXPECT_EQ(incast.completed_count(), kSenders);
+    droptail_fct = incast.max_fct();
+  }
+  {
+    Bench b(QueuePolicy::kTrim, 10.0, 15);
+    IncastPattern::Config cfg;
+    cfg.packets_per_sender = 128;
+    cfg.trim_size = 88;
+    cfg.transport = TransportConfig::trim_aware();
+    IncastPattern incast(b.sim, b.topo.left_hosts, b.topo.right_hosts[0], cfg);
+    b.sim.run();
+    EXPECT_EQ(incast.completed_count(), kSenders);
+    trim_fct = incast.max_fct();
+  }
+  EXPECT_LT(trim_fct, droptail_fct);
+}
+
+TEST(Transport, ReliableNacksTrimmedArrivals) {
+  // A reliable flow crossing a *trimming* fabric: trimmed arrivals are
+  // useless, the receiver NACKs, the sender retransmits, and the flow still
+  // completes with every payload intact.
+  Bench b(QueuePolicy::kTrim, 10.0, 15);
+  IncastPattern::Config cfg;
+  cfg.packets_per_sender = 64;
+  cfg.trim_size = 88;  // frames are trimmable, but transport wants payloads
+  cfg.transport = TransportConfig::reliable();
+  IncastPattern incast(b.sim, b.topo.left_hosts, b.topo.right_hosts[0], cfg);
+  b.sim.run();
+  EXPECT_EQ(incast.completed_count(), b.topo.left_hosts.size());
+  std::uint64_t retx = 0;
+  for (const auto& st : incast.flow_stats()) {
+    EXPECT_EQ(st.acked_full, 64u);  // all eventually delivered in full
+    retx += st.retransmits;
+  }
+  EXPECT_GT(retx, 0u);
+}
+
+TEST(Transport, EmptyMessageCompletesImmediately) {
+  Bench b(QueuePolicy::kDropTail);
+  auto& host = static_cast<Host&>(b.sim.node(b.topo.left_hosts[0]));
+  Sender sender(host, b.topo.right_hosts[0], 1, TransportConfig::reliable());
+  bool fired = false;
+  sender.send_message({}, [&](const FlowStats& st) {
+    fired = true;
+    EXPECT_TRUE(st.completed);
+    EXPECT_EQ(st.packets, 0u);
+  });
+  b.sim.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Transport, DataPlaneCargoArrivesAtReceiver) {
+  Bench b(QueuePolicy::kDropTail);
+  auto cargo = std::make_shared<core::GradientPacket>();
+  cargo->msg_id = 42;
+  cargo->tail_region.assign(1456, 7);
+  std::vector<std::uint32_t> seen;
+  ManagedFlow flow(b.sim, b.topo.left_hosts[0], b.topo.right_hosts[0], 1,
+                   TransportConfig::trim_aware(), 1,
+                   [&](const Frame& f) {
+                     ASSERT_TRUE(f.cargo);
+                     seen.push_back(f.cargo->msg_id);
+                   });
+  std::vector<SendItem> items(1);
+  items[0].size_bytes = 1500;
+  items[0].trim_size_bytes = 88;
+  items[0].cargo = cargo;
+  flow.start_at(0.0, std::move(items));
+  b.sim.run();
+  EXPECT_EQ(seen, (std::vector<std::uint32_t>{42}));
+}
+
+TEST(Transport, UntrimmableMetadataSurvivesTrimmingFabric) {
+  // Codec metadata (trim_size = 0) must cross a congested trimming fabric
+  // intact — dropped if unlucky, then retransmitted, never trimmed.
+  Bench b(QueuePolicy::kTrim, 10.0, 15);
+  IncastPattern::Config cfg;
+  cfg.packets_per_sender = 64;
+  cfg.trim_size = 0;  // every frame untrimmable => drops + retransmits
+  cfg.transport = TransportConfig::trim_aware();
+  IncastPattern incast(b.sim, b.topo.left_hosts, b.topo.right_hosts[0], cfg);
+  b.sim.run();
+  for (const auto& st : incast.flow_stats()) {
+    EXPECT_TRUE(st.completed);
+    EXPECT_EQ(st.acked_full, 64u);
+    EXPECT_EQ(st.acked_trimmed, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace trimgrad::net
