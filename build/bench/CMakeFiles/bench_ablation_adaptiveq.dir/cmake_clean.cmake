@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_adaptiveq.dir/bench_ablation_adaptiveq.cpp.o"
+  "CMakeFiles/bench_ablation_adaptiveq.dir/bench_ablation_adaptiveq.cpp.o.d"
+  "bench_ablation_adaptiveq"
+  "bench_ablation_adaptiveq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_adaptiveq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

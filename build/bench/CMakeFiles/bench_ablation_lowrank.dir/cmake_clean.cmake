@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lowrank.dir/bench_ablation_lowrank.cpp.o"
+  "CMakeFiles/bench_ablation_lowrank.dir/bench_ablation_lowrank.cpp.o.d"
+  "bench_ablation_lowrank"
+  "bench_ablation_lowrank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lowrank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_closedloop_trimrate.dir/bench_closedloop_trimrate.cpp.o"
+  "CMakeFiles/bench_closedloop_trimrate.dir/bench_closedloop_trimrate.cpp.o.d"
+  "bench_closedloop_trimrate"
+  "bench_closedloop_trimrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_closedloop_trimrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_tta.dir/bench_fig3_tta.cpp.o"
+  "CMakeFiles/bench_fig3_tta.dir/bench_fig3_tta.cpp.o.d"
+  "bench_fig3_tta"
+  "bench_fig3_tta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_tta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

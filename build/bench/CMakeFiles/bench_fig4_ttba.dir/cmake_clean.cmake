@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_ttba.dir/bench_fig4_ttba.cpp.o"
+  "CMakeFiles/bench_fig4_ttba.dir/bench_fig4_ttba.cpp.o.d"
+  "bench_fig4_ttba"
+  "bench_fig4_ttba.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_ttba.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec2_layout.dir/bench_sec2_layout.cpp.o"
+  "CMakeFiles/bench_sec2_layout.dir/bench_sec2_layout.cpp.o.d"
+  "bench_sec2_layout"
+  "bench_sec2_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec2_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

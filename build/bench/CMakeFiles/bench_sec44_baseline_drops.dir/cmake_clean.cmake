@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec44_baseline_drops.dir/bench_sec44_baseline_drops.cpp.o"
+  "CMakeFiles/bench_sec44_baseline_drops.dir/bench_sec44_baseline_drops.cpp.o.d"
+  "bench_sec44_baseline_drops"
+  "bench_sec44_baseline_drops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec44_baseline_drops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_precision.dir/adaptive_precision.cpp.o"
+  "CMakeFiles/adaptive_precision.dir/adaptive_precision.cpp.o.d"
+  "adaptive_precision"
+  "adaptive_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/congestion_fabric.dir/congestion_fabric.cpp.o"
+  "CMakeFiles/congestion_fabric.dir/congestion_fabric.cpp.o.d"
+  "congestion_fabric"
+  "congestion_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/congestion_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

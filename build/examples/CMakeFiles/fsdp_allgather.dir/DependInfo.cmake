@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/fsdp_allgather.cpp" "examples/CMakeFiles/fsdp_allgather.dir/fsdp_allgather.cpp.o" "gcc" "examples/CMakeFiles/fsdp_allgather.dir/fsdp_allgather.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/collective/CMakeFiles/trimgrad_collective.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/trimgrad_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/trimgrad_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/trimgrad_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsdp_allgather.dir/fsdp_allgather.cpp.o"
+  "CMakeFiles/fsdp_allgather.dir/fsdp_allgather.cpp.o.d"
+  "fsdp_allgather"
+  "fsdp_allgather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsdp_allgather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replay_transcript.dir/replay_transcript.cpp.o"
+  "CMakeFiles/replay_transcript.dir/replay_transcript.cpp.o.d"
+  "replay_transcript"
+  "replay_transcript.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replay_transcript.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

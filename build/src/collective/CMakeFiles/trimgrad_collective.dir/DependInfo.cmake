@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/collective/allgather.cpp" "src/collective/CMakeFiles/trimgrad_collective.dir/allgather.cpp.o" "gcc" "src/collective/CMakeFiles/trimgrad_collective.dir/allgather.cpp.o.d"
+  "/root/repo/src/collective/allreduce.cpp" "src/collective/CMakeFiles/trimgrad_collective.dir/allreduce.cpp.o" "gcc" "src/collective/CMakeFiles/trimgrad_collective.dir/allreduce.cpp.o.d"
+  "/root/repo/src/collective/inject_channel.cpp" "src/collective/CMakeFiles/trimgrad_collective.dir/inject_channel.cpp.o" "gcc" "src/collective/CMakeFiles/trimgrad_collective.dir/inject_channel.cpp.o.d"
+  "/root/repo/src/collective/sim_channel.cpp" "src/collective/CMakeFiles/trimgrad_collective.dir/sim_channel.cpp.o" "gcc" "src/collective/CMakeFiles/trimgrad_collective.dir/sim_channel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/trimgrad_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/trimgrad_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trimgrad_collective.dir/allgather.cpp.o"
+  "CMakeFiles/trimgrad_collective.dir/allgather.cpp.o.d"
+  "CMakeFiles/trimgrad_collective.dir/allreduce.cpp.o"
+  "CMakeFiles/trimgrad_collective.dir/allreduce.cpp.o.d"
+  "CMakeFiles/trimgrad_collective.dir/inject_channel.cpp.o"
+  "CMakeFiles/trimgrad_collective.dir/inject_channel.cpp.o.d"
+  "CMakeFiles/trimgrad_collective.dir/sim_channel.cpp.o"
+  "CMakeFiles/trimgrad_collective.dir/sim_channel.cpp.o.d"
+  "libtrimgrad_collective.a"
+  "libtrimgrad_collective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trimgrad_collective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/agg_support.cpp" "src/core/CMakeFiles/trimgrad_core.dir/agg_support.cpp.o" "gcc" "src/core/CMakeFiles/trimgrad_core.dir/agg_support.cpp.o.d"
+  "/root/repo/src/core/bitpack.cpp" "src/core/CMakeFiles/trimgrad_core.dir/bitpack.cpp.o" "gcc" "src/core/CMakeFiles/trimgrad_core.dir/bitpack.cpp.o.d"
+  "/root/repo/src/core/codec.cpp" "src/core/CMakeFiles/trimgrad_core.dir/codec.cpp.o" "gcc" "src/core/CMakeFiles/trimgrad_core.dir/codec.cpp.o.d"
+  "/root/repo/src/core/eden.cpp" "src/core/CMakeFiles/trimgrad_core.dir/eden.cpp.o" "gcc" "src/core/CMakeFiles/trimgrad_core.dir/eden.cpp.o.d"
+  "/root/repo/src/core/hadamard.cpp" "src/core/CMakeFiles/trimgrad_core.dir/hadamard.cpp.o" "gcc" "src/core/CMakeFiles/trimgrad_core.dir/hadamard.cpp.o.d"
+  "/root/repo/src/core/lowrank.cpp" "src/core/CMakeFiles/trimgrad_core.dir/lowrank.cpp.o" "gcc" "src/core/CMakeFiles/trimgrad_core.dir/lowrank.cpp.o.d"
+  "/root/repo/src/core/magnitude.cpp" "src/core/CMakeFiles/trimgrad_core.dir/magnitude.cpp.o" "gcc" "src/core/CMakeFiles/trimgrad_core.dir/magnitude.cpp.o.d"
+  "/root/repo/src/core/multilevel.cpp" "src/core/CMakeFiles/trimgrad_core.dir/multilevel.cpp.o" "gcc" "src/core/CMakeFiles/trimgrad_core.dir/multilevel.cpp.o.d"
+  "/root/repo/src/core/packet.cpp" "src/core/CMakeFiles/trimgrad_core.dir/packet.cpp.o" "gcc" "src/core/CMakeFiles/trimgrad_core.dir/packet.cpp.o.d"
+  "/root/repo/src/core/prng.cpp" "src/core/CMakeFiles/trimgrad_core.dir/prng.cpp.o" "gcc" "src/core/CMakeFiles/trimgrad_core.dir/prng.cpp.o.d"
+  "/root/repo/src/core/quantizer.cpp" "src/core/CMakeFiles/trimgrad_core.dir/quantizer.cpp.o" "gcc" "src/core/CMakeFiles/trimgrad_core.dir/quantizer.cpp.o.d"
+  "/root/repo/src/core/rht_codec.cpp" "src/core/CMakeFiles/trimgrad_core.dir/rht_codec.cpp.o" "gcc" "src/core/CMakeFiles/trimgrad_core.dir/rht_codec.cpp.o.d"
+  "/root/repo/src/core/sparsify.cpp" "src/core/CMakeFiles/trimgrad_core.dir/sparsify.cpp.o" "gcc" "src/core/CMakeFiles/trimgrad_core.dir/sparsify.cpp.o.d"
+  "/root/repo/src/core/stats.cpp" "src/core/CMakeFiles/trimgrad_core.dir/stats.cpp.o" "gcc" "src/core/CMakeFiles/trimgrad_core.dir/stats.cpp.o.d"
+  "/root/repo/src/core/transcript.cpp" "src/core/CMakeFiles/trimgrad_core.dir/transcript.cpp.o" "gcc" "src/core/CMakeFiles/trimgrad_core.dir/transcript.cpp.o.d"
+  "/root/repo/src/core/wire.cpp" "src/core/CMakeFiles/trimgrad_core.dir/wire.cpp.o" "gcc" "src/core/CMakeFiles/trimgrad_core.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

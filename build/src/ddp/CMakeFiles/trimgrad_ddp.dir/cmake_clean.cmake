@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trimgrad_ddp.dir/clock_model.cpp.o"
+  "CMakeFiles/trimgrad_ddp.dir/clock_model.cpp.o.d"
+  "CMakeFiles/trimgrad_ddp.dir/trainer.cpp.o"
+  "CMakeFiles/trimgrad_ddp.dir/trainer.cpp.o.d"
+  "libtrimgrad_ddp.a"
+  "libtrimgrad_ddp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trimgrad_ddp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/data.cpp" "src/ml/CMakeFiles/trimgrad_ml.dir/data.cpp.o" "gcc" "src/ml/CMakeFiles/trimgrad_ml.dir/data.cpp.o.d"
+  "/root/repo/src/ml/layers.cpp" "src/ml/CMakeFiles/trimgrad_ml.dir/layers.cpp.o" "gcc" "src/ml/CMakeFiles/trimgrad_ml.dir/layers.cpp.o.d"
+  "/root/repo/src/ml/loss.cpp" "src/ml/CMakeFiles/trimgrad_ml.dir/loss.cpp.o" "gcc" "src/ml/CMakeFiles/trimgrad_ml.dir/loss.cpp.o.d"
+  "/root/repo/src/ml/model.cpp" "src/ml/CMakeFiles/trimgrad_ml.dir/model.cpp.o" "gcc" "src/ml/CMakeFiles/trimgrad_ml.dir/model.cpp.o.d"
+  "/root/repo/src/ml/optim.cpp" "src/ml/CMakeFiles/trimgrad_ml.dir/optim.cpp.o" "gcc" "src/ml/CMakeFiles/trimgrad_ml.dir/optim.cpp.o.d"
+  "/root/repo/src/ml/tensor.cpp" "src/ml/CMakeFiles/trimgrad_ml.dir/tensor.cpp.o" "gcc" "src/ml/CMakeFiles/trimgrad_ml.dir/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/trimgrad_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trimgrad_ml.dir/data.cpp.o"
+  "CMakeFiles/trimgrad_ml.dir/data.cpp.o.d"
+  "CMakeFiles/trimgrad_ml.dir/layers.cpp.o"
+  "CMakeFiles/trimgrad_ml.dir/layers.cpp.o.d"
+  "CMakeFiles/trimgrad_ml.dir/loss.cpp.o"
+  "CMakeFiles/trimgrad_ml.dir/loss.cpp.o.d"
+  "CMakeFiles/trimgrad_ml.dir/model.cpp.o"
+  "CMakeFiles/trimgrad_ml.dir/model.cpp.o.d"
+  "CMakeFiles/trimgrad_ml.dir/optim.cpp.o"
+  "CMakeFiles/trimgrad_ml.dir/optim.cpp.o.d"
+  "CMakeFiles/trimgrad_ml.dir/tensor.cpp.o"
+  "CMakeFiles/trimgrad_ml.dir/tensor.cpp.o.d"
+  "libtrimgrad_ml.a"
+  "libtrimgrad_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trimgrad_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

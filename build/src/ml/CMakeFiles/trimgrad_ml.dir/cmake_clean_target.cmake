@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtrimgrad_ml.a"
+)

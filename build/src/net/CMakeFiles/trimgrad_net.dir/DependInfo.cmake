@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/agg_switch.cpp" "src/net/CMakeFiles/trimgrad_net.dir/agg_switch.cpp.o" "gcc" "src/net/CMakeFiles/trimgrad_net.dir/agg_switch.cpp.o.d"
+  "/root/repo/src/net/ecn_transport.cpp" "src/net/CMakeFiles/trimgrad_net.dir/ecn_transport.cpp.o" "gcc" "src/net/CMakeFiles/trimgrad_net.dir/ecn_transport.cpp.o.d"
+  "/root/repo/src/net/frame.cpp" "src/net/CMakeFiles/trimgrad_net.dir/frame.cpp.o" "gcc" "src/net/CMakeFiles/trimgrad_net.dir/frame.cpp.o.d"
+  "/root/repo/src/net/injector.cpp" "src/net/CMakeFiles/trimgrad_net.dir/injector.cpp.o" "gcc" "src/net/CMakeFiles/trimgrad_net.dir/injector.cpp.o.d"
+  "/root/repo/src/net/pull_transport.cpp" "src/net/CMakeFiles/trimgrad_net.dir/pull_transport.cpp.o" "gcc" "src/net/CMakeFiles/trimgrad_net.dir/pull_transport.cpp.o.d"
+  "/root/repo/src/net/queue.cpp" "src/net/CMakeFiles/trimgrad_net.dir/queue.cpp.o" "gcc" "src/net/CMakeFiles/trimgrad_net.dir/queue.cpp.o.d"
+  "/root/repo/src/net/sim.cpp" "src/net/CMakeFiles/trimgrad_net.dir/sim.cpp.o" "gcc" "src/net/CMakeFiles/trimgrad_net.dir/sim.cpp.o.d"
+  "/root/repo/src/net/switch_node.cpp" "src/net/CMakeFiles/trimgrad_net.dir/switch_node.cpp.o" "gcc" "src/net/CMakeFiles/trimgrad_net.dir/switch_node.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/trimgrad_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/trimgrad_net.dir/topology.cpp.o.d"
+  "/root/repo/src/net/traffic.cpp" "src/net/CMakeFiles/trimgrad_net.dir/traffic.cpp.o" "gcc" "src/net/CMakeFiles/trimgrad_net.dir/traffic.cpp.o.d"
+  "/root/repo/src/net/transport.cpp" "src/net/CMakeFiles/trimgrad_net.dir/transport.cpp.o" "gcc" "src/net/CMakeFiles/trimgrad_net.dir/transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/trimgrad_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

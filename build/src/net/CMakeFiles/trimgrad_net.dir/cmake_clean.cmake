@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trimgrad_net.dir/agg_switch.cpp.o"
+  "CMakeFiles/trimgrad_net.dir/agg_switch.cpp.o.d"
+  "CMakeFiles/trimgrad_net.dir/ecn_transport.cpp.o"
+  "CMakeFiles/trimgrad_net.dir/ecn_transport.cpp.o.d"
+  "CMakeFiles/trimgrad_net.dir/frame.cpp.o"
+  "CMakeFiles/trimgrad_net.dir/frame.cpp.o.d"
+  "CMakeFiles/trimgrad_net.dir/injector.cpp.o"
+  "CMakeFiles/trimgrad_net.dir/injector.cpp.o.d"
+  "CMakeFiles/trimgrad_net.dir/pull_transport.cpp.o"
+  "CMakeFiles/trimgrad_net.dir/pull_transport.cpp.o.d"
+  "CMakeFiles/trimgrad_net.dir/queue.cpp.o"
+  "CMakeFiles/trimgrad_net.dir/queue.cpp.o.d"
+  "CMakeFiles/trimgrad_net.dir/sim.cpp.o"
+  "CMakeFiles/trimgrad_net.dir/sim.cpp.o.d"
+  "CMakeFiles/trimgrad_net.dir/switch_node.cpp.o"
+  "CMakeFiles/trimgrad_net.dir/switch_node.cpp.o.d"
+  "CMakeFiles/trimgrad_net.dir/topology.cpp.o"
+  "CMakeFiles/trimgrad_net.dir/topology.cpp.o.d"
+  "CMakeFiles/trimgrad_net.dir/traffic.cpp.o"
+  "CMakeFiles/trimgrad_net.dir/traffic.cpp.o.d"
+  "CMakeFiles/trimgrad_net.dir/transport.cpp.o"
+  "CMakeFiles/trimgrad_net.dir/transport.cpp.o.d"
+  "libtrimgrad_net.a"
+  "libtrimgrad_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trimgrad_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_collective_allreduce.dir/collective/allreduce_test.cpp.o"
+  "CMakeFiles/test_collective_allreduce.dir/collective/allreduce_test.cpp.o.d"
+  "test_collective_allreduce"
+  "test_collective_allreduce.pdb"
+  "test_collective_allreduce[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_collective_allreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

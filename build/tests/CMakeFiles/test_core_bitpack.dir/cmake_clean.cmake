@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_bitpack.dir/core/bitpack_test.cpp.o"
+  "CMakeFiles/test_core_bitpack.dir/core/bitpack_test.cpp.o.d"
+  "test_core_bitpack"
+  "test_core_bitpack.pdb"
+  "test_core_bitpack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_bitpack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

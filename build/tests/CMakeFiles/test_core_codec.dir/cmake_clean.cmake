@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_codec.dir/core/codec_test.cpp.o"
+  "CMakeFiles/test_core_codec.dir/core/codec_test.cpp.o.d"
+  "test_core_codec"
+  "test_core_codec.pdb"
+  "test_core_codec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

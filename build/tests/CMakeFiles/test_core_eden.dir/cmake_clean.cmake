@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_eden.dir/core/eden_test.cpp.o"
+  "CMakeFiles/test_core_eden.dir/core/eden_test.cpp.o.d"
+  "test_core_eden"
+  "test_core_eden.pdb"
+  "test_core_eden[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_eden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_hadamard.dir/core/hadamard_test.cpp.o"
+  "CMakeFiles/test_core_hadamard.dir/core/hadamard_test.cpp.o.d"
+  "test_core_hadamard"
+  "test_core_hadamard.pdb"
+  "test_core_hadamard[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_hadamard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

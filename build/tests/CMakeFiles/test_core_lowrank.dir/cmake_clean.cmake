@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_lowrank.dir/core/lowrank_test.cpp.o"
+  "CMakeFiles/test_core_lowrank.dir/core/lowrank_test.cpp.o.d"
+  "test_core_lowrank"
+  "test_core_lowrank.pdb"
+  "test_core_lowrank[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_lowrank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

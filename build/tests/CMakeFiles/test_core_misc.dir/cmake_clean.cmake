@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_misc.dir/core/misc_test.cpp.o"
+  "CMakeFiles/test_core_misc.dir/core/misc_test.cpp.o.d"
+  "test_core_misc"
+  "test_core_misc.pdb"
+  "test_core_misc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_misc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_multilevel.dir/core/multilevel_test.cpp.o"
+  "CMakeFiles/test_core_multilevel.dir/core/multilevel_test.cpp.o.d"
+  "test_core_multilevel"
+  "test_core_multilevel.pdb"
+  "test_core_multilevel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_multilevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_packet.dir/core/packet_test.cpp.o"
+  "CMakeFiles/test_core_packet.dir/core/packet_test.cpp.o.d"
+  "test_core_packet"
+  "test_core_packet.pdb"
+  "test_core_packet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

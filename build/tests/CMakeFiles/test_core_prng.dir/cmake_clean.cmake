@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_prng.dir/core/prng_test.cpp.o"
+  "CMakeFiles/test_core_prng.dir/core/prng_test.cpp.o.d"
+  "test_core_prng"
+  "test_core_prng.pdb"
+  "test_core_prng[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_prng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_quantizer.dir/core/quantizer_test.cpp.o"
+  "CMakeFiles/test_core_quantizer.dir/core/quantizer_test.cpp.o.d"
+  "test_core_quantizer"
+  "test_core_quantizer.pdb"
+  "test_core_quantizer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_quantizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

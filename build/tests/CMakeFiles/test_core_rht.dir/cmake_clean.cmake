@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_rht.dir/core/rht_codec_test.cpp.o"
+  "CMakeFiles/test_core_rht.dir/core/rht_codec_test.cpp.o.d"
+  "test_core_rht"
+  "test_core_rht.pdb"
+  "test_core_rht[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_rht.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_stats.dir/core/stats_test.cpp.o"
+  "CMakeFiles/test_core_stats.dir/core/stats_test.cpp.o.d"
+  "test_core_stats"
+  "test_core_stats.pdb"
+  "test_core_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_wire.dir/core/wire_test.cpp.o"
+  "CMakeFiles/test_core_wire.dir/core/wire_test.cpp.o.d"
+  "test_core_wire"
+  "test_core_wire.pdb"
+  "test_core_wire[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ddp_trainer.dir/ddp/trainer_test.cpp.o"
+  "CMakeFiles/test_ddp_trainer.dir/ddp/trainer_test.cpp.o.d"
+  "test_ddp_trainer"
+  "test_ddp_trainer.pdb"
+  "test_ddp_trainer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ddp_trainer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_layers.dir/ml/layers_test.cpp.o"
+  "CMakeFiles/test_ml_layers.dir/ml/layers_test.cpp.o.d"
+  "test_ml_layers"
+  "test_ml_layers.pdb"
+  "test_ml_layers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_training.dir/ml/training_test.cpp.o"
+  "CMakeFiles/test_ml_training.dir/ml/training_test.cpp.o.d"
+  "test_ml_training"
+  "test_ml_training.pdb"
+  "test_ml_training[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

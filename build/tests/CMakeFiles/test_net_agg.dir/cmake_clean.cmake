@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_agg.dir/net/agg_switch_test.cpp.o"
+  "CMakeFiles/test_net_agg.dir/net/agg_switch_test.cpp.o.d"
+  "test_net_agg"
+  "test_net_agg.pdb"
+  "test_net_agg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_agg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_conservation.dir/net/conservation_test.cpp.o"
+  "CMakeFiles/test_net_conservation.dir/net/conservation_test.cpp.o.d"
+  "test_net_conservation"
+  "test_net_conservation.pdb"
+  "test_net_conservation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_conservation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_ecn.dir/net/ecn_transport_test.cpp.o"
+  "CMakeFiles/test_net_ecn.dir/net/ecn_transport_test.cpp.o.d"
+  "test_net_ecn"
+  "test_net_ecn.pdb"
+  "test_net_ecn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_ecn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

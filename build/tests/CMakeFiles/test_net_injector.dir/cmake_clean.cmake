@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_injector.dir/net/injector_test.cpp.o"
+  "CMakeFiles/test_net_injector.dir/net/injector_test.cpp.o.d"
+  "test_net_injector"
+  "test_net_injector.pdb"
+  "test_net_injector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_injector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

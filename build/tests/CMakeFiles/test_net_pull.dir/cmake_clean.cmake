@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_pull.dir/net/pull_transport_test.cpp.o"
+  "CMakeFiles/test_net_pull.dir/net/pull_transport_test.cpp.o.d"
+  "test_net_pull"
+  "test_net_pull.pdb"
+  "test_net_pull[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_pull.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

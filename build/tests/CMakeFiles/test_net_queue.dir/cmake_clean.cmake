@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_queue.dir/net/queue_test.cpp.o"
+  "CMakeFiles/test_net_queue.dir/net/queue_test.cpp.o.d"
+  "test_net_queue"
+  "test_net_queue.pdb"
+  "test_net_queue[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_transport.dir/net/transport_test.cpp.o"
+  "CMakeFiles/test_net_transport.dir/net/transport_test.cpp.o.d"
+  "test_net_transport"
+  "test_net_transport.pdb"
+  "test_net_transport[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_core_prng[1]_include.cmake")
+include("/root/repo/build/tests/test_core_bitpack[1]_include.cmake")
+include("/root/repo/build/tests/test_core_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_core_hadamard[1]_include.cmake")
+include("/root/repo/build/tests/test_core_quantizer[1]_include.cmake")
+include("/root/repo/build/tests/test_core_rht[1]_include.cmake")
+include("/root/repo/build/tests/test_core_packet[1]_include.cmake")
+include("/root/repo/build/tests/test_core_codec[1]_include.cmake")
+include("/root/repo/build/tests/test_core_multilevel[1]_include.cmake")
+include("/root/repo/build/tests/test_core_misc[1]_include.cmake")
+include("/root/repo/build/tests/test_core_codec_property[1]_include.cmake")
+include("/root/repo/build/tests/test_core_adaptive[1]_include.cmake")
+include("/root/repo/build/tests/test_core_eden[1]_include.cmake")
+include("/root/repo/build/tests/test_core_lowrank[1]_include.cmake")
+include("/root/repo/build/tests/test_core_wire[1]_include.cmake")
+include("/root/repo/build/tests/test_net_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_net_queue[1]_include.cmake")
+include("/root/repo/build/tests/test_net_transport[1]_include.cmake")
+include("/root/repo/build/tests/test_net_topology[1]_include.cmake")
+include("/root/repo/build/tests/test_net_injector[1]_include.cmake")
+include("/root/repo/build/tests/test_net_conservation[1]_include.cmake")
+include("/root/repo/build/tests/test_net_pull[1]_include.cmake")
+include("/root/repo/build/tests/test_net_agg[1]_include.cmake")
+include("/root/repo/build/tests/test_net_ecn[1]_include.cmake")
+include("/root/repo/build/tests/test_ml_layers[1]_include.cmake")
+include("/root/repo/build/tests/test_ml_training[1]_include.cmake")
+include("/root/repo/build/tests/test_collective_allreduce[1]_include.cmake")
+include("/root/repo/build/tests/test_ddp_trainer[1]_include.cmake")
