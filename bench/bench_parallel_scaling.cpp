@@ -1,0 +1,208 @@
+// Parallel-scaling microbench for the threaded hot paths (see ISSUE 2 /
+// DESIGN.md threading model): row-parallel RHT encode+decode, the blocked
+// GEMM kernels, message-level EDEN, and one DDP trainer round, each timed
+// at pool sizes 1/2/4/8 against the single-thread baseline.
+//
+// Emits a human-readable table on stdout and machine-readable
+// BENCH_parallel.json in the working directory. Also cross-checks that the
+// decoded gradients hash identically at every thread count — the
+// determinism contract the unit tests enforce, re-verified here at bench
+// scale. Speedups saturate at the machine's core count (reported in the
+// JSON as hardware_threads); on a single-core container the curves are
+// flat by construction.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "collective/inject_channel.h"
+#include "core/codec.h"
+#include "core/eden.h"
+#include "core/prng.h"
+#include "core/threadpool.h"
+#include "ddp/trainer.h"
+#include "ml/data.h"
+#include "ml/model.h"
+#include "ml/tensor.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using trimgrad::core::ThreadPool;
+
+double time_best_of(int reps, const std::function<void()>& fn) {
+  double best = 1e100;
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = Clock::now();
+    fn();
+    const double s = std::chrono::duration<double>(Clock::now() - t0).count();
+    if (s < best) best = s;
+  }
+  return best;
+}
+
+std::uint64_t fnv(std::uint64_t h, const float* p, std::size_t n) {
+  const unsigned char* b = reinterpret_cast<const unsigned char*>(p);
+  for (std::size_t i = 0; i < n * sizeof(float); ++i) {
+    h = (h ^ b[i]) * 1099511628211ULL;
+  }
+  return h;
+}
+
+struct Section {
+  const char* name;
+  std::vector<double> seconds;   // one per thread count
+  std::vector<std::uint64_t> hashes;
+};
+
+}  // namespace
+
+int main() {
+  using namespace trimgrad;
+
+  const std::vector<std::size_t> thread_counts = {1, 2, 4, 8};
+
+  // --- Workloads -----------------------------------------------------------
+  // Codec: a 4M-coordinate gradient (16 MB) in the paper's 2^15-entry rows.
+  core::Xoshiro256 rng(7);
+  std::vector<float> grad(std::size_t{1} << 22);
+  for (auto& x : grad) x = rng.uniform(-1.0f, 1.0f);
+  core::CodecConfig ccfg;
+  ccfg.scheme = core::Scheme::kRHT;
+
+  // GEMM: C(512x768) += A(512x640)·B(640x768), ~250 MFLOP per call.
+  const std::size_t M = 512, K = 640, N = 768;
+  std::vector<float> ga(M * K), gb(K * N), gc(M * N);
+  for (auto& x : ga) x = rng.uniform(-1.0f, 1.0f);
+  for (auto& x : gb) x = rng.uniform(-1.0f, 1.0f);
+
+  // Trainer: one epoch of a small MLP DDP run over a clean channel.
+  ml::SynthCifarConfig dcfg;
+  dcfg.classes = 10;
+  dcfg.height = dcfg.width = 16;
+  dcfg.train_per_class = 24;
+  dcfg.test_per_class = 4;
+  ml::SynthCifar data(dcfg);
+  ddp::TrainerConfig tcfg;
+  tcfg.world = 4;
+  tcfg.global_batch = 48;
+  tcfg.epochs = 1;
+  tcfg.eval_every = 0;
+  tcfg.codec.scheme = core::Scheme::kRHT;
+  tcfg.codec.rht_row_len = std::size_t{1} << 12;
+
+  Section s_codec{"rht_encode_decode", {}, {}};
+  Section s_eden{"eden_encode_decode", {}, {}};
+  Section s_gemm{"gemm", {}, {}};
+  Section s_trainer{"trainer_round", {}, {}};
+
+  for (const std::size_t t : thread_counts) {
+    ThreadPool::set_global_threads(t);
+
+    // RHT encode + decode round trip.
+    core::TrimmableEncoder enc(ccfg);
+    core::TrimmableDecoder dec(ccfg);
+    std::uint64_t codec_hash = 1469598103934665603ULL;
+    s_codec.seconds.push_back(time_best_of(3, [&] {
+      auto msg = enc.encode(grad, 1, 1);
+      auto out = dec.decode(msg.packets, msg.meta);
+      codec_hash = fnv(codec_hash, out.values.data(), out.values.size());
+    }));
+    s_codec.hashes.push_back(codec_hash);
+
+    // EDEN 4-bit message round trip.
+    std::uint64_t eden_hash = 1469598103934665603ULL;
+    s_eden.seconds.push_back(time_best_of(3, [&] {
+      auto msg = core::eden_encode_message(grad, 1, 1, 1, 4);
+      auto out = core::eden_decode_message(msg, 1, 1, 1);
+      eden_hash = fnv(eden_hash, out.data(), out.size());
+    }));
+    s_eden.hashes.push_back(eden_hash);
+
+    // GEMM (forward-shaped kernel).
+    std::uint64_t gemm_hash = 1469598103934665603ULL;
+    s_gemm.seconds.push_back(time_best_of(3, [&] {
+      std::fill(gc.begin(), gc.end(), 0.0f);
+      ml::gemm_accumulate(ga.data(), gb.data(), gc.data(), M, K, N);
+      gemm_hash = fnv(gemm_hash, gc.data(), gc.size());
+    }));
+    s_gemm.hashes.push_back(gemm_hash);
+
+    // One DDP epoch (fresh trainer each rep so state is identical).
+    std::uint64_t tr_hash = 1469598103934665603ULL;
+    s_trainer.seconds.push_back(time_best_of(2, [&] {
+      collective::InjectChannel::Config chcfg;
+      chcfg.world = tcfg.world;
+      collective::InjectChannel channel(chcfg);
+      ddp::DdpTrainer trainer(data, channel, tcfg, [&dcfg] {
+        ml::ModelConfig mcfg;
+        mcfg.classes = dcfg.classes;
+        mcfg.height = dcfg.height;
+        mcfg.width = dcfg.width;
+        return ml::make_mlp(mcfg, 128);
+      });
+      const auto rec = trainer.run_epoch(0);
+      const auto params = trainer.replica(0).flat_params();
+      tr_hash = fnv(tr_hash, params.data(), params.size());
+      const float loss = static_cast<float>(rec.train_loss);
+      tr_hash = fnv(tr_hash, &loss, 1);
+    }));
+    s_trainer.hashes.push_back(tr_hash);
+  }
+  ThreadPool::set_global_threads(1);
+
+  const std::vector<Section*> sections = {&s_codec, &s_eden, &s_gemm,
+                                          &s_trainer};
+  bool deterministic = true;
+  std::printf("# Parallel scaling (best-of-N wall time; speedup vs 1 thread)\n");
+  std::printf("# hardware threads available: %u\n",
+              std::thread::hardware_concurrency());
+  std::printf("%-20s", "section");
+  for (std::size_t t : thread_counts) std::printf(" %7zuT %7s", t, "spdup");
+  std::printf("\n");
+  for (const Section* s : sections) {
+    std::printf("%-20s", s->name);
+    for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+      std::printf(" %7.4f %6.2fx", s->seconds[i],
+                  s->seconds[0] / s->seconds[i]);
+    }
+    std::printf("\n");
+    for (std::uint64_t h : s->hashes) {
+      if (h != s->hashes[0]) deterministic = false;
+    }
+  }
+  std::printf("# bit-exact across thread counts: %s\n",
+              deterministic ? "yes" : "NO — DETERMINISM VIOLATION");
+
+  FILE* f = std::fopen("BENCH_parallel.json", "w");
+  if (f) {
+    std::fprintf(f, "{\n  \"hardware_threads\": %u,\n  \"deterministic\": %s,\n",
+                 std::thread::hardware_concurrency(),
+                 deterministic ? "true" : "false");
+    std::fprintf(f, "  \"thread_counts\": [");
+    for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+      std::fprintf(f, "%s%zu", i ? ", " : "", thread_counts[i]);
+    }
+    std::fprintf(f, "],\n  \"sections\": {\n");
+    for (std::size_t si = 0; si < sections.size(); ++si) {
+      const Section* s = sections[si];
+      std::fprintf(f, "    \"%s\": {\"seconds\": [", s->name);
+      for (std::size_t i = 0; i < s->seconds.size(); ++i) {
+        std::fprintf(f, "%s%.6f", i ? ", " : "", s->seconds[i]);
+      }
+      std::fprintf(f, "], \"speedup\": [");
+      for (std::size_t i = 0; i < s->seconds.size(); ++i) {
+        std::fprintf(f, "%s%.3f", i ? ", " : "",
+                     s->seconds[0] / s->seconds[i]);
+      }
+      std::fprintf(f, "]}%s\n", si + 1 < sections.size() ? "," : "");
+    }
+    std::fprintf(f, "  }\n}\n");
+    std::fclose(f);
+    std::printf("# wrote BENCH_parallel.json\n");
+  }
+  return deterministic ? 0 : 1;
+}

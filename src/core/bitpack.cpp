@@ -8,6 +8,17 @@ namespace trimgrad::core {
 void BitWriter::put(std::uint64_t value, unsigned width) {
   assert(width >= 1 && width <= 64);
   if (width < 64) value &= (std::uint64_t{1} << width) - 1;
+  // Bulk fast path: a byte-aligned write of a whole number of bytes emits
+  // them directly, MSB-first. This covers the head/tail packetization hot
+  // cases (32-bit baseline floats, 24-bit multilevel low regions, 8/16-bit
+  // tails) without touching the bit-shuffling loop below.
+  if (bit_count_ % 8 == 0 && width % 8 == 0) {
+    for (unsigned shift = width; shift != 0; shift -= 8) {
+      buf_.push_back(static_cast<std::uint8_t>(value >> (shift - 8)));
+    }
+    bit_count_ += width;
+    return;
+  }
   // Write bits from the most significant end of the value.
   unsigned remaining = width;
   while (remaining > 0) {
@@ -30,6 +41,16 @@ std::vector<std::uint8_t> BitWriter::finish() && {
 std::uint64_t BitReader::get(unsigned width) noexcept {
   assert(width >= 1 && width <= 64);
   assert(bits_remaining() >= width);
+  // Bulk fast path mirroring BitWriter::put: byte-aligned whole-byte reads.
+  if (cursor_ % 8 == 0 && width % 8 == 0) {
+    std::uint64_t out = 0;
+    std::size_t byte_idx = cursor_ / 8;
+    for (unsigned got = 0; got < width; got += 8) {
+      out = (out << 8) | data_[byte_idx++];
+    }
+    cursor_ += width;
+    return out;
+  }
   std::uint64_t out = 0;
   unsigned remaining = width;
   while (remaining > 0) {

@@ -8,6 +8,7 @@
 #include "core/quantizer.h"
 #include "core/rht_codec.h"
 #include "core/stats.h"
+#include "core/threadpool.h"
 
 namespace trimgrad::core {
 
@@ -163,24 +164,39 @@ EncodedMessage TrimmableEncoder::encode(std::span<const float> grad,
     case Scheme::kRHT: {
       const RowSplit split = make_row_split(grad.size(), cfg_.rht_row_len);
       out.meta.row_len = static_cast<std::uint32_t>(cfg_.rht_row_len);
-      out.meta.row_scales.reserve(split.n_rows);
+      out.meta.row_scales.assign(split.n_rows, 0.0f);
+      // Rows are bit-exactly independent (per-row StreamKey), so encode
+      // them across the pool. Packet counts are known up front, so each row
+      // writes into its own pre-sized slice of out.packets and seq numbers
+      // stay identical to the sequential order.
+      std::vector<std::size_t> pkt_base(split.n_rows + 1, 0);
       for (std::size_t r = 0; r < split.n_rows; ++r) {
-        const std::vector<float> row = extract_padded_row(grad, split, r);
-        const StreamKey key{cfg_.shared_seed, epoch, msg_id, r};
-        RhtEncodedRow enc = rht_encode_row(row, key);
-        out.meta.row_scales.push_back(enc.scale_f);
-        // Packets never span rows: coord_base is global, row-local offset
-        // recovered as coord_base − row·row_len at decode.
-        const std::size_t row_base = split.offset(r);
-        for (std::size_t off = 0; off < enc.heads.size(); off += per_pkt) {
-          const std::size_t n = std::min(per_pkt, enc.heads.size() - off);
-          out.packets.push_back(make_packet(
-              cfg_, msg_id, static_cast<std::uint32_t>(r),
-              static_cast<std::uint32_t>(row_base + off), seq++,
-              std::span(enc.heads).subspan(off, n),
-              std::span(enc.tails).subspan(off, n)));
-        }
+        pkt_base[r + 1] =
+            pkt_base[r] + (split.padded_len(r) + per_pkt - 1) / per_pkt;
       }
+      out.packets.resize(pkt_base[split.n_rows]);
+      parallel_for(split.n_rows, 1, [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t r = r0; r < r1; ++r) {
+          const std::vector<float> row = extract_padded_row(grad, split, r);
+          const StreamKey key{cfg_.shared_seed, epoch, msg_id, r};
+          RhtEncodedRow enc = rht_encode_row(row, key);
+          out.meta.row_scales[r] = enc.scale_f;
+          // Packets never span rows: coord_base is global, row-local offset
+          // recovered as coord_base − row·row_len at decode.
+          const std::size_t row_base = split.offset(r);
+          std::size_t slot = pkt_base[r];
+          for (std::size_t off = 0; off < enc.heads.size(); off += per_pkt) {
+            const std::size_t n = std::min(per_pkt, enc.heads.size() - off);
+            out.packets[slot] = make_packet(
+                cfg_, msg_id, static_cast<std::uint32_t>(r),
+                static_cast<std::uint32_t>(row_base + off),
+                static_cast<std::uint16_t>(slot),
+                std::span(enc.heads).subspan(off, n),
+                std::span(enc.tails).subspan(off, n));
+            ++slot;
+          }
+        }
+      });
       break;
     }
   }
@@ -252,62 +268,72 @@ DecodeResult TrimmableDecoder::decode(std::span<const GradientPacket> packets,
     }
     case Scheme::kRHT: {
       const RowSplit split = make_row_split(meta.total_coords, meta.row_len);
-      // Group packets per row, then decode row by row.
-      for (std::size_t r = 0; r < split.n_rows; ++r) {
-        const std::size_t padded = split.padded_len(r);
-        const std::size_t row_base = split.offset(r);
-        std::vector<std::uint8_t> heads(padded, 0);
-        std::vector<std::uint32_t> tails(padded, 0);
-        // 0 = full, 1 = trimmed (head survives), 2 = lost (nothing).
-        std::vector<std::uint8_t> state(padded, 2);
-        for (const auto& pkt : packets) {
-          if (pkt.row_id != r) continue;
-          BitReader hr(pkt.head_region);
-          BitReader tr(pkt.tail_region);
-          for (std::size_t j = 0; j < pkt.n_coords; ++j) {
-            const bool h = hr.get_bit();
-            const std::size_t local = pkt.coord_base - row_base + j;
-            if (local >= padded) continue;
-            heads[local] = h ? 1 : 0;
-            if (pkt.trimmed) {
-              state[local] = 1;
-            } else {
-              tails[local] = tail_expand(
-                  static_cast<std::uint32_t>(tr.get(pkt.q_bits)), pkt.q_bits);
-              state[local] = 0;
+      // Bucket packets by row once (also turns the old rows×packets scan
+      // into a single pass), then decode rows across the pool: each row
+      // writes a disjoint slice of out.values and its own stats slot, so
+      // results and stats are identical for any thread count.
+      std::vector<std::vector<const GradientPacket*>> by_row(split.n_rows);
+      for (const auto& pkt : packets) {
+        if (pkt.row_id < split.n_rows) by_row[pkt.row_id].push_back(&pkt);
+      }
+      std::vector<DecodeStats> row_stats(split.n_rows);
+      parallel_for(split.n_rows, 1, [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t r = r0; r < r1; ++r) {
+          const std::size_t padded = split.padded_len(r);
+          const std::size_t row_base = split.offset(r);
+          std::vector<std::uint8_t> heads(padded, 0);
+          std::vector<std::uint32_t> tails(padded, 0);
+          // 0 = full, 1 = trimmed (head survives), 2 = lost (nothing).
+          std::vector<std::uint8_t> state(padded, 2);
+          for (const GradientPacket* pkt : by_row[r]) {
+            BitReader hr(pkt->head_region);
+            BitReader tr(pkt->tail_region);
+            for (std::size_t j = 0; j < pkt->n_coords; ++j) {
+              const bool h = hr.get_bit();
+              const std::size_t local = pkt->coord_base - row_base + j;
+              if (local >= padded) continue;
+              heads[local] = h ? 1 : 0;
+              if (pkt->trimmed) {
+                state[local] = 1;
+              } else {
+                tails[local] =
+                    tail_expand(static_cast<std::uint32_t>(tr.get(pkt->q_bits)),
+                                pkt->q_bits);
+                state[local] = 0;
+              }
             }
           }
-        }
-        // Lost coordinates decode as r̂ = 0 (no sign information at all);
-        // reuse the trimmed path with a zero scale by marking them trimmed
-        // in a scratch mask and zeroing afterwards via tails trick: simpler
-        // to substitute r̂ directly below.
-        std::vector<std::uint8_t> trimmed_mask(padded, 0);
-        for (std::size_t i = 0; i < padded; ++i) {
-          if (state[i] == 1) trimmed_mask[i] = 1;
-          if (state[i] == 2) {
-            // encode r̂ = 0 exactly: head=1 (+0.0), tail=0, not trimmed
-            heads[i] = 1;
-            tails[i] = 0;
-            trimmed_mask[i] = 0;
+          // Lost coordinates decode as r̂ = 0 (no sign information at all);
+          // substitute r̂ directly: head=1 (+0.0), tail=0, not trimmed.
+          std::vector<std::uint8_t> trimmed_mask(padded, 0);
+          for (std::size_t i = 0; i < padded; ++i) {
+            if (state[i] == 1) trimmed_mask[i] = 1;
+            if (state[i] == 2) {
+              heads[i] = 1;
+              tails[i] = 0;
+              trimmed_mask[i] = 0;
+            }
+          }
+          const StreamKey key{cfg_.shared_seed, meta.epoch, meta.msg_id, r};
+          const float f =
+              r < meta.row_scales.size() ? meta.row_scales[r] : 0.0f;
+          std::vector<float> row =
+              rht_decode_row(heads, tails, trimmed_mask, f, key);
+          const std::size_t real = split.real_len(r);
+          for (std::size_t i = 0; i < real; ++i)
+            out.values[row_base + i] = row[i];
+          for (std::size_t i = 0; i < real; ++i) {
+            // Padded coordinates don't count toward stats.
+            if (state[i] == 0) ++row_stats[r].full_coords;
+            else if (state[i] == 1) ++row_stats[r].trimmed_coords;
+            else ++row_stats[r].lost_coords;
           }
         }
-        const StreamKey key{cfg_.shared_seed, meta.epoch, meta.msg_id, r};
-        const float f =
-            r < meta.row_scales.size() ? meta.row_scales[r] : 0.0f;
-        std::vector<float> row =
-            rht_decode_row(heads, tails, trimmed_mask, f, key);
-        const std::size_t real = split.real_len(r);
-        for (std::size_t i = 0; i < real; ++i)
-          out.values[row_base + i] = row[i];
-        for (std::size_t i = 0; i < padded; ++i) {
-          // Padded coordinates don't count toward stats.
-          const bool is_real = i < real;
-          if (!is_real) continue;
-          if (state[i] == 0) ++out.stats.full_coords;
-          else if (state[i] == 1) ++out.stats.trimmed_coords;
-          else ++out.stats.lost_coords;
-        }
+      });
+      for (const DecodeStats& rs : row_stats) {
+        out.stats.full_coords += rs.full_coords;
+        out.stats.trimmed_coords += rs.trimmed_coords;
+        out.stats.lost_coords += rs.lost_coords;
       }
       break;
     }

@@ -8,6 +8,7 @@
 
 #include "core/hadamard.h"
 #include "core/stats.h"
+#include "core/threadpool.h"
 
 namespace trimgrad::core {
 
@@ -125,6 +126,46 @@ std::vector<float> eden_decode_row(const EdenEncodedRow& enc,
   SharedRng rng(key);
   irht_inplace(r_hat, rng);
   return r_hat;
+}
+
+EdenEncodedMessage eden_encode_message(std::span<const float> grad,
+                                       std::uint64_t seed, std::uint64_t epoch,
+                                       std::uint32_t msg_id, unsigned bits,
+                                       std::size_t row_len) {
+  // Warm the codebook cache before fanning out so workers only take the
+  // cache mutex on a hit.
+  (void)GaussianCodebook::get(bits);
+  const RowSplit split = make_row_split(grad.size(), row_len);
+  EdenEncodedMessage out;
+  out.total_coords = grad.size();
+  out.row_len = row_len;
+  out.rows.resize(split.n_rows);
+  parallel_for(split.n_rows, 1, [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t r = r0; r < r1; ++r) {
+      const std::vector<float> row = extract_padded_row(grad, split, r);
+      out.rows[r] =
+          eden_encode_row(row, StreamKey{seed, epoch, msg_id, r}, bits);
+    }
+  });
+  return out;
+}
+
+std::vector<float> eden_decode_message(const EdenEncodedMessage& msg,
+                                       std::uint64_t seed, std::uint64_t epoch,
+                                       std::uint32_t msg_id) {
+  const RowSplit split = make_row_split(msg.total_coords, msg.row_len);
+  assert(msg.rows.size() == split.n_rows);
+  std::vector<float> out(msg.total_coords, 0.0f);
+  parallel_for(split.n_rows, 1, [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t r = r0; r < r1; ++r) {
+      const std::vector<float> row = eden_decode_row(
+          msg.rows[r], split.padded_len(r), StreamKey{seed, epoch, msg_id, r});
+      const std::size_t real = split.real_len(r);
+      std::copy(row.begin(), row.begin() + real,
+                out.begin() + split.offset(r));
+    }
+  });
+  return out;
 }
 
 }  // namespace trimgrad::core

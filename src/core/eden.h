@@ -59,4 +59,26 @@ EdenEncodedRow eden_encode_row(std::span<const float> row,
 std::vector<float> eden_decode_row(const EdenEncodedRow& enc,
                                    std::size_t n, const StreamKey& key);
 
+/// A whole gradient message EDEN-encoded row by row (same row split as the
+/// trimmable codecs; row r uses StreamKey{seed, epoch, msg_id, r}).
+struct EdenEncodedMessage {
+  std::size_t total_coords = 0;
+  std::size_t row_len = 0;
+  std::vector<EdenEncodedRow> rows;
+};
+
+/// Encode a flat gradient buffer row by row. Rows are encoded in parallel
+/// on the global ThreadPool; results are bit-identical for any thread
+/// count because each row's key and output slot are independent.
+EdenEncodedMessage eden_encode_message(std::span<const float> grad,
+                                       std::uint64_t seed, std::uint64_t epoch,
+                                       std::uint32_t msg_id, unsigned bits,
+                                       std::size_t row_len = std::size_t{1}
+                                                             << 15);
+
+/// Inverse of eden_encode_message (rows decoded in parallel).
+std::vector<float> eden_decode_message(const EdenEncodedMessage& msg,
+                                       std::uint64_t seed, std::uint64_t epoch,
+                                       std::uint32_t msg_id);
+
 }  // namespace trimgrad::core

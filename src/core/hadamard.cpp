@@ -1,5 +1,6 @@
 #include "core/hadamard.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -21,9 +22,31 @@ void fwht_inplace(std::span<float> data) noexcept {
 }
 
 void fwht_orthonormal_inplace(std::span<float> data) noexcept {
-  fwht_inplace(data);
-  const float scale = 1.0f / std::sqrt(static_cast<float>(data.size()));
-  for (float& x : data) x *= scale;
+  const std::size_t n = data.size();
+  assert(is_pow2(n));
+  const float scale = 1.0f / std::sqrt(static_cast<float>(n));
+  if (n == 1) return;  // H is identity and scale is exactly 1
+  // All but the final butterfly stage, unscaled.
+  for (std::size_t len = 1; len < n >> 1; len <<= 1) {
+    for (std::size_t i = 0; i < n; i += len << 1) {
+      for (std::size_t j = i; j < i + len; ++j) {
+        const float a = data[j];
+        const float b = data[j + len];
+        data[j] = a + b;
+        data[j + len] = a - b;
+      }
+    }
+  }
+  // Final stage with the 1/√n scale fused into the butterfly outputs —
+  // same multiply the separate scaling pass would do, one fewer sweep
+  // over the row, bit-identical results.
+  const std::size_t half = n >> 1;
+  for (std::size_t j = 0; j < half; ++j) {
+    const float a = data[j];
+    const float b = data[j + half];
+    data[j] = (a + b) * scale;
+    data[j + half] = (a - b) * scale;
+  }
 }
 
 void rht_inplace(std::span<float> data, Xoshiro256& rng) noexcept {
@@ -60,7 +83,7 @@ std::vector<float> extract_padded_row(std::span<const float> flat,
   const std::size_t off = split.offset(row);
   const std::size_t real = split.real_len(row);
   std::vector<float> out(split.padded_len(row), 0.0f);
-  for (std::size_t i = 0; i < real; ++i) out[i] = flat[off + i];
+  std::copy(flat.begin() + off, flat.begin() + off + real, out.begin());
   return out;
 }
 

@@ -6,6 +6,7 @@
 #include "core/bitpack.h"
 #include "core/hadamard.h"
 #include "core/rht_codec.h"
+#include "core/threadpool.h"
 
 namespace trimgrad::core {
 
@@ -121,39 +122,52 @@ MlEncodedMessage MultilevelCodec::encode(std::span<const float> grad,
 
   const RowSplit split = make_row_split(grad.size(), cfg_.row_len);
   const std::size_t per_pkt = coords_per_packet();
-  std::uint16_t seq = 0;
 
+  // Same row-parallel layout as TrimmableEncoder: rows are keyed
+  // independently, packet counts are known up front, each row fills its own
+  // pre-sized slice so seq numbering matches the sequential order.
+  out.meta.row_scales.assign(split.n_rows, 0.0f);
+  std::vector<std::size_t> pkt_base(split.n_rows + 1, 0);
   for (std::size_t r = 0; r < split.n_rows; ++r) {
-    std::vector<float> row = extract_padded_row(grad, split, r);
-    const StreamKey key{cfg_.shared_seed, epoch, msg_id, r};
-    // Reuse the 1-bit RHT encoder for rotation + scale, then re-split the
-    // rotated coordinates into the three regions.
-    RhtEncodedRow enc = rht_encode_row(row, key);
-    out.meta.row_scales.push_back(enc.scale_f);
-
-    const std::size_t row_base = split.offset(r);
-    for (std::size_t off = 0; off < enc.heads.size(); off += per_pkt) {
-      const std::size_t n = std::min(per_pkt, enc.heads.size() - off);
-      MlPacket pkt;
-      pkt.msg_id = msg_id;
-      pkt.row_id = static_cast<std::uint32_t>(r);
-      pkt.coord_base = static_cast<std::uint32_t>(row_base + off);
-      pkt.n_coords = static_cast<std::uint16_t>(n);
-      pkt.seq = seq++;
-      BitWriter a, b, c;
-      for (std::size_t j = 0; j < n; ++j) {
-        const MlParts parts = ml_split(rht_coord_from_parts(
-            enc.heads[off + j] != 0, enc.tails[off + j]));
-        a.put_bit(parts.sign);
-        b.put(parts.mid, 7);
-        c.put(parts.low, 24);
-      }
-      pkt.region_a = std::move(a).finish();
-      pkt.region_b = std::move(b).finish();
-      pkt.region_c = std::move(c).finish();
-      out.packets.push_back(std::move(pkt));
-    }
+    pkt_base[r + 1] =
+        pkt_base[r] + (split.padded_len(r) + per_pkt - 1) / per_pkt;
   }
+  out.packets.resize(pkt_base[split.n_rows]);
+  parallel_for(split.n_rows, 1, [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t r = r0; r < r1; ++r) {
+      std::vector<float> row = extract_padded_row(grad, split, r);
+      const StreamKey key{cfg_.shared_seed, epoch, msg_id, r};
+      // Reuse the 1-bit RHT encoder for rotation + scale, then re-split the
+      // rotated coordinates into the three regions.
+      RhtEncodedRow enc = rht_encode_row(row, key);
+      out.meta.row_scales[r] = enc.scale_f;
+
+      const std::size_t row_base = split.offset(r);
+      std::size_t slot = pkt_base[r];
+      for (std::size_t off = 0; off < enc.heads.size(); off += per_pkt) {
+        const std::size_t n = std::min(per_pkt, enc.heads.size() - off);
+        MlPacket pkt;
+        pkt.msg_id = msg_id;
+        pkt.row_id = static_cast<std::uint32_t>(r);
+        pkt.coord_base = static_cast<std::uint32_t>(row_base + off);
+        pkt.n_coords = static_cast<std::uint16_t>(n);
+        pkt.seq = static_cast<std::uint16_t>(slot);
+        BitWriter a, b, c;
+        for (std::size_t j = 0; j < n; ++j) {
+          const MlParts parts = ml_split(rht_coord_from_parts(
+              enc.heads[off + j] != 0, enc.tails[off + j]));
+          a.put_bit(parts.sign);
+          b.put(parts.mid, 7);
+          c.put(parts.low, 24);
+        }
+        pkt.region_a = std::move(a).finish();
+        pkt.region_b = std::move(b).finish();
+        pkt.region_c = std::move(c).finish();
+        out.packets[slot] = std::move(pkt);
+        ++slot;
+      }
+    }
+  });
   return out;
 }
 
@@ -162,42 +176,49 @@ std::vector<float> MultilevelCodec::decode(std::span<const MlPacket> packets,
   const RowSplit split = make_row_split(meta.total_coords, meta.row_len);
   std::vector<float> out(meta.total_coords, 0.0f);
 
-  for (std::size_t r = 0; r < split.n_rows; ++r) {
-    const std::size_t padded = split.padded_len(r);
-    const std::size_t row_base = split.offset(r);
-    const float f = r < meta.row_scales.size() ? meta.row_scales[r] : 0.0f;
-    std::vector<float> r_hat(padded, 0.0f);
-    for (const auto& pkt : packets) {
-      if (pkt.row_id != r) continue;
-      BitReader a(pkt.region_a);
-      BitReader b(pkt.region_b);
-      BitReader c(pkt.region_c);
-      for (std::size_t j = 0; j < pkt.n_coords; ++j) {
-        const bool sign = a.get_bit();
-        const std::size_t local = pkt.coord_base - row_base + j;
-        if (local >= padded) continue;
-        switch (pkt.level) {
-          case TrimLevel::kFull: {
-            MlParts p{sign, static_cast<std::uint8_t>(b.get(7)),
-                      static_cast<std::uint32_t>(c.get(24))};
-            r_hat[local] = ml_join_full(p);
-            break;
+  // Bucket packets by row once, then decode rows across the pool — each
+  // row writes a disjoint slice of `out`.
+  std::vector<std::vector<const MlPacket*>> by_row(split.n_rows);
+  for (const auto& pkt : packets) {
+    if (pkt.row_id < split.n_rows) by_row[pkt.row_id].push_back(&pkt);
+  }
+  parallel_for(split.n_rows, 1, [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t r = r0; r < r1; ++r) {
+      const std::size_t padded = split.padded_len(r);
+      const std::size_t row_base = split.offset(r);
+      const float f = r < meta.row_scales.size() ? meta.row_scales[r] : 0.0f;
+      std::vector<float> r_hat(padded, 0.0f);
+      for (const MlPacket* pkt : by_row[r]) {
+        BitReader a(pkt->region_a);
+        BitReader b(pkt->region_b);
+        BitReader c(pkt->region_c);
+        for (std::size_t j = 0; j < pkt->n_coords; ++j) {
+          const bool sign = a.get_bit();
+          const std::size_t local = pkt->coord_base - row_base + j;
+          if (local >= padded) continue;
+          switch (pkt->level) {
+            case TrimLevel::kFull: {
+              MlParts p{sign, static_cast<std::uint8_t>(b.get(7)),
+                        static_cast<std::uint32_t>(c.get(24))};
+              r_hat[local] = ml_join_full(p);
+              break;
+            }
+            case TrimLevel::kMid:
+              r_hat[local] =
+                  ml_join_mid(sign, static_cast<std::uint8_t>(b.get(7)), f);
+              break;
+            case TrimLevel::kHead:
+              r_hat[local] = ml_join_head(sign, f);
+              break;
           }
-          case TrimLevel::kMid:
-            r_hat[local] =
-                ml_join_mid(sign, static_cast<std::uint8_t>(b.get(7)), f);
-            break;
-          case TrimLevel::kHead:
-            r_hat[local] = ml_join_head(sign, f);
-            break;
         }
       }
+      SharedRng rng(StreamKey{cfg_.shared_seed, meta.epoch, meta.msg_id, r});
+      irht_inplace(r_hat, rng);
+      const std::size_t real = split.real_len(r);
+      for (std::size_t i = 0; i < real; ++i) out[row_base + i] = r_hat[i];
     }
-    SharedRng rng(StreamKey{cfg_.shared_seed, meta.epoch, meta.msg_id, r});
-    irht_inplace(r_hat, rng);
-    const std::size_t real = split.real_len(r);
-    for (std::size_t i = 0; i < real; ++i) out[row_base + i] = r_hat[i];
-  }
+  });
   return out;
 }
 

@@ -1,0 +1,177 @@
+#include "core/threadpool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace trimgrad::core {
+
+namespace {
+
+/// Set while a pool worker executes chunks, so nested parallel_for calls
+/// (e.g. GEMMs inside a parallelized trainer round) degrade to inline
+/// execution instead of deadlocking on the pool.
+thread_local bool tls_in_pool_worker = false;
+
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("TRIMGRAD_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v >= 1) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw != 0 ? hw : 1;
+}
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::vector<std::thread> workers;
+
+  std::mutex mu;
+  std::condition_variable cv_start;
+  std::condition_variable cv_done;
+  // Job state, published under mu. job_seq bumps once per parallel_for so
+  // each worker runs each job exactly once.
+  std::uint64_t job_seq = 0;
+  const std::function<void(std::size_t, std::size_t)>* job_fn = nullptr;
+  std::size_t job_n = 0;
+  std::size_t job_chunks = 0;
+  std::size_t pending = 0;  // workers that have not finished the current job
+  bool stop = false;
+
+  std::atomic<std::size_t> next_chunk{0};
+
+  /// True while a job is in flight. The pool runs one job at a time, so any
+  /// parallel_for that arrives while busy — a nested call from the caller's
+  /// own chunk (the caller participates but is not a pool worker, so the
+  /// tls flag does not cover it), or a second thread sharing the global
+  /// pool — must run inline rather than clobber the published job state.
+  std::atomic<bool> busy{false};
+
+  /// Chunk c of the balanced partition of [0, n) into `chunks` pieces.
+  static void chunk_bounds(std::size_t n, std::size_t chunks, std::size_t c,
+                           std::size_t& begin, std::size_t& end) noexcept {
+    begin = n * c / chunks;
+    end = n * (c + 1) / chunks;
+  }
+
+  void run_chunks(std::size_t n, std::size_t chunks,
+                  const std::function<void(std::size_t, std::size_t)>& fn) {
+    for (;;) {
+      const std::size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) return;
+      std::size_t b, e;
+      chunk_bounds(n, chunks, c, b, e);
+      if (b < e) fn(b, e);
+    }
+  }
+
+  void worker_loop() {
+    tls_in_pool_worker = true;
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::unique_lock<std::mutex> lk(mu);
+      cv_start.wait(lk, [&] { return stop || job_seq != seen; });
+      if (stop) return;
+      seen = job_seq;
+      const auto* fn = job_fn;
+      const std::size_t n = job_n;
+      const std::size_t chunks = job_chunks;
+      lk.unlock();
+      run_chunks(n, chunks, *fn);
+      lk.lock();
+      if (--pending == 0) cv_done.notify_one();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t threads) : impl_(new Impl) {
+  const std::size_t extra = threads > 1 ? threads - 1 : 0;
+  impl_->workers.reserve(extra);
+  for (std::size_t i = 0; i < extra; ++i) {
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->cv_start.notify_all();
+  for (auto& w : impl_->workers) w.join();
+  delete impl_;
+}
+
+std::size_t ThreadPool::thread_count() const noexcept {
+  return impl_->workers.size() + 1;
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  const std::size_t threads = thread_count();
+  // Inline when there is nothing to split, nobody to split it across, or we
+  // are already on a pool worker (nested call).
+  if (threads <= 1 || n <= grain || tls_in_pool_worker) {
+    fn(0, n);
+    return;
+  }
+  const std::size_t chunks = std::min(threads, n / grain);
+  if (chunks <= 1) {
+    fn(0, n);
+    return;
+  }
+  bool expected = false;
+  if (!impl_->busy.compare_exchange_strong(expected, true,
+                                           std::memory_order_acquire)) {
+    fn(0, n);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    impl_->job_fn = &fn;
+    impl_->job_n = n;
+    impl_->job_chunks = chunks;
+    impl_->next_chunk.store(0, std::memory_order_relaxed);
+    impl_->pending = impl_->workers.size();
+    ++impl_->job_seq;
+  }
+  impl_->cv_start.notify_all();
+  impl_->run_chunks(n, chunks, fn);
+  std::unique_lock<std::mutex> lk(impl_->mu);
+  impl_->cv_done.wait(lk, [&] { return impl_->pending == 0; });
+  impl_->job_fn = nullptr;
+  lk.unlock();
+  impl_->busy.store(false, std::memory_order_release);
+}
+
+namespace {
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool;
+}  // namespace
+
+ThreadPool& ThreadPool::global() {
+  std::lock_guard<std::mutex> lk(g_pool_mu);
+  if (!g_pool) g_pool = std::make_unique<ThreadPool>(default_thread_count());
+  return *g_pool;
+}
+
+void ThreadPool::set_global_threads(std::size_t threads) {
+  std::lock_guard<std::mutex> lk(g_pool_mu);
+  g_pool = std::make_unique<ThreadPool>(threads > 0 ? threads : 1);
+}
+
+void parallel_for(std::size_t n, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& fn) {
+  ThreadPool::global().parallel_for(n, grain, fn);
+}
+
+}  // namespace trimgrad::core

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cmath>
 
+#include "core/threadpool.h"
 #include "ddp/clock_model.h"
 
 namespace trimgrad::ddp {
@@ -90,26 +91,47 @@ EpochRecord DdpTrainer::run_epoch(std::size_t epoch) {
 
   for (std::size_t b = 0; b < n_batches; ++b) {
     RoundBreakdown rb;
-    std::vector<std::vector<float>> grads(cfg_.world);
+    const std::size_t world = static_cast<std::size_t>(cfg_.world);
+    std::vector<std::vector<float>> grads(world);
+    std::vector<double> rank_loss(world, 0.0);
+    std::vector<double> rank_compute(world, 0.0);
+
+    // Assemble every rank's augmented batch sequentially first: the
+    // augmentation RNG is one stream consumed in rank order, and keeping
+    // that on the calling thread makes the training trajectory identical
+    // to the sequential trainer for every thread count. Batch assembly is
+    // data movement (copy + flip + shift), a sliver of the round next to
+    // forward/backward.
+    std::vector<ml::Tensor> inputs(world);
+    std::vector<std::vector<std::uint32_t>> labels(world);
+    for (std::size_t r = 0; r < world; ++r) {
+      const auto shard = batcher_.worker_shard(epoch, b, r, world);
+      inputs[r] = data_.train_batch(shard, labels[r], augment_rng_);
+    }
+
+    // The W replicas' forward/backward are independent, so run them on the
+    // pool — this is where DDP's "workers compute in parallel" becomes
+    // literal. Every result lands in a per-rank slot; losses and the max
+    // over compute times are then reduced in rank order afterwards, so the
+    // round is bit-exact for any thread count.
+    core::parallel_for(world, 1, [&](std::size_t r0, std::size_t r1) {
+      for (std::size_t r = r0; r < r1; ++r) {
+        const auto t0 = Clock::now();
+        replicas_[r]->zero_grads();
+        const ml::Tensor logits = replicas_[r]->forward(inputs[r]);
+        const auto lr = ml::softmax_cross_entropy(logits, labels[r]);
+        replicas_[r]->backward(lr.grad);
+        rank_compute[r] = seconds_since(t0);
+        rank_loss[r] = lr.loss / cfg_.world;
+        grads[r] = replicas_[r]->flat_grads();
+      }
+    });
     double worst_compute = 0;
     double round_loss = 0;
-
-    for (int r = 0; r < cfg_.world; ++r) {
-      const auto shard =
-          batcher_.worker_shard(epoch, b, static_cast<std::size_t>(r),
-                                static_cast<std::size_t>(cfg_.world));
-      std::vector<std::uint32_t> labels;
-      const auto t0 = Clock::now();
-      const ml::Tensor x = data_.train_batch(shard, labels, augment_rng_);
-      replicas_[r]->zero_grads();
-      const ml::Tensor logits = replicas_[r]->forward(x);
-      const auto lr = ml::softmax_cross_entropy(logits, labels);
-      replicas_[r]->backward(lr.grad);
-      const double compute = seconds_since(t0);
+    for (std::size_t r = 0; r < world; ++r) {
       // DDP: workers compute in parallel; the round waits for the slowest.
-      worst_compute = std::max(worst_compute, compute);
-      round_loss += lr.loss / cfg_.world;
-      grads[r] = replicas_[r]->flat_grads();
+      worst_compute = std::max(worst_compute, rank_compute[r]);
+      round_loss += rank_loss[r];
     }
     rb.compute_s = cfg_.modeled_clock ? cfg_.compute_round_s : worst_compute;
 

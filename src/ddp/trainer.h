@@ -13,6 +13,15 @@
 // comm is the channel's simulated transfer time (trim/drop penalties for
 // the reliable baseline included). Per-epoch records give accuracy vs
 // simulated time — exactly the axes of Figures 3 and 4.
+//
+// The W replicas' forward/backward passes run concurrently on the global
+// ThreadPool (see core/threadpool.h): batches are assembled sequentially
+// first (one augmentation RNG stream, consumed in rank order, identical to
+// the fully sequential trainer), then each rank's compute runs on the pool
+// into per-rank slots, with loss/compute-time reductions in rank order
+// afterwards — so one round produces bit-identical losses, gradients, and
+// updated weights for any thread count. The simulated clock model (max
+// over per-rank compute, then encode + comm + decode) is unchanged.
 #pragma once
 
 #include <cstdint>

@@ -91,6 +91,76 @@ TEST(BitRoundTrip, RandomizedMixedWidths) {
   }
 }
 
+TEST(BitRoundTrip, ByteAlignedWidthsTakeFastPath) {
+  // Byte-aligned cursor + multiple-of-8 width is the bulk fast path; the
+  // wire bytes must match what the bit-at-a-time slow path produced.
+  BitWriter fast;
+  std::vector<std::pair<std::uint64_t, unsigned>> items = {
+      {0xab, 8},       {0xbeef, 16},         {0xdeadbeef, 32},
+      {0x0123456789abcdefULL, 64},           {0xcafef00d, 40},
+      {0x7f, 8},       {0x123456, 24},       {0xffffffffffffffffULL, 56},
+  };
+  for (const auto& [v, width] : items) fast.put(v, width);
+  BitWriter slow;
+  for (const auto& [v, width] : items) {
+    for (unsigned i = width; i != 0; --i) slow.put_bit((v >> (i - 1)) & 1);
+  }
+  const auto fast_buf = std::move(fast).finish();
+  const auto slow_buf = std::move(slow).finish();
+  EXPECT_EQ(fast_buf, slow_buf);
+  BitReader r(fast_buf);
+  for (const auto& [v, width] : items) {
+    const std::uint64_t mask =
+        width == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width) - 1;
+    EXPECT_EQ(r.get(width), v & mask);
+  }
+}
+
+TEST(BitRoundTrip, UnalignedPrefixForcesSlowPathThenRealigns) {
+  // A 3-bit prefix leaves the cursor unaligned, so the following 8/16-bit
+  // writes must go through the slow path; a 5-bit pad then realigns the
+  // cursor so the final 32-bit value is eligible for the fast path again.
+  BitWriter w;
+  w.put(0b101, 3);
+  w.put(0xa5, 8);
+  w.put(0x1234, 16);
+  w.put(0, 5);
+  w.put(0xfeedc0de, 32);
+  auto buf = std::move(w).finish();
+  BitReader r(buf);
+  EXPECT_EQ(r.get(3), 0b101u);
+  EXPECT_EQ(r.get(8), 0xa5u);
+  EXPECT_EQ(r.get(16), 0x1234u);
+  EXPECT_EQ(r.get(5), 0u);
+  EXPECT_EQ(r.get(32), 0xfeedc0deu);
+}
+
+TEST(BitRoundTrip, AlignedAndUnalignedStreamsAgreeRandomized) {
+  // Property check across both paths: any interleaving of widths decodes
+  // to what was written, and matches a pure-slow-path encoding bit for bit.
+  Xoshiro256 rng(1234);
+  for (int trial = 0; trial < 30; ++trial) {
+    BitWriter fast, slow;
+    std::vector<std::pair<std::uint64_t, unsigned>> items;
+    for (int i = 0; i < 300; ++i) {
+      // Bias toward byte-multiple widths so aligned runs actually occur.
+      const unsigned width = (i % 3 == 0)
+                                 ? 8u * (1 + static_cast<unsigned>(rng.below(8)))
+                                 : 1 + static_cast<unsigned>(rng.below(64));
+      std::uint64_t v = rng();
+      if (width < 64) v &= (std::uint64_t{1} << width) - 1;
+      items.emplace_back(v, width);
+      fast.put(v, width);
+      for (unsigned j = width; j != 0; --j) slow.put_bit((v >> (j - 1)) & 1);
+    }
+    const auto fast_buf = std::move(fast).finish();
+    const auto slow_buf = std::move(slow).finish();
+    ASSERT_EQ(fast_buf, slow_buf) << "trial " << trial;
+    BitReader r(fast_buf);
+    for (const auto& [v, width] : items) ASSERT_EQ(r.get(width), v);
+  }
+}
+
 TEST(BitReader, SkipAdvancesCursor) {
   BitWriter w;
   w.put(0b101, 3);

@@ -1,0 +1,117 @@
+#include "core/threadpool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace trimgrad::core {
+namespace {
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  for (std::size_t n : {1u, 7u, 64u, 1000u, 4097u}) {
+    std::vector<int> hits(n, 0);
+    pool.parallel_for(n, 1, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) ++hits[i];
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[i], 1) << "index " << i << " of n=" << n;
+    }
+  }
+}
+
+TEST(ThreadPool, ChunksAreContiguousAndOrderedWithinChunk) {
+  ThreadPool pool(8);
+  const std::size_t n = 10000;
+  // Record the chunk bounds each invocation saw; they must tile [0, n).
+  std::vector<std::pair<std::size_t, std::size_t>> spans(n, {n, n});
+  pool.parallel_for(n, 16, [&](std::size_t b, std::size_t e) {
+    ASSERT_LT(b, e);
+    for (std::size_t i = b; i < e; ++i) spans[i] = {b, e};
+  });
+  std::size_t next = 0;
+  while (next < n) {
+    const auto [b, e] = spans[next];
+    ASSERT_EQ(b, next);
+    ASSERT_GT(e, b);
+    next = e;
+  }
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  bool ran = false;
+  pool.parallel_for(100, 1, [&](std::size_t b, std::size_t e) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_EQ(b, 0u);
+    EXPECT_EQ(e, 100u);
+    ran = true;
+  });
+  EXPECT_TRUE(ran);
+}
+
+TEST(ThreadPool, GrainCollapsesSmallRangesToOneCall) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.parallel_for(10, 100, [&](std::size_t b, std::size_t e) {
+    EXPECT_EQ(b, 0u);
+    EXPECT_EQ(e, 10u);
+    ++calls;
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPool, ZeroNIsANoop) {
+  ThreadPool pool(4);
+  pool.parallel_for(0, 1,
+                    [&](std::size_t, std::size_t) { FAIL() << "called"; });
+}
+
+// The caller participates in its own job but is not a pool worker, so a
+// nested parallel_for from the caller's chunk (e.g. a GEMM inside a
+// parallelized trainer round) must fall back to inline execution instead of
+// publishing a second job over the in-flight one. Regression test for the
+// nested-dispatch race.
+TEST(ThreadPool, NestedCallsFromCallerAndWorkersRunInline) {
+  ThreadPool pool(4);
+  const std::size_t outer_n = 8, inner_n = 1000;
+  std::vector<std::vector<int>> hits(outer_n, std::vector<int>(inner_n, 0));
+  for (int round = 0; round < 50; ++round) {
+    for (auto& h : hits) std::fill(h.begin(), h.end(), 0);
+    pool.parallel_for(outer_n, 1, [&](std::size_t b, std::size_t e) {
+      for (std::size_t o = b; o < e; ++o) {
+        pool.parallel_for(inner_n, 1, [&, o](std::size_t ib, std::size_t ie) {
+          for (std::size_t i = ib; i < ie; ++i) ++hits[o][i];
+        });
+      }
+    });
+    for (std::size_t o = 0; o < outer_n; ++o) {
+      for (std::size_t i = 0; i < inner_n; ++i) {
+        ASSERT_EQ(hits[o][i], 1) << "outer " << o << " inner " << i;
+      }
+    }
+  }
+}
+
+TEST(ThreadPool, SetGlobalThreadsResizesGlobalPool) {
+  ThreadPool::set_global_threads(3);
+  EXPECT_EQ(ThreadPool::global().thread_count(), 3u);
+  ThreadPool::set_global_threads(1);
+  EXPECT_EQ(ThreadPool::global().thread_count(), 1u);
+}
+
+TEST(ThreadPool, FreeFunctionUsesGlobalPool) {
+  ThreadPool::set_global_threads(2);
+  std::vector<int> hits(257, 0);
+  parallel_for(hits.size(), 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) ++hits[i];
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+  ThreadPool::set_global_threads(1);
+}
+
+}  // namespace
+}  // namespace trimgrad::core
