@@ -7,8 +7,13 @@
 // the switch-measured trim fraction and the gradient flows' completion
 // times: the feedback data a §5.1 trim-level policy would consume.
 #include <cstdio>
+#include <fstream>
+#include <string>
 #include <vector>
 
+#include "core/metrics.h"
+#include "core/metrics_export.h"
+#include "core/trace.h"
 #include "net/topology.h"
 #include "net/traffic.h"
 
@@ -19,7 +24,14 @@ int main() {
   std::printf("%12s %10s %10s %10s %12s %12s %8s\n", "bg_flows/s", "bg_flows",
               "grad_trim%", "fab_trim%", "grad_fct_us", "bg_p99_us", "drops");
 
+  // Per-load registry snapshots, accumulated into one JSON document; the
+  // final load's trace is written as a loadable Chrome-trace file.
+  std::string metrics_doc = "{\"loads\":[";
+  bool first_load = true;
+
   for (double load : {0.0, 1e5, 3e5, 6e5, 1e6, 2e6}) {
+    trimgrad::core::MetricsRegistry::global().reset_values();
+    trimgrad::core::TraceLog::global().clear();
     Simulator sim;
     FabricConfig cfg;
     cfg.edge_link = {100e9, 1e-6};
@@ -96,6 +108,25 @@ int main() {
                 incast.max_fct() * 1e6, bg_p99_us,
                 static_cast<unsigned long long>(dropped));
     std::fflush(stdout);
+
+    if (!first_load) metrics_doc += ',';
+    first_load = false;
+    char head[64];
+    std::snprintf(head, sizeof(head), "{\"load\":%.0f,\"metrics\":", load);
+    metrics_doc += head;
+    metrics_doc += trimgrad::core::metrics_to_json(
+        trimgrad::core::MetricsRegistry::global());
+    metrics_doc += '}';
+  }
+  metrics_doc += "]}";
+  {
+    std::ofstream out("BENCH_closedloop_metrics.json", std::ios::binary);
+    out << metrics_doc << '\n';
+    if (out) std::printf("wrote BENCH_closedloop_metrics.json\n");
+  }
+  if (trimgrad::core::TraceLog::global().write_json(
+          "BENCH_closedloop_trace.json")) {
+    std::printf("wrote BENCH_closedloop_trace.json (final load)\n");
   }
   std::printf("# (expected: trim%% rises with load; gradient FCT grows "
               "gracefully, never collapses)\n");

@@ -4,13 +4,17 @@
 // bit packing.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <vector>
 
 #include "core/bitpack.h"
 #include "core/codec.h"
 #include "core/hadamard.h"
+#include "core/metrics.h"
+#include "core/metrics_export.h"
 #include "core/quantizer.h"
 #include "core/rht_codec.h"
+#include "core/trace.h"
 
 using namespace trimgrad::core;
 
@@ -136,4 +140,21 @@ BENCHMARK(BM_MessageDecode)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Per-event tracing would dominate the hot loops being measured; the
+  // registry's shard-local counters are cheap enough to leave on.
+  trimgrad::core::TraceLog::global().set_enabled(false);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  const char* path = "BENCH_micro_codec_metrics.json";
+  if (trimgrad::core::write_metrics_json(
+          path, trimgrad::core::MetricsRegistry::global())) {
+    std::printf("wrote %s\n", path);
+  } else {
+    std::fprintf(stderr, "failed to write %s\n", path);
+    return 1;
+  }
+  return 0;
+}

@@ -14,6 +14,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <thread>
 #include <vector>
@@ -56,6 +57,7 @@ struct Section {
   const char* name;
   std::vector<double> seconds;   // one per thread count
   std::vector<std::uint64_t> hashes;
+  std::uint64_t items = 0;       // work units per rep, for throughput
 };
 
 }  // namespace
@@ -65,16 +67,23 @@ int main() {
 
   const std::vector<std::size_t> thread_counts = {1, 2, 4, 8};
 
+  // TRIMGRAD_SMOKE shrinks every workload for CI smoke runs. The JSON
+  // carries per-section item counts, so throughput (items/s) stays
+  // comparable against a full-size baseline.
+  const bool smoke = std::getenv("TRIMGRAD_SMOKE") != nullptr;
+
   // --- Workloads -----------------------------------------------------------
-  // Codec: a 4M-coordinate gradient (16 MB) in the paper's 2^15-entry rows.
+  // Codec: a 4M-coordinate gradient (16 MB) in the paper's 2^15-entry rows
+  // (smoke: 512K coordinates).
   core::Xoshiro256 rng(7);
-  std::vector<float> grad(std::size_t{1} << 22);
+  std::vector<float> grad(std::size_t{1} << (smoke ? 19 : 22));
   for (auto& x : grad) x = rng.uniform(-1.0f, 1.0f);
   core::CodecConfig ccfg;
   ccfg.scheme = core::Scheme::kRHT;
 
   // GEMM: C(512x768) += A(512x640)·B(640x768), ~250 MFLOP per call.
-  const std::size_t M = 512, K = 640, N = 768;
+  const std::size_t M = smoke ? 128 : 512, K = smoke ? 160 : 640,
+                    N = smoke ? 192 : 768;
   std::vector<float> ga(M * K), gb(K * N), gc(M * N);
   for (auto& x : ga) x = rng.uniform(-1.0f, 1.0f);
   for (auto& x : gb) x = rng.uniform(-1.0f, 1.0f);
@@ -83,7 +92,9 @@ int main() {
   ml::SynthCifarConfig dcfg;
   dcfg.classes = 10;
   dcfg.height = dcfg.width = 16;
-  dcfg.train_per_class = 24;
+  // Smoke keeps the full global batch (below) so per-round fixed overhead
+  // doesn't skew items/s; only the number of rounds shrinks.
+  dcfg.train_per_class = smoke ? 12 : 24;
   dcfg.test_per_class = 4;
   ml::SynthCifar data(dcfg);
   ddp::TrainerConfig tcfg;
@@ -94,11 +105,15 @@ int main() {
   tcfg.codec.scheme = core::Scheme::kRHT;
   tcfg.codec.rht_row_len = std::size_t{1} << 12;
 
-  Section s_codec{"rht_encode_decode", {}, {}};
-  Section s_eden{"eden_encode_decode", {}, {}};
-  Section s_gemm{"gemm", {}, {}};
-  Section s_trainer{"trainer_round", {}, {}};
+  Section s_codec{"rht_encode_decode", {}, {}, grad.size()};
+  Section s_eden{"eden_encode_decode", {}, {}, grad.size()};
+  Section s_gemm{"gemm", {}, {}, static_cast<std::uint64_t>(M) * K * N};
+  Section s_trainer{"trainer_round", {}, {},
+                    static_cast<std::uint64_t>(dcfg.classes) *
+                        dcfg.train_per_class};
 
+  const int reps = smoke ? 2 : 3;
+  const int trainer_reps = smoke ? 1 : 2;
   for (const std::size_t t : thread_counts) {
     ThreadPool::set_global_threads(t);
 
@@ -106,7 +121,7 @@ int main() {
     core::TrimmableEncoder enc(ccfg);
     core::TrimmableDecoder dec(ccfg);
     std::uint64_t codec_hash = 1469598103934665603ULL;
-    s_codec.seconds.push_back(time_best_of(3, [&] {
+    s_codec.seconds.push_back(time_best_of(reps, [&] {
       auto msg = enc.encode(grad, 1, 1);
       auto out = dec.decode(msg.packets, msg.meta);
       codec_hash = fnv(codec_hash, out.values.data(), out.values.size());
@@ -115,7 +130,7 @@ int main() {
 
     // EDEN 4-bit message round trip.
     std::uint64_t eden_hash = 1469598103934665603ULL;
-    s_eden.seconds.push_back(time_best_of(3, [&] {
+    s_eden.seconds.push_back(time_best_of(reps, [&] {
       auto msg = core::eden_encode_message(grad, 1, 1, 1, 4);
       auto out = core::eden_decode_message(msg, 1, 1, 1);
       eden_hash = fnv(eden_hash, out.data(), out.size());
@@ -124,7 +139,7 @@ int main() {
 
     // GEMM (forward-shaped kernel).
     std::uint64_t gemm_hash = 1469598103934665603ULL;
-    s_gemm.seconds.push_back(time_best_of(3, [&] {
+    s_gemm.seconds.push_back(time_best_of(reps, [&] {
       std::fill(gc.begin(), gc.end(), 0.0f);
       ml::gemm_accumulate(ga.data(), gb.data(), gc.data(), M, K, N);
       gemm_hash = fnv(gemm_hash, gc.data(), gc.size());
@@ -133,7 +148,7 @@ int main() {
 
     // One DDP epoch (fresh trainer each rep so state is identical).
     std::uint64_t tr_hash = 1469598103934665603ULL;
-    s_trainer.seconds.push_back(time_best_of(2, [&] {
+    s_trainer.seconds.push_back(time_best_of(trainer_reps, [&] {
       collective::InjectChannel::Config chcfg;
       chcfg.world = tcfg.world;
       collective::InjectChannel channel(chcfg);
@@ -179,9 +194,11 @@ int main() {
 
   FILE* f = std::fopen("BENCH_parallel.json", "w");
   if (f) {
-    std::fprintf(f, "{\n  \"hardware_threads\": %u,\n  \"deterministic\": %s,\n",
+    std::fprintf(f,
+                 "{\n  \"hardware_threads\": %u,\n  \"deterministic\": %s,\n"
+                 "  \"smoke\": %s,\n",
                  std::thread::hardware_concurrency(),
-                 deterministic ? "true" : "false");
+                 deterministic ? "true" : "false", smoke ? "true" : "false");
     std::fprintf(f, "  \"thread_counts\": [");
     for (std::size_t i = 0; i < thread_counts.size(); ++i) {
       std::fprintf(f, "%s%zu", i ? ", " : "", thread_counts[i]);
@@ -198,7 +215,10 @@ int main() {
         std::fprintf(f, "%s%.3f", i ? ", " : "",
                      s->seconds[0] / s->seconds[i]);
       }
-      std::fprintf(f, "]}%s\n", si + 1 < sections.size() ? "," : "");
+      std::fprintf(f, "], \"items\": %llu, \"throughput\": %.1f}%s\n",
+                   static_cast<unsigned long long>(s->items),
+                   static_cast<double>(s->items) / s->seconds[0],
+                   si + 1 < sections.size() ? "," : "");
     }
     std::fprintf(f, "  }\n}\n");
     std::fclose(f);

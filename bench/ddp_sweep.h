@@ -10,6 +10,9 @@
 #include <vector>
 
 #include "collective/inject_channel.h"
+#include "core/metrics.h"
+#include "core/metrics_export.h"
+#include "core/trace.h"
 #include "ddp/trainer.h"
 
 namespace trimgrad::bench {
@@ -55,6 +58,9 @@ struct CellResult {
   core::Scheme scheme;
   double trim_rate;
   std::vector<ddp::EpochRecord> records;
+  /// Global-registry snapshot covering exactly this cell's run, serialized
+  /// with core::metrics_to_json (the registry is reset at cell start).
+  std::string metrics_json;
 };
 
 /// Train one (scheme, rate) cell. Baseline runs on the reliable channel
@@ -62,6 +68,11 @@ struct CellResult {
 /// the lossy trim channel.
 inline CellResult run_cell(const SweepConfig& cfg, core::Scheme scheme,
                            double trim_rate) {
+  // Scope the registry and trace to this cell so its snapshot measures one
+  // (scheme, rate) run, not the whole sweep.
+  core::MetricsRegistry::global().reset_values();
+  core::TraceLog::global().clear();
+
   ml::SynthCifarConfig dcfg;
   dcfg.classes = cfg.classes;
   dcfg.height = dcfg.width = cfg.image;
@@ -95,7 +106,9 @@ inline CellResult run_cell(const SweepConfig& cfg, core::Scheme scheme,
     mcfg.width = dcfg.width;
     return ml::make_mini_vgg(mcfg, cfg.vgg_width);
   });
-  return CellResult{scheme, trim_rate, trainer.train()};
+  CellResult result{scheme, trim_rate, trainer.train(), {}};
+  result.metrics_json = core::metrics_to_json(core::MetricsRegistry::global());
+  return result;
 }
 
 inline const std::vector<core::Scheme>& all_schemes() {

@@ -5,14 +5,43 @@
 
 #include "core/bitpack.h"
 #include "core/hadamard.h"
+#include "core/metrics.h"
 #include "core/quantizer.h"
 #include "core/rht_codec.h"
 #include "core/stats.h"
 #include "core/threadpool.h"
+#include "core/trace.h"
 
 namespace trimgrad::core {
 
 namespace {
+
+// encode()/decode() entry points are sequential (the parallelism lives in
+// the per-row loops below them), so message-level spans are safe to record;
+// per-coordinate tallies are integer counters and may also come from the
+// row workers.
+struct CodecTelemetry {
+  Counter enc_messages, enc_coords, enc_wire_bytes, enc_packets;
+  Counter dec_messages, dec_full, dec_trimmed, dec_lost;
+  Histogram loss_fraction;
+
+  static const CodecTelemetry& get() {
+    auto& reg = MetricsRegistry::global();
+    static const CodecTelemetry t{
+        reg.counter("codec.encode.messages"),
+        reg.counter("codec.encode.coords"),
+        reg.counter("codec.encode.wire_bytes"),
+        reg.counter("codec.encode.packets"),
+        reg.counter("codec.decode.messages"),
+        reg.counter("codec.decode.full_coords"),
+        reg.counter("codec.decode.trimmed_coords"),
+        reg.counter("codec.decode.lost_coords"),
+        reg.histogram("codec.decode.loss_fraction",
+                      {0.0, 0.001, 0.01, 0.05, 0.1, 0.25, 0.5}),
+    };
+    return t;
+  }
+};
 
 ScalarScheme to_scalar(Scheme s) noexcept {
   switch (s) {
@@ -116,6 +145,8 @@ TrimmableEncoder::TrimmableEncoder(CodecConfig cfg)
 EncodedMessage TrimmableEncoder::encode(std::span<const float> grad,
                                         std::uint32_t msg_id,
                                         std::uint64_t epoch) {
+  TraceLog::Span trace_span = TraceLog::global().span("codec.encode", "codec");
+  trace_span.arg("coords", static_cast<double>(grad.size()));
   EncodedMessage out;
   out.meta.msg_id = msg_id;
   out.meta.epoch = epoch;
@@ -200,11 +231,18 @@ EncodedMessage TrimmableEncoder::encode(std::span<const float> grad,
       break;
     }
   }
+  const CodecTelemetry& t = CodecTelemetry::get();
+  t.enc_messages.add();
+  t.enc_coords.add(grad.size());
+  t.enc_wire_bytes.add(out.total_wire_bytes());
+  t.enc_packets.add(out.packets.size());
   return out;
 }
 
 DecodeResult TrimmableDecoder::decode(std::span<const GradientPacket> packets,
                                       const MessageMeta& meta) const {
+  TraceLog::Span trace_span = TraceLog::global().span("codec.decode", "codec");
+  trace_span.arg("coords", static_cast<double>(meta.total_coords));
   DecodeResult out;
   out.values.assign(meta.total_coords, 0.0f);
   out.stats.total_coords = meta.total_coords;
@@ -337,6 +375,16 @@ DecodeResult TrimmableDecoder::decode(std::span<const GradientPacket> packets,
       }
       break;
     }
+  }
+  const CodecTelemetry& t = CodecTelemetry::get();
+  t.dec_messages.add();
+  t.dec_full.add(out.stats.full_coords);
+  t.dec_trimmed.add(out.stats.trimmed_coords);
+  t.dec_lost.add(out.stats.lost_coords);
+  if (out.stats.total_coords > 0) {
+    t.loss_fraction.observe(
+        static_cast<double>(out.stats.trimmed_coords + out.stats.lost_coords) /
+        static_cast<double>(out.stats.total_coords));
   }
   return out;
 }

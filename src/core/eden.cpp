@@ -7,12 +7,28 @@
 #include <mutex>
 
 #include "core/hadamard.h"
+#include "core/metrics.h"
 #include "core/stats.h"
 #include "core/threadpool.h"
+#include "core/trace.h"
 
 namespace trimgrad::core {
 
 namespace {
+
+struct EdenTelemetry {
+  Counter messages_encoded, messages_decoded, rows_encoded;
+
+  static const EdenTelemetry& get() {
+    auto& reg = MetricsRegistry::global();
+    static const EdenTelemetry t{
+        reg.counter("codec.eden.messages_encoded"),
+        reg.counter("codec.eden.messages_decoded"),
+        reg.counter("codec.eden.rows_encoded"),
+    };
+    return t;
+  }
+};
 
 double phi(double x) {  // standard normal pdf
   return std::exp(-0.5 * x * x) / std::sqrt(2.0 * 3.14159265358979323846);
@@ -111,6 +127,7 @@ EdenEncodedRow eden_encode_row(std::span<const float> row,
   }
   // Unbiased scale (DRIVE's f generalized): r̂ = f·C, f = ‖R‖²/⟨R,C⟩.
   out.scale = dot > 0.0 ? static_cast<float>(l2_norm_sq(rotated) / dot) : 0.0f;
+  EdenTelemetry::get().rows_encoded.add();
   return out;
 }
 
@@ -132,6 +149,9 @@ EdenEncodedMessage eden_encode_message(std::span<const float> grad,
                                        std::uint64_t seed, std::uint64_t epoch,
                                        std::uint32_t msg_id, unsigned bits,
                                        std::size_t row_len) {
+  TraceLog::Span trace_span = TraceLog::global().span("eden.encode", "codec");
+  trace_span.arg("coords", static_cast<double>(grad.size()));
+  EdenTelemetry::get().messages_encoded.add();
   // Warm the codebook cache before fanning out so workers only take the
   // cache mutex on a hit.
   (void)GaussianCodebook::get(bits);
@@ -153,6 +173,9 @@ EdenEncodedMessage eden_encode_message(std::span<const float> grad,
 std::vector<float> eden_decode_message(const EdenEncodedMessage& msg,
                                        std::uint64_t seed, std::uint64_t epoch,
                                        std::uint32_t msg_id) {
+  TraceLog::Span trace_span = TraceLog::global().span("eden.decode", "codec");
+  trace_span.arg("coords", static_cast<double>(msg.total_coords));
+  EdenTelemetry::get().messages_decoded.add();
   const RowSplit split = make_row_split(msg.total_coords, msg.row_len);
   assert(msg.rows.size() == split.n_rows);
   std::vector<float> out(msg.total_coords, 0.0f);

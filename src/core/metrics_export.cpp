@@ -1,0 +1,85 @@
+#include "core/metrics_export.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace trimgrad::core {
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+}
+
+void append_double(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string metrics_to_json(const MetricsRegistry::Snapshot& snap) {
+  std::string out;
+  out += "{\"counters\":{";
+  bool first = true;
+  for (const auto& c : snap.counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_escaped(out, c.name);
+    out += "\":";
+    out += std::to_string(c.value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& g : snap.gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_escaped(out, g.name);
+    out += "\":";
+    append_double(out, g.value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& h : snap.histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_escaped(out, h.name);
+    out += "\":{\"bounds\":[";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i) out += ',';
+      append_double(out, h.bounds[i]);
+    }
+    out += "],\"counts\":[";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (i) out += ',';
+      out += std::to_string(h.counts[i]);
+    }
+    out += "],\"total\":";
+    out += std::to_string(h.total);
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+std::string metrics_to_json(const MetricsRegistry& registry) {
+  return metrics_to_json(registry.snapshot());
+}
+
+bool write_metrics_json(const std::string& path,
+                        const MetricsRegistry& registry) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) return false;
+  const std::string json = metrics_to_json(registry);
+  file.write(json.data(), static_cast<std::streamsize>(json.size()));
+  file.put('\n');
+  return static_cast<bool>(file);
+}
+
+}  // namespace trimgrad::core

@@ -1,0 +1,22 @@
+// Serialize a MetricsRegistry snapshot as JSON, in registration order:
+//   {"counters":{name:value,...},
+//    "gauges":{name:value,...},
+//    "histograms":{name:{"bounds":[...],"counts":[...],"total":n},...}}
+// Formatting is deterministic (fixed printf formats), so two snapshots are
+// byte-equal iff their values are.
+#pragma once
+
+#include <string>
+
+#include "core/metrics.h"
+
+namespace trimgrad::core {
+
+std::string metrics_to_json(const MetricsRegistry::Snapshot& snap);
+std::string metrics_to_json(const MetricsRegistry& registry);
+
+/// Snapshot `registry` and write it to `path`; false on I/O failure.
+bool write_metrics_json(const std::string& path,
+                        const MetricsRegistry& registry);
+
+}  // namespace trimgrad::core

@@ -5,8 +5,10 @@
 
 #include "core/bitpack.h"
 #include "core/hadamard.h"
+#include "core/metrics.h"
 #include "core/rht_codec.h"
 #include "core/threadpool.h"
+#include "core/trace.h"
 
 namespace trimgrad::core {
 
@@ -14,6 +16,21 @@ namespace {
 constexpr std::uint32_t kSignMask = 0x80000000u;
 constexpr std::uint32_t kMagMask = 0x7fffffffu;
 constexpr std::uint32_t kLowMask = 0x00ffffffu;  // low 24 bits
+
+struct MlTelemetry {
+  Counter messages_encoded, messages_decoded, packets_encoded;
+
+  static const MlTelemetry& get() {
+    auto& reg = MetricsRegistry::global();
+    static const MlTelemetry t{
+        reg.counter("codec.multilevel.messages_encoded"),
+        reg.counter("codec.multilevel.messages_decoded"),
+        reg.counter("codec.multilevel.packets_encoded"),
+    };
+    return t;
+  }
+};
+
 }  // namespace
 
 const char* to_string(TrimLevel lv) noexcept {
@@ -114,6 +131,9 @@ std::size_t MultilevelCodec::coords_per_packet() const noexcept {
 MlEncodedMessage MultilevelCodec::encode(std::span<const float> grad,
                                          std::uint32_t msg_id,
                                          std::uint64_t epoch) const {
+  TraceLog::Span trace_span =
+      TraceLog::global().span("multilevel.encode", "codec");
+  trace_span.arg("coords", static_cast<double>(grad.size()));
   MlEncodedMessage out;
   out.meta.msg_id = msg_id;
   out.meta.epoch = epoch;
@@ -168,11 +188,18 @@ MlEncodedMessage MultilevelCodec::encode(std::span<const float> grad,
       }
     }
   });
+  const MlTelemetry& t = MlTelemetry::get();
+  t.messages_encoded.add();
+  t.packets_encoded.add(out.packets.size());
   return out;
 }
 
 std::vector<float> MultilevelCodec::decode(std::span<const MlPacket> packets,
                                            const MlMessageMeta& meta) const {
+  TraceLog::Span trace_span =
+      TraceLog::global().span("multilevel.decode", "codec");
+  trace_span.arg("coords", static_cast<double>(meta.total_coords));
+  MlTelemetry::get().messages_decoded.add();
   const RowSplit split = make_row_split(meta.total_coords, meta.row_len);
   std::vector<float> out(meta.total_coords, 0.0f);
 

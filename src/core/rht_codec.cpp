@@ -4,6 +4,7 @@
 
 #include "core/bitpack.h"
 #include "core/hadamard.h"
+#include "core/metrics.h"
 #include "core/stats.h"
 
 namespace trimgrad::core {
@@ -11,6 +12,22 @@ namespace trimgrad::core {
 namespace {
 constexpr std::uint32_t kSignMask = 0x80000000u;
 constexpr std::uint32_t kMagMask = 0x7fffffffu;
+
+// Row codecs run inside parallel_for workers — counter increments go to
+// per-thread shards, whose integer reduction keeps snapshots bit-identical
+// for any pool size.
+struct RhtTelemetry {
+  Counter rows_encoded, rows_decoded;
+
+  static const RhtTelemetry& get() {
+    static const RhtTelemetry t{
+        MetricsRegistry::global().counter("codec.rht.rows_encoded"),
+        MetricsRegistry::global().counter("codec.rht.rows_decoded"),
+    };
+    return t;
+  }
+};
+
 }  // namespace
 
 float rht_coord_from_parts(bool head, std::uint32_t tail) noexcept {
@@ -41,6 +58,7 @@ RhtEncodedRow rht_encode_row(std::span<const float> row, const StreamKey& key) {
   // ‖V‖₂² = ‖R‖₂²; using the pre-rotation norm follows the paper exactly.
   const double l1 = l1_norm(rotated);
   out.scale_f = l1 > 0.0 ? static_cast<float>(l2_norm_sq(row) / l1) : 0.0f;
+  RhtTelemetry::get().rows_encoded.add();
   return out;
 }
 
@@ -60,6 +78,7 @@ std::vector<float> rht_decode_row(std::span<const std::uint8_t> heads,
   }
   SharedRng rng(key);
   irht_inplace(r_hat, rng);
+  RhtTelemetry::get().rows_decoded.add();
   return r_hat;
 }
 

@@ -5,7 +5,9 @@
 #include <chrono>
 #include <cmath>
 
+#include "core/metrics.h"
 #include "core/threadpool.h"
+#include "core/trace.h"
 #include "ddp/clock_model.h"
 
 namespace trimgrad::ddp {
@@ -16,6 +18,22 @@ using Clock = std::chrono::steady_clock;
 double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
+
+struct TrainerTelemetry {
+  core::Counter rounds, raw_bytes, wire_bytes;
+  core::Gauge compression_ratio;
+
+  static const TrainerTelemetry& get() {
+    auto& reg = core::MetricsRegistry::global();
+    static const TrainerTelemetry t{
+        reg.counter("ddp.rounds"),
+        reg.counter("ddp.raw_bytes"),
+        reg.counter("ddp.wire_bytes"),
+        reg.gauge("ddp.compression_ratio"),
+    };
+    return t;
+  }
+};
 }  // namespace
 
 DdpTrainer::DdpTrainer(const ml::SynthCifar& data,
@@ -88,6 +106,7 @@ EpochRecord DdpTrainer::run_epoch(std::size_t epoch) {
   const std::size_t n_batches = batcher_.batches_per_epoch();
   double loss_sum = 0;
   RoundBreakdown total_rb;
+  std::uint64_t epoch_raw_bytes = 0;
 
   for (std::size_t b = 0; b < n_batches; ++b) {
     RoundBreakdown rb;
@@ -135,12 +154,34 @@ EpochRecord DdpTrainer::run_epoch(std::size_t epoch) {
     }
     rb.compute_s = cfg_.modeled_clock ? cfg_.compute_round_s : worst_compute;
 
+    const std::uint64_t wire_before = rec.wire_bytes;
     const auto averaged = all_reduce_buckets(
         grads, epoch, static_cast<std::uint32_t>(epoch * n_batches + b), rec,
         rb);
     for (int r = 0; r < cfg_.world; ++r) {
       optims_[r]->step_flat(replicas_[r]->params(), averaged[r]);
     }
+
+    // Per-round telemetry on the trainer's own simulated clock: the four
+    // stages chain back-to-back from the round's start, matching how
+    // sim_time_s_ advances. (With modeled_clock these durations — and so
+    // the trace — are fully deterministic.)
+    const std::uint64_t round_raw =
+        static_cast<std::uint64_t>(world) * grads[0].size() * sizeof(float);
+    const TrainerTelemetry& tel = TrainerTelemetry::get();
+    tel.rounds.add();
+    tel.raw_bytes.add(round_raw);
+    epoch_raw_bytes += round_raw;
+    tel.wire_bytes.add(rec.wire_bytes - wire_before);
+    auto& tl = core::TraceLog::global();
+    double t = sim_time_s_;
+    tl.complete("ddp.compute", "ddp", t, rb.compute_s, /*tid=*/1);
+    t += rb.compute_s;
+    tl.complete("ddp.encode", "ddp", t, rb.encode_s, /*tid=*/1);
+    t += rb.encode_s;
+    tl.complete("ddp.comm", "ddp", t, rb.comm_s, /*tid=*/1);
+    t += rb.comm_s;
+    tl.complete("ddp.decode", "ddp", t, rb.decode_s, /*tid=*/1);
 
     loss_sum += round_loss;
     total_rb.compute_s += rb.compute_s;
@@ -151,6 +192,13 @@ EpochRecord DdpTrainer::run_epoch(std::size_t epoch) {
   }
 
   for (auto& opt : optims_) opt->end_epoch();
+
+  // Achieved compression over this epoch: raw gradient bytes / wire bytes.
+  if (rec.wire_bytes > 0) {
+    TrainerTelemetry::get().compression_ratio.set(
+        static_cast<double>(epoch_raw_bytes) /
+        static_cast<double>(rec.wire_bytes));
+  }
 
   rec.sim_time_s = sim_time_s_;
   rec.train_loss = loss_sum / static_cast<double>(n_batches);

@@ -4,7 +4,25 @@
 #include <cassert>
 #include <cmath>
 
+#include "core/metrics.h"
+
 namespace trimgrad::net {
+namespace {
+
+struct EcnTelemetry {
+  core::Counter marked_acks;
+  core::Gauge alpha;
+
+  static const EcnTelemetry& get() {
+    static const EcnTelemetry t{
+        core::MetricsRegistry::global().counter("net.ecn.marked_acks"),
+        core::MetricsRegistry::global().gauge("net.ecn.alpha"),
+    };
+    return t;
+  }
+};
+
+}  // namespace
 
 // ------------------------------------------------------------- EcnSender --
 
@@ -78,6 +96,7 @@ void EcnSender::end_of_window_round() {
           ? static_cast<double>(round_marks_) / static_cast<double>(round_acks_)
           : 0.0;
   alpha_ = (1.0 - cfg_.gain) * alpha_ + cfg_.gain * fraction;
+  EcnTelemetry::get().alpha.set(alpha_);
   if (round_marks_ > 0) {
     const auto cut = static_cast<std::size_t>(
         std::floor(static_cast<double>(window_) * (1.0 - alpha_ / 2.0)));
@@ -110,7 +129,10 @@ void EcnSender::on_frame(Frame frame) {
     if (frame.ack_was_trimmed) ++stats_.acked_trimmed;
     else ++stats_.acked_full;
     ++round_acks_;
-    if (frame.ecn) ++round_marks_;
+    if (frame.ecn) {
+      ++round_marks_;
+      EcnTelemetry::get().marked_acks.add();
+    }
     if (round_acks_ >= window_) end_of_window_round();
     rto_cur_ = cfg_.rto;
     arm_timer();
@@ -144,6 +166,7 @@ void EcnSender::complete() {
   ++timer_epoch_;
   stats_.completed = true;
   stats_.end_time = host_.sim().now();
+  record_flow_telemetry(stats_);
   if (on_complete_) on_complete_(stats_);
 }
 

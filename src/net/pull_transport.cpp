@@ -3,7 +3,23 @@
 #include <algorithm>
 #include <cassert>
 
+#include "core/metrics.h"
+
 namespace trimgrad::net {
+namespace {
+
+struct PullTelemetry {
+  core::Counter pulls_emitted;
+
+  static const PullTelemetry& get() {
+    static const PullTelemetry t{
+        core::MetricsRegistry::global().counter("net.pull.pulls_emitted"),
+    };
+    return t;
+  }
+};
+
+}  // namespace
 
 // ------------------------------------------------------------ PullSender --
 
@@ -108,6 +124,7 @@ void PullSender::complete() {
   ++timer_epoch_;
   stats_.completed = true;
   stats_.end_time = host_.sim().now();
+  record_flow_telemetry(stats_);
   if (on_complete_) on_complete_(stats_);
 }
 
@@ -137,6 +154,7 @@ void PullPacer::fire() {
   pull.size_bytes = kControlFrameBytes;
   host_.send(std::move(pull));
   ++emitted_;
+  PullTelemetry::get().pulls_emitted.add();
   host_.sim().schedule(interval_, [this] { fire(); });
 }
 

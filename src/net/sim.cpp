@@ -3,10 +3,19 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "core/trace.h"
+
 namespace trimgrad::net {
 
-Simulator::Simulator() = default;
-Simulator::~Simulator() = default;
+Simulator::Simulator() {
+  // While a simulator is alive, trace timestamps read the simulated clock.
+  core::TraceLog::global().set_time_source([this] { return now_; });
+}
+
+Simulator::~Simulator() {
+  // Never leave a dangling clock behind; fall back to the logical ticker.
+  core::TraceLog::global().set_time_source({});
+}
 
 void Simulator::schedule(SimTime delay, std::function<void()> fn) {
   assert(delay >= 0.0);

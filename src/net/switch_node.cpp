@@ -1,8 +1,24 @@
 #include "net/switch_node.h"
 
+#include "core/metrics.h"
 #include "core/prng.h"
 
 namespace trimgrad::net {
+namespace {
+
+struct SwitchTelemetry {
+  core::Counter forwarded, unroutable;
+
+  static const SwitchTelemetry& get() {
+    static const SwitchTelemetry t{
+        core::MetricsRegistry::global().counter("net.switch.forwarded"),
+        core::MetricsRegistry::global().counter("net.switch.unroutable"),
+    };
+    return t;
+  }
+};
+
+}  // namespace
 
 void SwitchNode::on_frame(Frame frame) {
   std::size_t out;
@@ -20,8 +36,10 @@ void SwitchNode::on_frame(Frame frame) {
     out = static_cast<std::size_t>(default_port_);
   } else {
     ++unroutable_;
+    SwitchTelemetry::get().unroutable.add();
     return;
   }
+  SwitchTelemetry::get().forwarded.add();
   sim_.transmit(id(), out, std::move(frame));
 }
 

@@ -76,8 +76,13 @@ LeafSpine build_leaf_spine(Simulator& sim, std::size_t n_leaves,
   for (std::size_t l = 0; l < n_leaves; ++l) {
     auto& leaf = static_cast<SwitchNode&>(sim.node(t.leaves[l]));
     for (std::size_t h = 0; h < hosts_per_leaf; ++h) {
-      auto& host = sim.add_node<Host>("h" + std::to_string(l) + "-" +
-                                      std::to_string(h));
+      // Built up with += (not operator+ chaining) to sidestep GCC 12's
+      // false-positive -Wrestrict on `literal + to_string(...)` (PR 105651).
+      std::string host_name = "h";
+      host_name += std::to_string(l);
+      host_name += '-';
+      host_name += std::to_string(h);
+      auto& host = sim.add_node<Host>(std::move(host_name));
       const auto [host_port, leaf_port] = sim.connect(
           host.id(), t.leaves[l], cfg.edge_link, cfg.host_queue,
           cfg.switch_queue);

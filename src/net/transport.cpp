@@ -3,7 +3,46 @@
 #include <algorithm>
 #include <cassert>
 
+#include "core/metrics.h"
+#include "core/trace.h"
+
 namespace trimgrad::net {
+namespace {
+
+struct TransportTelemetry {
+  core::Counter flows_completed, frames_sent, bytes_sent, retransmits,
+      acked_full, acked_trimmed;
+
+  static const TransportTelemetry& get() {
+    auto& reg = core::MetricsRegistry::global();
+    static const TransportTelemetry t{
+        reg.counter("net.transport.flows_completed"),
+        reg.counter("net.transport.frames_sent"),
+        reg.counter("net.transport.bytes_sent"),
+        reg.counter("net.transport.retransmits"),
+        reg.counter("net.transport.acked_full"),
+        reg.counter("net.transport.acked_trimmed"),
+    };
+    return t;
+  }
+};
+
+}  // namespace
+
+void record_flow_telemetry(const FlowStats& stats) {
+  const TransportTelemetry& t = TransportTelemetry::get();
+  t.flows_completed.add();
+  t.frames_sent.add(stats.frames_sent);
+  t.bytes_sent.add(stats.bytes_sent);
+  t.retransmits.add(stats.retransmits);
+  t.acked_full.add(stats.acked_full);
+  t.acked_trimmed.add(stats.acked_trimmed);
+  core::TraceLog::global().complete(
+      "flow", "net.transport", stats.start_time, stats.fct(), /*tid=*/0,
+      {{"packets", static_cast<double>(stats.packets)},
+       {"retransmits", static_cast<double>(stats.retransmits)},
+       {"acked_trimmed", static_cast<double>(stats.acked_trimmed)}});
+}
 
 // ---------------------------------------------------------------- Sender --
 
@@ -142,6 +181,7 @@ void Sender::complete() {
   ++timer_epoch_;  // cancel pending timers
   stats_.completed = true;
   stats_.end_time = host_.sim().now();
+  record_flow_telemetry(stats_);
   if (on_complete_) on_complete_(stats_);
 }
 

@@ -56,6 +56,12 @@ struct FlowStats {
   SimTime fct() const noexcept { return end_time - start_time; }
 };
 
+/// Fold a completed flow's stats into the global MetricsRegistry
+/// (net.transport.* counters) and record a "flow" complete event spanning
+/// start_time..end_time on the global trace. Every sender variant (base,
+/// ECN, pull) calls this from its complete() path.
+void record_flow_telemetry(const FlowStats& stats);
+
 /// One packet of an outgoing message.
 struct SendItem {
   std::size_t size_bytes = 1500;

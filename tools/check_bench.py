@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Validate bench_parallel_scaling output and gate on throughput regressions.
+
+Usage:
+    check_bench.py CANDIDATE [--baseline BENCH_parallel.json] [--max-slowdown 2.0]
+
+CANDIDATE is the BENCH_parallel.json produced by the run under test (smoke or
+full size).  The committed baseline holds full-size numbers; comparisons use
+per-section throughput (items processed per second), which is roughly
+size-invariant, so a smoke run can be compared against a full-size baseline.
+
+Exit codes: 0 ok, 1 malformed candidate, 2 regression beyond the threshold.
+Only the Python standard library is used.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(code, msg):
+    print(f"check_bench: FAIL: {msg}", file=sys.stderr)
+    sys.exit(code)
+
+
+def load_json(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(1, f"cannot parse {path}: {exc}")
+
+
+def validate(doc, path):
+    """Structural checks on a bench_parallel_scaling JSON document."""
+    if not isinstance(doc, dict):
+        fail(1, f"{path}: top level is not an object")
+    for key in ("thread_counts", "sections", "deterministic"):
+        if key not in doc:
+            fail(1, f"{path}: missing key {key!r}")
+    if doc["deterministic"] is not True:
+        fail(1, f"{path}: deterministic is not true -- parallel results "
+                "diverged from single-threaded reference")
+    n_threads = len(doc["thread_counts"])
+    if n_threads == 0:
+        fail(1, f"{path}: empty thread_counts")
+    sections = doc["sections"]
+    if not isinstance(sections, dict) or not sections:
+        fail(1, f"{path}: sections must be a non-empty object")
+    for name, sec in sections.items():
+        for key in ("seconds", "items", "throughput"):
+            if key not in sec:
+                fail(1, f"{path}: section {name!r} missing {key!r}")
+        secs = sec["seconds"]
+        if len(secs) != n_threads:
+            fail(1, f"{path}: section {name!r} has {len(secs)} timings for "
+                    f"{n_threads} thread counts")
+        if any(not isinstance(s, (int, float)) or s <= 0 for s in secs):
+            fail(1, f"{path}: section {name!r} has non-positive timings")
+        if not isinstance(sec["items"], int) or sec["items"] <= 0:
+            fail(1, f"{path}: section {name!r} has invalid items count")
+        if sec["throughput"] <= 0:
+            fail(1, f"{path}: section {name!r} has non-positive throughput")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("candidate")
+    ap.add_argument("--baseline", default=None,
+                    help="committed full-size BENCH_parallel.json; skip the "
+                         "regression gate when omitted")
+    ap.add_argument("--max-slowdown", type=float, default=2.0,
+                    help="fail if candidate throughput is more than this "
+                         "factor below baseline (default 2.0)")
+    args = ap.parse_args()
+
+    cand = load_json(args.candidate)
+    validate(cand, args.candidate)
+    print(f"check_bench: {args.candidate} is well-formed "
+          f"({len(cand['sections'])} sections, smoke={cand.get('smoke')})")
+
+    if args.baseline is None:
+        return
+
+    base = load_json(args.baseline)
+    validate(base, args.baseline)
+
+    worst = None
+    for name, bsec in base["sections"].items():
+        csec = cand["sections"].get(name)
+        if csec is None:
+            fail(1, f"{args.candidate}: section {name!r} present in baseline "
+                    "but missing from candidate")
+        ratio = bsec["throughput"] / csec["throughput"]
+        print(f"check_bench: {name}: baseline {bsec['throughput']:.3g} items/s, "
+              f"candidate {csec['throughput']:.3g} items/s "
+              f"(slowdown {ratio:.2f}x)")
+        if worst is None or ratio > worst[1]:
+            worst = (name, ratio)
+        if ratio > args.max_slowdown:
+            fail(2, f"section {name!r} regressed {ratio:.2f}x vs baseline "
+                    f"(threshold {args.max_slowdown}x)")
+    print(f"check_bench: OK -- worst slowdown {worst[1]:.2f}x ({worst[0]})")
+
+
+if __name__ == "__main__":
+    main()
