@@ -27,6 +27,16 @@ void accumulate(core::DecodeStats& agg, const core::DecodeStats& one) {
   agg.lost_coords += one.lost_coords;
 }
 
+/// Fold a round's failed flows into the degradation stats; returns the
+/// failure count so callers can adjust their reduction.
+std::size_t note_failed(AllReduceStats& st, const std::vector<Delivery>& ds) {
+  std::size_t failed = 0;
+  for (const auto& d : ds) failed += d.flow_failed ? 1 : 0;
+  st.missing_ranks += failed;
+  if (failed > 0) ++st.degraded_rounds;
+  return failed;
+}
+
 }  // namespace
 
 const char* to_string(Algorithm a) noexcept {
@@ -97,18 +107,24 @@ AllReduceResult AllReducer::run_ps(const std::vector<std::vector<float>>& grads,
   }
   auto arrivals = channel_.transfer(std::move(gather));
   const net::SimTime gather_time = batch_time(arrivals);
+  note_failed(st, arrivals);
 
-  // Server average: its own gradient plus each decoded arrival.
+  // Server average: its own gradient plus each decoded arrival. A failed
+  // flow contributes nothing; the divisor is the contributor count, so the
+  // mean stays unbiased over whoever actually arrived.
   std::vector<double> acc(n, 0.0);
   for (std::size_t i = 0; i < n; ++i) acc[i] = grads[0][i];
+  int contributors = 1;  // the server's own gradient
   for (const auto& d : arrivals) {
     accumulate(st, d);
+    if (d.flow_failed) continue;
     const auto dec = decode_timed(d, st);
     for (std::size_t i = 0; i < n; ++i) acc[i] += dec.values[i];
+    ++contributors;
   }
   std::vector<float> mean(n);
   for (std::size_t i = 0; i < n; ++i)
-    mean[i] = static_cast<float>(acc[i] / world);
+    mean[i] = static_cast<float>(acc[i] / contributors);
 
   // Phase 2: broadcast the mean back.
   std::vector<TransferRequest> scatter;
@@ -122,11 +138,19 @@ AllReduceResult AllReducer::run_ps(const std::vector<std::vector<float>>& grads,
   }
   auto returns = channel_.transfer(std::move(scatter));
   const net::SimTime scatter_time = batch_time(returns);
+  note_failed(st, returns);
 
   result.outputs.assign(static_cast<std::size_t>(world), {});
   result.outputs[0] = mean;
   for (const auto& d : returns) {
     accumulate(st, d);
+    if (d.flow_failed) {
+      // The broadcast never reached this rank: fall back to its local
+      // gradient so the step still makes (rank-local) progress.
+      result.outputs[static_cast<std::size_t>(d.dst)] =
+          grads[static_cast<std::size_t>(d.dst)];
+      continue;
+    }
     result.outputs[static_cast<std::size_t>(d.dst)] =
         decode_timed(d, st).values;
   }
@@ -172,8 +196,10 @@ AllReduceResult AllReducer::run_ring(
     step_id += static_cast<std::uint32_t>(world);
     auto deliveries = channel_.transfer(std::move(batch));
     st.comm_time += batch_time(deliveries);
+    note_failed(st, deliveries);
     for (const auto& d : deliveries) {
       accumulate(st, d);
+      if (d.flow_failed) continue;  // chunk keeps its partial sum
       const auto dec = decode_timed(d, st);
       const std::size_t c =
           static_cast<std::size_t>(((d.src - s) % world + world) % world);
@@ -201,8 +227,10 @@ AllReduceResult AllReducer::run_ring(
     step_id += static_cast<std::uint32_t>(world);
     auto deliveries = channel_.transfer(std::move(batch));
     st.comm_time += batch_time(deliveries);
+    note_failed(st, deliveries);
     for (const auto& d : deliveries) {
       accumulate(st, d);
+      if (d.flow_failed) continue;  // keep the stale (local) chunk value
       const auto dec = decode_timed(d, st);
       const std::size_t c =
           static_cast<std::size_t>(((d.src + 1 - s) % world + world) % world);

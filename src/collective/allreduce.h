@@ -36,6 +36,10 @@ struct AllReduceStats {
   std::size_t trimmed_packets = 0;
   std::size_t dropped_packets = 0;
   std::uint64_t retransmits = 0;
+  /// Graceful degradation under faults: failed flows (budget / deadline
+  /// exhausted) are excluded from the reduction instead of hanging it.
+  std::size_t missing_ranks = 0;    ///< failed contributions, summed over rounds
+  std::size_t degraded_rounds = 0;  ///< transfer rounds with >=1 failed flow
   core::DecodeStats coord_stats;    ///< aggregated coordinate-level fates
 };
 

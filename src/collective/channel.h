@@ -42,6 +42,10 @@ struct Delivery {
   std::size_t trimmed_packets = 0;
   std::size_t dropped_packets = 0;
   std::uint64_t retransmits = 0;
+  /// The flow gave up (retransmit budget / deadline exhausted, or the round
+  /// deadline aborted it). `packets` holds whatever arrived before that —
+  /// the collective degrades gracefully instead of hanging.
+  bool flow_failed = false;
 };
 
 class Channel {

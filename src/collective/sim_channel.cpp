@@ -69,16 +69,29 @@ std::vector<Delivery> SimChannel::transfer(std::vector<TransferRequest> batch) {
           lp->delivery.comm_time = st.end_time - t0;
           lp->delivery.wire_bytes = st.bytes_sent;
           lp->delivery.retransmits = st.retransmits;
+          lp->delivery.flow_failed = st.failed;
         });
     live.push_back(std::move(lv));
   }
 
-  sim_.run();
+  if (cfg_.round_deadline > 0) {
+    // Let the fabric run until the deadline, then abort whatever is still
+    // in flight and drain the queue (aborted senders stop re-arming their
+    // RTO timers, so the drain terminates).
+    sim_.run_until(t0 + cfg_.round_deadline);
+    for (auto& lv : live) lv->sender->abort();
+    sim_.run();
+  } else {
+    sim_.run();
+  }
 
   std::vector<Delivery> out;
   out.reserve(live.size());
   for (auto& lv : live) {
-    assert(lv->done && "flow failed to complete — fabric misconfigured?");
+    // Flows either complete or fail (budget / deadline / abort); both paths
+    // fire on_complete, so `done` holds unless the transport is
+    // misconfigured with no give-up knob against a dead fabric.
+    assert(lv->done && "flow neither completed nor failed");
     out.push_back(std::move(lv->delivery));
   }
   return out;

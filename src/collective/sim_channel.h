@@ -23,6 +23,11 @@ class SimChannel : public Channel {
     net::TransportConfig transport = net::TransportConfig::trim_aware();
     /// Reliable baseline: trimmed arrivals are NACKed + retransmitted.
     bool reliable = false;
+    /// Per-round deadline: if > 0, any flow still in flight this long after
+    /// the batch starts is aborted (Delivery::flow_failed) and the round
+    /// proceeds with the contributions that arrived. Keeps a dead link or
+    /// node from hanging the collective forever.
+    net::SimTime round_deadline = 0;
   };
 
   /// `sim` and `rank_hosts` must outlive the channel. rank_hosts[r] is the

@@ -16,6 +16,7 @@ void TrimTranscript::record(std::uint64_t epoch, std::uint32_t msg_id,
                             std::uint16_t seq, std::uint8_t level) {
   events_.push_back(TrimEvent{epoch, msg_id, seq, level});
   index_[key(epoch, msg_id, seq)] = level;
+  epochs_.insert(epoch);
 }
 
 std::optional<std::uint8_t> TrimTranscript::lookup(std::uint64_t epoch,

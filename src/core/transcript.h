@@ -14,6 +14,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 namespace trimgrad::core {
@@ -41,6 +42,13 @@ class TrimTranscript {
   std::size_t size() const noexcept { return events_.size(); }
   const std::vector<TrimEvent>& events() const noexcept { return events_; }
 
+  /// True when at least one event was recorded for `epoch`. Replay uses
+  /// this to reject an epoch the transcript never saw (a silent no-op
+  /// there would mean replaying the *wrong run* without noticing).
+  bool contains_epoch(std::uint64_t epoch) const noexcept {
+    return epochs_.count(epoch) != 0;
+  }
+
   /// Text form: one "epoch msg seq level" line per event.
   void save(std::ostream& os) const;
   static TrimTranscript load(std::istream& is);
@@ -54,6 +62,7 @@ class TrimTranscript {
                            std::uint16_t seq) noexcept;
   std::vector<TrimEvent> events_;
   std::unordered_map<std::uint64_t, std::uint8_t> index_;
+  std::unordered_set<std::uint64_t> epochs_;
 };
 
 }  // namespace trimgrad::core

@@ -72,7 +72,32 @@ class Cursor {
   std::size_t off_ = 0;
 };
 
+/// Offset of the head_crc field (the non-CRC header prefix it covers).
+constexpr std::size_t kCrcFieldOffset = 28;
+
 }  // namespace
+
+std::uint32_t crc32c(std::span<const std::uint8_t> data,
+                     std::uint32_t seed) noexcept {
+  std::uint32_t crc = ~seed;
+  for (const std::uint8_t b : data) {
+    crc ^= b;
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc >> 1) ^ (0x82f63b78u & (0u - (crc & 1u)));
+    }
+  }
+  return ~crc;
+}
+
+const char* to_string(WireVerdict v) noexcept {
+  switch (v) {
+    case WireVerdict::kFull: return "full";
+    case WireVerdict::kTrimmed: return "trimmed";
+    case WireVerdict::kCorrupt: return "corrupt";
+    case WireVerdict::kMalformed: return "malformed";
+  }
+  return "?";
+}
 
 std::vector<std::uint8_t> serialize_packet(const GradientPacket& pkt) {
   std::vector<std::uint8_t> out;
@@ -90,6 +115,13 @@ std::vector<std::uint8_t> serialize_packet(const GradientPacket& pkt) {
   out.push_back(pkt.trimmed ? 1 : 0);
   put_u16(out, static_cast<std::uint16_t>(pkt.head_region.size()));
   put_u16(out, static_cast<std::uint16_t>(pkt.tail_region.size()));
+  // head_crc chains the header prefix with the head region; tail_crc covers
+  // the tail alone, so a trim (which removes exactly the tail) invalidates
+  // neither.
+  const std::uint32_t head_crc =
+      crc32c(pkt.head_region, crc32c({out.data(), kCrcFieldOffset}));
+  put_u32(out, head_crc);
+  put_u32(out, crc32c(pkt.tail_region));
   out.insert(out.end(), pkt.head_region.begin(), pkt.head_region.end());
   out.insert(out.end(), pkt.tail_region.begin(), pkt.tail_region.end());
   return out;
@@ -99,11 +131,10 @@ std::size_t wire_trim_point(const GradientPacket& pkt) noexcept {
   return kWireHeaderBytes + pkt.head_region.size();
 }
 
-std::optional<GradientPacket> parse_packet(
-    std::span<const std::uint8_t> data) {
+ParsedPacket parse_packet_verified(std::span<const std::uint8_t> data) {
   Cursor c(data);
-  if (!c.has(kWireHeaderBytes)) return std::nullopt;
-  if (c.u32() != kWireMagic) return std::nullopt;
+  if (!c.has(kWireHeaderBytes)) return {};
+  if (c.u32() != kWireMagic) return {};
 
   GradientPacket pkt;
   pkt.msg_id = c.u32();
@@ -112,7 +143,7 @@ std::optional<GradientPacket> parse_packet(
   pkt.n_coords = c.u16();
   pkt.seq = c.u16();
   const std::uint8_t scheme = data[20];
-  if (scheme > static_cast<std::uint8_t>(Scheme::kRHT)) return std::nullopt;
+  if (scheme > static_cast<std::uint8_t>(Scheme::kRHT)) return {};
   pkt.scheme = static_cast<Scheme>(scheme);
   pkt.p_bits = data[21];
   pkt.q_bits = data[22];
@@ -120,28 +151,46 @@ std::optional<GradientPacket> parse_packet(
   c.bytes(4);  // skip scheme/p/q/flags already read positionally
   const std::uint16_t head_bytes = c.u16();
   const std::uint16_t tail_bytes = c.u16();
+  const std::uint32_t head_crc = c.u32();
+  const std::uint32_t tail_crc = c.u32();
 
   // The head region must be intact — switches never cut into it.
-  if (!c.has(head_bytes)) return std::nullopt;
+  if (!c.has(head_bytes)) return {};
   pkt.head_region = c.bytes(head_bytes);
+  if (crc32c(pkt.head_region, crc32c(data.first(kCrcFieldOffset))) !=
+      head_crc) {
+    return {WireVerdict::kCorrupt, std::nullopt};
+  }
 
+  WireVerdict verdict = WireVerdict::kFull;
   if (c.remaining() >= tail_bytes) {
     pkt.tail_region = c.bytes(tail_bytes);
-    if (c.remaining() != 0) return std::nullopt;  // trailing garbage
+    if (c.remaining() != 0) return {};  // trailing garbage
+    if (crc32c(pkt.tail_region) != tail_crc) {
+      return {WireVerdict::kCorrupt, std::nullopt};
+    }
     pkt.trimmed = flagged_trimmed && pkt.tail_region.empty();
     if (flagged_trimmed && !pkt.tail_region.empty()) {
       // Inconsistent flag: treat the bytes as authoritative.
       pkt.trimmed = false;
     }
+    if (pkt.trimmed) verdict = WireVerdict::kTrimmed;
   } else {
     // Byte-truncated in the tail region: this is what a trimming switch
-    // produces. Whatever partial tail survived is unusable (tails are only
-    // decodable in full), so drop it.
+    // produces (head_crc above already vouched for everything kept).
+    // Whatever partial tail survived is unusable (tails are only decodable
+    // in full), so drop it.
     pkt.trimmed = true;
     pkt.tail_region.clear();
     if (pkt.scheme == Scheme::kBaseline) pkt.head_region.clear();
+    verdict = WireVerdict::kTrimmed;
   }
-  return pkt;
+  return {verdict, std::move(pkt)};
+}
+
+std::optional<GradientPacket> parse_packet(
+    std::span<const std::uint8_t> data) {
+  return parse_packet_verified(data).packet;
 }
 
 std::vector<std::uint8_t> serialize_meta(const MessageMeta& meta) {
@@ -158,10 +207,18 @@ std::vector<std::uint8_t> serialize_meta(const MessageMeta& meta) {
   put_f32(out, meta.scalar_scale);
   put_u32(out, static_cast<std::uint32_t>(meta.row_scales.size()));
   for (float f : meta.row_scales) put_f32(out, f);
+  put_u32(out, crc32c({out.data(), out.size()}));  // trailing checksum
   return out;
 }
 
 std::optional<MessageMeta> parse_meta(std::span<const std::uint8_t> data) {
+  // Verify the trailing CRC first: metadata is never trimmed, so any
+  // mismatch means damage and the whole buffer is rejected.
+  if (data.size() < 36) return std::nullopt;
+  const auto body = data.first(data.size() - 4);
+  Cursor crc_c(data.subspan(body.size()));
+  if (crc32c(body) != crc_c.u32()) return std::nullopt;
+  data = body;
   Cursor c(data);
   if (!c.has(32)) return std::nullopt;
   if (c.u32() != (kWireMagic ^ 0xffffffffu)) return std::nullopt;

@@ -22,11 +22,21 @@
 //   23      1     flags         (bit 0: trimmed)
 //   24      2     head_bytes    (u16; length of the head region)
 //   26      2     tail_bytes    (u16; length of the tail region AS SENT)
-//   28      —     head region bytes, then tail region bytes
+//   28      4     head_crc      (CRC32C over bytes [0,28) + head region)
+//   32      4     tail_crc      (CRC32C over the tail region as sent)
+//   36      —     head region bytes, then tail region bytes
 //
-// The trim point of a serialized packet is 28 + head_bytes: a switch that
+// The trim point of a serialized packet is 36 + head_bytes: a switch that
 // cuts the buffer there produces a shorter, still-parsable packet (the
 // parser infers trimming from the missing tail; it does not trust flags).
+//
+// The two checksums split exactly at the trim point so a receiver can
+// distinguish the two ways a packet loses bytes: a *trimmed* packet (cut at
+// or beyond the trim point) still verifies head_crc and is a legitimate
+// §2/§3 delivery, while a *mangled* packet (bit flips anywhere) fails a CRC
+// and must be NACKed — without the split, trimming would be
+// indistinguishable from corruption and the whole substrate would have to
+// retransmit. parse_packet_verified() returns the four-way verdict.
 #pragma once
 
 #include <cstdint>
@@ -38,8 +48,13 @@
 
 namespace trimgrad::core {
 
-inline constexpr std::size_t kWireHeaderBytes = 28;
+inline constexpr std::size_t kWireHeaderBytes = 36;
 inline constexpr std::uint32_t kWireMagic = 0x31504754;  // "TGP1" LE
+
+/// CRC32C (Castagnoli), bitwise reference implementation. Chain regions by
+/// passing the previous return value as `seed`.
+std::uint32_t crc32c(std::span<const std::uint8_t> data,
+                     std::uint32_t seed = 0) noexcept;
 
 /// Serialize a packet to its exact wire bytes (application layer).
 std::vector<std::uint8_t> serialize_packet(const GradientPacket& pkt);
@@ -48,14 +63,35 @@ std::vector<std::uint8_t> serialize_packet(const GradientPacket& pkt);
 /// whole head region.
 std::size_t wire_trim_point(const GradientPacket& pkt) noexcept;
 
-/// Parse a (possibly byte-truncated) buffer. Returns nullopt on malformed
-/// input: bad magic, header truncated mid-field, a cut inside the head
-/// region, or trailing garbage. A buffer cut anywhere in the tail region
-/// parses as a trimmed packet with the tail dropped (what a trimming switch
-/// produces); bit-exact tails require the full buffer.
+/// How a received buffer relates to what the sender put on the wire.
+enum class WireVerdict : std::uint8_t {
+  kFull = 0,      ///< intact: both regions present and CRC-verified
+  kTrimmed = 1,   ///< head intact + verified, tail (partially) cut away
+  kCorrupt = 2,   ///< well-formed framing but a CRC mismatch: NACK it
+  kMalformed = 3, ///< not parsable at all (bad magic, cut mid-head, ...)
+};
+
+const char* to_string(WireVerdict v) noexcept;
+
+struct ParsedPacket {
+  WireVerdict verdict = WireVerdict::kMalformed;
+  /// Present for kFull and kTrimmed only.
+  std::optional<GradientPacket> packet;
+};
+
+/// Parse + verify a (possibly byte-truncated) buffer. A buffer cut anywhere
+/// in the tail region parses as a trimmed packet with the tail dropped
+/// (what a trimming switch produces); bit-exact tails require the full
+/// buffer. Flipped bytes anywhere in the header, head, or a fully present
+/// tail yield kCorrupt (or kMalformed when the framing itself breaks).
+ParsedPacket parse_packet_verified(std::span<const std::uint8_t> data);
+
+/// Convenience wrapper: the packet for kFull/kTrimmed verdicts, nullopt for
+/// kCorrupt/kMalformed.
 std::optional<GradientPacket> parse_packet(std::span<const std::uint8_t> data);
 
-/// Serialize / parse the reliable metadata (never trimmed, so symmetric).
+/// Serialize / parse the reliable metadata (never trimmed, so symmetric; a
+/// trailing CRC32C over the preceding bytes rejects any in-flight damage).
 std::vector<std::uint8_t> serialize_meta(const MessageMeta& meta);
 std::optional<MessageMeta> parse_meta(std::span<const std::uint8_t> data);
 

@@ -9,6 +9,7 @@
 #include "core/threadpool.h"
 #include "core/trace.h"
 #include "ddp/clock_model.h"
+#include "net/fault_plane.h"
 
 namespace trimgrad::ddp {
 
@@ -92,6 +93,8 @@ std::vector<std::vector<float>> DdpTrainer::all_reduce_buckets(
     rec.dropped_packets += result.stats.dropped_packets;
     rec.retransmits += result.stats.retransmits;
     rec.wire_bytes += result.stats.wire_bytes;
+    rec.missing_ranks += result.stats.missing_ranks;
+    rec.degraded_rounds += result.stats.degraded_rounds;
     for (std::size_t r = 0; r < grads.size(); ++r) {
       std::copy(result.outputs[r].begin(), result.outputs[r].end(),
                 out[r].begin() + off);
@@ -103,6 +106,10 @@ std::vector<std::vector<float>> DdpTrainer::all_reduce_buckets(
 EpochRecord DdpTrainer::run_epoch(std::size_t epoch) {
   EpochRecord rec;
   rec.epoch = epoch;
+  const net::StragglerSchedule straggle{cfg_.fault_seed,
+                                        cfg_.straggler_factor};
+  rec.straggler_rank =
+      straggle.enabled() ? straggle.straggler_rank(epoch, cfg_.world) : -1;
   const std::size_t n_batches = batcher_.batches_per_epoch();
   double loss_sum = 0;
   RoundBreakdown total_rb;
@@ -148,11 +155,19 @@ EpochRecord DdpTrainer::run_epoch(std::size_t epoch) {
     double worst_compute = 0;
     double round_loss = 0;
     for (std::size_t r = 0; r < world; ++r) {
-      // DDP: workers compute in parallel; the round waits for the slowest.
-      worst_compute = std::max(worst_compute, rank_compute[r]);
+      // DDP: workers compute in parallel; the round waits for the slowest —
+      // which is why a single injected straggler stretches the whole round.
+      worst_compute = std::max(
+          worst_compute,
+          rank_compute[r] * straggle.compute_scale(
+                                epoch, static_cast<int>(r), cfg_.world));
       round_loss += rank_loss[r];
     }
-    rb.compute_s = cfg_.modeled_clock ? cfg_.compute_round_s : worst_compute;
+    rb.compute_s = cfg_.modeled_clock
+                       ? cfg_.compute_round_s *
+                             (rec.straggler_rank >= 0 ? cfg_.straggler_factor
+                                                      : 1.0)
+                       : worst_compute;
 
     const std::uint64_t wire_before = rec.wire_bytes;
     const auto averaged = all_reduce_buckets(

@@ -57,6 +57,11 @@ struct TrainerConfig {
   double compute_round_s = 10e-3;  ///< modeled fwd+bwd time per round
   std::size_t eval_every = 1;  ///< epochs between test-set evaluations
   std::size_t eval_batch = 256;
+  /// Straggler injection (net::StragglerSchedule): when > 1, one
+  /// seed-chosen rank per epoch has its compute time scaled by this factor
+  /// — the host-pause half of the fault plane.
+  double straggler_factor = 1.0;
+  std::uint64_t fault_seed = 1;  ///< keys the per-epoch straggler choice
 };
 
 /// Per-round time breakdown (Fig. 5's bars).
@@ -84,6 +89,12 @@ struct EpochRecord {
   /// Max L∞ distance between rank-0 and other replicas' parameters —
   /// quantifies the drift lossy broadcast introduces.
   double replica_divergence = 0;
+  /// Fault-plane visibility: contributions lost to failed flows and rounds
+  /// that proceeded degraded (collective::AllReduceStats, summed), plus
+  /// which rank (if any) was the injected straggler this epoch.
+  std::size_t missing_ranks = 0;
+  std::size_t degraded_rounds = 0;
+  int straggler_rank = -1;  ///< −1 when no straggler was injected
 };
 
 class DdpTrainer {

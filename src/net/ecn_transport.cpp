@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "core/metrics.h"
+#include "net/fault_plane.h"
 
 namespace trimgrad::net {
 namespace {
@@ -210,6 +211,23 @@ void EcnReceiver::on_frame(Frame frame) {
   if (delivered_[frame.seq] != 0) {
     ++stats_.duplicate_frames;
     send_ack(frame, delivered_[frame.seq] == 2);
+    return;
+  }
+  if (frame.corrupted) {
+    // Checksum mismatch (core/wire.* head_crc/tail_crc): mangled, not
+    // trimmed — never deliver it; NACK for a retransmission.
+    ++stats_.corrupt_frames;
+    count_corrupt_detected();
+    ++stats_.nacks_sent;
+    Frame nack;
+    nack.id = host_.sim().next_frame_id();
+    nack.src = host_.id();
+    nack.dst = frame.src;
+    nack.flow_id = flow_id_;
+    nack.kind = FrameKind::kNack;
+    nack.size_bytes = kControlFrameBytes;
+    nack.ack_echo = frame.seq;
+    host_.send(std::move(nack));
     return;
   }
   if (frame.trimmed && !cfg_.trimmed_is_delivered) {

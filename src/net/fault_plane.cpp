@@ -1,0 +1,181 @@
+#include "net/fault_plane.h"
+
+#include <cmath>
+#include <istream>
+#include <limits>
+#include <ostream>
+
+#include "core/metrics.h"
+
+namespace trimgrad::net {
+
+namespace {
+
+struct FaultTelemetry {
+  core::Counter link_refused, queue_flushed, node_drops, corrupted,
+      corrupt_detected;
+
+  static const FaultTelemetry& get() {
+    auto& reg = core::MetricsRegistry::global();
+    static const FaultTelemetry t{
+        reg.counter("net.fault.link_refused"),
+        reg.counter("net.fault.queue_flushed"),
+        reg.counter("net.fault.node_drops"),
+        reg.counter("net.fault.corrupted"),
+        reg.counter("net.fault.corrupt_detected"),
+    };
+    return t;
+  }
+};
+
+/// Interval membership shared by LinkFault/NodeFault: window k covers
+/// [start + k*period, start + k*period + duration) for k in [0, repeats).
+bool window_covers(SimTime start, SimTime duration, SimTime period,
+                   std::size_t repeats, SimTime now) noexcept {
+  const SimTime t = now - start;
+  if (t < 0 || duration <= 0) return false;
+  if (period <= 0) return t < duration;
+  const auto k = static_cast<std::size_t>(t / period);
+  if (k >= repeats) return false;
+  return t - static_cast<double>(k) * period < duration;
+}
+
+/// Stateless coin: the same (seed, frame, hop) triple always lands the same
+/// way, independent of evaluation order.
+double hop_u01(std::uint64_t seed, std::uint64_t frame_id, NodeId node,
+               std::size_t port) noexcept {
+  const std::uint64_t h = core::mix64(core::mix64(seed, frame_id),
+                                      core::mix64(node, port));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+bool LinkFault::active_at(SimTime now) const noexcept {
+  return window_covers(start, duration, period, repeats, now);
+}
+
+bool NodeFault::active_at(SimTime now) const noexcept {
+  return window_covers(start, duration, period, repeats, now);
+}
+
+const char* to_string(FaultEvent::Kind k) noexcept {
+  switch (k) {
+    case FaultEvent::Kind::kLinkRefused: return "link_refused";
+    case FaultEvent::Kind::kQueueFlushed: return "queue_flushed";
+    case FaultEvent::Kind::kNodeDrop: return "node_drop";
+    case FaultEvent::Kind::kCorrupt: return "corrupt";
+  }
+  return "?";
+}
+
+void FaultLog::save(std::ostream& os) const {
+  // max_digits10 so SimTime round-trips bit-exactly through the text form.
+  const auto old_precision =
+      os.precision(std::numeric_limits<double>::max_digits10);
+  for (const auto& e : events_) {
+    os << static_cast<unsigned>(e.kind) << ' ' << e.time << ' ' << e.node
+       << ' ' << e.port << ' ' << e.frame_id << '\n';
+  }
+  os.precision(old_precision);
+}
+
+FaultLog FaultLog::load(std::istream& is) {
+  FaultLog log;
+  unsigned kind;
+  FaultEvent ev;
+  while (is >> kind >> ev.time >> ev.node >> ev.port >> ev.frame_id) {
+    ev.kind = static_cast<FaultEvent::Kind>(kind);
+    log.record(ev);
+  }
+  return log;
+}
+
+FaultPlane::FaultPlane(FaultPlaneConfig cfg) : cfg_(std::move(cfg)) {}
+
+bool FaultPlane::link_up(NodeId node, std::size_t port,
+                         SimTime now) const noexcept {
+  for (const auto& f : cfg_.link_faults) {
+    if (f.node == node && f.port == port && f.bandwidth_scale <= 0.0 &&
+        f.active_at(now)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool FaultPlane::node_up(NodeId node, SimTime now) const noexcept {
+  for (const auto& f : cfg_.node_faults) {
+    if (f.node == node && f.active_at(now)) return false;
+  }
+  return true;
+}
+
+LinkSpec FaultPlane::effective_link(NodeId node, std::size_t port, SimTime now,
+                                    const LinkSpec& base) const noexcept {
+  LinkSpec spec = base;
+  for (const auto& f : cfg_.link_faults) {
+    if (f.node == node && f.port == port && f.bandwidth_scale > 0.0 &&
+        f.active_at(now)) {
+      spec.bandwidth_bps *= f.bandwidth_scale;
+      spec.latency_s *= f.latency_scale;
+    }
+  }
+  return spec;
+}
+
+double FaultPlane::corrupt_rate_for(NodeId node,
+                                    std::size_t port) const noexcept {
+  for (const auto& r : cfg_.corrupt_overrides) {
+    if (r.node == node && r.port == port) return r.rate;
+  }
+  return cfg_.corrupt_rate;
+}
+
+bool FaultPlane::maybe_corrupt(NodeId node, std::size_t port, SimTime now,
+                               Frame& frame) {
+  if (frame.kind != FrameKind::kData || frame.corrupted) return false;
+  const double rate = corrupt_rate_for(node, port);
+  if (rate <= 0.0) return false;
+  if (hop_u01(cfg_.seed, frame.id, node, port) >= rate) return false;
+  frame.corrupted = true;
+  if (frame.cargo) {
+    // Actually mangle the payload (copy-on-write, like trim()) so a
+    // receiver that skipped the checksum would aggregate a wrong gradient —
+    // the failure mode the corruption tests assert never happens.
+    auto mangled = std::make_shared<core::GradientPacket>(*frame.cargo);
+    auto& region = mangled->head_region.empty() ? mangled->tail_region
+                                                : mangled->head_region;
+    if (!region.empty()) {
+      const std::uint64_t pos =
+          core::mix64(cfg_.seed ^ 0x5bd1e995u, frame.id) % region.size();
+      region[pos] ^= 0xff;
+    }
+    frame.cargo = std::move(mangled);
+  }
+  log_.record({FaultEvent::Kind::kCorrupt, now, node, port, frame.id});
+  FaultTelemetry::get().corrupted.add();
+  return true;
+}
+
+void FaultPlane::note_link_refused(NodeId node, std::size_t port, SimTime now,
+                                   std::uint64_t frame_id) {
+  log_.record({FaultEvent::Kind::kLinkRefused, now, node, port, frame_id});
+  FaultTelemetry::get().link_refused.add();
+}
+
+void FaultPlane::note_queue_flushed(NodeId node, std::size_t port, SimTime now,
+                                    std::uint64_t frame_id) {
+  log_.record({FaultEvent::Kind::kQueueFlushed, now, node, port, frame_id});
+  FaultTelemetry::get().queue_flushed.add();
+}
+
+void FaultPlane::note_node_drop(NodeId node, SimTime now,
+                                std::uint64_t frame_id) {
+  log_.record({FaultEvent::Kind::kNodeDrop, now, node, 0, frame_id});
+  FaultTelemetry::get().node_drops.add();
+}
+
+void count_corrupt_detected() { FaultTelemetry::get().corrupt_detected.add(); }
+
+}  // namespace trimgrad::net

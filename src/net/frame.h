@@ -47,6 +47,10 @@ struct Frame {
   std::size_t trim_size_bytes = 0;
   bool trimmed = false;
   bool ecn = false;            ///< congestion-experienced mark
+  /// Payload mangled in flight (fault plane). Models what a wire checksum
+  /// mismatch detects — see core/wire.* head_crc/tail_crc; receivers NACK
+  /// instead of delivering.
+  bool corrupted = false;
 
   /// ACK bookkeeping (valid when kind == kAck):
   std::uint32_t ack_seq = 0;       ///< cumulative ack (next expected seq)

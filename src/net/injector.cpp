@@ -1,6 +1,8 @@
 #include "net/injector.h"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 
 namespace trimgrad::net {
 
@@ -62,6 +64,11 @@ InjectionStats TrimInjector::apply_multilevel(
 InjectionStats TrimInjector::replay(std::vector<core::GradientPacket>& packets,
                                     std::uint64_t epoch,
                                     const core::TrimTranscript& transcript) {
+  if (transcript.size() > 0 && !transcript.contains_epoch(epoch)) {
+    throw std::invalid_argument(
+        "TrimInjector::replay: transcript has no events for epoch " +
+        std::to_string(epoch) + " — wrong transcript for this run?");
+  }
   InjectionStats st;
   st.packets = packets.size();
   std::vector<core::GradientPacket> kept;

@@ -49,6 +49,11 @@ class TrimInjector {
 
   /// Reproduce a recorded run (§5.4): the coin flips are ignored and the
   /// transcript dictates exactly which packets are trimmed/dropped.
+  ///
+  /// Throws std::invalid_argument if the (non-empty) transcript has no
+  /// events for `epoch` — replaying against the wrong epoch would silently
+  /// reproduce the wrong run. An entirely empty transcript is legal (a
+  /// recorded run can have zero trims).
   static InjectionStats replay(std::vector<core::GradientPacket>& packets,
                                std::uint64_t epoch,
                                const core::TrimTranscript& transcript);

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "core/metrics.h"
+#include "net/fault_plane.h"
 
 namespace trimgrad::net {
 namespace {
@@ -46,14 +47,24 @@ void PullSender::send_message(
   stats_.start_time = host_.sim().now();
   stats_.packets = items_.size();
   on_complete_ = std::move(on_complete);
+  ++msg_epoch_;
   if (items_.empty()) {
     complete();
     return;
+  }
+  if (cfg_.flow_deadline > 0) {
+    host_.sim().schedule(cfg_.flow_deadline, [this, me = msg_epoch_] {
+      if (active_ && me == msg_epoch_) fail();
+    });
   }
   // First-RTT burst; everything after is pull-granted.
   const std::size_t burst = std::min(cfg_.initial_burst, items_.size());
   for (std::size_t i = 0; i < burst; ++i) send_next_new();
   arm_timer();
+}
+
+void PullSender::abort() {
+  if (active_) fail();
 }
 
 void PullSender::send_next_new() {
@@ -87,6 +98,20 @@ void PullSender::on_frame(Frame frame) {
     send_next_new();
     return;
   }
+  if (frame.kind == FrameKind::kNack) {
+    // Mangled arrival (checksum mismatch at the receiver): retransmit,
+    // paced at half an RTO like the window transports.
+    const std::uint32_t seq = frame.ack_echo;
+    if (seq < items_.size() && acked_[seq] == 0 &&
+        host_.sim().now() - last_sent_[seq] >= cfg_.rto * 0.5) {
+      if (budget_exhausted()) {
+        fail();
+        return;
+      }
+      send_packet(seq, true);
+    }
+    return;
+  }
   if (frame.kind != FrameKind::kAck) return;
   const std::uint32_t seq = frame.ack_echo;
   if (seq < items_.size() && acked_[seq] == 0) {
@@ -107,6 +132,11 @@ void PullSender::arm_timer() {
 
 void PullSender::on_timeout(std::uint64_t epoch) {
   if (!active_ || epoch != timer_epoch_) return;
+  if (budget_exhausted()) {
+    // Not recovering (dead link, black hole): fail so the queue drains.
+    fail();
+    return;
+  }
   for (std::size_t seq = 0; seq < next_new_; ++seq) {
     if (acked_[seq] == 0) {
       send_packet(static_cast<std::uint32_t>(seq), true);
@@ -123,6 +153,16 @@ void PullSender::complete() {
   active_ = false;
   ++timer_epoch_;
   stats_.completed = true;
+  stats_.end_time = host_.sim().now();
+  record_flow_telemetry(stats_);
+  if (on_complete_) on_complete_(stats_);
+}
+
+void PullSender::fail() {
+  active_ = false;
+  ++timer_epoch_;
+  stats_.completed = false;
+  stats_.failed = true;
   stats_.end_time = host_.sim().now();
   record_flow_telemetry(stats_);
   if (on_complete_) on_complete_(stats_);
@@ -160,17 +200,19 @@ void PullPacer::fire() {
 
 // ---------------------------------------------------------- PullReceiver --
 
-PullReceiver::PullReceiver(Host& host, NodeId peer, std::uint32_t flow_id,
-                           std::size_t expected_packets, PullConfig cfg,
-                           std::function<void(const Frame&)> on_data,
-                           PullPacer* pacer)
+PullReceiver::PullReceiver(
+    Host& host, NodeId peer, std::uint32_t flow_id,
+    std::size_t expected_packets, PullConfig cfg,
+    std::function<void(const Frame&)> on_data,
+    std::function<void(const ReceiverStats&)> on_complete, PullPacer* pacer)
     : host_(host),
       peer_(peer),
       flow_id_(flow_id),
       cfg_(cfg),
       delivered_(expected_packets, 0),
       pacer_(pacer),
-      on_data_(std::move(on_data)) {
+      on_data_(std::move(on_data)),
+      on_complete_(std::move(on_complete)) {
   if (pacer_ == nullptr) {
     own_pacer_ = std::make_unique<PullPacer>(host_,
                                              cfg_.effective_pull_interval());
@@ -195,6 +237,19 @@ void PullReceiver::send_ack(const Frame& data, bool was_trimmed) {
   host_.send(std::move(ack));
 }
 
+void PullReceiver::send_nack(const Frame& data) {
+  Frame nack;
+  nack.id = host_.sim().next_frame_id();
+  nack.src = host_.id();
+  nack.dst = data.src;
+  nack.flow_id = flow_id_;
+  nack.kind = FrameKind::kNack;
+  nack.size_bytes = kControlFrameBytes;
+  nack.ack_echo = data.seq;
+  ++stats_.nacks_sent;
+  host_.send(std::move(nack));
+}
+
 void PullReceiver::grant_pull() {
   // One pull per delivered packet, but never more pulls than packets the
   // sender still has to emit beyond its initial burst.
@@ -214,6 +269,15 @@ void PullReceiver::on_frame(Frame frame) {
     send_ack(frame, delivered_[frame.seq] == 2);
     return;
   }
+  if (frame.corrupted) {
+    // Checksum mismatch (core/wire.* head_crc/tail_crc): mangled, not
+    // trimmed — never deliver; NACK. A pull is still granted so the
+    // retransmission has credit to ride on.
+    ++stats_.corrupt_frames;
+    count_corrupt_detected();
+    send_nack(frame);
+    return;
+  }
   delivered_[frame.seq] = frame.trimmed ? 2 : 1;
   ++delivered_count_;
   if (frame.trimmed) ++stats_.delivered_trimmed;
@@ -221,7 +285,10 @@ void PullReceiver::on_frame(Frame frame) {
   if (on_data_) on_data_(frame);
   send_ack(frame, frame.trimmed);
   grant_pull();
-  if (complete()) stats_.complete_time = host_.sim().now();
+  if (complete()) {
+    stats_.complete_time = host_.sim().now();
+    if (on_complete_) on_complete_(stats_);
+  }
 }
 
 // -------------------------------------------------------------- PullFlow --
@@ -235,9 +302,9 @@ PullFlow::PullFlow(Simulator& sim, NodeId src, NodeId dst,
   auto& src_host = static_cast<Host&>(sim.node(src));
   auto& dst_host = static_cast<Host&>(sim.node(dst));
   sender_ = std::make_unique<PullSender>(src_host, dst, flow_id, cfg);
-  receiver_ = std::make_unique<PullReceiver>(dst_host, src, flow_id,
-                                             n_packets, cfg,
-                                             std::move(on_data), pacer);
+  receiver_ = std::make_unique<PullReceiver>(
+      dst_host, src, flow_id, n_packets, cfg, std::move(on_data),
+      /*on_complete=*/nullptr, pacer);
 }
 
 void PullFlow::start_at(SimTime when, std::vector<SendItem> items,

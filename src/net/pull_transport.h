@@ -28,6 +28,9 @@ struct PullConfig {
   std::size_t initial_burst = 12;  ///< first-RTT window (BDP-ish)
   SimTime rto = 500e-6;
   SimTime rto_cap = 5e-3;
+  /// Give-up knobs (see TransportConfig): 0 disables each.
+  std::size_t retransmit_budget = 0;
+  SimTime flow_deadline = 0;
   /// Pull spacing; receivers default it to the access-link serialization
   /// time of one MTU frame when left at 0.
   SimTime pull_interval = 0.0;
@@ -69,12 +72,20 @@ class PullSender : public FlowEndpoint {
   PullSender(Host& host, NodeId dst, std::uint32_t flow_id, PullConfig cfg);
   ~PullSender() override;
 
+  /// `on_complete` fires exactly once: on full acknowledgement or on
+  /// failure (stats().failed).
   void send_message(std::vector<SendItem> items,
                     std::function<void(const FlowStats&)> on_complete);
+
+  /// Give up on the in-flight message now. No-op when not active.
+  void abort();
+
   void on_frame(Frame frame) override;
 
   const FlowStats& stats() const noexcept { return stats_; }
   bool active() const noexcept { return active_; }
+  /// Current backed-off RTO (tests pin the rto_cap ceiling through this).
+  SimTime current_rto() const noexcept { return rto_cur_; }
 
  private:
   void send_packet(std::uint32_t seq, bool is_retransmit);
@@ -82,6 +93,11 @@ class PullSender : public FlowEndpoint {
   void arm_timer();
   void on_timeout(std::uint64_t epoch);
   void complete();
+  void fail();
+  bool budget_exhausted() const noexcept {
+    return cfg_.retransmit_budget > 0 &&
+           stats_.retransmits >= cfg_.retransmit_budget;
+  }
 
   Host& host_;
   NodeId dst_;
@@ -95,6 +111,7 @@ class PullSender : public FlowEndpoint {
   std::size_t acked_count_ = 0;
   SimTime rto_cur_ = 0;
   std::uint64_t timer_epoch_ = 0;
+  std::uint64_t msg_epoch_ = 0;  ///< guards the per-message deadline timer
   bool active_ = false;
   FlowStats stats_;
   std::function<void(const FlowStats&)> on_complete_;
@@ -102,11 +119,15 @@ class PullSender : public FlowEndpoint {
 
 class PullReceiver : public FlowEndpoint {
  public:
-  /// `pacer` may be shared by every receiver on the host (the NDP model);
-  /// nullptr gives this flow a private pacer at the configured interval.
+  /// `on_complete` fires once, when the last expected packet is delivered —
+  /// symmetric with Receiver, so chaos tests can detect flow completion
+  /// uniformly across transports. `pacer` may be shared by every receiver
+  /// on the host (the NDP model); nullptr gives this flow a private pacer
+  /// at the configured interval.
   PullReceiver(Host& host, NodeId peer, std::uint32_t flow_id,
                std::size_t expected_packets, PullConfig cfg,
                std::function<void(const Frame&)> on_data = {},
+               std::function<void(const ReceiverStats&)> on_complete = {},
                PullPacer* pacer = nullptr);
   ~PullReceiver() override;
 
@@ -119,6 +140,7 @@ class PullReceiver : public FlowEndpoint {
 
  private:
   void send_ack(const Frame& data, bool was_trimmed);
+  void send_nack(const Frame& data);
   void grant_pull();
   void pacer_fire();
 
@@ -133,6 +155,7 @@ class PullReceiver : public FlowEndpoint {
   std::unique_ptr<PullPacer> own_pacer_;
   ReceiverStats stats_;
   std::function<void(const Frame&)> on_data_;
+  std::function<void(const ReceiverStats&)> on_complete_;
 };
 
 /// Convenience wiring mirroring ManagedFlow for the pull transport.

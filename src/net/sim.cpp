@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/trace.h"
+#include "net/fault_plane.h"
 
 namespace trimgrad::net {
 
@@ -70,6 +71,18 @@ std::pair<std::size_t, std::size_t> Simulator::connect(NodeId a, NodeId b,
 bool Simulator::transmit(NodeId from, std::size_t port_idx, Frame frame) {
   Node& n = node(from);
   Port& p = n.port(port_idx);
+  if (fault_plane_ != nullptr) {
+    // A dead origin node originates nothing; a dead link refuses new
+    // frames (the NIC sees carrier loss and drops at the source).
+    if (!fault_plane_->node_up(from, now_)) {
+      fault_plane_->note_node_drop(from, now_, frame.id);
+      return false;
+    }
+    if (!fault_plane_->link_up(from, port_idx, now_)) {
+      fault_plane_->note_link_refused(from, port_idx, now_, frame.id);
+      return false;
+    }
+  }
   const bool accepted = p.queue().enqueue(std::move(frame));
   if (accepted && !p.transmitting_) drain_port(from, port_idx);
   return accepted;
@@ -78,6 +91,17 @@ bool Simulator::transmit(NodeId from, std::size_t port_idx, Frame frame) {
 void Simulator::drain_port(NodeId node_id, std::size_t port_idx) {
   Node& n = node(node_id);
   Port& p = n.port(port_idx);
+  if (fault_plane_ != nullptr &&
+      !fault_plane_->link_up(node_id, port_idx, now_)) {
+    // The link went down with frames still queued: they are lost with it.
+    // transmit() refuses new frames for the rest of the window, so the
+    // queue stays empty and the first post-recovery transmit re-kicks us.
+    while (auto queued = p.queue().dequeue()) {
+      fault_plane_->note_queue_flushed(node_id, port_idx, now_, queued->id);
+    }
+    p.transmitting_ = false;
+    return;
+  }
   auto next = p.queue().dequeue();
   if (!next) {
     p.transmitting_ = false;
@@ -85,13 +109,24 @@ void Simulator::drain_port(NodeId node_id, std::size_t port_idx) {
   }
   p.transmitting_ = true;
   Frame frame = std::move(*next);
-  const SimTime tx = p.link().tx_time(frame.size_bytes);
-  const SimTime prop = p.link().latency_s;
+  LinkSpec link = p.link();
+  if (fault_plane_ != nullptr) {
+    link = fault_plane_->effective_link(node_id, port_idx, now_, p.link());
+    fault_plane_->maybe_corrupt(node_id, port_idx, now_, frame);
+  }
+  const SimTime tx = link.tx_time(frame.size_bytes);
+  const SimTime prop = link.latency_s;
   const NodeId peer = p.peer();
   // Link is busy for the serialization time, then pulls the next frame.
   schedule(tx, [this, node_id, port_idx] { drain_port(node_id, port_idx); });
-  // The frame lands at the peer after serialization + propagation.
+  // The frame lands at the peer after serialization + propagation. Frames
+  // already on the wire when a *link* fails still land (they left the
+  // queue); frames addressed to a dead *node* are lost on arrival.
   schedule(tx + prop, [this, peer, f = std::move(frame)]() mutable {
+    if (fault_plane_ != nullptr && !fault_plane_->node_up(peer, now_)) {
+      fault_plane_->note_node_drop(peer, now_, f.id);
+      return;
+    }
     ++delivered_;
     node(peer).on_frame(std::move(f));
   });

@@ -19,6 +19,7 @@
 namespace trimgrad::net {
 
 class Node;
+class FaultPlane;
 
 /// Physical link parameters (one direction; connect() wires both).
 struct LinkSpec {
@@ -105,6 +106,13 @@ class Simulator {
   /// Total frames delivered to nodes (for conservation checks in tests).
   std::uint64_t delivered_frames() const noexcept { return delivered_; }
 
+  /// Attach a fault plane (net/fault_plane.h); nullptr detaches. The plane
+  /// must outlive every run while attached. Consulted at transmit (origin
+  /// link/node up?), dequeue (degradation, corruption, dead-link flush),
+  /// and delivery (destination node up?).
+  void set_fault_plane(FaultPlane* plane) noexcept { fault_plane_ = plane; }
+  FaultPlane* fault_plane() const noexcept { return fault_plane_; }
+
  private:
   struct Event {
     SimTime time;
@@ -125,6 +133,7 @@ class Simulator {
   void drain_port(NodeId node_id, std::size_t port_idx);
 
   SimTime now_ = 0.0;
+  FaultPlane* fault_plane_ = nullptr;
   std::uint64_t event_counter_ = 0;
   std::uint64_t frame_counter_ = 0;
   std::uint64_t delivered_ = 0;

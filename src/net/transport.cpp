@@ -5,18 +5,20 @@
 
 #include "core/metrics.h"
 #include "core/trace.h"
+#include "net/fault_plane.h"
 
 namespace trimgrad::net {
 namespace {
 
 struct TransportTelemetry {
-  core::Counter flows_completed, frames_sent, bytes_sent, retransmits,
-      acked_full, acked_trimmed;
+  core::Counter flows_completed, flows_failed, frames_sent, bytes_sent,
+      retransmits, acked_full, acked_trimmed;
 
   static const TransportTelemetry& get() {
     auto& reg = core::MetricsRegistry::global();
     static const TransportTelemetry t{
         reg.counter("net.transport.flows_completed"),
+        reg.counter("net.transport.flows_failed"),
         reg.counter("net.transport.frames_sent"),
         reg.counter("net.transport.bytes_sent"),
         reg.counter("net.transport.retransmits"),
@@ -31,7 +33,8 @@ struct TransportTelemetry {
 
 void record_flow_telemetry(const FlowStats& stats) {
   const TransportTelemetry& t = TransportTelemetry::get();
-  t.flows_completed.add();
+  if (stats.failed) t.flows_failed.add();
+  else t.flows_completed.add();
   t.frames_sent.add(stats.frames_sent);
   t.bytes_sent.add(stats.bytes_sent);
   t.retransmits.add(stats.retransmits);
@@ -72,12 +75,24 @@ void Sender::send_message(std::vector<SendItem> items,
   stats_.start_time = host_.sim().now();
   stats_.packets = items_.size();
   on_complete_ = std::move(on_complete);
+  ++msg_epoch_;
   if (items_.empty()) {
     complete();
     return;
   }
+  if (cfg_.flow_deadline > 0) {
+    // A dedicated one-shot timer makes the deadline exact instead of
+    // quantized to the (backed-off) RTO grid.
+    host_.sim().schedule(cfg_.flow_deadline, [this, me = msg_epoch_] {
+      if (active_ && me == msg_epoch_) fail();
+    });
+  }
   try_send_new();
   arm_timer();
+}
+
+void Sender::abort() {
+  if (active_) fail();
 }
 
 void Sender::try_send_new() {
@@ -111,12 +126,17 @@ void Sender::send_packet(std::uint32_t seq, bool is_retransmit) {
 void Sender::on_frame(Frame frame) {
   if (!active_) return;
   if (frame.kind == FrameKind::kNack) {
-    // Reliable mode: a trimmed arrival is unusable; retransmit, but pace
-    // retransmissions to half an RTO per packet — an immediate resend into
-    // a still-congested queue would just be trimmed again (livelock).
+    // A NACKed arrival (trimmed under reliable semantics, or mangled under
+    // any) is unusable; retransmit, but pace retransmissions to half an RTO
+    // per packet — an immediate resend into a still-congested queue would
+    // just be trimmed again (livelock).
     const std::uint32_t seq = frame.ack_echo;
     if (seq < items_.size() && acked_[seq] == 0 &&
         host_.sim().now() - last_sent_[seq] >= cfg_.rto * 0.5) {
+      if (budget_exhausted()) {
+        fail();
+        return;
+      }
       send_packet(seq, true);
     }
     return;
@@ -165,6 +185,12 @@ void Sender::arm_timer() {
 
 void Sender::on_timeout(std::uint64_t epoch) {
   if (!active_ || epoch != timer_epoch_) return;
+  if (budget_exhausted()) {
+    // The path is not recovering (dead link, black hole): report failure
+    // instead of re-arming forever — the event queue must drain.
+    fail();
+    return;
+  }
   // Retransmit the oldest unacked packet that has been sent.
   for (std::size_t seq = 0; seq < next_new_; ++seq) {
     if (acked_[seq] == 0) {
@@ -180,6 +206,16 @@ void Sender::complete() {
   active_ = false;
   ++timer_epoch_;  // cancel pending timers
   stats_.completed = true;
+  stats_.end_time = host_.sim().now();
+  record_flow_telemetry(stats_);
+  if (on_complete_) on_complete_(stats_);
+}
+
+void Sender::fail() {
+  active_ = false;
+  ++timer_epoch_;  // cancel pending timers
+  stats_.completed = false;
+  stats_.failed = true;
   stats_.end_time = host_.sim().now();
   record_flow_telemetry(stats_);
   if (on_complete_) on_complete_(stats_);
@@ -249,6 +285,15 @@ void Receiver::on_frame(Frame frame) {
     // Duplicate (retransmission after a lost ACK): re-ACK, don't re-deliver.
     ++stats_.duplicate_frames;
     send_ack(frame, delivered_[frame.seq] == 2);
+    return;
+  }
+
+  if (frame.corrupted) {
+    // Checksum mismatch (core/wire.* head_crc/tail_crc): the payload is
+    // mangled, not trimmed — never deliver it as a gradient; NACK it.
+    ++stats_.corrupt_frames;
+    count_corrupt_detected();
+    send_nack(frame);
     return;
   }
 

@@ -33,6 +33,10 @@ struct TransportConfig {
   SimTime rto = 200e-6;          ///< initial retransmission timeout
   SimTime rto_cap = 5e-3;        ///< exponential backoff ceiling
   bool trimmed_is_delivered = true;  ///< TrimAware: true; Reliable: false
+  /// Give-up knobs: without them a flow crossing a dead link re-arms its
+  /// RTO timer forever and the event queue never drains. 0 disables each.
+  std::size_t retransmit_budget = 0;  ///< max retransmissions before failing
+  SimTime flow_deadline = 0;          ///< max flow age before failing
 
   static TransportConfig reliable() {
     TransportConfig cfg;
@@ -52,6 +56,7 @@ struct FlowStats {
   std::uint64_t acked_full = 0;    ///< packets delivered with tails intact
   std::uint64_t acked_trimmed = 0; ///< packets delivered trimmed
   bool completed = false;
+  bool failed = false;  ///< gave up: budget/deadline exhausted or aborted
 
   SimTime fct() const noexcept { return end_time - start_time; }
 };
@@ -77,15 +82,23 @@ class Sender : public FlowEndpoint {
   ~Sender() override;
 
   /// Begin transmitting. One message at a time per Sender; `on_complete`
-  /// fires when every packet has been acknowledged (full or trimmed).
+  /// fires exactly once: when every packet has been acknowledged (full or
+  /// trimmed), or when the flow *fails* (stats().failed — retransmit budget
+  /// or flow deadline exhausted, or abort()ed).
   void send_message(std::vector<SendItem> items,
                     std::function<void(const FlowStats&)> on_complete);
+
+  /// Give up on the in-flight message now (deadline enforcement by an
+  /// owning layer, e.g. a collective round). No-op when not active.
+  void abort();
 
   void on_frame(Frame frame) override;
 
   const FlowStats& stats() const noexcept { return stats_; }
   bool active() const noexcept { return active_; }
   std::uint32_t flow_id() const noexcept { return flow_id_; }
+  /// Current backed-off RTO (tests pin the rto_cap ceiling through this).
+  SimTime current_rto() const noexcept { return rto_cur_; }
 
  private:
   void try_send_new();
@@ -93,6 +106,11 @@ class Sender : public FlowEndpoint {
   void arm_timer();
   void on_timeout(std::uint64_t epoch);
   void complete();
+  void fail();
+  bool budget_exhausted() const noexcept {
+    return cfg_.retransmit_budget > 0 &&
+           stats_.retransmits >= cfg_.retransmit_budget;
+  }
   std::size_t in_flight() const noexcept { return sent_unacked_; }
 
   Host& host_;
@@ -111,6 +129,7 @@ class Sender : public FlowEndpoint {
   int dup_cum_ = 0;
   SimTime rto_cur_ = 0;
   std::uint64_t timer_epoch_ = 0;
+  std::uint64_t msg_epoch_ = 0;  ///< guards the per-message deadline timer
   bool active_ = false;
   FlowStats stats_;
   std::function<void(const FlowStats&)> on_complete_;
@@ -122,6 +141,7 @@ struct ReceiverStats {
   std::size_t delivered_trimmed = 0;
   std::uint64_t duplicate_frames = 0;
   std::uint64_t nacks_sent = 0;
+  std::uint64_t corrupt_frames = 0;  ///< checksum-mismatch arrivals, NACKed
   SimTime first_frame_time = 0;
   SimTime complete_time = 0;
 };

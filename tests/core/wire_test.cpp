@@ -120,6 +120,96 @@ TEST(Wire, EmptyAndTinyBuffersRejected) {
   EXPECT_FALSE(parse_packet(tiny).has_value());
 }
 
+TEST(Wire, Crc32cMatchesKnownVectorAndChains) {
+  // RFC 3720 test vector: CRC32C("123456789") = 0xE3069283.
+  const std::uint8_t digits[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc32c(digits), 0xE3069283u);
+  // Chaining: crc(a || b) == crc(b, seed = crc(a)).
+  const auto whole = crc32c(digits);
+  const auto chained =
+      crc32c(std::span(digits).subspan(4), crc32c(std::span(digits).first(4)));
+  EXPECT_EQ(whole, chained);
+}
+
+TEST(Wire, VerdictsDistinguishFullTrimmedCorruptMalformed) {
+  TrimmableEncoder enc(cfg_of(Scheme::kRHT));
+  const auto msg = enc.encode(gaussian_vec(1200, 11), 1, 1);
+  const auto& pkt = msg.packets[0];
+  const auto bytes = serialize_packet(pkt);
+
+  EXPECT_EQ(parse_packet_verified(bytes).verdict, WireVerdict::kFull);
+
+  auto cut = bytes;
+  cut.resize(wire_trim_point(pkt));
+  EXPECT_EQ(parse_packet_verified(cut).verdict, WireVerdict::kTrimmed);
+
+  auto mangled_head = bytes;
+  mangled_head[kWireHeaderBytes + 3] ^= 0x40;  // inside the head region
+  const auto ph = parse_packet_verified(mangled_head);
+  EXPECT_EQ(ph.verdict, WireVerdict::kCorrupt);
+  EXPECT_FALSE(ph.packet.has_value());
+
+  ASSERT_FALSE(pkt.tail_region.empty());
+  auto mangled_tail = bytes;
+  mangled_tail.back() ^= 0x01;  // inside a fully present tail
+  const auto pt = parse_packet_verified(mangled_tail);
+  EXPECT_EQ(pt.verdict, WireVerdict::kCorrupt);
+  EXPECT_FALSE(pt.packet.has_value());
+
+  auto bad_magic = bytes;
+  bad_magic[0] ^= 0xff;
+  EXPECT_EQ(parse_packet_verified(bad_magic).verdict,
+            WireVerdict::kMalformed);
+}
+
+TEST(Wire, EveryHeaderByteFlipIsDetected) {
+  // Exhaustive single-byte flips over the header prefix: each must yield
+  // kCorrupt or kMalformed — never a quietly wrong packet. (A flip in the
+  // length fields usually breaks framing; a flip elsewhere breaks a CRC.)
+  TrimmableEncoder enc(cfg_of(Scheme::kSQ));
+  const auto msg = enc.encode(gaussian_vec(900, 12), 3, 9);
+  const auto bytes = serialize_packet(msg.packets[0]);
+  for (std::size_t i = 0; i < kWireHeaderBytes; ++i) {
+    auto flipped = bytes;
+    flipped[i] ^= 0x10;
+    const auto parsed = parse_packet_verified(flipped);
+    EXPECT_TRUE(parsed.verdict == WireVerdict::kCorrupt ||
+                parsed.verdict == WireVerdict::kMalformed)
+        << "flip at header byte " << i << " parsed as "
+        << to_string(parsed.verdict);
+    EXPECT_FALSE(parsed.packet.has_value()) << "byte " << i;
+  }
+}
+
+TEST(Wire, TrimmedBufferWithMangledHeadIsCorruptNotTrimmed) {
+  // The checksum split's whole point: a cut is distinguishable from a cut
+  // *plus* damage. Trim the buffer, then flip one surviving head byte.
+  TrimmableEncoder enc(cfg_of(Scheme::kRHT));
+  const auto msg = enc.encode(gaussian_vec(1000, 13), 1, 1);
+  auto bytes = serialize_packet(msg.packets[0]);
+  bytes.resize(wire_trim_point(msg.packets[0]));
+  bytes[kWireHeaderBytes] ^= 0x80;
+  const auto parsed = parse_packet_verified(bytes);
+  EXPECT_EQ(parsed.verdict, WireVerdict::kCorrupt);
+  EXPECT_FALSE(parsed.packet.has_value());
+}
+
+TEST(WireMeta, ByteFlipAnywhereRejectsMeta) {
+  MessageMeta meta;
+  meta.msg_id = 5;
+  meta.scheme = Scheme::kRHT;
+  meta.total_coords = 4096;
+  meta.row_len = 1 << 10;
+  meta.row_scales = {0.5f, 1.5f};
+  const auto bytes = serialize_meta(meta);
+  ASSERT_TRUE(parse_meta(bytes).has_value());
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    auto flipped = bytes;
+    flipped[i] ^= 0x04;
+    EXPECT_FALSE(parse_meta(flipped).has_value()) << "flip at byte " << i;
+  }
+}
+
 TEST(Wire, EndToEndThroughBytesDecodesCorrectly) {
   // Full pipeline over literal bytes: encode -> serialize -> trim half the
   // buffers by truncation -> parse -> decode.

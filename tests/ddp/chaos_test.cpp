@@ -1,0 +1,243 @@
+// Closed-loop chaos: DDP training over the simulated fabric while the fault
+// plane flaps the fan-in link, corrupts ~1% of data frames, and slows one
+// seed-chosen rank per epoch. The run must complete every epoch trim-aware,
+// drain the event queue, stay bit-identical across thread counts for a
+// fixed fault seed, and never aggregate a mangled frame as a gradient.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "collective/sim_channel.h"
+#include "core/metrics.h"
+#include "core/threadpool.h"
+#include "ddp/trainer.h"
+#include "net/fault_plane.h"
+#include "net/topology.h"
+
+namespace trimgrad::ddp {
+namespace {
+
+std::uint64_t counter_value(const std::string& name) {
+  const auto snap = core::MetricsRegistry::global().snapshot();
+  for (const auto& c : snap.counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+struct ChaosResult {
+  std::vector<EpochRecord> records;
+  net::FaultLog fault_log;
+  std::uint64_t corrupt_detected = 0;  ///< counter delta over the run
+  std::uint64_t corrupted = 0;         ///< frames the plane actually mangled
+  std::uint64_t retransmits = 0;       ///< summed over epochs
+  std::size_t missing_ranks = 0;
+  std::size_t degraded_rounds = 0;
+  bool queue_drained = false;
+};
+
+struct ChaosOptions {
+  bool reliable = false;
+  std::uint64_t fault_seed = 7;
+  std::size_t epochs = 4;
+  std::size_t eval_every = 0;
+  /// When > 0, rank 3's host is periodically dead for this long every
+  /// 60 ms. Longer than the round deadline, so rounds caught inside the
+  /// window cannot recover by retransmission — they must degrade.
+  net::SimTime dead_rank_window = 0;
+};
+
+ChaosResult run_chaos(const ChaosOptions& opt) {
+  net::Simulator sim;
+  net::FabricConfig fcfg;
+  fcfg.core_link = {10e9, 1e-6};
+  fcfg.switch_queue.policy = net::QueuePolicy::kTrim;
+  fcfg.switch_queue.capacity_bytes = 20 * 1024;
+  fcfg.switch_queue.header_capacity_bytes = 64 * 1024;
+  const net::Dumbbell topo = net::build_dumbbell(sim, 2, 2, fcfg);
+  const std::vector<net::NodeId> ranks = {
+      topo.left_hosts[0], topo.left_hosts[1], topo.right_hosts[0],
+      topo.right_hosts[1]};
+
+  net::FaultPlaneConfig pcfg;
+  pcfg.seed = opt.fault_seed;
+  pcfg.corrupt_rate = 0.01;
+  net::LinkFault flap;  // flap the fan-in port: core egress of the left switch
+  flap.node = topo.left_switch;
+  flap.port = 0;
+  flap.start = 50e-6;
+  flap.duration = 20e-6;
+  flap.period = 500e-6;
+  flap.repeats = std::size_t{1} << 30;
+  pcfg.link_faults.push_back(flap);
+  if (opt.dead_rank_window > 0) {
+    net::NodeFault dead;  // rank 3 (never the PS server, which is rank 0)
+    dead.node = topo.right_hosts[1];
+    dead.start = 1e-3;
+    dead.duration = opt.dead_rank_window;
+    dead.period = 60e-3;
+    dead.repeats = std::size_t{1} << 30;
+    pcfg.node_faults.push_back(dead);
+  }
+  net::FaultPlane plane(pcfg);
+  sim.set_fault_plane(&plane);
+
+  collective::SimChannel::Config ccfg;
+  ccfg.transport = opt.reliable ? net::TransportConfig::reliable()
+                                : net::TransportConfig::trim_aware();
+  ccfg.transport.rto = 100e-6;
+  ccfg.transport.rto_cap = 1e-3;
+  ccfg.transport.retransmit_budget = 400;
+  ccfg.reliable = opt.reliable;
+  ccfg.round_deadline = 10e-3;
+  collective::SimChannel channel(sim, ranks, ccfg);
+
+  ml::SynthCifarConfig dcfg;
+  dcfg.classes = 10;
+  dcfg.height = dcfg.width = 8;
+  dcfg.train_per_class = 16;
+  dcfg.test_per_class = 8;
+  dcfg.proto_grid = 3;
+  ml::SynthCifar data(dcfg);
+
+  TrainerConfig tcfg;
+  tcfg.world = 4;
+  tcfg.global_batch = 32;
+  tcfg.epochs = opt.epochs;
+  tcfg.eval_every = opt.eval_every;
+  tcfg.sgd.lr = 0.05f;
+  tcfg.codec.scheme = core::Scheme::kRHT;
+  tcfg.codec.rht_row_len = std::size_t{1} << 10;
+  tcfg.straggler_factor = 3.0;
+  tcfg.fault_seed = opt.fault_seed;
+  DdpTrainer trainer(data, channel, tcfg, [] {
+    ml::ModelConfig mcfg;
+    mcfg.classes = 10;
+    mcfg.height = mcfg.width = 8;
+    return ml::make_mlp(mcfg, 48);
+  });
+
+  ChaosResult out;
+  const std::uint64_t det0 = counter_value("net.fault.corrupt_detected");
+  const std::uint64_t cor0 = counter_value("net.fault.corrupted");
+  out.records = trainer.train();
+  out.corrupt_detected = counter_value("net.fault.corrupt_detected") - det0;
+  out.corrupted = counter_value("net.fault.corrupted") - cor0;
+  out.fault_log = plane.log();
+  for (const auto& r : out.records) {
+    out.retransmits += r.retransmits;
+    out.missing_ranks += r.missing_ranks;
+    out.degraded_rounds += r.degraded_rounds;
+  }
+  // Liveness: after train() returns, nothing may still be in flight — a
+  // run() from here must not advance the clock.
+  const net::SimTime t_end = sim.now();
+  out.queue_drained = sim.run() == t_end;
+  return out;
+}
+
+void expect_records_identical(const std::vector<EpochRecord>& a,
+                              const std::vector<EpochRecord>& b,
+                              std::size_t threads) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto& x = a[i];
+    const auto& y = b[i];
+    EXPECT_EQ(x.epoch, y.epoch);
+    EXPECT_EQ(x.sim_time_s, y.sim_time_s) << "epoch " << i << " @" << threads;
+    EXPECT_EQ(x.train_loss, y.train_loss) << "epoch " << i << " @" << threads;
+    EXPECT_EQ(x.top1, y.top1) << "epoch " << i << " @" << threads;
+    EXPECT_EQ(x.trimmed_packets, y.trimmed_packets) << "epoch " << i;
+    EXPECT_EQ(x.dropped_packets, y.dropped_packets) << "epoch " << i;
+    EXPECT_EQ(x.retransmits, y.retransmits) << "epoch " << i;
+    EXPECT_EQ(x.wire_bytes, y.wire_bytes) << "epoch " << i;
+    EXPECT_EQ(x.replica_divergence, y.replica_divergence) << "epoch " << i;
+    EXPECT_EQ(x.missing_ranks, y.missing_ranks) << "epoch " << i;
+    EXPECT_EQ(x.degraded_rounds, y.degraded_rounds) << "epoch " << i;
+    EXPECT_EQ(x.straggler_rank, y.straggler_rank) << "epoch " << i;
+  }
+}
+
+TEST(Chaos, TrimAwareRunCompletesEveryEpochAndDrains) {
+  ChaosOptions opt;
+  opt.epochs = 5;
+  opt.eval_every = 2;
+  const ChaosResult res = run_chaos(opt);
+
+  ASSERT_EQ(res.records.size(), 5u);
+  EXPECT_TRUE(res.queue_drained) << "events left in the queue after train()";
+  for (const auto& r : res.records) {
+    EXPECT_GT(r.sim_time_s, 0.0);
+    EXPECT_GE(r.straggler_rank, 0) << "straggler injection is on";
+    EXPECT_LT(r.straggler_rank, 4);
+  }
+  // The shallow fan-in still trims; chaos must not turn trims into hangs.
+  std::size_t trimmed = 0;
+  for (const auto& r : res.records) trimmed += r.trimmed_packets;
+  EXPECT_GT(trimmed, 0u);
+  // Corruption was injected, detected by checksums, and recovered: mangled
+  // frames are NACKed + retransmitted, never delivered as gradients.
+  EXPECT_GT(res.corrupted, 0u);
+  EXPECT_GT(res.corrupt_detected, 0u);
+  EXPECT_GT(res.retransmits, 0u) << "flap + corruption must cost recoveries";
+  // And it still learns (10 classes, chance = 0.1).
+  EXPECT_GT(res.records.back().top1, 0.2);
+  EXPECT_LT(res.records.back().train_loss, res.records.front().train_loss);
+}
+
+TEST(Chaos, EpochRecordsAreBitIdenticalAcrossThreadCounts) {
+  // The fault plane's stateless coins + the single-threaded event queue
+  // must keep a chaos run invariant to TRIMGRAD_THREADS. Also pins
+  // seed-replayability: the reference run's fault log equals each rerun's.
+  ChaosOptions opt;
+  opt.epochs = 3;
+  core::ThreadPool::set_global_threads(1);
+  const ChaosResult ref = run_chaos(opt);
+  ASSERT_EQ(ref.records.size(), 3u);
+  ASSERT_GT(ref.fault_log.size(), 0u);
+  for (const std::size_t threads : {2, 8}) {
+    core::ThreadPool::set_global_threads(threads);
+    const ChaosResult got = run_chaos(opt);
+    expect_records_identical(ref.records, got.records, threads);
+    EXPECT_EQ(ref.fault_log, got.fault_log)
+        << "fault decisions differ at " << threads << " threads";
+  }
+  core::ThreadPool::set_global_threads(1);
+}
+
+TEST(Chaos, ReliableBaselinePaysMoreRecoveriesThanTrimAware) {
+  ChaosOptions trim_opt;
+  const ChaosResult trim = run_chaos(trim_opt);
+  ChaosOptions rel_opt;
+  rel_opt.reliable = true;
+  const ChaosResult rel = run_chaos(rel_opt);
+
+  ASSERT_EQ(trim.records.size(), rel.records.size());
+  // Same fault schedule, same seed: the reliable transport must also NACK
+  // every trimmed arrival, so it pays measurably more retransmissions.
+  EXPECT_GT(rel.retransmits, trim.retransmits)
+      << "reliable should retransmit trims on top of faults";
+  EXPECT_GE(rel.degraded_rounds, trim.degraded_rounds);
+}
+
+TEST(Chaos, DeadRankDegradesRoundsInsteadOfHangingThem) {
+  // Periodically kill rank 3's host outright. Its flows fail (budget or
+  // round deadline), the reduce proceeds with the contributions that
+  // arrived, and EpochRecord says so.
+  ChaosOptions opt;
+  opt.dead_rank_window = 30e-3;
+  opt.epochs = 4;
+  const ChaosResult res = run_chaos(opt);
+
+  ASSERT_EQ(res.records.size(), 4u);
+  EXPECT_TRUE(res.queue_drained);
+  EXPECT_GT(res.missing_ranks, 0u) << "a dead host must cost contributions";
+  EXPECT_GT(res.degraded_rounds, 0u);
+  for (const auto& r : res.records) {
+    EXPECT_GT(r.sim_time_s, 0.0) << "every epoch still completes";
+  }
+}
+
+}  // namespace
+}  // namespace trimgrad::ddp

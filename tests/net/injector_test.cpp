@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <vector>
 
 #include "core/codec.h"
@@ -110,19 +111,36 @@ TEST(Injector, ReplayReproducesExactDecodedGradient) {
   EXPECT_GT(st.trimmed + st.dropped, 0u);
 }
 
-TEST(Injector, ReplayIsSelectiveByEpoch) {
+TEST(Injector, ReplayWrongEpochIsAHardError) {
   auto v = gaussian_vec(2048, 6);
   TrimmableEncoder enc(cfg_rht());
   core::TrimTranscript transcript;
   TrimInjector inj({0.5, 0.0, 19});
   EncodedMessage run = enc.encode(v, 1, 1);
   inj.apply(run.packets, 1, &transcript);
+  ASSERT_GT(transcript.size(), 0u);
+  EXPECT_TRUE(transcript.contains_epoch(1));
+  EXPECT_FALSE(transcript.contains_epoch(99));
 
-  // Replaying with a different epoch matches nothing.
+  // Replaying against an epoch the transcript never saw used to be a
+  // silent no-op — i.e. silently reproducing the wrong run. Now it throws.
   EncodedMessage other = enc.encode(v, 1, 1);
-  const auto st = TrimInjector::replay(other.packets, 99, transcript);
+  EXPECT_THROW(TrimInjector::replay(other.packets, 99, transcript),
+               std::invalid_argument);
+}
+
+TEST(Injector, ReplayEmptyTranscriptIsLegalNoOp) {
+  // A recorded run can legitimately contain zero trims; replaying its
+  // (empty) transcript must not throw and must change nothing.
+  auto v = gaussian_vec(1024, 6);
+  TrimmableEncoder enc(cfg_rht());
+  core::TrimTranscript empty;
+  EncodedMessage run = enc.encode(v, 1, 1);
+  const std::size_t n = run.packets.size();
+  const auto st = TrimInjector::replay(run.packets, 7, empty);
   EXPECT_EQ(st.trimmed, 0u);
   EXPECT_EQ(st.dropped, 0u);
+  EXPECT_EQ(run.packets.size(), n);
 }
 
 TEST(InjectorMultilevel, MixesTrimLevels) {
