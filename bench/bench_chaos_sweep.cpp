@@ -14,6 +14,7 @@
 #include "collective/sim_channel.h"
 #include "core/metrics.h"
 #include "core/metrics_export.h"
+#include "ddp/experiment.h"
 #include "ddp/trainer.h"
 #include "net/fault_plane.h"
 #include "net/topology.h"
@@ -27,7 +28,27 @@ struct CellResult {
   std::uint64_t fault_events = 0;
   std::uint64_t corrupt_detected = 0;
   bool queue_drained = false;
+  std::string label;
 };
+
+/// The declarative description of one sweep cell; run_cell projects it
+/// onto the fabric, the fault plane, and the trainer.
+ddp::ExperimentSpec cell_spec(std::uint64_t fault_seed, bool reliable,
+                              std::size_t epochs) {
+  ddp::ExperimentSpec spec;
+  spec.transport = reliable ? "reliable" : "trim";
+  spec.scheme = "rht";
+  spec.topology = "fabric";
+  spec.faults = "chaos";
+  spec.trim = 0;  // fabric trimming is emergent, not coin-injected
+  spec.deadline = 10e-3;
+  spec.world = 4;
+  spec.epochs = epochs;
+  spec.batch = 32;
+  spec.lr = 0.05;
+  spec.fault_seed = fault_seed;
+  return spec;
+}
 
 std::uint64_t counter_value(const std::string& name) {
   const auto snap = core::MetricsRegistry::global().snapshot();
@@ -37,8 +58,7 @@ std::uint64_t counter_value(const std::string& name) {
   return 0;
 }
 
-CellResult run_cell(std::uint64_t fault_seed, bool reliable,
-                    std::size_t epochs) {
+CellResult run_cell(const ddp::ExperimentSpec& spec) {
   net::Simulator sim;
   net::FabricConfig fcfg;
   fcfg.core_link = {10e9, 1e-6};
@@ -50,8 +70,8 @@ CellResult run_cell(std::uint64_t fault_seed, bool reliable,
       topo.left_hosts[0], topo.left_hosts[1], topo.right_hosts[0],
       topo.right_hosts[1]};
 
-  net::FaultPlaneConfig pcfg;
-  pcfg.seed = fault_seed;
+  net::FaultPlaneConfig pcfg;  // spec.faults == "chaos": corrupt + flap
+  pcfg.seed = spec.fault_seed;
   pcfg.corrupt_rate = 0.01;
   net::LinkFault flap;  // flap the fan-in: the left switch's core egress
   flap.node = topo.left_switch;
@@ -64,14 +84,10 @@ CellResult run_cell(std::uint64_t fault_seed, bool reliable,
   net::FaultPlane plane(pcfg);
   sim.set_fault_plane(&plane);
 
-  collective::SimChannel::Config ccfg;
-  ccfg.transport = reliable ? net::TransportConfig::reliable()
-                            : net::TransportConfig::trim_aware();
-  ccfg.transport.rto = 100e-6;
-  ccfg.transport.rto_cap = 1e-3;
-  ccfg.transport.retransmit_budget = 400;
-  ccfg.reliable = reliable;
-  ccfg.round_deadline = 10e-3;
+  collective::SimChannel::Config ccfg = spec.sim_channel_config();
+  ccfg.tuning.rto = 100e-6;
+  ccfg.tuning.rto_cap = 1e-3;
+  ccfg.tuning.retransmit_budget = 400;
   collective::SimChannel channel(sim, ranks, ccfg);
 
   ml::SynthCifarConfig dcfg;
@@ -82,16 +98,10 @@ CellResult run_cell(std::uint64_t fault_seed, bool reliable,
   dcfg.proto_grid = 3;
   ml::SynthCifar data(dcfg);
 
-  ddp::TrainerConfig tcfg;
-  tcfg.world = 4;
-  tcfg.global_batch = 32;
-  tcfg.epochs = epochs;
-  tcfg.eval_every = epochs;  // one final evaluation
-  tcfg.sgd.lr = 0.05f;
-  tcfg.codec.scheme = core::Scheme::kRHT;
+  ddp::TrainerConfig tcfg = spec.trainer_config();
+  tcfg.eval_every = spec.epochs;  // one final evaluation
   tcfg.codec.rht_row_len = std::size_t{1} << 10;
   tcfg.straggler_factor = 3.0;
-  tcfg.fault_seed = fault_seed;
   ddp::DdpTrainer trainer(data, channel, tcfg, [] {
     ml::ModelConfig mcfg;
     mcfg.classes = 10;
@@ -100,6 +110,7 @@ CellResult run_cell(std::uint64_t fault_seed, bool reliable,
   });
 
   CellResult out;
+  out.label = spec.label();
   const std::uint64_t det0 = counter_value("net.fault.corrupt_detected");
   out.records = trainer.train();
   out.corrupt_detected = counter_value("net.fault.corrupt_detected") - det0;
@@ -127,7 +138,7 @@ int main() {
   for (const std::uint64_t seed : seeds) {
     for (const bool reliable : {false, true}) {
       core::MetricsRegistry::global().reset_values();
-      const CellResult cell = run_cell(seed, reliable, epochs);
+      const CellResult cell = run_cell(cell_spec(seed, reliable, epochs));
 
       std::uint64_t retx = 0;
       std::size_t degraded = 0, missing = 0;
@@ -148,13 +159,14 @@ int main() {
 
       if (!first) doc += ',';
       first = false;
-      char head[128];
+      char head[256];
       std::snprintf(head, sizeof(head),
-                    "{\"seed\":%llu,\"mode\":\"%s\",\"top1\":%.4f,"
+                    "{\"seed\":%llu,\"mode\":\"%s\",\"label\":\"%s\","
+                    "\"top1\":%.4f,"
                     "\"retransmits\":%llu,\"degraded_rounds\":%zu,"
                     "\"missing_ranks\":%zu,\"drained\":%s,\"metrics\":",
                     static_cast<unsigned long long>(seed), mode,
-                    cell.records.back().top1,
+                    cell.label.c_str(), cell.records.back().top1,
                     static_cast<unsigned long long>(retx), degraded, missing,
                     cell.queue_drained ? "true" : "false");
       doc += head;

@@ -6,7 +6,13 @@
 // core with Poisson background traffic of increasing intensity. We report
 // the switch-measured trim fraction and the gradient flows' completion
 // times: the feedback data a §5.1 trim-level policy would consume.
+//
+// Usage: bench_closedloop_trimrate [experiment-spec]
+//   e.g. bench_closedloop_trimrate "transport=trim,topology=fabric"
+// Only the window transports apply — the incast pattern is ACK-clocked —
+// so transport must be "trim" or "reliable".
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -14,13 +20,39 @@
 #include "core/metrics.h"
 #include "core/metrics_export.h"
 #include "core/trace.h"
+#include "ddp/experiment.h"
 #include "net/topology.h"
 #include "net/traffic.h"
 
 using namespace trimgrad::net;
 
-int main() {
+int main(int argc, char** argv) {
+  trimgrad::ddp::ExperimentSpec spec;
+  try {
+    spec = trimgrad::ddp::ExperimentSpec::parse(
+        argc > 1 ? argv[1] : "transport=trim,topology=fabric");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  if (spec.transport != "trim" && spec.transport != "reliable") {
+    std::fprintf(stderr,
+                 "transport '%s' is not ACK-clocked; the incast pattern "
+                 "needs transport=trim or transport=reliable\n",
+                 spec.transport.c_str());
+    return 1;
+  }
+  const TransportConfig base_transport = spec.transport == "reliable"
+                                             ? TransportConfig::reliable()
+                                             : TransportConfig::trim_aware();
+
+  const bool smoke = std::getenv("TRIMGRAD_SMOKE") != nullptr;
+  const std::vector<double> loads =
+      smoke ? std::vector<double>{0.0, 3e5}
+            : std::vector<double>{0.0, 1e5, 3e5, 6e5, 1e6, 2e6};
+
   std::printf("# closed-loop emergent trimming: background load sweep\n");
+  std::printf("# spec: %s\n", spec.serialize().c_str());
   std::printf("%12s %10s %10s %10s %12s %12s %8s\n", "bg_flows/s", "bg_flows",
               "grad_trim%", "fab_trim%", "grad_fct_us", "bg_p99_us", "drops");
 
@@ -29,7 +61,7 @@ int main() {
   std::string metrics_doc = "{\"loads\":[";
   bool first_load = true;
 
-  for (double load : {0.0, 1e5, 3e5, 6e5, 1e6, 2e6}) {
+  for (double load : loads) {
     trimgrad::core::MetricsRegistry::global().reset_values();
     trimgrad::core::TraceLog::global().clear();
     Simulator sim;
@@ -49,7 +81,7 @@ int main() {
     IncastPattern::Config icfg;
     icfg.packets_per_sender = 512;
     icfg.trim_size = 88;
-    icfg.transport = TransportConfig::trim_aware();
+    icfg.transport = base_transport;
     icfg.transport.window = 12;
     icfg.start = 0.2e-3;  // let background traffic build up first
     IncastPattern incast(sim, workers, fabric.hosts[2][0], icfg);
@@ -62,7 +94,7 @@ int main() {
       pcfg.stop = 1.5e-3;
       pcfg.packets_per_flow = 16;
       pcfg.trim_size = 88;  // background is also trim-capable
-      pcfg.transport = TransportConfig::trim_aware();
+      pcfg.transport = base_transport;
       bg_holder = std::make_unique<PoissonTraffic>(sim, fabric.all_hosts(),
                                                    pcfg);
       bg = bg_holder.get();

@@ -27,7 +27,8 @@ int main() {
 
   for (double rate : bench::paper_trim_rates()) {
     for (core::Scheme scheme : bench::all_schemes()) {
-      const auto cell = bench::run_cell(cfg, scheme, rate);
+      const auto spec = bench::sweep_spec(cfg, scheme, rate);
+      const auto cell = bench::run_cell(cfg, spec);
       for (const auto& r : cell.records) {
         if (r.top1 < 0) continue;
         std::printf("%-9s %6.1f%% %6zu %12.4f %7.3f %7.3f %9.4f\n",

@@ -48,7 +48,8 @@ int main() {
   for (double rate : bench::paper_trim_rates()) {
     std::printf("%8.1f%%", rate * 100);
     for (core::Scheme scheme : bench::all_schemes()) {
-      const auto cell = bench::run_cell(cfg, scheme, rate);
+      const auto cell =
+          bench::run_cell(cfg, bench::sweep_spec(cfg, scheme, rate));
       const double t = time_to_accuracy(cell.records, target);
       if (t < 0) {
         std::printf(" %10s", "-");

@@ -10,9 +10,11 @@
 #include <vector>
 
 #include "collective/inject_channel.h"
+#include "core/codec_registry.h"
 #include "core/metrics.h"
 #include "core/metrics_export.h"
 #include "core/trace.h"
+#include "ddp/experiment.h"
 #include "ddp/trainer.h"
 
 namespace trimgrad::bench {
@@ -61,13 +63,33 @@ struct CellResult {
   /// Global-registry snapshot covering exactly this cell's run, serialized
   /// with core::metrics_to_json (the registry is reset at cell start).
   std::string metrics_json;
+  /// Spec-derived cell name ("transport=trim,scheme=rht,trim=0.25") —
+  /// stable under grid reordering, unlike positional indices.
+  std::string label;
 };
 
-/// Train one (scheme, rate) cell. Baseline runs on the reliable channel
-/// (drops/trims retransmitted and charged as time); the encodings run on
-/// the lossy trim channel.
-inline CellResult run_cell(const SweepConfig& cfg, core::Scheme scheme,
-                           double trim_rate) {
+/// The ExperimentSpec for one (scheme, rate) cell of the paper grid: the
+/// baseline scheme rides the reliable transport (drops/trims retransmitted
+/// and charged as time); the encodings ride the lossy trim transport.
+inline ddp::ExperimentSpec sweep_spec(const SweepConfig& cfg,
+                                      core::Scheme scheme, double trim_rate) {
+  ddp::ExperimentSpec spec;
+  spec.transport =
+      scheme == core::Scheme::kBaseline ? "reliable" : "trim";
+  spec.scheme = core::CodecRegistry::global().name_of(scheme);
+  spec.topology = "inject";
+  spec.trim = trim_rate;
+  spec.world = cfg.world;
+  spec.epochs = cfg.epochs;
+  spec.batch = cfg.global_batch;
+  spec.lr = cfg.lr;
+  spec.seed = 2024 + static_cast<std::uint64_t>(trim_rate * 1e6);
+  return spec;
+}
+
+/// Train one cell described by `spec` (dataset/model shape from `cfg`).
+inline CellResult run_cell(const SweepConfig& cfg,
+                           const ddp::ExperimentSpec& spec) {
   // Scope the registry and trace to this cell so its snapshot measures one
   // (scheme, rate) run, not the whole sweep.
   core::MetricsRegistry::global().reset_values();
@@ -82,20 +104,11 @@ inline CellResult run_cell(const SweepConfig& cfg, core::Scheme scheme,
   dcfg.seed = cfg.data_seed;
   ml::SynthCifar data(dcfg);
 
-  collective::InjectChannel::Config ccfg;
-  ccfg.world = cfg.world;
-  ccfg.injector.trim_rate = trim_rate;
-  ccfg.injector.seed = 2024 + static_cast<std::uint64_t>(trim_rate * 1e6);
-  ccfg.reliable = scheme == core::Scheme::kBaseline;
+  collective::InjectChannel::Config ccfg = spec.inject_channel_config();
   ccfg.time.drop_penalty = cfg.drop_penalty;
   collective::InjectChannel channel(ccfg);
 
-  ddp::TrainerConfig tcfg;
-  tcfg.world = cfg.world;
-  tcfg.global_batch = cfg.global_batch;
-  tcfg.epochs = cfg.epochs;
-  tcfg.sgd.lr = cfg.lr;
-  tcfg.codec.scheme = scheme;
+  ddp::TrainerConfig tcfg = spec.trainer_config();
   tcfg.codec.rht_row_len = std::size_t{1} << 12;
   tcfg.eval_every = 1;
 
@@ -106,9 +119,16 @@ inline CellResult run_cell(const SweepConfig& cfg, core::Scheme scheme,
     mcfg.width = dcfg.width;
     return ml::make_mini_vgg(mcfg, cfg.vgg_width);
   });
-  CellResult result{scheme, trim_rate, trainer.train(), {}};
+  CellResult result{tcfg.codec.scheme, spec.trim, trainer.train(), {},
+                    spec.label()};
   result.metrics_json = core::metrics_to_json(core::MetricsRegistry::global());
   return result;
+}
+
+/// Enum-flavored convenience wrapper over the spec-driven run_cell.
+inline CellResult run_cell(const SweepConfig& cfg, core::Scheme scheme,
+                           double trim_rate) {
+  return run_cell(cfg, sweep_spec(cfg, scheme, trim_rate));
 }
 
 inline const std::vector<core::Scheme>& all_schemes() {

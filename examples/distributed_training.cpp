@@ -1,79 +1,66 @@
 // Distributed data-parallel training under heavy trimming.
 //
-//   $ ./examples/distributed_training [trim_rate] [scheme]
-//     trim_rate: fraction of gradient packets trimmed (default 0.25)
-//     scheme:    baseline | sign | sq | sd | rht   (default rht)
+//   $ ./examples/distributed_training [experiment-spec]
+//     e.g. ./examples/distributed_training "scheme=sq,trim=0.5"
+//          ./examples/distributed_training "transport=reliable,scheme=baseline"
 //
-// Four workers train a small convnet on SynthCIFAR while the configured
-// fraction of gradient packets is trimmed in flight — the paper's §4 setup
-// at laptop scale. Watch top-1 accuracy climb despite the congestion.
+// The spec is an ddp::ExperimentSpec string (key=value, comma-separated);
+// unset keys keep their defaults (transport=trim, scheme=rht, trim=0.25,
+// world=4, epochs=10). Four workers train a small convnet on SynthCIFAR
+// while the configured fraction of gradient packets is trimmed in flight —
+// the paper's §4 setup at laptop scale. Watch top-1 accuracy climb despite
+// the congestion.
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <string>
+#include <exception>
 
 #include "collective/inject_channel.h"
+#include "ddp/experiment.h"
 #include "ddp/trainer.h"
-
-namespace {
-
-trimgrad::core::Scheme parse_scheme(const char* s) {
-  using trimgrad::core::Scheme;
-  if (std::strcmp(s, "baseline") == 0) return Scheme::kBaseline;
-  if (std::strcmp(s, "sign") == 0) return Scheme::kSign;
-  if (std::strcmp(s, "sq") == 0) return Scheme::kSQ;
-  if (std::strcmp(s, "sd") == 0) return Scheme::kSD;
-  return Scheme::kRHT;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace trimgrad;
 
-  const double trim_rate = argc > 1 ? std::atof(argv[1]) : 0.25;
-  const core::Scheme scheme = parse_scheme(argc > 2 ? argv[2] : "rht");
+  ddp::ExperimentSpec spec;
+  try {
+    spec = ddp::ExperimentSpec::parse(argc > 1 ? argv[1] : "");
+    spec.apply_threads();
 
-  ml::SynthCifarConfig dcfg;
-  dcfg.classes = 20;
-  dcfg.height = dcfg.width = 16;
-  dcfg.train_per_class = 40;
-  dcfg.test_per_class = 10;
-  ml::SynthCifar data(dcfg);
+    ml::SynthCifarConfig dcfg;
+    dcfg.classes = 20;
+    dcfg.height = dcfg.width = 16;
+    dcfg.train_per_class = 40;
+    dcfg.test_per_class = 10;
+    ml::SynthCifar data(dcfg);
 
-  collective::InjectChannel::Config ccfg;
-  ccfg.world = 4;
-  ccfg.injector.trim_rate = trim_rate;
-  // Baseline cannot use trimmed packets: the reliable transport retransmits.
-  ccfg.reliable = scheme == core::Scheme::kBaseline;
-  collective::InjectChannel channel(ccfg);
+    // Baseline cannot use trimmed packets; select the reliable transport to
+    // retransmit them: "transport=reliable,scheme=baseline".
+    collective::InjectChannel channel(spec.inject_channel_config());
 
-  ddp::TrainerConfig tcfg;
-  tcfg.world = 4;
-  tcfg.global_batch = 64;
-  tcfg.epochs = 10;
-  tcfg.sgd.lr = 0.02f;
-  tcfg.codec.scheme = scheme;
-  tcfg.codec.rht_row_len = std::size_t{1} << 12;
+    ddp::TrainerConfig tcfg = spec.trainer_config();
+    tcfg.codec.rht_row_len = std::size_t{1} << 12;
 
-  ddp::DdpTrainer trainer(data, channel, tcfg, [&dcfg] {
-    ml::ModelConfig mcfg;
-    mcfg.classes = dcfg.classes;
-    mcfg.channels = dcfg.channels;
-    mcfg.height = dcfg.height;
-    mcfg.width = dcfg.width;
-    return ml::make_mini_vgg(mcfg, 8);
-  });
+    ddp::DdpTrainer trainer(data, channel, tcfg, [&dcfg] {
+      ml::ModelConfig mcfg;
+      mcfg.classes = dcfg.classes;
+      mcfg.channels = dcfg.channels;
+      mcfg.height = dcfg.height;
+      mcfg.width = dcfg.width;
+      return ml::make_mini_vgg(mcfg, 8);
+    });
 
-  std::printf("4 workers, scheme=%s, trim_rate=%.0f%%\n",
-              core::to_string(scheme), trim_rate * 100);
-  std::printf("%5s %10s %9s %8s %8s %12s %10s\n", "epoch", "sim_time_s",
-              "loss", "top1", "top5", "trimmed_pkts", "retx");
-  const auto records = trainer.train();
-  for (const auto& r : records) {
-    std::printf("%5zu %10.3f %9.4f %8.3f %8.3f %12zu %10llu\n", r.epoch,
-                r.sim_time_s, r.train_loss, r.top1, r.top5, r.trimmed_packets,
-                static_cast<unsigned long long>(r.retransmits));
+    std::printf("spec: %s\n", spec.serialize().c_str());
+    std::printf("%5s %10s %9s %8s %8s %12s %10s\n", "epoch", "sim_time_s",
+                "loss", "top1", "top5", "trimmed_pkts", "retx");
+    const auto records = trainer.train();
+    for (const auto& r : records) {
+      std::printf("%5zu %10.3f %9.4f %8.3f %8.3f %12zu %10llu\n", r.epoch,
+                  r.sim_time_s, r.train_loss, r.top1, r.top5,
+                  r.trimmed_packets,
+                  static_cast<unsigned long long>(r.retransmits));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
   }
   return 0;
 }

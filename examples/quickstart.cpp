@@ -1,39 +1,62 @@
 // Quickstart: encode a gradient into trimmable packets, let a "switch" trim
-// half of them, decode, and see how little accuracy was lost.
+// a configurable fraction of them, decode, and see how little accuracy was
+// lost.
 //
-//   $ ./examples/quickstart
+//   $ ./examples/quickstart                       # scheme=rht, trim=0.5
+//   $ ./examples/quickstart "scheme=sq,trim=0.25"
 //
-// This is the 30-line tour of the public API: CodecConfig -> TrimmableEncoder
-// -> GradientPacket::trim() -> TrimmableDecoder.
+// This is the 30-line tour of the public API: an ExperimentSpec picks the
+// codec by name from the CodecRegistry; CodecConfig -> TrimmableEncoder
+// -> GradientPacket::trim() -> TrimmableDecoder does the rest.
 #include <cstdio>
+#include <exception>
 #include <vector>
 
 #include "core/codec.h"
+#include "core/codec_registry.h"
 #include "core/prng.h"
 #include "core/stats.h"
+#include "ddp/experiment.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace trimgrad;
+
+  ddp::ExperimentSpec spec;
+  try {
+    spec = ddp::ExperimentSpec::parse(argc > 1 ? argv[1] : "trim=0.5");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
 
   // A synthetic 100k-coordinate "gradient".
   core::Xoshiro256 rng(42);
   std::vector<float> grad(100'000);
   for (auto& g : grad) g = 0.01f * static_cast<float>(rng.gaussian());
 
-  // RHT-based 1-bit trimmable encoding (the paper's §3.2 scheme).
+  // Look the named scheme up in the registry ("rht" is the paper's §3.2
+  // trimmable encoding; try "sq" or "sign").
   core::CodecConfig cfg;
-  cfg.scheme = core::Scheme::kRHT;
+  cfg.scheme = core::CodecRegistry::global().at(spec.scheme).scheme;
 
   core::TrimmableEncoder encoder(cfg);
   core::EncodedMessage msg = encoder.encode(grad, /*msg_id=*/1, /*epoch=*/0);
-  std::printf("encoded %zu coords into %zu packets (%zu bytes on the wire)\n",
-              grad.size(), msg.packets.size(), msg.total_wire_bytes());
+  std::printf("scheme=%s: encoded %zu coords into %zu packets (%zu bytes on "
+              "the wire)\n",
+              spec.scheme.c_str(), grad.size(), msg.packets.size(),
+              msg.total_wire_bytes());
 
-  // A congested switch trims every second packet to its 88-byte trim point.
+  // A congested switch trims the spec'd fraction of packets to their
+  // 88-byte trim point (evenly spaced, Bresenham-style).
   std::size_t trimmed = 0;
-  for (std::size_t i = 0; i < msg.packets.size(); i += 2) {
-    msg.packets[i].trim();
-    ++trimmed;
+  for (std::size_t i = 0; i < msg.packets.size(); ++i) {
+    const auto mark = [&](std::size_t k) {
+      return static_cast<std::size_t>(static_cast<double>(k) * spec.trim);
+    };
+    if (mark(i + 1) > mark(i)) {
+      msg.packets[i].trim();
+      ++trimmed;
+    }
   }
   std::printf("switch trimmed %zu/%zu packets -> %zu bytes on the wire\n",
               trimmed, msg.packets.size(), msg.total_wire_bytes());

@@ -6,22 +6,22 @@ namespace trimgrad::collective {
 
 SimChannel::SimChannel(net::Simulator& sim,
                        std::vector<net::NodeId> rank_hosts, Config cfg)
-    : sim_(sim), rank_hosts_(std::move(rank_hosts)), cfg_(cfg) {
+    : sim_(sim), rank_hosts_(std::move(rank_hosts)), cfg_(std::move(cfg)) {
   assert(rank_hosts_.size() >= 2);
+  net::TransportRegistry::global().at(cfg_.transport);  // fail fast
 }
 
 std::vector<Delivery> SimChannel::transfer(std::vector<TransferRequest> batch) {
   struct Live {
-    std::unique_ptr<net::Sender> sender;
-    std::unique_ptr<net::Receiver> receiver;
+    std::unique_ptr<net::Flow> flow;
     Delivery delivery;
     bool done = false;
   };
   std::vector<std::unique_ptr<Live>> live;
   live.reserve(batch.size());
 
-  net::TransportConfig tcfg = cfg_.transport;
-  tcfg.trimmed_is_delivered = !cfg_.reliable;
+  const net::Transport& transport =
+      net::TransportRegistry::global().at(cfg_.transport);
 
   const net::SimTime t0 = sim_.now();
 
@@ -31,10 +31,10 @@ std::vector<Delivery> SimChannel::transfer(std::vector<TransferRequest> batch) {
     lv->delivery.dst = req.dst;
     lv->delivery.meta = req.message.meta;
 
-    auto& src_host = static_cast<net::Host&>(
-        sim_.node(rank_hosts_.at(static_cast<std::size_t>(req.src))));
-    auto& dst_host = static_cast<net::Host&>(
-        sim_.node(rank_hosts_.at(static_cast<std::size_t>(req.dst))));
+    const net::NodeId src_host =
+        rank_hosts_.at(static_cast<std::size_t>(req.src));
+    const net::NodeId dst_host =
+        rank_hosts_.at(static_cast<std::size_t>(req.dst));
     const std::uint32_t flow_id = next_flow_id_++;
 
     // Items: one frame per gradient packet (trimmable), plus one
@@ -54,16 +54,16 @@ std::vector<Delivery> SimChannel::transfer(std::vector<TransferRequest> batch) {
     }
 
     Live* lp = lv.get();
-    lv->receiver = std::make_unique<net::Receiver>(
-        dst_host, src_host.id(), flow_id, items.size(), tcfg,
-        [lp](const net::Frame& f) {
-          if (!f.cargo) return;  // the metadata frame
-          lp->delivery.packets.push_back(*f.cargo);
-          if (f.trimmed) ++lp->delivery.trimmed_packets;
-        });
-    lv->sender = std::make_unique<net::Sender>(src_host, dst_host.id(),
-                                               flow_id, tcfg);
-    lv->sender->send_message(
+    net::FlowOptions options;
+    options.expected_packets = items.size();
+    options.on_data = [lp](const net::Frame& f) {
+      if (!f.cargo) return;  // the metadata frame
+      lp->delivery.packets.push_back(*f.cargo);
+      if (f.trimmed) ++lp->delivery.trimmed_packets;
+    };
+    lv->flow = transport.make_flow(sim_, src_host, dst_host, flow_id,
+                                   cfg_.tuning, std::move(options));
+    lv->flow->send_message(
         std::move(items), [lp, t0](const net::FlowStats& st) {
           lp->done = true;
           lp->delivery.comm_time = st.end_time - t0;
@@ -79,7 +79,7 @@ std::vector<Delivery> SimChannel::transfer(std::vector<TransferRequest> batch) {
     // in flight and drain the queue (aborted senders stop re-arming their
     // RTO timers, so the drain terminates).
     sim_.run_until(t0 + cfg_.round_deadline);
-    for (auto& lv : live) lv->sender->abort();
+    for (auto& lv : live) lv->flow->abort();
     sim_.run();
   } else {
     sim_.run();

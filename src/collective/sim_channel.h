@@ -9,20 +9,23 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "collective/channel.h"
 #include "net/host.h"
 #include "net/sim.h"
-#include "net/transport.h"
+#include "net/transport_registry.h"
 
 namespace trimgrad::collective {
 
 class SimChannel : public Channel {
  public:
   struct Config {
-    net::TransportConfig transport = net::TransportConfig::trim_aware();
-    /// Reliable baseline: trimmed arrivals are NACKed + retransmitted.
-    bool reliable = false;
+    /// TransportRegistry name: "trim" (paper), "reliable" (NACKs trimmed
+    /// arrivals), "pull", or "ecn".
+    std::string transport = "trim";
+    /// Transport-agnostic overrides (0 keeps each native default).
+    net::FlowTuning tuning;
     /// Per-round deadline: if > 0, any flow still in flight this long after
     /// the batch starts is aborted (Delivery::flow_failed) and the round
     /// proceeds with the contributions that arrived. Keeps a dead link or

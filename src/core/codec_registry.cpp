@@ -1,0 +1,63 @@
+#include "core/codec_registry.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace trimgrad::core {
+
+const CodecRegistry& CodecRegistry::global() {
+  static const CodecRegistry* reg = [] {
+    auto* r = new CodecRegistry();
+    r->add({"baseline", Scheme::kBaseline, true,
+            "uncompressed float32 packets (the reliable-transport baseline)"});
+    r->add({"sign", Scheme::kSign, true,
+            "1-bit sign with per-packet scale (signSGD-style)"});
+    r->add({"sq", Scheme::kSQ, true,
+            "stochastic b-bit uniform quantization"});
+    r->add({"sd", Scheme::kSD, true,
+            "stochastic dithering with shared-seed reconstruction"});
+    r->add({"rht", Scheme::kRHT, true,
+            "randomized Hadamard transform + 1-bit heads (the paper's codec)"});
+    r->add({"eden", Scheme::kBaseline, false,
+            "EDEN b-bit rotated quantization (core/eden.h; no packet train)"});
+    r->add({"multilevel", Scheme::kBaseline, false,
+            "multi-level trim codec (core/multilevel.h; no packet train)"});
+    return r;
+  }();
+  return *reg;
+}
+
+const CodecInfo* CodecRegistry::find(const std::string& name) const {
+  for (const auto& c : codecs_) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const CodecInfo& CodecRegistry::at(const std::string& name) const {
+  if (const CodecInfo* c = find(name)) return *c;
+  std::string msg = "unknown codec '" + name + "'; registered:";
+  for (const auto& n : names()) msg += " " + n;
+  throw std::invalid_argument(msg);
+}
+
+std::vector<std::string> CodecRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(codecs_.size());
+  for (const auto& c : codecs_) out.push_back(c.name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+const std::string& CodecRegistry::name_of(Scheme scheme) const {
+  for (const auto& c : codecs_) {
+    if (c.packet_train && c.scheme == scheme) return c.name;
+  }
+  throw std::invalid_argument("scheme has no registered packet-train codec");
+}
+
+void CodecRegistry::add(CodecInfo info) {
+  codecs_.push_back(std::move(info));
+}
+
+}  // namespace trimgrad::core

@@ -1,0 +1,49 @@
+// String-keyed codec registry: compression schemes selected by name.
+//
+// The packet-train codecs ("baseline", "sign", "sq", "sd", "rht") map onto
+// core::Scheme and ride the wire format in core/packet.h — these are what
+// ddp::Trainer and the sweep grids can put on the fabric. "eden" and
+// "multilevel" are standalone codecs (core/eden.h, core/multilevel.h) that
+// do not emit packet trains; they register for discoverability and for
+// micro-benches, and `packet_train == false` tells consumers that a
+// training run cannot select them.
+//
+// Mirrors net::TransportRegistry so an ExperimentSpec can validate both of
+// its names against one mechanism and error with the registered lists.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/packet.h"
+
+namespace trimgrad::core {
+
+struct CodecInfo {
+  std::string name;
+  Scheme scheme = Scheme::kBaseline;  ///< meaningful iff packet_train
+  bool packet_train = false;  ///< encodes to GradientPacket trains
+  const char* summary = "";
+};
+
+class CodecRegistry {
+ public:
+  /// The process-wide registry with the built-in codecs.
+  static const CodecRegistry& global();
+
+  /// nullptr when `name` is not registered.
+  const CodecInfo* find(const std::string& name) const;
+  /// Throws std::invalid_argument listing the registered names.
+  const CodecInfo& at(const std::string& name) const;
+  /// Registered names, sorted.
+  std::vector<std::string> names() const;
+  /// The registered name of a wire scheme ("rht" for Scheme::kRHT, ...).
+  const std::string& name_of(Scheme scheme) const;
+
+  void add(CodecInfo info);
+
+ private:
+  std::vector<CodecInfo> codecs_;
+};
+
+}  // namespace trimgrad::core

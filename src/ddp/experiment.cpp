@@ -1,0 +1,219 @@
+#include "ddp/experiment.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "core/codec_registry.h"
+#include "core/threadpool.h"
+#include "net/transport_registry.h"
+
+namespace trimgrad::ddp {
+
+namespace {
+
+constexpr const char* kKeys[] = {
+    "transport", "scheme", "topology", "faults", "trim",
+    "drop",      "deadline", "world",  "epochs", "batch",
+    "lr",        "seed",     "fault_seed", "threads"};
+
+[[noreturn]] void bad_key(const std::string& key) {
+  std::string msg = "unknown ExperimentSpec key '" + key + "'; known:";
+  for (const char* k : kKeys) msg += std::string(" ") + k;
+  throw std::invalid_argument(msg);
+}
+
+double parse_double(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0') {
+    throw std::invalid_argument("ExperimentSpec: bad number for '" + key +
+                                "': '" + value + "'");
+  }
+  return v;
+}
+
+std::uint64_t parse_uint(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') {
+    throw std::invalid_argument("ExperimentSpec: bad integer for '" + key +
+                                "': '" + value + "'");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+std::string format_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Prefer the shortest representation that round-trips exactly.
+  for (int prec = 1; prec < 17; ++prec) {
+    char shorter[40];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
+    if (std::strtod(shorter, nullptr) == v) return shorter;
+  }
+  return buf;
+}
+
+}  // namespace
+
+ExperimentSpec ExperimentSpec::parse(const std::string& text) {
+  ExperimentSpec spec;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    // Tokens are separated by commas and/or whitespace.
+    while (i < text.size() &&
+           (text[i] == ',' || std::isspace(static_cast<unsigned char>(text[i])))) {
+      ++i;
+    }
+    std::size_t j = i;
+    while (j < text.size() && text[j] != ',' &&
+           !std::isspace(static_cast<unsigned char>(text[j]))) {
+      ++j;
+    }
+    if (j == i) break;
+    const std::string token = text.substr(i, j - i);
+    i = j;
+
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument(
+          "ExperimentSpec: expected key=value, got '" + token + "'");
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+
+    if (key == "transport") {
+      spec.transport = value;
+    } else if (key == "scheme") {
+      spec.scheme = value;
+    } else if (key == "topology") {
+      spec.topology = value;
+    } else if (key == "faults") {
+      spec.faults = value;
+    } else if (key == "trim") {
+      spec.trim = parse_double(key, value);
+    } else if (key == "drop") {
+      spec.drop = parse_double(key, value);
+    } else if (key == "deadline") {
+      spec.deadline = parse_double(key, value);
+    } else if (key == "world") {
+      spec.world = static_cast<int>(parse_uint(key, value));
+    } else if (key == "epochs") {
+      spec.epochs = parse_uint(key, value);
+    } else if (key == "batch") {
+      spec.batch = parse_uint(key, value);
+    } else if (key == "lr") {
+      spec.lr = parse_double(key, value);
+    } else if (key == "seed") {
+      spec.seed = parse_uint(key, value);
+    } else if (key == "fault_seed") {
+      spec.fault_seed = parse_uint(key, value);
+    } else if (key == "threads") {
+      spec.threads = parse_uint(key, value);
+    } else {
+      bad_key(key);
+    }
+  }
+  spec.validate();
+  return spec;
+}
+
+std::string ExperimentSpec::serialize() const {
+  std::string out;
+  out += "transport=" + transport;
+  out += ",scheme=" + scheme;
+  out += ",topology=" + topology;
+  out += ",faults=" + faults;
+  out += ",trim=" + format_double(trim);
+  out += ",drop=" + format_double(drop);
+  out += ",deadline=" + format_double(deadline);
+  out += ",world=" + std::to_string(world);
+  out += ",epochs=" + std::to_string(epochs);
+  out += ",batch=" + std::to_string(batch);
+  out += ",lr=" + format_double(lr);
+  out += ",seed=" + std::to_string(seed);
+  out += ",fault_seed=" + std::to_string(fault_seed);
+  out += ",threads=" + std::to_string(threads);
+  return out;
+}
+
+std::string ExperimentSpec::label() const {
+  return "transport=" + transport + ",scheme=" + scheme +
+         ",trim=" + format_double(trim);
+}
+
+void ExperimentSpec::validate() const {
+  net::TransportRegistry::global().at(transport);  // throws, lists names
+  core::CodecRegistry::global().at(scheme);        // throws, lists names
+  if (topology != "inject" && topology != "fabric") {
+    throw std::invalid_argument("ExperimentSpec: unknown topology '" +
+                                topology + "'; known: fabric inject");
+  }
+  if (faults != "none" && faults != "corrupt" && faults != "flap" &&
+      faults != "chaos") {
+    throw std::invalid_argument("ExperimentSpec: unknown fault script '" +
+                                faults + "'; known: chaos corrupt flap none");
+  }
+  if (world < 2) {
+    throw std::invalid_argument("ExperimentSpec: world must be >= 2");
+  }
+  if (batch == 0 || epochs == 0) {
+    throw std::invalid_argument(
+        "ExperimentSpec: batch and epochs must be positive");
+  }
+  if (trim < 0 || trim > 1 || drop < 0 || drop > 1) {
+    throw std::invalid_argument(
+        "ExperimentSpec: trim/drop must be probabilities in [0, 1]");
+  }
+}
+
+TrainerConfig ExperimentSpec::trainer_config() const {
+  const core::CodecInfo& codec = core::CodecRegistry::global().at(scheme);
+  if (!codec.packet_train) {
+    throw std::invalid_argument(
+        "ExperimentSpec: codec '" + scheme +
+        "' does not encode packet trains and cannot drive training");
+  }
+  TrainerConfig cfg;
+  cfg.world = world;
+  cfg.global_batch = batch;
+  cfg.epochs = epochs;
+  cfg.sgd.lr = static_cast<float>(lr);
+  cfg.codec.scheme = codec.scheme;
+  cfg.fault_seed = fault_seed;
+  return cfg;
+}
+
+collective::InjectChannel::Config ExperimentSpec::inject_channel_config()
+    const {
+  if (transport != "trim" && transport != "reliable") {
+    throw std::invalid_argument(
+        "ExperimentSpec: transport '" + transport +
+        "' needs topology=fabric (the inject channel models only the "
+        "trim/reliable pair)");
+  }
+  collective::InjectChannel::Config cfg;
+  cfg.world = world;
+  cfg.injector.trim_rate = trim;
+  cfg.injector.drop_rate = drop;
+  cfg.injector.seed = seed;
+  cfg.reliable = transport == "reliable";
+  return cfg;
+}
+
+collective::SimChannel::Config ExperimentSpec::sim_channel_config() const {
+  collective::SimChannel::Config cfg;
+  cfg.transport = transport;
+  cfg.round_deadline = deadline;
+  return cfg;
+}
+
+void ExperimentSpec::apply_threads() const {
+  if (threads > 0) {
+    core::ThreadPool::set_global_threads(static_cast<std::size_t>(threads));
+  }
+}
+
+}  // namespace trimgrad::ddp

@@ -1,11 +1,9 @@
 #include "net/ecn_transport.h"
 
-#include <algorithm>
 #include <cassert>
 #include <cmath>
 
 #include "core/metrics.h"
-#include "net/fault_plane.h"
 
 namespace trimgrad::net {
 namespace {
@@ -29,7 +27,7 @@ struct EcnTelemetry {
 
 EcnSender::EcnSender(Host& host, NodeId dst, std::uint32_t flow_id,
                      EcnConfig cfg)
-    : host_(host), dst_(dst), flow_id_(flow_id), cfg_(cfg) {
+    : host_(host), flow_id_(flow_id), cfg_(cfg), core_(host, dst, flow_id) {
   host_.bind(flow_id_, this);
 }
 
@@ -38,55 +36,25 @@ EcnSender::~EcnSender() { host_.unbind(flow_id_); }
 void EcnSender::send_message(
     std::vector<SendItem> items,
     std::function<void(const FlowStats&)> on_complete) {
-  assert(!active_);
-  items_ = std::move(items);
-  acked_.assign(items_.size(), 0);
-  last_sent_.assign(items_.size(), -1.0);
-  next_new_ = 0;
-  acked_count_ = 0;
+  assert(!core_.active());
   sent_unacked_ = 0;
   window_ = cfg_.initial_window;
   round_acks_ = 0;
   round_marks_ = 0;
-  rto_cur_ = cfg_.rto;
-  active_ = true;
-  stats_ = FlowStats{};
-  stats_.start_time = host_.sim().now();
-  stats_.packets = items_.size();
-  on_complete_ = std::move(on_complete);
-  if (items_.empty()) {
-    complete();
-    return;
-  }
+  const FlowCore::Limits limits{cfg_.rto, cfg_.rto_cap, cfg_.retransmit_budget,
+                                cfg_.flow_deadline};
+  if (core_.begin(std::move(items), limits, std::move(on_complete))) return;
   try_send_new();
-  arm_timer();
+  core_.arm_timer();
 }
+
+void EcnSender::abort() { core_.abort(); }
 
 void EcnSender::try_send_new() {
-  while (in_flight() < window_ && next_new_ < items_.size()) {
-    send_packet(static_cast<std::uint32_t>(next_new_), false);
-    ++next_new_;
+  while (sent_unacked_ < window_ && core_.has_unsent()) {
+    core_.send_next_new();
+    ++sent_unacked_;
   }
-}
-
-void EcnSender::send_packet(std::uint32_t seq, bool is_retransmit) {
-  const SendItem& item = items_[seq];
-  Frame f;
-  f.id = host_.sim().next_frame_id();
-  f.src = host_.id();
-  f.dst = dst_;
-  f.flow_id = flow_id_;
-  f.seq = seq;
-  f.kind = FrameKind::kData;
-  f.size_bytes = item.size_bytes;
-  f.trim_size_bytes = item.trim_size_bytes;
-  f.cargo = item.cargo;
-  if (acked_[seq] == 0 && last_sent_[seq] < 0) ++sent_unacked_;
-  last_sent_[seq] = host_.sim().now();
-  ++stats_.frames_sent;
-  stats_.bytes_sent += f.size_bytes;
-  if (is_retransmit) ++stats_.retransmits;
-  host_.send(std::move(f));
 }
 
 void EcnSender::end_of_window_round() {
@@ -110,146 +78,54 @@ void EcnSender::end_of_window_round() {
 }
 
 void EcnSender::on_frame(Frame frame) {
-  if (!active_) return;
+  if (!core_.active()) return;
   if (frame.kind == FrameKind::kNack) {
-    const std::uint32_t seq = frame.ack_echo;
-    if (seq < items_.size() && acked_[seq] == 0 &&
-        host_.sim().now() - last_sent_[seq] >= cfg_.rto * 0.5) {
-      send_packet(seq, true);
-    }
+    core_.handle_nack(frame.ack_echo);
     return;
   }
   if (frame.kind != FrameKind::kAck) return;
 
-  const std::uint32_t seq = frame.ack_echo;
-  if (seq < items_.size() && acked_[seq] == 0) {
-    acked_[seq] = 1;
-    ++acked_count_;
+  if (core_.mark_acked(frame.ack_echo, frame.ack_was_trimmed)) {
     assert(sent_unacked_ > 0);
     --sent_unacked_;
-    if (frame.ack_was_trimmed) ++stats_.acked_trimmed;
-    else ++stats_.acked_full;
     ++round_acks_;
     if (frame.ecn) {
       ++round_marks_;
       EcnTelemetry::get().marked_acks.add();
     }
     if (round_acks_ >= window_) end_of_window_round();
-    rto_cur_ = cfg_.rto;
-    arm_timer();
+    core_.arm_timer();
   }
-  if (acked_count_ == items_.size()) {
-    complete();
+  if (core_.all_acked()) {
+    core_.complete();
   } else {
     try_send_new();
   }
-}
-
-void EcnSender::arm_timer() {
-  const std::uint64_t epoch = ++timer_epoch_;
-  host_.sim().schedule(rto_cur_, [this, epoch] { on_timeout(epoch); });
-}
-
-void EcnSender::on_timeout(std::uint64_t epoch) {
-  if (!active_ || epoch != timer_epoch_) return;
-  for (std::size_t seq = 0; seq < next_new_; ++seq) {
-    if (acked_[seq] == 0) {
-      send_packet(static_cast<std::uint32_t>(seq), true);
-      break;
-    }
-  }
-  rto_cur_ = std::min(rto_cur_ * 2.0, cfg_.rto_cap);
-  arm_timer();
-}
-
-void EcnSender::complete() {
-  active_ = false;
-  ++timer_epoch_;
-  stats_.completed = true;
-  stats_.end_time = host_.sim().now();
-  record_flow_telemetry(stats_);
-  if (on_complete_) on_complete_(stats_);
 }
 
 // ----------------------------------------------------------- EcnReceiver --
 
 EcnReceiver::EcnReceiver(Host& host, NodeId peer, std::uint32_t flow_id,
                          std::size_t expected_packets, EcnConfig cfg,
-                         std::function<void(const Frame&)> on_data)
+                         std::function<void(const Frame&)> on_data,
+                         std::function<void(const ReceiverStats&)> on_complete)
     : host_(host),
-      peer_(peer),
       flow_id_(flow_id),
-      cfg_(cfg),
-      delivered_(expected_packets, 0),
-      on_data_(std::move(on_data)) {
-  stats_.expected = expected_packets;
+      core_(host, flow_id, expected_packets,
+            ReceiverCore::Policy{cfg.trimmed_is_delivered,
+                                 /*cumulative_ack=*/false,
+                                 /*echo_ecn=*/true},
+            std::move(on_data), std::move(on_complete)) {
+  (void)peer;
   host_.bind(flow_id_, this);
 }
 
 EcnReceiver::~EcnReceiver() { host_.unbind(flow_id_); }
 
-void EcnReceiver::send_ack(const Frame& data, bool was_trimmed) {
-  Frame ack;
-  ack.id = host_.sim().next_frame_id();
-  ack.src = host_.id();
-  ack.dst = data.src;
-  ack.flow_id = flow_id_;
-  ack.kind = FrameKind::kAck;
-  ack.size_bytes = kControlFrameBytes;
-  ack.ack_echo = data.seq;
-  ack.ack_was_trimmed = was_trimmed;
-  ack.ecn = data.ecn;  // echo the congestion-experienced mark (DCTCP)
-  host_.send(std::move(ack));
-}
-
 void EcnReceiver::on_frame(Frame frame) {
-  if (frame.kind != FrameKind::kData) return;
-  if (frame.seq >= delivered_.size()) return;
-  if (stats_.delivered_full + stats_.delivered_trimmed == 0) {
-    stats_.first_frame_time = host_.sim().now();
-  }
-  if (delivered_[frame.seq] != 0) {
-    ++stats_.duplicate_frames;
-    send_ack(frame, delivered_[frame.seq] == 2);
-    return;
-  }
-  if (frame.corrupted) {
-    // Checksum mismatch (core/wire.* head_crc/tail_crc): mangled, not
-    // trimmed — never deliver it; NACK for a retransmission.
-    ++stats_.corrupt_frames;
-    count_corrupt_detected();
-    ++stats_.nacks_sent;
-    Frame nack;
-    nack.id = host_.sim().next_frame_id();
-    nack.src = host_.id();
-    nack.dst = frame.src;
-    nack.flow_id = flow_id_;
-    nack.kind = FrameKind::kNack;
-    nack.size_bytes = kControlFrameBytes;
-    nack.ack_echo = frame.seq;
-    host_.send(std::move(nack));
-    return;
-  }
-  if (frame.trimmed && !cfg_.trimmed_is_delivered) {
-    ++stats_.nacks_sent;
-    Frame nack;
-    nack.id = host_.sim().next_frame_id();
-    nack.src = host_.id();
-    nack.dst = frame.src;
-    nack.flow_id = flow_id_;
-    nack.kind = FrameKind::kNack;
-    nack.size_bytes = kControlFrameBytes;
-    nack.ack_echo = frame.seq;
-    host_.send(std::move(nack));
-    return;
-  }
-  delivered_[frame.seq] = frame.trimmed ? 2 : 1;
-  ++delivered_count_;
-  if (frame.trimmed) ++stats_.delivered_trimmed;
-  else ++stats_.delivered_full;
-  if (on_data_) on_data_(frame);
-  send_ack(frame, frame.trimmed);
-  if (complete()) stats_.complete_time = host_.sim().now();
+  if (!core_.pre_deliver(frame)) return;
+  core_.deliver(frame);
+  core_.maybe_complete();
 }
 
 // ---------------------------------------------------------------- EcnFlow --

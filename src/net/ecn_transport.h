@@ -9,14 +9,18 @@
 // growing additively otherwise. The smoothed mark fraction is exported so
 // an AdaptiveQController (core/adaptive.h) can consume it as the §5.3
 // signal — see the EcnAwareTrainingLoop test.
+//
+// Reliability (RTO backoff, retransmit budget, flow deadline, abort) comes
+// from the shared FlowCore (net/flow_core.h), so the ECN transport has the
+// same give-up semantics as the window and pull transports.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <vector>
 
+#include "net/flow_core.h"
 #include "net/host.h"
-#include "net/transport.h"
 
 namespace trimgrad::net {
 
@@ -28,6 +32,9 @@ struct EcnConfig {
   SimTime rto = 500e-6;
   SimTime rto_cap = 5e-3;
   bool trimmed_is_delivered = true;
+  /// Give-up knobs (see TransportConfig): 0 disables each.
+  std::size_t retransmit_budget = 0;
+  SimTime flow_deadline = 0;
 };
 
 class EcnSender : public FlowEndpoint {
@@ -35,75 +42,60 @@ class EcnSender : public FlowEndpoint {
   EcnSender(Host& host, NodeId dst, std::uint32_t flow_id, EcnConfig cfg);
   ~EcnSender() override;
 
+  /// `on_complete` fires exactly once: on full acknowledgement or on
+  /// failure (stats().failed — budget/deadline exhausted, or abort()ed).
   void send_message(std::vector<SendItem> items,
                     std::function<void(const FlowStats&)> on_complete);
+
+  /// Give up on the in-flight message now. No-op when not active.
+  void abort();
+
   void on_frame(Frame frame) override;
 
-  const FlowStats& stats() const noexcept { return stats_; }
+  const FlowStats& stats() const noexcept { return core_.stats(); }
   /// DCTCP alpha: EWMA of the per-window ECN-marked fraction in [0, 1].
   double alpha() const noexcept { return alpha_; }
   std::size_t window() const noexcept { return window_; }
-  bool active() const noexcept { return active_; }
+  bool active() const noexcept { return core_.active(); }
+  /// Current backed-off RTO (tests pin the rto_cap ceiling through this).
+  SimTime current_rto() const noexcept { return core_.current_rto(); }
 
  private:
   void try_send_new();
-  void send_packet(std::uint32_t seq, bool is_retransmit);
   void end_of_window_round();
-  void arm_timer();
-  void on_timeout(std::uint64_t epoch);
-  void complete();
-  std::size_t in_flight() const noexcept { return sent_unacked_; }
 
   Host& host_;
-  NodeId dst_;
   std::uint32_t flow_id_;
   EcnConfig cfg_;
+  FlowCore core_;
 
-  std::vector<SendItem> items_;
-  std::vector<std::uint8_t> acked_;
-  std::vector<SimTime> last_sent_;
-  std::size_t next_new_ = 0;
-  std::size_t acked_count_ = 0;
   std::size_t sent_unacked_ = 0;
   std::size_t window_ = 0;
   // Per-round mark accounting (a "round" = one window's worth of ACKs).
   std::size_t round_acks_ = 0;
   std::size_t round_marks_ = 0;
   double alpha_ = 0.0;
-  SimTime rto_cur_ = 0;
-  std::uint64_t timer_epoch_ = 0;
-  bool active_ = false;
-  FlowStats stats_;
-  std::function<void(const FlowStats&)> on_complete_;
 };
 
 /// Receiver: the trim-aware Receiver already echoes delivery; ECN needs the
-/// mark echoed too, which the base Receiver's ACKs do not carry. This thin
-/// subclass-by-composition forwards data handling and sets `ecn` on ACKs.
+/// mark echoed too, which the base Receiver's ACKs do not carry. Same
+/// ReceiverCore, echo_ecn policy.
 class EcnReceiver : public FlowEndpoint {
  public:
   EcnReceiver(Host& host, NodeId peer, std::uint32_t flow_id,
               std::size_t expected_packets, EcnConfig cfg,
-              std::function<void(const Frame&)> on_data = {});
+              std::function<void(const Frame&)> on_data = {},
+              std::function<void(const ReceiverStats&)> on_complete = {});
   ~EcnReceiver() override;
 
   void on_frame(Frame frame) override;
-  const ReceiverStats& stats() const noexcept { return stats_; }
-  bool complete() const noexcept {
-    return delivered_count_ == delivered_.size();
-  }
+  const ReceiverStats& stats() const noexcept { return core_.stats(); }
+  bool complete() const noexcept { return core_.complete(); }
 
  private:
-  void send_ack(const Frame& data, bool was_trimmed);
-
   Host& host_;
-  NodeId peer_;
   std::uint32_t flow_id_;
-  EcnConfig cfg_;
-  std::vector<std::uint8_t> delivered_;
-  std::size_t delivered_count_ = 0;
-  ReceiverStats stats_;
-  std::function<void(const Frame&)> on_data_;
+  ReceiverCore core_;
 };
 
 /// ManagedFlow-style wiring for the ECN transport.
@@ -118,6 +110,10 @@ class EcnFlow {
 
   const FlowStats& stats() const noexcept { return sender_->stats(); }
   const EcnSender& sender() const noexcept { return *sender_; }
+  EcnSender& sender() noexcept { return *sender_; }
+  const ReceiverStats& receiver_stats() const noexcept {
+    return receiver_->stats();
+  }
   bool done() const noexcept { return done_; }
 
  private:

@@ -1,0 +1,227 @@
+// Shared per-flow machinery composed by every sender/receiver transport.
+//
+// The window (net/transport.h), pull (net/pull_transport.h), and ECN
+// (net/ecn_transport.h) transports differ only in how they *clock* new
+// packets onto the wire (fixed window, receiver pulls, DCTCP window).
+// Everything else — the sequence bookkeeping, RTO exponential backoff to
+// `rto_cap`, the retransmit budget and flow deadline give-up paths,
+// abort(), `FlowStats`, and metrics/trace emission — is one state machine.
+// `FlowCore` is that state machine; transports own one and drive it from
+// their frame handlers instead of reimplementing it.
+//
+// `ReceiverCore` is the matching receive side: in-order reassembly,
+// duplicate re-ACK, corrupt-frame NACK (core/wire.* checksum verdicts),
+// and the trim-accept/trim-reject policy, parameterized by what the
+// transport's ACKs must carry (cumulative ack, ECN echo).
+//
+// Semantics note (the merge fixed a drift): `FlowStats::retransmits`
+// counts retransmission *attempts* (frames re-sent), not unique sequence
+// numbers — a packet retransmitted three times contributes three. The
+// retransmit budget is therefore a cap on recovery work, not on distinct
+// losses.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/host.h"
+#include "net/sim.h"
+
+namespace trimgrad::net {
+
+struct FlowStats {
+  SimTime start_time = 0;
+  SimTime end_time = 0;
+  std::size_t packets = 0;          ///< message size in packets
+  std::uint64_t frames_sent = 0;    ///< data frames incl. retransmissions
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t retransmits = 0;    ///< retransmission attempts (see above)
+  std::uint64_t acked_full = 0;     ///< packets delivered with tails intact
+  std::uint64_t acked_trimmed = 0;  ///< packets delivered trimmed
+  bool completed = false;
+  bool failed = false;  ///< gave up: budget/deadline exhausted or aborted
+
+  SimTime fct() const noexcept { return end_time - start_time; }
+};
+
+struct ReceiverStats {
+  std::size_t expected = 0;
+  std::size_t delivered_full = 0;
+  std::size_t delivered_trimmed = 0;
+  std::uint64_t duplicate_frames = 0;
+  std::uint64_t nacks_sent = 0;
+  std::uint64_t corrupt_frames = 0;  ///< checksum-mismatch arrivals, NACKed
+  SimTime first_frame_time = 0;
+  SimTime complete_time = 0;
+};
+
+/// Fold a completed flow's stats into the global MetricsRegistry
+/// (net.transport.* counters) and record a "flow" complete event spanning
+/// start_time..end_time on the global trace. FlowCore calls this from its
+/// complete()/fail() paths, so every transport reports uniformly.
+void record_flow_telemetry(const FlowStats& stats);
+
+/// One packet of an outgoing message.
+struct SendItem {
+  std::size_t size_bytes = 1500;
+  std::size_t trim_size_bytes = 0;  ///< 0 = never trimmable (e.g. metadata)
+  std::shared_ptr<const core::GradientPacket> cargo;  ///< optional data plane
+};
+
+/// Sender-side flow state machine. A transport owns one FlowCore per flow
+/// and layers its clocking discipline (window, pulls, ECN window) on top.
+class FlowCore {
+ public:
+  /// Recovery limits shared by all transports. 0 disables budget/deadline;
+  /// without them a flow crossing a dead link re-arms its RTO timer forever
+  /// and the event queue never drains.
+  struct Limits {
+    SimTime rto = 0;                    ///< initial retransmission timeout
+    SimTime rto_cap = 0;                ///< exponential backoff ceiling
+    std::size_t retransmit_budget = 0;  ///< max retransmissions before failing
+    SimTime flow_deadline = 0;          ///< max flow age before failing
+  };
+
+  FlowCore(Host& host, NodeId dst, std::uint32_t flow_id)
+      : host_(host), dst_(dst), flow_id_(flow_id) {}
+
+  /// Reset per-message state, arm the flow deadline (if limited), and take
+  /// ownership of the completion callback. Returns true when the message
+  /// was empty and the flow already completed — the caller must not send.
+  /// `timeout_extra` (optional) runs inside the RTO handler after the
+  /// oldest-unacked retransmission, before backoff (the pull transport
+  /// nudges a new packet there in case the pull stream stalled).
+  bool begin(std::vector<SendItem> items, const Limits& limits,
+             std::function<void(const FlowStats&)> on_complete,
+             std::function<void()> timeout_extra = {});
+
+  /// Give up on the in-flight message now. No-op when not active.
+  void abort();
+
+  // -- transmission -------------------------------------------------------
+  /// Emit the data frame for `seq` (fresh or retransmission), updating
+  /// last-sent time and frame/byte/retransmit stats. Returns true when this
+  /// was the first-ever transmission of `seq` (window transports count it
+  /// into their in-flight tally).
+  bool emit_data(std::uint32_t seq, bool is_retransmit);
+  /// Emit the next never-sent packet, if any.
+  void send_next_new();
+  /// Retransmit the oldest sent-but-unacked packet, if any.
+  void retransmit_oldest();
+
+  // -- acknowledgement ----------------------------------------------------
+  /// Mark `seq` acknowledged. Returns true only for a fresh ACK (in-range,
+  /// not yet acked), in which case the trimmed/full tally is updated and
+  /// the backed-off RTO resets to its base (forward progress). The caller
+  /// re-arms the timer — explicitly, so its event lands in transport order.
+  bool mark_acked(std::uint32_t seq, bool was_trimmed);
+  /// Handle a NACK for `seq`: retransmit iff unacked and at least half an
+  /// RTO has passed since the last send — an immediate resend into a
+  /// still-congested queue would just be trimmed again (livelock). Fails
+  /// the flow instead when the retransmit budget is exhausted.
+  void handle_nack(std::uint32_t seq);
+  /// Fast retransmit of cumulative-ACK hole `seq` (same half-RTO pacing).
+  void fast_retransmit(std::uint32_t seq);
+
+  // -- timers -------------------------------------------------------------
+  /// (Re)arm the RTO timer at the current backed-off value. The previous
+  /// timer, if any, is invalidated (epoch bump).
+  void arm_timer();
+
+  // -- terminal states ----------------------------------------------------
+  void complete();
+  void fail();
+
+  // -- observers ----------------------------------------------------------
+  bool active() const noexcept { return active_; }
+  const FlowStats& stats() const noexcept { return stats_; }
+  /// Current backed-off RTO (tests pin the rto_cap ceiling through this).
+  SimTime current_rto() const noexcept { return rto_cur_; }
+  bool budget_exhausted() const noexcept {
+    return limits_.retransmit_budget > 0 &&
+           stats_.retransmits >= limits_.retransmit_budget;
+  }
+  std::size_t size() const noexcept { return items_.size(); }
+  bool all_acked() const noexcept { return acked_count_ == items_.size(); }
+  bool has_unsent() const noexcept { return next_new_ < items_.size(); }
+  bool in_range(std::uint32_t seq) const noexcept {
+    return seq < items_.size();
+  }
+  bool is_acked(std::uint32_t seq) const noexcept {
+    return acked_[seq] != 0;
+  }
+
+ private:
+  void on_timeout(std::uint64_t epoch);
+
+  Host& host_;
+  NodeId dst_;
+  std::uint32_t flow_id_;
+  Limits limits_;
+
+  std::vector<SendItem> items_;
+  std::vector<std::uint8_t> acked_;
+  std::vector<SimTime> last_sent_;
+  std::size_t next_new_ = 0;
+  std::size_t acked_count_ = 0;
+  SimTime rto_cur_ = 0;
+  std::uint64_t timer_epoch_ = 0;
+  std::uint64_t msg_epoch_ = 0;  ///< guards the per-message deadline timer
+  bool active_ = false;
+  FlowStats stats_;
+  std::function<void(const FlowStats&)> on_complete_;
+  std::function<void()> timeout_extra_;
+};
+
+/// Receiver-side flow machinery: in-order reassembly bitmap, duplicate
+/// re-ACK, corrupt-frame NACK, trim policy, ACK construction. Transports
+/// own one and call pre_deliver / deliver / maybe_complete from their
+/// frame handler — split in three so a transport can interleave its own
+/// work (the pull transport grants a pull credit between the ACK and the
+/// completion callback, preserving NDP's event order).
+class ReceiverCore {
+ public:
+  /// What this transport's ACKs carry beyond the per-packet echo.
+  struct Policy {
+    bool trimmed_is_delivered = true;  ///< false: NACK trimmed arrivals
+    bool cumulative_ack = false;  ///< fill ack_seq (window fast-retransmit)
+    bool echo_ecn = false;        ///< echo the CE mark (DCTCP)
+  };
+
+  ReceiverCore(Host& host, std::uint32_t flow_id, std::size_t expected_packets,
+               Policy policy, std::function<void(const Frame&)> on_data,
+               std::function<void(const ReceiverStats&)> on_complete);
+
+  /// Triage an arriving frame. Returns true when the frame is a fresh,
+  /// intact, acceptable data packet the caller should deliver(); consumes
+  /// the frame otherwise (non-data and malformed are dropped; duplicates
+  /// are re-ACKed; corrupt and policy-rejected trimmed arrivals are
+  /// NACKed).
+  bool pre_deliver(const Frame& frame);
+  /// Record the delivery, invoke on_data, and ACK the sender.
+  void deliver(const Frame& frame);
+  /// Invoke the completion callback when the last packet just landed.
+  void maybe_complete();
+
+  bool complete() const noexcept { return delivered_count_ == stats_.expected; }
+  const ReceiverStats& stats() const noexcept { return stats_; }
+
+ private:
+  void send_ack(const Frame& data, bool was_trimmed);
+  void send_nack(const Frame& data);
+  std::uint32_t cumulative_ack() const noexcept;
+
+  Host& host_;
+  std::uint32_t flow_id_;
+  Policy policy_;
+  std::vector<std::uint8_t> delivered_;  ///< 0 = no, 1 = full, 2 = trimmed
+  std::size_t delivered_count_ = 0;
+  mutable std::size_t cum_cache_ = 0;
+  ReceiverStats stats_;
+  std::function<void(const Frame&)> on_data_;
+  std::function<void(const ReceiverStats&)> on_complete_;
+};
+
+}  // namespace trimgrad::net

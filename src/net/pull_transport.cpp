@@ -4,7 +4,6 @@
 #include <cassert>
 
 #include "core/metrics.h"
-#include "net/fault_plane.h"
 
 namespace trimgrad::net {
 namespace {
@@ -26,7 +25,7 @@ struct PullTelemetry {
 
 PullSender::PullSender(Host& host, NodeId dst, std::uint32_t flow_id,
                        PullConfig cfg)
-    : host_(host), dst_(dst), flow_id_(flow_id), cfg_(cfg) {
+    : host_(host), flow_id_(flow_id), cfg_(cfg), core_(host, dst, flow_id) {
   host_.bind(flow_id_, this);
 }
 
@@ -35,137 +34,38 @@ PullSender::~PullSender() { host_.unbind(flow_id_); }
 void PullSender::send_message(
     std::vector<SendItem> items,
     std::function<void(const FlowStats&)> on_complete) {
-  assert(!active_);
-  items_ = std::move(items);
-  acked_.assign(items_.size(), 0);
-  last_sent_.assign(items_.size(), -1.0);
-  next_new_ = 0;
-  acked_count_ = 0;
-  rto_cur_ = cfg_.rto;
-  active_ = true;
-  stats_ = FlowStats{};
-  stats_.start_time = host_.sim().now();
-  stats_.packets = items_.size();
-  on_complete_ = std::move(on_complete);
-  ++msg_epoch_;
-  if (items_.empty()) {
-    complete();
+  assert(!core_.active());
+  const FlowCore::Limits limits{cfg_.rto, cfg_.rto_cap, cfg_.retransmit_budget,
+                                cfg_.flow_deadline};
+  // If the pull stream stalled (lost pulls), each RTO nudges a new packet
+  // too; the nudge is fresh data, not a retransmission.
+  if (core_.begin(std::move(items), limits, std::move(on_complete),
+                  [this] { core_.send_next_new(); })) {
     return;
   }
-  if (cfg_.flow_deadline > 0) {
-    host_.sim().schedule(cfg_.flow_deadline, [this, me = msg_epoch_] {
-      if (active_ && me == msg_epoch_) fail();
-    });
-  }
   // First-RTT burst; everything after is pull-granted.
-  const std::size_t burst = std::min(cfg_.initial_burst, items_.size());
-  for (std::size_t i = 0; i < burst; ++i) send_next_new();
-  arm_timer();
+  const std::size_t burst = std::min(cfg_.initial_burst, core_.size());
+  for (std::size_t i = 0; i < burst; ++i) core_.send_next_new();
+  core_.arm_timer();
 }
 
-void PullSender::abort() {
-  if (active_) fail();
-}
-
-void PullSender::send_next_new() {
-  if (next_new_ >= items_.size()) return;
-  send_packet(static_cast<std::uint32_t>(next_new_), false);
-  ++next_new_;
-}
-
-void PullSender::send_packet(std::uint32_t seq, bool is_retransmit) {
-  const SendItem& item = items_[seq];
-  Frame f;
-  f.id = host_.sim().next_frame_id();
-  f.src = host_.id();
-  f.dst = dst_;
-  f.flow_id = flow_id_;
-  f.seq = seq;
-  f.kind = FrameKind::kData;
-  f.size_bytes = item.size_bytes;
-  f.trim_size_bytes = item.trim_size_bytes;
-  f.cargo = item.cargo;
-  last_sent_[seq] = host_.sim().now();
-  ++stats_.frames_sent;
-  stats_.bytes_sent += f.size_bytes;
-  if (is_retransmit) ++stats_.retransmits;
-  host_.send(std::move(f));
-}
+void PullSender::abort() { core_.abort(); }
 
 void PullSender::on_frame(Frame frame) {
-  if (!active_) return;
+  if (!core_.active()) return;
   if (frame.kind == FrameKind::kPull) {
-    send_next_new();
+    core_.send_next_new();
     return;
   }
   if (frame.kind == FrameKind::kNack) {
-    // Mangled arrival (checksum mismatch at the receiver): retransmit,
-    // paced at half an RTO like the window transports.
-    const std::uint32_t seq = frame.ack_echo;
-    if (seq < items_.size() && acked_[seq] == 0 &&
-        host_.sim().now() - last_sent_[seq] >= cfg_.rto * 0.5) {
-      if (budget_exhausted()) {
-        fail();
-        return;
-      }
-      send_packet(seq, true);
-    }
+    core_.handle_nack(frame.ack_echo);
     return;
   }
   if (frame.kind != FrameKind::kAck) return;
-  const std::uint32_t seq = frame.ack_echo;
-  if (seq < items_.size() && acked_[seq] == 0) {
-    acked_[seq] = 1;
-    ++acked_count_;
-    if (frame.ack_was_trimmed) ++stats_.acked_trimmed;
-    else ++stats_.acked_full;
-    rto_cur_ = cfg_.rto;
-    arm_timer();
+  if (core_.mark_acked(frame.ack_echo, frame.ack_was_trimmed)) {
+    core_.arm_timer();
   }
-  if (acked_count_ == items_.size()) complete();
-}
-
-void PullSender::arm_timer() {
-  const std::uint64_t epoch = ++timer_epoch_;
-  host_.sim().schedule(rto_cur_, [this, epoch] { on_timeout(epoch); });
-}
-
-void PullSender::on_timeout(std::uint64_t epoch) {
-  if (!active_ || epoch != timer_epoch_) return;
-  if (budget_exhausted()) {
-    // Not recovering (dead link, black hole): fail so the queue drains.
-    fail();
-    return;
-  }
-  for (std::size_t seq = 0; seq < next_new_; ++seq) {
-    if (acked_[seq] == 0) {
-      send_packet(static_cast<std::uint32_t>(seq), true);
-      break;
-    }
-  }
-  // If the pull stream stalled (lost pulls), nudge a new packet too.
-  if (next_new_ < items_.size()) send_next_new();
-  rto_cur_ = std::min(rto_cur_ * 2.0, cfg_.rto_cap);
-  arm_timer();
-}
-
-void PullSender::complete() {
-  active_ = false;
-  ++timer_epoch_;
-  stats_.completed = true;
-  stats_.end_time = host_.sim().now();
-  record_flow_telemetry(stats_);
-  if (on_complete_) on_complete_(stats_);
-}
-
-void PullSender::fail() {
-  active_ = false;
-  ++timer_epoch_;
-  stats_.completed = false;
-  stats_.failed = true;
-  stats_.end_time = host_.sim().now();
-  record_flow_telemetry(stats_);
-  if (on_complete_) on_complete_(stats_);
+  if (core_.all_acked()) core_.complete();
 }
 
 // ------------------------------------------------------------- PullPacer --
@@ -209,86 +109,37 @@ PullReceiver::PullReceiver(
       peer_(peer),
       flow_id_(flow_id),
       cfg_(cfg),
-      delivered_(expected_packets, 0),
-      pacer_(pacer),
-      on_data_(std::move(on_data)),
-      on_complete_(std::move(on_complete)) {
+      core_(host, flow_id, expected_packets,
+            ReceiverCore::Policy{/*trimmed_is_delivered=*/true,
+                                 /*cumulative_ack=*/false,
+                                 /*echo_ecn=*/false},
+            std::move(on_data), std::move(on_complete)),
+      pacer_(pacer) {
   if (pacer_ == nullptr) {
     own_pacer_ = std::make_unique<PullPacer>(host_,
                                              cfg_.effective_pull_interval());
     pacer_ = own_pacer_.get();
   }
-  stats_.expected = expected_packets;
   host_.bind(flow_id_, this);
 }
 
 PullReceiver::~PullReceiver() { host_.unbind(flow_id_); }
 
-void PullReceiver::send_ack(const Frame& data, bool was_trimmed) {
-  Frame ack;
-  ack.id = host_.sim().next_frame_id();
-  ack.src = host_.id();
-  ack.dst = data.src;
-  ack.flow_id = flow_id_;
-  ack.kind = FrameKind::kAck;
-  ack.size_bytes = kControlFrameBytes;
-  ack.ack_echo = data.seq;
-  ack.ack_was_trimmed = was_trimmed;
-  host_.send(std::move(ack));
-}
-
-void PullReceiver::send_nack(const Frame& data) {
-  Frame nack;
-  nack.id = host_.sim().next_frame_id();
-  nack.src = host_.id();
-  nack.dst = data.src;
-  nack.flow_id = flow_id_;
-  nack.kind = FrameKind::kNack;
-  nack.size_bytes = kControlFrameBytes;
-  nack.ack_echo = data.seq;
-  ++stats_.nacks_sent;
-  host_.send(std::move(nack));
-}
-
 void PullReceiver::grant_pull() {
   // One pull per delivered packet, but never more pulls than packets the
-  // sender still has to emit beyond its initial burst.
-  if (granted_ + cfg_.initial_burst >= delivered_.size()) return;
+  // sender still has to emit beyond its initial burst. Corrupt arrivals do
+  // not grant: the retransmission replaces a frame that already consumed
+  // credit, so granting again would over-clock the sender.
+  if (granted_ + cfg_.initial_burst >= core_.stats().expected) return;
   ++granted_;
   pacer_->request(flow_id_, peer_);
 }
 
 void PullReceiver::on_frame(Frame frame) {
-  if (frame.kind != FrameKind::kData) return;
-  if (frame.seq >= delivered_.size()) return;
-  if (stats_.delivered_full + stats_.delivered_trimmed == 0) {
-    stats_.first_frame_time = host_.sim().now();
-  }
-  if (delivered_[frame.seq] != 0) {
-    ++stats_.duplicate_frames;
-    send_ack(frame, delivered_[frame.seq] == 2);
-    return;
-  }
-  if (frame.corrupted) {
-    // Checksum mismatch (core/wire.* head_crc/tail_crc): mangled, not
-    // trimmed — never deliver; NACK. A pull is still granted so the
-    // retransmission has credit to ride on.
-    ++stats_.corrupt_frames;
-    count_corrupt_detected();
-    send_nack(frame);
-    return;
-  }
-  delivered_[frame.seq] = frame.trimmed ? 2 : 1;
-  ++delivered_count_;
-  if (frame.trimmed) ++stats_.delivered_trimmed;
-  else ++stats_.delivered_full;
-  if (on_data_) on_data_(frame);
-  send_ack(frame, frame.trimmed);
+  if (!core_.pre_deliver(frame)) return;
+  core_.deliver(frame);
   grant_pull();
-  if (complete()) {
-    stats_.complete_time = host_.sim().now();
-    if (on_complete_) on_complete_(stats_);
-  }
+  core_.maybe_complete();
 }
 
 // -------------------------------------------------------------- PullFlow --

@@ -8,10 +8,11 @@
 // link rate, so the aggregate arrival rate at the bottleneck never exceeds
 // line rate and the queue stays near-empty in steady state.
 //
-// PullSender/PullReceiver implement that discipline on top of the same
-// frame/ACK machinery: trimmed arrivals still count as delivered (the
-// gradient decodes from heads), drops are still recovered by RTO, but new
-// transmissions beyond the initial burst are granted one-per-PULL.
+// PullSender/PullReceiver implement that discipline on top of the shared
+// FlowCore/ReceiverCore machinery (net/flow_core.h): trimmed arrivals
+// still count as delivered (the gradient decodes from heads), drops are
+// still recovered by RTO, but new transmissions beyond the initial burst
+// are granted one-per-PULL.
 #pragma once
 
 #include <cstdint>
@@ -19,8 +20,8 @@
 #include <functional>
 #include <vector>
 
+#include "net/flow_core.h"
 #include "net/host.h"
-#include "net/transport.h"
 
 namespace trimgrad::net {
 
@@ -82,39 +83,16 @@ class PullSender : public FlowEndpoint {
 
   void on_frame(Frame frame) override;
 
-  const FlowStats& stats() const noexcept { return stats_; }
-  bool active() const noexcept { return active_; }
+  const FlowStats& stats() const noexcept { return core_.stats(); }
+  bool active() const noexcept { return core_.active(); }
   /// Current backed-off RTO (tests pin the rto_cap ceiling through this).
-  SimTime current_rto() const noexcept { return rto_cur_; }
+  SimTime current_rto() const noexcept { return core_.current_rto(); }
 
  private:
-  void send_packet(std::uint32_t seq, bool is_retransmit);
-  void send_next_new();
-  void arm_timer();
-  void on_timeout(std::uint64_t epoch);
-  void complete();
-  void fail();
-  bool budget_exhausted() const noexcept {
-    return cfg_.retransmit_budget > 0 &&
-           stats_.retransmits >= cfg_.retransmit_budget;
-  }
-
   Host& host_;
-  NodeId dst_;
   std::uint32_t flow_id_;
   PullConfig cfg_;
-
-  std::vector<SendItem> items_;
-  std::vector<std::uint8_t> acked_;
-  std::vector<SimTime> last_sent_;
-  std::size_t next_new_ = 0;
-  std::size_t acked_count_ = 0;
-  SimTime rto_cur_ = 0;
-  std::uint64_t timer_epoch_ = 0;
-  std::uint64_t msg_epoch_ = 0;  ///< guards the per-message deadline timer
-  bool active_ = false;
-  FlowStats stats_;
-  std::function<void(const FlowStats&)> on_complete_;
+  FlowCore core_;
 };
 
 class PullReceiver : public FlowEndpoint {
@@ -133,29 +111,20 @@ class PullReceiver : public FlowEndpoint {
 
   void on_frame(Frame frame) override;
 
-  const ReceiverStats& stats() const noexcept { return stats_; }
-  bool complete() const noexcept {
-    return delivered_count_ == delivered_.size();
-  }
+  const ReceiverStats& stats() const noexcept { return core_.stats(); }
+  bool complete() const noexcept { return core_.complete(); }
 
  private:
-  void send_ack(const Frame& data, bool was_trimmed);
-  void send_nack(const Frame& data);
   void grant_pull();
-  void pacer_fire();
 
   Host& host_;
   NodeId peer_;
   std::uint32_t flow_id_;
   PullConfig cfg_;
-  std::vector<std::uint8_t> delivered_;
-  std::size_t delivered_count_ = 0;
+  ReceiverCore core_;
   std::size_t granted_ = 0;  ///< pull credits issued to a pacer
   PullPacer* pacer_ = nullptr;
   std::unique_ptr<PullPacer> own_pacer_;
-  ReceiverStats stats_;
-  std::function<void(const Frame&)> on_data_;
-  std::function<void(const ReceiverStats&)> on_complete_;
 };
 
 /// Convenience wiring mirroring ManagedFlow for the pull transport.

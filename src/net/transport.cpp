@@ -1,57 +1,14 @@
 #include "net/transport.h"
 
-#include <algorithm>
 #include <cassert>
 
-#include "core/metrics.h"
-#include "core/trace.h"
-#include "net/fault_plane.h"
-
 namespace trimgrad::net {
-namespace {
-
-struct TransportTelemetry {
-  core::Counter flows_completed, flows_failed, frames_sent, bytes_sent,
-      retransmits, acked_full, acked_trimmed;
-
-  static const TransportTelemetry& get() {
-    auto& reg = core::MetricsRegistry::global();
-    static const TransportTelemetry t{
-        reg.counter("net.transport.flows_completed"),
-        reg.counter("net.transport.flows_failed"),
-        reg.counter("net.transport.frames_sent"),
-        reg.counter("net.transport.bytes_sent"),
-        reg.counter("net.transport.retransmits"),
-        reg.counter("net.transport.acked_full"),
-        reg.counter("net.transport.acked_trimmed"),
-    };
-    return t;
-  }
-};
-
-}  // namespace
-
-void record_flow_telemetry(const FlowStats& stats) {
-  const TransportTelemetry& t = TransportTelemetry::get();
-  if (stats.failed) t.flows_failed.add();
-  else t.flows_completed.add();
-  t.frames_sent.add(stats.frames_sent);
-  t.bytes_sent.add(stats.bytes_sent);
-  t.retransmits.add(stats.retransmits);
-  t.acked_full.add(stats.acked_full);
-  t.acked_trimmed.add(stats.acked_trimmed);
-  core::TraceLog::global().complete(
-      "flow", "net.transport", stats.start_time, stats.fct(), /*tid=*/0,
-      {{"packets", static_cast<double>(stats.packets)},
-       {"retransmits", static_cast<double>(stats.retransmits)},
-       {"acked_trimmed", static_cast<double>(stats.acked_trimmed)}});
-}
 
 // ---------------------------------------------------------------- Sender --
 
 Sender::Sender(Host& host, NodeId dst, std::uint32_t flow_id,
                TransportConfig cfg)
-    : host_(host), dst_(dst), flow_id_(flow_id), cfg_(cfg) {
+    : host_(host), flow_id_(flow_id), cfg_(cfg), core_(host, dst, flow_id) {
   host_.bind(flow_id_, this);
 }
 
@@ -59,166 +16,56 @@ Sender::~Sender() { host_.unbind(flow_id_); }
 
 void Sender::send_message(std::vector<SendItem> items,
                           std::function<void(const FlowStats&)> on_complete) {
-  assert(!active_ && "one message at a time per Sender");
-  items_ = std::move(items);
-  acked_.assign(items_.size(), 0);
-  send_count_.assign(items_.size(), 0);
-  last_sent_.assign(items_.size(), -1.0);
-  next_new_ = 0;
-  acked_count_ = 0;
+  assert(!core_.active() && "one message at a time per Sender");
   sent_unacked_ = 0;
   last_cum_ = 0;
   dup_cum_ = 0;
-  rto_cur_ = cfg_.rto;
-  active_ = true;
-  stats_ = FlowStats{};
-  stats_.start_time = host_.sim().now();
-  stats_.packets = items_.size();
-  on_complete_ = std::move(on_complete);
-  ++msg_epoch_;
-  if (items_.empty()) {
-    complete();
-    return;
-  }
-  if (cfg_.flow_deadline > 0) {
-    // A dedicated one-shot timer makes the deadline exact instead of
-    // quantized to the (backed-off) RTO grid.
-    host_.sim().schedule(cfg_.flow_deadline, [this, me = msg_epoch_] {
-      if (active_ && me == msg_epoch_) fail();
-    });
-  }
+  const FlowCore::Limits limits{cfg_.rto, cfg_.rto_cap, cfg_.retransmit_budget,
+                                cfg_.flow_deadline};
+  if (core_.begin(std::move(items), limits, std::move(on_complete))) return;
   try_send_new();
-  arm_timer();
+  core_.arm_timer();
 }
 
-void Sender::abort() {
-  if (active_) fail();
-}
+void Sender::abort() { core_.abort(); }
 
 void Sender::try_send_new() {
-  while (in_flight() < cfg_.window && next_new_ < items_.size()) {
-    send_packet(static_cast<std::uint32_t>(next_new_), false);
-    ++next_new_;
+  while (sent_unacked_ < cfg_.window && core_.has_unsent()) {
+    core_.send_next_new();
+    ++sent_unacked_;
   }
-}
-
-void Sender::send_packet(std::uint32_t seq, bool is_retransmit) {
-  const SendItem& item = items_[seq];
-  Frame f;
-  f.id = host_.sim().next_frame_id();
-  f.src = host_.id();
-  f.dst = dst_;
-  f.flow_id = flow_id_;
-  f.seq = seq;
-  f.kind = FrameKind::kData;
-  f.size_bytes = item.size_bytes;
-  f.trim_size_bytes = item.trim_size_bytes;
-  f.cargo = item.cargo;
-  if (send_count_[seq] == 0) ++sent_unacked_;
-  ++send_count_[seq];
-  last_sent_[seq] = host_.sim().now();
-  ++stats_.frames_sent;
-  stats_.bytes_sent += f.size_bytes;
-  if (is_retransmit) ++stats_.retransmits;
-  host_.send(std::move(f));
 }
 
 void Sender::on_frame(Frame frame) {
-  if (!active_) return;
+  if (!core_.active()) return;
   if (frame.kind == FrameKind::kNack) {
-    // A NACKed arrival (trimmed under reliable semantics, or mangled under
-    // any) is unusable; retransmit, but pace retransmissions to half an RTO
-    // per packet — an immediate resend into a still-congested queue would
-    // just be trimmed again (livelock).
-    const std::uint32_t seq = frame.ack_echo;
-    if (seq < items_.size() && acked_[seq] == 0 &&
-        host_.sim().now() - last_sent_[seq] >= cfg_.rto * 0.5) {
-      if (budget_exhausted()) {
-        fail();
-        return;
-      }
-      send_packet(seq, true);
-    }
+    core_.handle_nack(frame.ack_echo);
     return;
   }
   if (frame.kind != FrameKind::kAck) return;
 
-  const std::uint32_t seq = frame.ack_echo;
-  if (seq < items_.size() && acked_[seq] == 0) {
-    acked_[seq] = 1;
-    ++acked_count_;
+  if (core_.mark_acked(frame.ack_echo, frame.ack_was_trimmed)) {
     assert(sent_unacked_ > 0);
     --sent_unacked_;
-    if (frame.ack_was_trimmed) ++stats_.acked_trimmed;
-    else ++stats_.acked_full;
-    // Forward progress: reset the RTO clock.
-    rto_cur_ = cfg_.rto;
-    arm_timer();
+    core_.arm_timer();
   }
 
   // Triple-duplicate cumulative ACK => fast retransmit of the hole.
   if (frame.ack_seq == last_cum_) {
     if (++dup_cum_ == 3) {
       dup_cum_ = 0;
-      const std::uint32_t hole = frame.ack_seq;
-      if (hole < next_new_ && hole < items_.size() && acked_[hole] == 0 &&
-          host_.sim().now() - last_sent_[hole] >= cfg_.rto * 0.5) {
-        send_packet(hole, true);
-      }
+      core_.fast_retransmit(frame.ack_seq);
     }
   } else {
     last_cum_ = frame.ack_seq;
     dup_cum_ = 0;
   }
 
-  if (acked_count_ == items_.size()) {
-    complete();
+  if (core_.all_acked()) {
+    core_.complete();
   } else {
     try_send_new();
   }
-}
-
-void Sender::arm_timer() {
-  const std::uint64_t epoch = ++timer_epoch_;
-  host_.sim().schedule(rto_cur_, [this, epoch] { on_timeout(epoch); });
-}
-
-void Sender::on_timeout(std::uint64_t epoch) {
-  if (!active_ || epoch != timer_epoch_) return;
-  if (budget_exhausted()) {
-    // The path is not recovering (dead link, black hole): report failure
-    // instead of re-arming forever — the event queue must drain.
-    fail();
-    return;
-  }
-  // Retransmit the oldest unacked packet that has been sent.
-  for (std::size_t seq = 0; seq < next_new_; ++seq) {
-    if (acked_[seq] == 0) {
-      send_packet(static_cast<std::uint32_t>(seq), true);
-      break;
-    }
-  }
-  rto_cur_ = std::min(rto_cur_ * 2.0, cfg_.rto_cap);
-  arm_timer();
-}
-
-void Sender::complete() {
-  active_ = false;
-  ++timer_epoch_;  // cancel pending timers
-  stats_.completed = true;
-  stats_.end_time = host_.sim().now();
-  record_flow_telemetry(stats_);
-  if (on_complete_) on_complete_(stats_);
-}
-
-void Sender::fail() {
-  active_ = false;
-  ++timer_epoch_;  // cancel pending timers
-  stats_.completed = false;
-  stats_.failed = true;
-  stats_.end_time = host_.sim().now();
-  record_flow_telemetry(stats_);
-  if (on_complete_) on_complete_(stats_);
 }
 
 // -------------------------------------------------------------- Receiver --
@@ -228,92 +75,22 @@ Receiver::Receiver(Host& host, NodeId peer, std::uint32_t flow_id,
                    std::function<void(const Frame&)> on_data,
                    std::function<void(const ReceiverStats&)> on_complete)
     : host_(host),
-      peer_(peer),
       flow_id_(flow_id),
-      cfg_(cfg),
-      delivered_(expected_packets, 0),
-      on_data_(std::move(on_data)),
-      on_complete_(std::move(on_complete)) {
-  stats_.expected = expected_packets;
+      core_(host, flow_id, expected_packets,
+            ReceiverCore::Policy{cfg.trimmed_is_delivered,
+                                 /*cumulative_ack=*/true,
+                                 /*echo_ecn=*/false},
+            std::move(on_data), std::move(on_complete)) {
+  (void)peer;
   host_.bind(flow_id_, this);
 }
 
 Receiver::~Receiver() { host_.unbind(flow_id_); }
 
-std::uint32_t Receiver::cumulative_ack() const noexcept {
-  while (cum_cache_ < delivered_.size() && delivered_[cum_cache_] != 0) {
-    ++cum_cache_;
-  }
-  return static_cast<std::uint32_t>(cum_cache_);
-}
-
-void Receiver::send_ack(const Frame& data, bool was_trimmed) {
-  Frame ack;
-  ack.id = host_.sim().next_frame_id();
-  ack.src = host_.id();
-  ack.dst = data.src;
-  ack.flow_id = flow_id_;
-  ack.kind = FrameKind::kAck;
-  ack.size_bytes = kControlFrameBytes;
-  ack.ack_echo = data.seq;
-  ack.ack_seq = cumulative_ack();
-  ack.ack_was_trimmed = was_trimmed;
-  host_.send(std::move(ack));
-}
-
-void Receiver::send_nack(const Frame& data) {
-  Frame nack;
-  nack.id = host_.sim().next_frame_id();
-  nack.src = host_.id();
-  nack.dst = data.src;
-  nack.flow_id = flow_id_;
-  nack.kind = FrameKind::kNack;
-  nack.size_bytes = kControlFrameBytes;
-  nack.ack_echo = data.seq;
-  ++stats_.nacks_sent;
-  host_.send(std::move(nack));
-}
-
 void Receiver::on_frame(Frame frame) {
-  if (frame.kind != FrameKind::kData) return;
-  if (frame.seq >= delivered_.size()) return;  // malformed
-  if (stats_.delivered_full + stats_.delivered_trimmed == 0) {
-    stats_.first_frame_time = host_.sim().now();
-  }
-
-  if (delivered_[frame.seq] != 0) {
-    // Duplicate (retransmission after a lost ACK): re-ACK, don't re-deliver.
-    ++stats_.duplicate_frames;
-    send_ack(frame, delivered_[frame.seq] == 2);
-    return;
-  }
-
-  if (frame.corrupted) {
-    // Checksum mismatch (core/wire.* head_crc/tail_crc): the payload is
-    // mangled, not trimmed — never deliver it as a gradient; NACK it.
-    ++stats_.corrupt_frames;
-    count_corrupt_detected();
-    send_nack(frame);
-    return;
-  }
-
-  if (frame.trimmed && !cfg_.trimmed_is_delivered) {
-    // Reliable semantics: the payload is gone; demand a retransmission.
-    send_nack(frame);
-    return;
-  }
-
-  delivered_[frame.seq] = frame.trimmed ? 2 : 1;
-  ++delivered_count_;
-  if (frame.trimmed) ++stats_.delivered_trimmed;
-  else ++stats_.delivered_full;
-  if (on_data_) on_data_(frame);
-  send_ack(frame, frame.trimmed);
-
-  if (complete()) {
-    stats_.complete_time = host_.sim().now();
-    if (on_complete_) on_complete_(stats_);
-  }
+  if (!core_.pre_deliver(frame)) return;
+  core_.deliver(frame);
+  core_.maybe_complete();
 }
 
 }  // namespace trimgrad::net

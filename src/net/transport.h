@@ -16,6 +16,8 @@
 //
 // Both use a fixed window (BDP-sized by the caller) — congestion response
 // is the switch's trim decision, which is the paper's architectural point.
+// The flow state machine itself (RTO backoff, budgets, deadline, stats)
+// lives in net/flow_core.h and is shared with the pull and ECN transports.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +25,7 @@
 #include <memory>
 #include <vector>
 
+#include "net/flow_core.h"
 #include "net/host.h"
 #include "net/sim.h"
 
@@ -46,36 +49,10 @@ struct TransportConfig {
   static TransportConfig trim_aware() { return TransportConfig{}; }
 };
 
-struct FlowStats {
-  SimTime start_time = 0;
-  SimTime end_time = 0;
-  std::size_t packets = 0;         ///< message size in packets
-  std::uint64_t frames_sent = 0;   ///< data frames incl. retransmissions
-  std::uint64_t bytes_sent = 0;
-  std::uint64_t retransmits = 0;
-  std::uint64_t acked_full = 0;    ///< packets delivered with tails intact
-  std::uint64_t acked_trimmed = 0; ///< packets delivered trimmed
-  bool completed = false;
-  bool failed = false;  ///< gave up: budget/deadline exhausted or aborted
-
-  SimTime fct() const noexcept { return end_time - start_time; }
-};
-
-/// Fold a completed flow's stats into the global MetricsRegistry
-/// (net.transport.* counters) and record a "flow" complete event spanning
-/// start_time..end_time on the global trace. Every sender variant (base,
-/// ECN, pull) calls this from its complete() path.
-void record_flow_telemetry(const FlowStats& stats);
-
-/// One packet of an outgoing message.
-struct SendItem {
-  std::size_t size_bytes = 1500;
-  std::size_t trim_size_bytes = 0;  ///< 0 = never trimmable (e.g. metadata)
-  std::shared_ptr<const core::GradientPacket> cargo;  ///< optional data plane
-};
-
 /// Sender endpoint for one flow. Lives at the source host; receives the
-/// flow's ACK/NACK frames through the host's demux.
+/// flow's ACK/NACK frames through the host's demux. Fixed-window clocking
+/// over the shared FlowCore state machine, plus triple-duplicate
+/// cumulative-ACK fast retransmit.
 class Sender : public FlowEndpoint {
  public:
   Sender(Host& host, NodeId dst, std::uint32_t flow_id, TransportConfig cfg);
@@ -94,56 +71,23 @@ class Sender : public FlowEndpoint {
 
   void on_frame(Frame frame) override;
 
-  const FlowStats& stats() const noexcept { return stats_; }
-  bool active() const noexcept { return active_; }
+  const FlowStats& stats() const noexcept { return core_.stats(); }
+  bool active() const noexcept { return core_.active(); }
   std::uint32_t flow_id() const noexcept { return flow_id_; }
   /// Current backed-off RTO (tests pin the rto_cap ceiling through this).
-  SimTime current_rto() const noexcept { return rto_cur_; }
+  SimTime current_rto() const noexcept { return core_.current_rto(); }
 
  private:
   void try_send_new();
-  void send_packet(std::uint32_t seq, bool is_retransmit);
-  void arm_timer();
-  void on_timeout(std::uint64_t epoch);
-  void complete();
-  void fail();
-  bool budget_exhausted() const noexcept {
-    return cfg_.retransmit_budget > 0 &&
-           stats_.retransmits >= cfg_.retransmit_budget;
-  }
-  std::size_t in_flight() const noexcept { return sent_unacked_; }
 
   Host& host_;
-  NodeId dst_;
   std::uint32_t flow_id_;
   TransportConfig cfg_;
+  FlowCore core_;
 
-  std::vector<SendItem> items_;
-  std::vector<std::uint8_t> acked_;
-  std::vector<std::uint16_t> send_count_;
-  std::vector<SimTime> last_sent_;
-  std::size_t next_new_ = 0;
-  std::size_t acked_count_ = 0;
   std::size_t sent_unacked_ = 0;
   std::uint32_t last_cum_ = 0;
   int dup_cum_ = 0;
-  SimTime rto_cur_ = 0;
-  std::uint64_t timer_epoch_ = 0;
-  std::uint64_t msg_epoch_ = 0;  ///< guards the per-message deadline timer
-  bool active_ = false;
-  FlowStats stats_;
-  std::function<void(const FlowStats&)> on_complete_;
-};
-
-struct ReceiverStats {
-  std::size_t expected = 0;
-  std::size_t delivered_full = 0;
-  std::size_t delivered_trimmed = 0;
-  std::uint64_t duplicate_frames = 0;
-  std::uint64_t nacks_sent = 0;
-  std::uint64_t corrupt_frames = 0;  ///< checksum-mismatch arrivals, NACKed
-  SimTime first_frame_time = 0;
-  SimTime complete_time = 0;
 };
 
 /// Receiver endpoint for one flow. Lives at the destination host.
@@ -159,26 +103,13 @@ class Receiver : public FlowEndpoint {
 
   void on_frame(Frame frame) override;
 
-  const ReceiverStats& stats() const noexcept { return stats_; }
-  bool complete() const noexcept {
-    return delivered_count_ == stats_.expected;
-  }
+  const ReceiverStats& stats() const noexcept { return core_.stats(); }
+  bool complete() const noexcept { return core_.complete(); }
 
  private:
-  void send_ack(const Frame& data, bool was_trimmed);
-  void send_nack(const Frame& data);
-  std::uint32_t cumulative_ack() const noexcept;
-
   Host& host_;
-  NodeId peer_;
   std::uint32_t flow_id_;
-  TransportConfig cfg_;
-  std::vector<std::uint8_t> delivered_;  ///< 0 = no, 1 = full, 2 = trimmed
-  std::size_t delivered_count_ = 0;
-  mutable std::size_t cum_cache_ = 0;
-  ReceiverStats stats_;
-  std::function<void(const Frame&)> on_data_;
-  std::function<void(const ReceiverStats&)> on_complete_;
+  ReceiverCore core_;
 };
 
 }  // namespace trimgrad::net

@@ -84,12 +84,10 @@ ChaosResult run_chaos(const ChaosOptions& opt) {
   sim.set_fault_plane(&plane);
 
   collective::SimChannel::Config ccfg;
-  ccfg.transport = opt.reliable ? net::TransportConfig::reliable()
-                                : net::TransportConfig::trim_aware();
-  ccfg.transport.rto = 100e-6;
-  ccfg.transport.rto_cap = 1e-3;
-  ccfg.transport.retransmit_budget = 400;
-  ccfg.reliable = opt.reliable;
+  ccfg.transport = opt.reliable ? "reliable" : "trim";
+  ccfg.tuning.rto = 100e-6;
+  ccfg.tuning.rto_cap = 1e-3;
+  ccfg.tuning.retransmit_budget = 400;
   ccfg.round_deadline = 10e-3;
   collective::SimChannel channel(sim, ranks, ccfg);
 

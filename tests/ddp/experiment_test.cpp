@@ -1,0 +1,173 @@
+// ExperimentSpec: the one declarative description of a run. These tests pin
+// the contract the benches, examples, and CI smoke gates rely on: parse ->
+// serialize -> parse is the identity, every value round-trips bit-exactly,
+// and unknown names fail fast with the full list of registered alternatives.
+#include "ddp/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+namespace trimgrad::ddp {
+namespace {
+
+std::string thrown_message(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const std::exception& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(ExperimentSpec, DefaultsRoundTripThroughSerialize) {
+  const ExperimentSpec spec;
+  const ExperimentSpec back = ExperimentSpec::parse(spec.serialize());
+  EXPECT_EQ(spec, back);
+  EXPECT_EQ(spec.serialize(), back.serialize());
+}
+
+TEST(ExperimentSpec, EveryKeyRoundTripsBitExactly) {
+  ExperimentSpec spec;
+  spec.transport = "pull";
+  spec.scheme = "sq";
+  spec.topology = "fabric";
+  spec.faults = "chaos";
+  spec.trim = 0.125;
+  spec.drop = 1e-3;
+  spec.deadline = 2.5e-3;
+  spec.world = 8;
+  spec.epochs = 3;
+  spec.batch = 96;
+  spec.lr = 0.007;
+  spec.seed = 99;
+  spec.fault_seed = 7;
+  spec.threads = 2;
+  const ExperimentSpec back = ExperimentSpec::parse(spec.serialize());
+  EXPECT_EQ(spec, back);
+  // Doubles survive a second trip too (shortest-round-trip formatting).
+  EXPECT_EQ(back.serialize(), ExperimentSpec::parse(back.serialize()).serialize());
+}
+
+TEST(ExperimentSpec, PartialSpecKeepsDefaultsForUnsetKeys) {
+  const ExperimentSpec spec = ExperimentSpec::parse("scheme=sd,trim=0.5");
+  EXPECT_EQ(spec.scheme, "sd");
+  EXPECT_DOUBLE_EQ(spec.trim, 0.5);
+  const ExperimentSpec defaults;
+  EXPECT_EQ(spec.transport, defaults.transport);
+  EXPECT_EQ(spec.world, defaults.world);
+  EXPECT_EQ(spec.seed, defaults.seed);
+}
+
+TEST(ExperimentSpec, WhitespaceAndCommaSeparatorsBothParse) {
+  const ExperimentSpec a = ExperimentSpec::parse("transport=pull,scheme=sq");
+  const ExperimentSpec b =
+      ExperimentSpec::parse("transport=pull scheme=sq");
+  const ExperimentSpec c =
+      ExperimentSpec::parse("  transport=pull\n\tscheme=sq  ");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+}
+
+TEST(ExperimentSpec, LabelNamesTransportSchemeAndTrim) {
+  ExperimentSpec spec;
+  spec.transport = "pull";
+  spec.scheme = "rht";
+  spec.trim = 0.2;
+  EXPECT_EQ(spec.label(), "transport=pull,scheme=rht,trim=0.2");
+}
+
+TEST(ExperimentSpec, UnknownTransportListsRegisteredNames) {
+  const std::string msg = thrown_message(
+      [] { (void)ExperimentSpec::parse("transport=tcp"); });
+  EXPECT_NE(msg.find("tcp"), std::string::npos);
+  EXPECT_NE(msg.find("ecn"), std::string::npos);
+  EXPECT_NE(msg.find("pull"), std::string::npos);
+  EXPECT_NE(msg.find("reliable"), std::string::npos);
+  EXPECT_NE(msg.find("trim"), std::string::npos);
+}
+
+TEST(ExperimentSpec, UnknownSchemeListsRegisteredNames) {
+  const std::string msg =
+      thrown_message([] { (void)ExperimentSpec::parse("scheme=topk"); });
+  EXPECT_NE(msg.find("topk"), std::string::npos);
+  EXPECT_NE(msg.find("baseline"), std::string::npos);
+  EXPECT_NE(msg.find("rht"), std::string::npos);
+  EXPECT_NE(msg.find("eden"), std::string::npos);
+  EXPECT_NE(msg.find("multilevel"), std::string::npos);
+}
+
+TEST(ExperimentSpec, UnknownKeyListsKnownKeys) {
+  const std::string msg =
+      thrown_message([] { (void)ExperimentSpec::parse("window=32"); });
+  EXPECT_NE(msg.find("window"), std::string::npos);
+  EXPECT_NE(msg.find("transport"), std::string::npos);
+  EXPECT_NE(msg.find("scheme"), std::string::npos);
+  EXPECT_NE(msg.find("trim"), std::string::npos);
+}
+
+TEST(ExperimentSpec, MalformedValuesAreRejected) {
+  EXPECT_THROW((void)ExperimentSpec::parse("trim=lots"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ExperimentSpec::parse("world=4.5"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ExperimentSpec::parse("scheme"), std::invalid_argument);
+  EXPECT_THROW((void)ExperimentSpec::parse("trim=1.5"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ExperimentSpec::parse("world=1"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ExperimentSpec::parse("topology=ring"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ExperimentSpec::parse("faults=meteor"),
+               std::invalid_argument);
+}
+
+TEST(ExperimentSpec, TrainerConfigCarriesTheNamedCodec) {
+  const ExperimentSpec spec = ExperimentSpec::parse(
+      "scheme=sq,world=8,epochs=3,batch=96,lr=0.007,fault_seed=7");
+  const auto tcfg = spec.trainer_config();
+  EXPECT_EQ(tcfg.codec.scheme, core::Scheme::kSQ);
+  EXPECT_EQ(tcfg.world, 8);
+  EXPECT_EQ(tcfg.global_batch, 96u);
+  EXPECT_EQ(tcfg.epochs, 3u);
+  EXPECT_FLOAT_EQ(tcfg.sgd.lr, 0.007f);
+}
+
+TEST(ExperimentSpec, NonPacketTrainCodecIsRejectedForTraining) {
+  // eden/multilevel are registered codecs but have no trimmable packet
+  // train, so a DDP run cannot use them; the spec must say so by name.
+  const ExperimentSpec spec = ExperimentSpec::parse("scheme=eden");
+  const std::string msg =
+      thrown_message([&] { (void)spec.trainer_config(); });
+  EXPECT_NE(msg.find("eden"), std::string::npos);
+}
+
+TEST(ExperimentSpec, InjectChannelConfigMapsTransportNames) {
+  const auto trim = ExperimentSpec::parse("transport=trim,trim=0.3,drop=0.01")
+                        .inject_channel_config();
+  EXPECT_FALSE(trim.reliable);
+  EXPECT_DOUBLE_EQ(trim.injector.trim_rate, 0.3);
+  EXPECT_DOUBLE_EQ(trim.injector.drop_rate, 0.01);
+  const auto rel = ExperimentSpec::parse("transport=reliable")
+                       .inject_channel_config();
+  EXPECT_TRUE(rel.reliable);
+  // pull/ecn are fabric transports; the injected-loss topology can't host
+  // them and must refuse rather than silently fall back.
+  const std::string msg = thrown_message([] {
+    (void)ExperimentSpec::parse("transport=pull").inject_channel_config();
+  });
+  EXPECT_NE(msg.find("pull"), std::string::npos);
+}
+
+TEST(ExperimentSpec, SimChannelConfigSelectsTransportByName) {
+  const ExperimentSpec spec =
+      ExperimentSpec::parse("transport=ecn,topology=fabric,deadline=0.01");
+  const auto ccfg = spec.sim_channel_config();
+  EXPECT_EQ(ccfg.transport, "ecn");
+  EXPECT_DOUBLE_EQ(ccfg.round_deadline, 0.01);
+}
+
+}  // namespace
+}  // namespace trimgrad::ddp

@@ -141,48 +141,8 @@ TEST(PullTransport, TrimmedArrivalsAreNotRetransmitted) {
   EXPECT_EQ(retx, 0u);
 }
 
-TEST(PullTransport, RtoBacksOffToCapThenBudgetFailsTheFlow) {
-  // Black hole (no receiver bound): pulls and ACKs never come back, the
-  // RTO doubles to rto_cap, and the budget then fails the flow so the
-  // event queue drains.
-  Bench b(QueuePolicy::kDropTail, 10.0, 2048);
-  auto& host = static_cast<Host&>(b.sim.node(b.topo.left_hosts[0]));
-  PullConfig cfg = cfg_for(10.0);
-  cfg.rto = 100e-6;
-  cfg.rto_cap = 400e-6;
-  cfg.retransmit_budget = 6;
-  PullSender sender(host, b.topo.right_hosts[0], 888, cfg);
-  int fires = 0;
-  FlowStats fst;
-  sender.send_message(make_bulk_items(4, 1500, 0), [&](const FlowStats& st) {
-    ++fires;
-    fst = st;
-  });
-  b.sim.run();
-  EXPECT_EQ(fires, 1);
-  EXPECT_TRUE(fst.failed);
-  EXPECT_FALSE(fst.completed);
-  EXPECT_GE(fst.retransmits, 6u);
-  EXPECT_DOUBLE_EQ(sender.current_rto(), cfg.rto_cap)
-      << "backoff must stop doubling at rto_cap";
-}
-
-TEST(PullTransport, FlowDeadlineFailsExactlyOnTime) {
-  Bench b(QueuePolicy::kDropTail, 10.0, 2048);
-  auto& host = static_cast<Host&>(b.sim.node(b.topo.left_hosts[0]));
-  PullConfig cfg = cfg_for(10.0);
-  cfg.rto = 100e-6;
-  cfg.rto_cap = 400e-6;
-  cfg.flow_deadline = 2e-3;
-  cfg.retransmit_budget = 1000;
-  PullSender sender(host, b.topo.right_hosts[0], 889, cfg);
-  FlowStats fst;
-  sender.send_message(make_bulk_items(2, 1500, 0),
-                      [&](const FlowStats& st) { fst = st; });
-  b.sim.run();
-  EXPECT_TRUE(fst.failed);
-  EXPECT_DOUBLE_EQ(fst.fct(), cfg.flow_deadline);
-}
+// RTO-backoff/budget, deadline, and empty-message semantics are covered for
+// every registry transport at once in transport_conformance_test.cpp.
 
 TEST(PullTransport, ReceiverOnCompleteFiresOnceWithFinalStats) {
   // Satellite symmetry with Receiver: the pull receiver reports completion
@@ -207,19 +167,6 @@ TEST(PullTransport, ReceiverOnCompleteFiresOnceWithFinalStats) {
   EXPECT_EQ(fires, 1);
   EXPECT_EQ(final_stats.delivered_full + final_stats.delivered_trimmed, n);
   EXPECT_GT(final_stats.complete_time, 0.0);
-}
-
-TEST(PullTransport, EmptyMessageCompletes) {
-  Bench b(QueuePolicy::kTrim, 10.0, 2048);
-  auto& host = static_cast<Host&>(b.sim.node(b.topo.left_hosts[0]));
-  PullSender sender(host, b.topo.right_hosts[0], 7, cfg_for(10.0));
-  bool fired = false;
-  sender.send_message({}, [&](const FlowStats& st) {
-    fired = true;
-    EXPECT_TRUE(st.completed);
-  });
-  b.sim.run();
-  EXPECT_TRUE(fired);
 }
 
 }  // namespace

@@ -1,0 +1,279 @@
+// Transport conformance: one parameterized scenario suite, every registry
+// entry. These are the behaviours a transport must share to be selectable
+// by name — clean delivery, trim-storm policy, corrupt-frame NACK recovery,
+// budget give-up against a dead fabric, deadline abort, RTO cap pinning —
+// replacing the per-transport copies these tests grew out of. A new
+// transport registered in transport_registry.cpp is picked up here
+// automatically.
+#include "net/transport_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/fault_plane.h"
+#include "net/topology.h"
+#include "net/traffic.h"
+
+namespace trimgrad::net {
+namespace {
+
+/// 4x4-host dumbbell with a configurable bottleneck queue.
+struct Bench {
+  Simulator sim;
+  Dumbbell topo;
+
+  explicit Bench(QueuePolicy policy, std::size_t queue_kb = 2048) {
+    FabricConfig cfg;
+    cfg.edge_link = {100e9, 1e-6};
+    cfg.core_link = {10e9, 1e-6};
+    cfg.switch_queue.policy = policy;
+    cfg.switch_queue.capacity_bytes = queue_kb * 1024;
+    cfg.switch_queue.header_capacity_bytes = 64 * 1024;
+    topo = build_dumbbell(sim, 4, 4, cfg);
+  }
+};
+
+class TransportConformance : public ::testing::TestWithParam<std::string> {
+ protected:
+  const Transport& transport() const {
+    return TransportRegistry::global().at(GetParam());
+  }
+};
+
+TEST_P(TransportConformance, CleanFabricDeliversEverythingInFull) {
+  Bench b(QueuePolicy::kDropTail);
+  const std::size_t n = 48;
+  FlowOptions options;
+  options.expected_packets = n;
+  int rx_fires = 0;
+  options.on_receiver_complete = [&](const ReceiverStats& st) {
+    ++rx_fires;
+    EXPECT_EQ(st.delivered_full, n);
+  };
+  auto flow = transport().make_flow(b.sim, b.topo.left_hosts[0],
+                                    b.topo.right_hosts[0], 1, {},
+                                    std::move(options));
+  bool done = false;
+  flow->send_message(make_bulk_items(n, 1500, 88),
+                     [&](const FlowStats& st) {
+                       done = true;
+                       EXPECT_TRUE(st.completed);
+                     });
+  b.sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(rx_fires, 1);
+  EXPECT_EQ(flow->stats().acked_full, n);
+  EXPECT_EQ(flow->stats().retransmits, 0u);
+  EXPECT_EQ(flow->receiver_stats().delivered_full, n);
+}
+
+TEST_P(TransportConformance, TrimStormMatchesDeclaredDeliveryPolicy) {
+  // 4-to-1 incast through a shallow trimming bottleneck. Trim-delivering
+  // transports finish on trimmed arrivals without a single retransmit; the
+  // reliable policy NACKs every trim and retransmits until all payloads
+  // arrive in full.
+  Bench b(QueuePolicy::kTrim, /*queue_kb=*/15);
+  const std::size_t n = 96;
+  std::vector<std::unique_ptr<Flow>> flows;
+  std::size_t completed = 0;
+  for (std::size_t i = 0; i < b.topo.left_hosts.size(); ++i) {
+    FlowOptions options;
+    options.expected_packets = n;
+    auto flow = transport().make_flow(
+        b.sim, b.topo.left_hosts[i], b.topo.right_hosts[0],
+        static_cast<std::uint32_t>(i + 1), {}, std::move(options));
+    flow->send_message(make_bulk_items(n, 1500, 88),
+                       [&](const FlowStats& st) {
+                         if (st.completed) ++completed;
+                       });
+    flows.push_back(std::move(flow));
+  }
+  b.sim.run();
+  EXPECT_EQ(completed, flows.size());
+  std::uint64_t trimmed = 0, retx = 0, full = 0;
+  for (const auto& f : flows) {
+    trimmed += f->stats().acked_trimmed;
+    retx += f->stats().retransmits;
+    full += f->stats().acked_full;
+  }
+  if (transport().delivers_trimmed()) {
+    EXPECT_GT(trimmed, 0u) << "incast must cause trimming";
+    EXPECT_EQ(retx, 0u) << "trimmed packets are never retransmitted";
+  } else {
+    EXPECT_EQ(full, n * flows.size()) << "every payload delivered in full";
+    EXPECT_GT(retx, 0u) << "trimmed arrivals must be NACKed and resent";
+  }
+}
+
+TEST_P(TransportConformance, CorruptedFramesAreNackedAndRecovered) {
+  Bench b(QueuePolicy::kDropTail);
+  FaultPlaneConfig pcfg;
+  pcfg.seed = 5;
+  pcfg.corrupt_rate = 0.02;
+  FaultPlane plane(pcfg);
+  b.sim.set_fault_plane(&plane);
+
+  const std::size_t n = 256;
+  FlowOptions options;
+  options.expected_packets = n;
+  auto flow = transport().make_flow(b.sim, b.topo.left_hosts[0],
+                                    b.topo.right_hosts[0], 31, {},
+                                    std::move(options));
+  bool done = false;
+  flow->send_message(make_bulk_items(n, 1500, 88),
+                     [&](const FlowStats& st) {
+                       done = true;
+                       EXPECT_TRUE(st.completed);
+                     });
+  b.sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_GT(flow->receiver_stats().corrupt_frames, 0u);
+  EXPECT_GT(flow->receiver_stats().nacks_sent, 0u);
+  EXPECT_GT(flow->stats().retransmits, 0u);
+  EXPECT_EQ(flow->receiver_stats().delivered_full, n);
+}
+
+TEST_P(TransportConformance, DeadFabricBudgetGivesUp) {
+  // The destination node is down for the whole run: no frame ever returns.
+  // The RTO must double up to rto_cap and the retransmit budget must then
+  // fail the flow, leaving the event queue drainable.
+  Bench b(QueuePolicy::kDropTail);
+  FaultPlaneConfig pcfg;
+  NodeFault dead;
+  dead.node = b.topo.right_hosts[0];
+  dead.start = 0;
+  dead.duration = 10.0;
+  pcfg.node_faults.push_back(dead);
+  FaultPlane plane(pcfg);
+  b.sim.set_fault_plane(&plane);
+
+  FlowTuning tuning;
+  tuning.rto = 100e-6;
+  tuning.rto_cap = 400e-6;
+  tuning.retransmit_budget = 6;
+  FlowOptions options;
+  options.expected_packets = 4;
+  auto flow = transport().make_flow(b.sim, b.topo.left_hosts[0],
+                                    b.topo.right_hosts[0], 41, tuning,
+                                    std::move(options));
+  int fires = 0;
+  FlowStats fst;
+  flow->send_message(make_bulk_items(4, 1500, 0), [&](const FlowStats& st) {
+    ++fires;
+    fst = st;
+  });
+  b.sim.run();  // terminates only because the budget fails the flow
+  EXPECT_EQ(fires, 1);
+  EXPECT_TRUE(fst.failed);
+  EXPECT_FALSE(fst.completed);
+  EXPECT_GE(fst.retransmits, 6u);
+  EXPECT_DOUBLE_EQ(flow->current_rto(), tuning.rto_cap)
+      << "backoff must stop doubling at rto_cap";
+}
+
+TEST_P(TransportConformance, FlowDeadlineFailsExactlyOnTime) {
+  Bench b(QueuePolicy::kDropTail);
+  FaultPlaneConfig pcfg;
+  NodeFault dead;
+  dead.node = b.topo.right_hosts[0];
+  dead.start = 0;
+  dead.duration = 10.0;
+  pcfg.node_faults.push_back(dead);
+  FaultPlane plane(pcfg);
+  b.sim.set_fault_plane(&plane);
+
+  FlowTuning tuning;
+  tuning.rto = 100e-6;
+  tuning.rto_cap = 400e-6;
+  tuning.retransmit_budget = 1000;  // deadline, not budget, must fire first
+  tuning.flow_deadline = 1.5e-3;
+  FlowOptions options;
+  options.expected_packets = 2;
+  auto flow = transport().make_flow(b.sim, b.topo.left_hosts[0],
+                                    b.topo.right_hosts[0], 42, tuning,
+                                    std::move(options));
+  FlowStats fst;
+  flow->send_message(make_bulk_items(2, 1500, 0),
+                     [&](const FlowStats& st) { fst = st; });
+  b.sim.run();
+  EXPECT_TRUE(fst.failed);
+  EXPECT_DOUBLE_EQ(fst.fct(), tuning.flow_deadline);
+}
+
+TEST_P(TransportConformance, RtoPinsAtCapAndAbortIsIdempotent) {
+  Bench b(QueuePolicy::kDropTail);
+  FaultPlaneConfig pcfg;
+  NodeFault dead;
+  dead.node = b.topo.right_hosts[0];
+  dead.start = 0;
+  dead.duration = 10.0;
+  pcfg.node_faults.push_back(dead);
+  FaultPlane plane(pcfg);
+  b.sim.set_fault_plane(&plane);
+
+  FlowTuning tuning;
+  tuning.rto = 100e-6;
+  tuning.rto_cap = 400e-6;  // no budget, no deadline: would retry forever
+  FlowOptions options;
+  options.expected_packets = 2;
+  auto flow = transport().make_flow(b.sim, b.topo.left_hosts[0],
+                                    b.topo.right_hosts[0], 43, tuning,
+                                    std::move(options));
+  int fires = 0;
+  flow->send_message(make_bulk_items(2, 1500, 0),
+                     [&](const FlowStats& st) {
+                       ++fires;
+                       EXPECT_TRUE(st.failed);
+                     });
+  b.sim.run_until(5e-3);
+  EXPECT_TRUE(flow->sender_active());
+  EXPECT_DOUBLE_EQ(flow->current_rto(), tuning.rto_cap);
+  flow->abort();
+  flow->abort();  // idempotent
+  EXPECT_FALSE(flow->sender_active());
+  b.sim.run();  // aborted sender's stale timers must be inert
+  EXPECT_EQ(fires, 1);
+}
+
+TEST_P(TransportConformance, EmptyMessageCompletesImmediately) {
+  Bench b(QueuePolicy::kDropTail);
+  FlowOptions options;
+  options.expected_packets = 0;
+  auto flow = transport().make_flow(b.sim, b.topo.left_hosts[0],
+                                    b.topo.right_hosts[0], 51, {},
+                                    std::move(options));
+  bool fired = false;
+  flow->send_message({}, [&](const FlowStats& st) {
+    fired = true;
+    EXPECT_TRUE(st.completed);
+    EXPECT_EQ(st.packets, 0u);
+  });
+  b.sim.run();
+  EXPECT_TRUE(fired);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, TransportConformance,
+    ::testing::ValuesIn(TransportRegistry::global().names()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+TEST(TransportRegistry, UnknownNameListsRegisteredTransports) {
+  try {
+    TransportRegistry::global().at("tcp");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("ecn"), std::string::npos);
+    EXPECT_NE(msg.find("pull"), std::string::npos);
+    EXPECT_NE(msg.find("reliable"), std::string::npos);
+    EXPECT_NE(msg.find("trim"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace trimgrad::net

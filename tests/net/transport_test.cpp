@@ -159,83 +159,9 @@ TEST(Transport, ReliableNacksTrimmedArrivals) {
   EXPECT_GT(retx, 0u);
 }
 
-TEST(Transport, EmptyMessageCompletesImmediately) {
-  Bench b(QueuePolicy::kDropTail);
-  auto& host = static_cast<Host&>(b.sim.node(b.topo.left_hosts[0]));
-  Sender sender(host, b.topo.right_hosts[0], 1, TransportConfig::reliable());
-  bool fired = false;
-  sender.send_message({}, [&](const FlowStats& st) {
-    fired = true;
-    EXPECT_TRUE(st.completed);
-    EXPECT_EQ(st.packets, 0u);
-  });
-  b.sim.run();
-  EXPECT_TRUE(fired);
-}
-
-TEST(Transport, RtoBacksOffToCapThenBudgetFailsTheFlow) {
-  // Black hole: the destination host has no endpoint bound for this flow,
-  // so data frames vanish at its demux and no ACK ever returns. The RTO
-  // must double up to rto_cap and the retransmit budget must then fail the
-  // flow — leaving the event queue drainable instead of re-arming forever.
-  Bench b(QueuePolicy::kDropTail);
-  auto& host = static_cast<Host&>(b.sim.node(b.topo.left_hosts[0]));
-  TransportConfig cfg = TransportConfig::reliable();
-  cfg.rto = 100e-6;
-  cfg.rto_cap = 400e-6;
-  cfg.retransmit_budget = 6;
-  Sender sender(host, b.topo.right_hosts[0], 777, cfg);
-  int fires = 0;
-  FlowStats fst;
-  sender.send_message(make_bulk_items(4, 1500, 0), [&](const FlowStats& st) {
-    ++fires;
-    fst = st;
-  });
-  b.sim.run();  // terminates only because the budget fails the flow
-  EXPECT_EQ(fires, 1);
-  EXPECT_TRUE(fst.failed);
-  EXPECT_FALSE(fst.completed);
-  EXPECT_EQ(fst.retransmits, 6u);
-  EXPECT_DOUBLE_EQ(sender.current_rto(), cfg.rto_cap)
-      << "backoff must stop doubling at rto_cap";
-}
-
-TEST(Transport, FlowDeadlineFailsExactlyOnTime) {
-  Bench b(QueuePolicy::kDropTail);
-  auto& host = static_cast<Host&>(b.sim.node(b.topo.left_hosts[0]));
-  TransportConfig cfg = TransportConfig::reliable();
-  cfg.rto = 100e-6;
-  cfg.rto_cap = 400e-6;
-  cfg.flow_deadline = 1.5e-3;
-  cfg.retransmit_budget = 1000;  // deadline, not budget, must fire first
-  Sender sender(host, b.topo.right_hosts[0], 778, cfg);
-  FlowStats fst;
-  sender.send_message(make_bulk_items(2, 1500, 0),
-                      [&](const FlowStats& st) { fst = st; });
-  b.sim.run();
-  EXPECT_TRUE(fst.failed);
-  EXPECT_DOUBLE_EQ(fst.fct(), cfg.flow_deadline);
-}
-
-TEST(Transport, AbortFiresOnCompleteOnceAndReportsFailure) {
-  Bench b(QueuePolicy::kDropTail);
-  auto& host = static_cast<Host&>(b.sim.node(b.topo.left_hosts[0]));
-  TransportConfig cfg = TransportConfig::reliable();
-  cfg.rto = 100e-6;
-  Sender sender(host, b.topo.right_hosts[0], 779, cfg);
-  int fires = 0;
-  sender.send_message(make_bulk_items(2, 1500, 0),
-                      [&](const FlowStats& st) {
-                        ++fires;
-                        EXPECT_TRUE(st.failed);
-                      });
-  b.sim.run_until(50e-6);
-  sender.abort();
-  sender.abort();  // idempotent
-  EXPECT_FALSE(sender.active());
-  b.sim.run();  // aborted sender's stale timers must be inert
-  EXPECT_EQ(fires, 1);
-}
+// Empty-message, RTO-backoff/budget, deadline, and abort semantics are
+// covered for every registry transport at once in
+// transport_conformance_test.cpp.
 
 TEST(Transport, DataPlaneCargoArrivesAtReceiver) {
   Bench b(QueuePolicy::kDropTail);
