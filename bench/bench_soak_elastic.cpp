@@ -1,0 +1,226 @@
+// Elastic chaos soak: DDP training on the discrete-event fabric while a
+// seed-chosen rank's host is killed and later restarted. The membership
+// control plane must detect the death by missed heartbeats, evict the rank,
+// keep training over the surviving view, and — once the host returns —
+// restore it from its checkpoint, refill parameters from a live peer, and
+// re-admit it under a new view.
+//
+// Invariants checked every run (and gated in CI via tools/check_bench.py
+// --elastic): the event queue drains, every epoch's loss is finite, view
+// versions only ever advance, at least one full evict→rejoin cycle
+// completes, and the healed run's final loss lands within tolerance of an
+// uninterrupted baseline with the same spec.
+//
+// Usage: bench_soak_elastic [spec-string]
+//   default spec: transport=trim,scheme=rht,topology=fabric,faults=elastic,
+//                 heartbeat_ms=0.5,evict_after=2,ckpt_every=2,...
+//   TRIMGRAD_SMOKE=1 shrinks epochs and runs one kill/restart cycle.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "collective/sim_channel.h"
+#include "core/prng.h"
+#include "ddp/experiment.h"
+#include "ddp/membership.h"
+#include "ddp/trainer.h"
+#include "net/fault_plane.h"
+#include "net/topology.h"
+
+using namespace trimgrad;
+
+namespace {
+
+struct SoakResult {
+  std::vector<ddp::EpochRecord> records;
+  std::vector<ddp::MembershipEvent> events;
+  std::uint64_t evictions = 0;
+  std::uint64_t rejoins = 0;
+  std::uint64_t heartbeat_misses = 0;
+  std::size_t recovered_ranks = 0;
+  std::size_t degraded_rounds = 0;
+  double recovery_s = 0;
+  std::uint64_t checkpoint_bytes = 0;
+  std::uint64_t checkpoint_saves = 0;
+  double checkpoint_save_wall_s = 0;
+  bool drained = false;
+  int victim = -1;
+};
+
+/// One soak cell. `with_faults` false runs the identical spec with no kill
+/// windows — the baseline the healed run must converge back to.
+SoakResult run_soak(const ddp::ExperimentSpec& spec, bool with_faults,
+                    bool smoke) {
+  net::Simulator sim;
+  net::FabricConfig fcfg;
+  fcfg.core_link = {10e9, 1e-6};
+  fcfg.switch_queue.policy = net::QueuePolicy::kTrim;
+  fcfg.switch_queue.capacity_bytes = 20 * 1024;
+  fcfg.switch_queue.header_capacity_bytes = 64 * 1024;
+  const net::Dumbbell topo = net::build_dumbbell(sim, 2, 2, fcfg);
+  const std::vector<net::NodeId> ranks = {
+      topo.left_hosts[0], topo.left_hosts[1], topo.right_hosts[0],
+      topo.right_hosts[1]};
+
+  // Kill/restart script, derived from the spec's fault seed: a non-
+  // coordinator victim rank, dead from 30 ms for 80–100 ms, once in smoke
+  // mode and twice (150 ms apart) in the full soak.
+  const int victim =
+      1 + static_cast<int>(core::mix64(spec.fault_seed, 0xe1a5) %
+                           static_cast<std::uint64_t>(spec.world - 1));
+  net::FaultPlaneConfig pcfg;
+  pcfg.seed = spec.fault_seed;
+  if (with_faults) {
+    net::NodeFault dead;
+    dead.node = ranks[static_cast<std::size_t>(victim)];
+    dead.start = 30e-3;
+    dead.duration = smoke ? 80e-3 : 100e-3;
+    dead.period = 150e-3;
+    dead.repeats = smoke ? 1 : 2;
+    pcfg.node_faults.push_back(dead);
+  }
+  net::FaultPlane plane(pcfg);
+  sim.set_fault_plane(&plane);
+
+  collective::SimChannel::Config ccfg = spec.sim_channel_config();
+  ccfg.tuning.rto = 100e-6;
+  ccfg.tuning.rto_cap = 1e-3;
+  ccfg.tuning.retransmit_budget = 400;
+  collective::SimChannel channel(sim, ranks, ccfg);
+
+  std::vector<net::Host*> hosts;
+  for (const auto id : ranks) {
+    hosts.push_back(static_cast<net::Host*>(&sim.node(id)));
+  }
+  ddp::MembershipConfig mcfg = spec.membership_config();
+  mcfg.fetch_tuning = ccfg.tuning;
+  ddp::Membership membership(sim, hosts, mcfg);
+  channel.set_view(&membership.view());
+
+  ml::SynthCifarConfig dcfg;
+  dcfg.classes = 10;
+  dcfg.height = dcfg.width = 8;
+  dcfg.train_per_class = 16;
+  dcfg.test_per_class = 8;
+  dcfg.proto_grid = 3;
+  ml::SynthCifar data(dcfg);
+
+  ddp::TrainerConfig tcfg = spec.trainer_config();
+  tcfg.eval_every = 0;
+  tcfg.codec.rht_row_len = std::size_t{1} << 10;
+  ddp::DdpTrainer trainer(data, channel, tcfg, [] {
+    ml::ModelConfig mcfg2;
+    mcfg2.classes = 10;
+    mcfg2.height = mcfg2.width = 8;
+    return ml::make_mlp(mcfg2, 48);
+  });
+  trainer.attach_membership(&membership);
+
+  SoakResult out;
+  out.victim = victim;
+  out.records = trainer.train();
+  out.events = membership.events();
+  out.evictions = membership.evictions();
+  out.rejoins = membership.rejoins();
+  out.heartbeat_misses = membership.heartbeat_misses();
+  out.recovery_s = membership.total_recovery_s();
+  out.checkpoint_bytes = membership.checkpoint_bytes();
+  out.checkpoint_saves = membership.checkpoint_saves();
+  out.checkpoint_save_wall_s = membership.checkpoint_save_wall_s();
+  for (const auto& r : out.records) {
+    out.recovered_ranks += r.recovered_ranks;
+    out.degraded_rounds += r.degraded_rounds;
+  }
+  const net::SimTime t_end = sim.now();
+  out.drained = sim.run() == t_end;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = std::getenv("TRIMGRAD_SMOKE") != nullptr;
+  std::string spec_text =
+      "transport=trim,scheme=rht,topology=fabric,faults=elastic,"
+      "deadline=0.01,world=4,batch=32,lr=0.05,fault_seed=7,"
+      "heartbeat_ms=0.5,evict_after=2,ckpt_every=2";
+  spec_text += smoke ? ",epochs=3" : ",epochs=6";
+  if (argc > 1) spec_text = argv[1];
+
+  ddp::ExperimentSpec spec;
+  try {
+    spec = ddp::ExperimentSpec::parse(spec_text);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bad spec: %s\n", e.what());
+    return 1;
+  }
+  if (spec.world != 4) {
+    std::fprintf(stderr, "this soak pins world=4 (dumbbell 2x2)\n");
+    return 1;
+  }
+
+  std::printf("# elastic soak: %s\n", spec.serialize().c_str());
+  const SoakResult elastic = run_soak(spec, /*with_faults=*/true, smoke);
+  const SoakResult baseline = run_soak(spec, /*with_faults=*/false, smoke);
+
+  bool loss_finite = true;
+  for (const auto& r : elastic.records) {
+    loss_finite = loss_finite && std::isfinite(r.train_loss);
+  }
+  bool views_monotone = true;
+  std::uint64_t prev_view = 0;
+  for (const auto& e : elastic.events) {
+    views_monotone = views_monotone && e.view > prev_view;
+    prev_view = e.view;
+  }
+  const double final_loss = elastic.records.back().train_loss;
+  const double base_loss = baseline.records.back().train_loss;
+  const double loss_gap = std::fabs(final_loss - base_loss);
+  const double loss_tolerance = 0.5;
+
+  std::printf("%8s %8s %8s %8s %10s %10s %8s %8s\n", "victim", "evict",
+              "rejoin", "misses", "recover_s", "loss_gap", "degr", "drain");
+  std::printf("%8d %8llu %8llu %8llu %10.4f %10.4f %8zu %8s\n",
+              elastic.victim,
+              static_cast<unsigned long long>(elastic.evictions),
+              static_cast<unsigned long long>(elastic.rejoins),
+              static_cast<unsigned long long>(elastic.heartbeat_misses),
+              elastic.recovery_s, loss_gap, elastic.degraded_rounds,
+              elastic.drained ? "yes" : "NO");
+
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"label\":\"%s\",\"smoke\":%s,\"victim\":%d,"
+      "\"final_loss\":%.6f,\"baseline_loss\":%.6f,"
+      "\"loss_gap\":%.6f,\"loss_tolerance\":%.3f,"
+      "\"evictions\":%llu,\"rejoins\":%llu,\"recovered_ranks\":%zu,"
+      "\"heartbeat_misses\":%llu,\"time_to_recover_s\":%.6f,"
+      "\"rounds_degraded\":%zu,"
+      "\"checkpoint_bytes\":%llu,\"checkpoint_saves\":%llu,"
+      "\"checkpoint_save_wall_s\":%.6f,"
+      "\"views_monotone\":%s,\"drained\":%s,\"loss_finite\":%s}",
+      spec.label().c_str(), smoke ? "true" : "false", elastic.victim,
+      final_loss, base_loss, loss_gap, loss_tolerance,
+      static_cast<unsigned long long>(elastic.evictions),
+      static_cast<unsigned long long>(elastic.rejoins),
+      elastic.recovered_ranks,
+      static_cast<unsigned long long>(elastic.heartbeat_misses),
+      elastic.recovery_s, elastic.degraded_rounds,
+      static_cast<unsigned long long>(elastic.checkpoint_bytes),
+      static_cast<unsigned long long>(elastic.checkpoint_saves),
+      elastic.checkpoint_save_wall_s, views_monotone ? "true" : "false",
+      elastic.drained ? "true" : "false", loss_finite ? "true" : "false");
+  {
+    std::ofstream out("BENCH_elastic.json", std::ios::binary);
+    out << buf << '\n';
+    if (out) std::printf("wrote BENCH_elastic.json\n");
+  }
+  std::printf("# (expected: >=1 evict->rejoin cycle, monotone views, drained "
+              "queue, final loss within %.2f of the uninterrupted baseline)\n",
+              loss_tolerance);
+  return 0;
+}

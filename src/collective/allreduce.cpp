@@ -74,6 +74,16 @@ core::DecodeResult AllReducer::decode_timed(const Delivery& d,
   return out;
 }
 
+std::vector<int> AllReducer::participants() const {
+  if (view_ != nullptr) {
+    assert(view_->world() == channel_.world_size());
+    return view_->live_ranks();
+  }
+  std::vector<int> all(static_cast<std::size_t>(channel_.world_size()));
+  for (std::size_t r = 0; r < all.size(); ++r) all[r] = static_cast<int>(r);
+  return all;
+}
+
 AllReduceResult AllReducer::run(const std::vector<std::vector<float>>& grads,
                                 std::uint32_t msg_id, std::uint64_t epoch) {
   assert(!grads.empty());
@@ -88,18 +98,29 @@ AllReduceResult AllReducer::run(const std::vector<std::vector<float>>& grads,
 
 AllReduceResult AllReducer::run_ps(const std::vector<std::vector<float>>& grads,
                                    std::uint32_t msg_id, std::uint64_t epoch) {
-  const int world = channel_.world_size();
+  // Participants come from the view at round start (all ranks without a
+  // view); the lowest live rank serves. With a full view this reduces
+  // bit-exactly to the static server-is-rank-0 behaviour.
+  const std::vector<int> parts = participants();
   const std::size_t n = grads[0].size();
   AllReduceResult result;
   auto& st = result.stats;
 
-  // Phase 1: workers 1..W-1 send to the server (rank 0). Message ids are
-  // unique per (collective, sender) so shared-randomness streams differ.
+  // Evicted ranks neither send nor receive: their outputs echo their
+  // input gradients (the trainer ignores them anyway).
+  result.outputs = grads;
+  if (parts.empty()) return result;
+  const int server = parts.front();
+  const std::size_t server_idx = static_cast<std::size_t>(server);
+
+  // Phase 1: live workers send to the server. Message ids are unique per
+  // (collective, sender) so shared-randomness streams differ.
   std::vector<TransferRequest> gather;
-  for (int r = 1; r < world; ++r) {
+  for (std::size_t p = 1; p < parts.size(); ++p) {
+    const int r = parts[p];
     TransferRequest req;
     req.src = r;
-    req.dst = 0;
+    req.dst = server;
     req.message = encode_timed(grads[static_cast<std::size_t>(r)],
                                msg_id * 64 + static_cast<std::uint32_t>(r),
                                epoch, st);
@@ -113,7 +134,7 @@ AllReduceResult AllReducer::run_ps(const std::vector<std::vector<float>>& grads,
   // flow contributes nothing; the divisor is the contributor count, so the
   // mean stays unbiased over whoever actually arrived.
   std::vector<double> acc(n, 0.0);
-  for (std::size_t i = 0; i < n; ++i) acc[i] = grads[0][i];
+  for (std::size_t i = 0; i < n; ++i) acc[i] = grads[server_idx][i];
   int contributors = 1;  // the server's own gradient
   for (const auto& d : arrivals) {
     accumulate(st, d);
@@ -126,11 +147,12 @@ AllReduceResult AllReducer::run_ps(const std::vector<std::vector<float>>& grads,
   for (std::size_t i = 0; i < n; ++i)
     mean[i] = static_cast<float>(acc[i] / contributors);
 
-  // Phase 2: broadcast the mean back.
+  // Phase 2: broadcast the mean back to the live workers.
   std::vector<TransferRequest> scatter;
-  for (int r = 1; r < world; ++r) {
+  for (std::size_t p = 1; p < parts.size(); ++p) {
+    const int r = parts[p];
     TransferRequest req;
-    req.src = 0;
+    req.src = server;
     req.dst = r;
     req.message = encode_timed(
         mean, msg_id * 64 + 32 + static_cast<std::uint32_t>(r), epoch, st);
@@ -140,8 +162,7 @@ AllReduceResult AllReducer::run_ps(const std::vector<std::vector<float>>& grads,
   const net::SimTime scatter_time = batch_time(returns);
   note_failed(st, returns);
 
-  result.outputs.assign(static_cast<std::size_t>(world), {});
-  result.outputs[0] = mean;
+  result.outputs[server_idx] = mean;
   for (const auto& d : returns) {
     accumulate(st, d);
     if (d.flow_failed) {
@@ -161,36 +182,57 @@ AllReduceResult AllReducer::run_ps(const std::vector<std::vector<float>>& grads,
 AllReduceResult AllReducer::run_ring(
     const std::vector<std::vector<float>>& grads, std::uint32_t msg_id,
     std::uint64_t epoch) {
+  // The ring is built over the live participants (all ranks without a
+  // view): k participants, k chunks, 2(k−1) steps. Positions on the ring
+  // are participant indices; message ids stay keyed by the *actual* rank,
+  // so a full view reproduces the static behaviour bit-exactly.
   const int world = channel_.world_size();
+  const std::vector<int> parts = participants();
+  const int k = static_cast<int>(parts.size());
   const std::size_t n = grads[0].size();
-  const std::size_t w = static_cast<std::size_t>(world);
   AllReduceResult result;
   auto& st = result.stats;
 
+  // Evicted ranks sit out; their outputs echo their input gradients. A
+  // one-rank ring has nothing to exchange: its own gradient is the mean.
+  result.outputs = grads;
+  if (k <= 1) return result;
+  const std::size_t kz = static_cast<std::size_t>(k);
+  // Participant index of rank `parts[i]` is i; pos_of inverts that.
+  auto rank_pos = [&](int rank) {
+    for (int i = 0; i < k; ++i) {
+      if (parts[static_cast<std::size_t>(i)] == rank) return i;
+    }
+    assert(false && "delivery from a non-participant");
+    return 0;
+  };
+
   // Chunk boundaries: chunk c covers [bounds[c], bounds[c+1]).
-  std::vector<std::size_t> bounds(w + 1);
-  for (std::size_t c = 0; c <= w; ++c) bounds[c] = n * c / w;
+  std::vector<std::size_t> bounds(kz + 1);
+  for (std::size_t c = 0; c <= kz; ++c) bounds[c] = n * c / kz;
   auto chunk_of = [&](const std::vector<float>& v, std::size_t c) {
     return std::vector<float>(v.begin() + bounds[c], v.begin() + bounds[c + 1]);
   };
 
-  // working[r] = rank r's current accumulation buffer.
-  std::vector<std::vector<float>> working = grads;
+  // working[i] = participant i's current accumulation buffer.
+  std::vector<std::vector<float>> working(kz);
+  for (std::size_t i = 0; i < kz; ++i)
+    working[i] = grads[static_cast<std::size_t>(parts[i])];
   std::uint32_t step_id = msg_id * 64;
 
-  // Reduce-scatter: W-1 steps. In step s, rank r sends chunk (r - s) mod W
-  // to rank (r+1) mod W, which adds it into its copy of that chunk.
-  for (int s = 0; s < world - 1; ++s) {
+  // Reduce-scatter: k-1 steps. In step s, participant i sends chunk
+  // (i - s) mod k to participant (i+1) mod k, which adds it into its copy.
+  for (int s = 0; s < k - 1; ++s) {
     std::vector<TransferRequest> batch;
-    for (int r = 0; r < world; ++r) {
+    for (int i = 0; i < k; ++i) {
       const std::size_t c =
-          static_cast<std::size_t>(((r - s) % world + world) % world);
+          static_cast<std::size_t>(((i - s) % k + k) % k);
       TransferRequest req;
-      req.src = r;
-      req.dst = (r + 1) % world;
+      req.src = parts[static_cast<std::size_t>(i)];
+      req.dst = parts[static_cast<std::size_t>((i + 1) % k)];
       req.message = encode_timed(
-          chunk_of(working[static_cast<std::size_t>(r)], c),
-          step_id + static_cast<std::uint32_t>(r), epoch, st);
+          chunk_of(working[static_cast<std::size_t>(i)], c),
+          step_id + static_cast<std::uint32_t>(req.src), epoch, st);
       batch.push_back(std::move(req));
     }
     step_id += static_cast<std::uint32_t>(world);
@@ -201,27 +243,28 @@ AllReduceResult AllReducer::run_ring(
       accumulate(st, d);
       if (d.flow_failed) continue;  // chunk keeps its partial sum
       const auto dec = decode_timed(d, st);
+      const int src_pos = rank_pos(d.src);
       const std::size_t c =
-          static_cast<std::size_t>(((d.src - s) % world + world) % world);
-      auto& buf = working[static_cast<std::size_t>(d.dst)];
+          static_cast<std::size_t>(((src_pos - s) % k + k) % k);
+      auto& buf = working[static_cast<std::size_t>(rank_pos(d.dst))];
       for (std::size_t i = 0; i < dec.values.size(); ++i)
         buf[bounds[c] + i] += dec.values[i];
     }
   }
 
-  // All-gather: W-1 steps. In step s, rank r sends its *final* chunk
-  // (r + 1 - s) mod W onward; receivers overwrite.
-  for (int s = 0; s < world - 1; ++s) {
+  // All-gather: k-1 steps. In step s, participant i sends its *final*
+  // chunk (i + 1 - s) mod k onward; receivers overwrite.
+  for (int s = 0; s < k - 1; ++s) {
     std::vector<TransferRequest> batch;
-    for (int r = 0; r < world; ++r) {
+    for (int i = 0; i < k; ++i) {
       const std::size_t c =
-          static_cast<std::size_t>(((r + 1 - s) % world + world) % world);
+          static_cast<std::size_t>(((i + 1 - s) % k + k) % k);
       TransferRequest req;
-      req.src = r;
-      req.dst = (r + 1) % world;
+      req.src = parts[static_cast<std::size_t>(i)];
+      req.dst = parts[static_cast<std::size_t>((i + 1) % k)];
       req.message = encode_timed(
-          chunk_of(working[static_cast<std::size_t>(r)], c),
-          step_id + static_cast<std::uint32_t>(r), epoch, st);
+          chunk_of(working[static_cast<std::size_t>(i)], c),
+          step_id + static_cast<std::uint32_t>(req.src), epoch, st);
       batch.push_back(std::move(req));
     }
     step_id += static_cast<std::uint32_t>(world);
@@ -232,19 +275,22 @@ AllReduceResult AllReducer::run_ring(
       accumulate(st, d);
       if (d.flow_failed) continue;  // keep the stale (local) chunk value
       const auto dec = decode_timed(d, st);
+      const int src_pos = rank_pos(d.src);
       const std::size_t c =
-          static_cast<std::size_t>(((d.src + 1 - s) % world + world) % world);
-      auto& buf = working[static_cast<std::size_t>(d.dst)];
+          static_cast<std::size_t>(((src_pos + 1 - s) % k + k) % k);
+      auto& buf = working[static_cast<std::size_t>(rank_pos(d.dst))];
       for (std::size_t i = 0; i < dec.values.size(); ++i)
         buf[bounds[c] + i] = dec.values[i];
     }
   }
 
   // Normalize the sums into means.
-  const float inv = 1.0f / static_cast<float>(world);
+  const float inv = 1.0f / static_cast<float>(k);
   for (auto& buf : working)
     for (auto& x : buf) x *= inv;
-  result.outputs = std::move(working);
+  for (std::size_t i = 0; i < kz; ++i)
+    result.outputs[static_cast<std::size_t>(parts[i])] =
+        std::move(working[i]);
   return result;
 }
 

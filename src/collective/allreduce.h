@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "collective/channel.h"
+#include "collective/world_view.h"
 #include "core/codec.h"
 
 namespace trimgrad::collective {
@@ -61,6 +62,15 @@ class AllReducer {
   AllReduceResult run(const std::vector<std::vector<float>>& grads,
                       std::uint32_t msg_id, std::uint64_t epoch);
 
+  /// Elastic membership: when a view is set, only its live ranks
+  /// participate — evicted ranks neither send nor receive, and their
+  /// outputs echo their input gradients. The view is read once per run()
+  /// (at round start), so a collective never mixes two views even if the
+  /// control plane bumps the version mid-epoch. nullptr restores the
+  /// static full-world behaviour.
+  void set_view(const WorldView* view) noexcept { view_ = view; }
+  const WorldView* view() const noexcept { return view_; }
+
   const core::CodecConfig& codec() const noexcept { return codec_cfg_; }
 
  private:
@@ -74,7 +84,11 @@ class AllReducer {
                                     AllReduceStats& st);
   core::DecodeResult decode_timed(const Delivery& d, AllReduceStats& st);
 
+  /// Participant set of the current view (all ranks when no view is set).
+  std::vector<int> participants() const;
+
   Channel& channel_;
+  const WorldView* view_ = nullptr;
   core::CodecConfig codec_cfg_;
   Algorithm algo_;
   core::TrimmableEncoder encoder_;

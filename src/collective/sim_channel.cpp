@@ -2,7 +2,18 @@
 
 #include <cassert>
 
+#include "core/metrics.h"
+
 namespace trimgrad::collective {
+
+namespace {
+/// Transfers refused because an endpoint is not live in the current view.
+const core::Counter& stale_transfer_counter() {
+  static const core::Counter c =
+      core::MetricsRegistry::global().counter("net.membership.stale_transfers");
+  return c;
+}
+}  // namespace
 
 SimChannel::SimChannel(net::Simulator& sim,
                        std::vector<net::NodeId> rank_hosts, Config cfg)
@@ -30,6 +41,17 @@ std::vector<Delivery> SimChannel::transfer(std::vector<TransferRequest> batch) {
     lv->delivery.src = req.src;
     lv->delivery.dst = req.dst;
     lv->delivery.meta = req.message.meta;
+
+    if (view_ != nullptr &&
+        (!view_->is_live(req.src) || !view_->is_live(req.dst))) {
+      // Stale request from an old view: fail it without touching the
+      // fabric, so no frame of an evicted rank mixes into the new view.
+      lv->delivery.flow_failed = true;
+      lv->done = true;
+      stale_transfer_counter().add();
+      live.push_back(std::move(lv));
+      continue;
+    }
 
     const net::NodeId src_host =
         rank_hosts_.at(static_cast<std::size_t>(req.src));
@@ -79,7 +101,9 @@ std::vector<Delivery> SimChannel::transfer(std::vector<TransferRequest> batch) {
     // in flight and drain the queue (aborted senders stop re-arming their
     // RTO timers, so the drain terminates).
     sim_.run_until(t0 + cfg_.round_deadline);
-    for (auto& lv : live) lv->flow->abort();
+    for (auto& lv : live) {
+      if (lv->flow) lv->flow->abort();
+    }
     sim_.run();
   } else {
     sim_.run();

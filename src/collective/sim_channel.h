@@ -12,6 +12,7 @@
 #include <string>
 
 #include "collective/channel.h"
+#include "collective/world_view.h"
 #include "net/host.h"
 #include "net/sim.h"
 #include "net/transport_registry.h"
@@ -45,10 +46,19 @@ class SimChannel : public Channel {
 
   net::Simulator& sim() { return sim_; }
 
+  /// Elastic membership: with a view attached, a transfer whose source or
+  /// destination rank is not live in the *current* view is refused — it
+  /// completes immediately as a failed delivery without putting a single
+  /// frame on the fabric. This is the channel-level half of the
+  /// "collectives never mix views" rule: a request staged under an old
+  /// view cannot leak frames into the new one. nullptr detaches.
+  void set_view(const WorldView* view) noexcept { view_ = view; }
+
  private:
   net::Simulator& sim_;
   std::vector<net::NodeId> rank_hosts_;
   Config cfg_;
+  const WorldView* view_ = nullptr;
   std::uint32_t next_flow_id_ = 1 << 20;
 };
 

@@ -1,0 +1,74 @@
+// Versioned membership view of the training world.
+//
+// Elastic membership (ddp/membership.h) evicts ranks the failure detector
+// suspects and re-admits them after recovery. Every change bumps `version`,
+// and the data plane consults the view so collectives never mix views: the
+// AllReducer builds each round's participant set from the view it sees at
+// round start, and SimChannel refuses transfers whose endpoints are not
+// live in the current view (a stale request from an old view fails instead
+// of leaking frames into the new one).
+//
+// The view is plain data owned by the control plane; the data plane holds a
+// const pointer and only reads it between rounds (single-threaded phases),
+// so no synchronization is needed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace trimgrad::collective {
+
+struct WorldView {
+  std::uint64_t version = 0;       ///< bumped on every evict/admit
+  std::vector<std::uint8_t> live;  ///< live[r] != 0: rank r participates
+
+  static WorldView full(int world) {
+    WorldView v;
+    v.live.assign(static_cast<std::size_t>(world), 1);
+    return v;
+  }
+
+  int world() const noexcept { return static_cast<int>(live.size()); }
+
+  bool is_live(int rank) const noexcept {
+    return rank >= 0 && static_cast<std::size_t>(rank) < live.size() &&
+           live[static_cast<std::size_t>(rank)] != 0;
+  }
+
+  int live_count() const noexcept {
+    int n = 0;
+    for (const auto l : live) n += l != 0 ? 1 : 0;
+    return n;
+  }
+
+  /// Live ranks in ascending order — the participant set of a collective.
+  std::vector<int> live_ranks() const {
+    std::vector<int> out;
+    out.reserve(live.size());
+    for (std::size_t r = 0; r < live.size(); ++r) {
+      if (live[r] != 0) out.push_back(static_cast<int>(r));
+    }
+    return out;
+  }
+
+  /// Remove `rank` from the view; no-op (no version bump) if already out.
+  void evict(int rank) {
+    if (!is_live(rank)) return;
+    live[static_cast<std::size_t>(rank)] = 0;
+    ++version;
+  }
+
+  /// Re-admit `rank`; no-op (no version bump) if already live.
+  void admit(int rank) {
+    if (rank < 0 || static_cast<std::size_t>(rank) >= live.size() ||
+        is_live(rank)) {
+      return;
+    }
+    live[static_cast<std::size_t>(rank)] = 1;
+    ++version;
+  }
+
+  friend bool operator==(const WorldView&, const WorldView&) = default;
+};
+
+}  // namespace trimgrad::collective

@@ -92,6 +92,16 @@ class Xoshiro256 {
   /// gradient paths consume gaussians in bulk, so simplicity wins).
   double gaussian() noexcept;
 
+  /// The full 256-bit state, exposed so checkpoints (ddp/checkpoint.h) can
+  /// persist and restore the exact stream position ("PRNG cursor").
+  constexpr const std::array<std::uint64_t, 4>& state() const noexcept {
+    return state_;
+  }
+  constexpr void set_state(
+      const std::array<std::uint64_t, 4>& state) noexcept {
+    state_ = state;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

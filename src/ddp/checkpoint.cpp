@@ -1,0 +1,152 @@
+#include "ddp/checkpoint.h"
+
+#include <bit>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "core/wire.h"
+
+namespace trimgrad::ddp {
+
+namespace {
+
+// "TGCK" little-endian: TrimGrad ChecKpoint.
+constexpr std::uint32_t kMagic = 0x4b434754;
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_f32(std::vector<std::uint8_t>& out, float v) {
+  put_u32(out, std::bit_cast<std::uint32_t>(v));
+}
+
+void put_floats(std::vector<std::uint8_t>& out, const std::vector<float>& v) {
+  put_u64(out, v.size());
+  for (float f : v) put_f32(out, f);
+}
+
+/// Bounds-checked little-endian reader over the blob.
+struct Reader {
+  std::span<const std::uint8_t> data;
+  std::size_t pos = 0;
+
+  [[noreturn]] void fail_truncated() const {
+    throw std::runtime_error("Checkpoint: blob truncated at byte " +
+                             std::to_string(pos));
+  }
+
+  std::uint32_t u32() {
+    if (data.size() - pos < 4) fail_truncated();
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(data[pos + i]) << (8 * i);
+    pos += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    if (data.size() - pos < 8) fail_truncated();
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(data[pos + i]) << (8 * i);
+    pos += 8;
+    return v;
+  }
+
+  float f32() { return std::bit_cast<float>(u32()); }
+
+  std::vector<float> floats() {
+    const std::uint64_t n = u64();
+    // A length that cannot fit in the remaining bytes is truncation (or a
+    // corrupted length field); reject before allocating.
+    if ((data.size() - pos) / 4 < n) fail_truncated();
+    std::vector<float> v;
+    v.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) v.push_back(f32());
+    return v;
+  }
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> Checkpoint::to_bytes() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(64 + 4 * (params.size() + residual.size()));
+  put_u32(out, kMagic);
+  put_u32(out, kFormatVersion);
+  put_u32(out, static_cast<std::uint32_t>(rank));
+  put_u64(out, epoch);
+  put_u64(out, round);
+  put_u64(out, view_version);
+  put_f32(out, lr);
+  put_u64(out, opt_epoch);
+  for (std::uint64_t w : augment_rng) put_u64(out, w);
+  put_floats(out, params);
+  put_u64(out, velocity.size());
+  for (const auto& buf : velocity) put_floats(out, buf);
+  put_floats(out, residual);
+  put_u32(out, core::crc32c({out.data(), out.size()}));
+  return out;
+}
+
+Checkpoint Checkpoint::from_bytes(std::span<const std::uint8_t> blob) {
+  if (blob.size() < 8) throw std::runtime_error("Checkpoint: blob too short");
+  Reader rd{blob.first(blob.size() - 4)};  // body; trailing 4 bytes are CRC
+
+  if (rd.u32() != kMagic)
+    throw std::runtime_error("Checkpoint: bad magic (not a checkpoint blob)");
+  const std::uint32_t version = rd.u32();
+  if (version != kFormatVersion)
+    throw std::runtime_error("Checkpoint: unsupported format version " +
+                             std::to_string(version));
+
+  // Verify the trailing CRC before trusting any length-prefixed section.
+  const std::uint32_t want = core::crc32c(blob.first(blob.size() - 4));
+  std::uint32_t got = 0;
+  for (int i = 0; i < 4; ++i)
+    got |= static_cast<std::uint32_t>(blob[blob.size() - 4 + i]) << (8 * i);
+  if (want != got)
+    throw std::runtime_error("Checkpoint: CRC mismatch (blob damaged)");
+
+  Checkpoint ck;
+  ck.rank = static_cast<int>(rd.u32());
+  ck.epoch = rd.u64();
+  ck.round = rd.u64();
+  ck.view_version = rd.u64();
+  ck.lr = rd.f32();
+  ck.opt_epoch = rd.u64();
+  for (auto& w : ck.augment_rng) w = rd.u64();
+  ck.params = rd.floats();
+  const std::uint64_t nbufs = rd.u64();
+  if ((rd.data.size() - rd.pos) / 8 < nbufs) rd.fail_truncated();
+  ck.velocity.reserve(static_cast<std::size_t>(nbufs));
+  for (std::uint64_t i = 0; i < nbufs; ++i) ck.velocity.push_back(rd.floats());
+  ck.residual = rd.floats();
+  if (rd.pos != rd.data.size())
+    throw std::runtime_error("Checkpoint: trailing garbage after payload");
+  return ck;
+}
+
+void Checkpoint::save(std::ostream& os) const {
+  const auto bytes = to_bytes();
+  os.write(reinterpret_cast<const char*>(bytes.data()),
+           static_cast<std::streamsize>(bytes.size()));
+}
+
+Checkpoint Checkpoint::load(std::istream& is) {
+  std::vector<std::uint8_t> bytes;
+  char c;
+  while (is.get(c)) bytes.push_back(static_cast<std::uint8_t>(c));
+  return from_bytes(bytes);
+}
+
+}  // namespace trimgrad::ddp

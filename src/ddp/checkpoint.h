@@ -1,0 +1,59 @@
+// Deterministic per-rank training checkpoints.
+//
+// Elastic membership (ddp/membership.h) needs a rank's training state to
+// survive the rank: when the failure detector evicts a rank whose node
+// died, everything it held — parameters, optimizer momentum, error-feedback
+// residual, PRNG cursor — is gone with it unless it was checkpointed. A
+// Checkpoint captures exactly that state for one rank, serialized to a
+// little-endian byte blob guarded by a trailing CRC32C (the same format
+// discipline as FaultLog / TrimTranscript: two runs that should agree
+// produce byte-identical blobs, and a truncated or bit-flipped blob fails
+// loudly instead of loading garbage).
+//
+// Taking a checkpoint is pure reads — it never perturbs training
+// bit-identity — and the blob is bit-identical across TRIMGRAD_THREADS
+// because every field it captures already is.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+namespace trimgrad::ddp {
+
+struct Checkpoint {
+  static constexpr std::uint32_t kFormatVersion = 1;
+
+  // --- where in the run this was taken ---------------------------------
+  int rank = 0;
+  std::uint64_t epoch = 0;
+  std::uint64_t round = 0;         ///< global round index (epoch * batches + b)
+  std::uint64_t view_version = 0;  ///< membership view at capture time
+
+  // --- the rank's training state ---------------------------------------
+  std::vector<float> params;                    ///< flat model parameters
+  float lr = 0.0f;                              ///< optimizer current lr
+  std::uint64_t opt_epoch = 0;                  ///< StepLR position
+  std::vector<std::vector<float>> velocity;     ///< momentum, per buffer
+  std::vector<float> residual;                  ///< error-feedback residual
+  std::array<std::uint64_t, 4> augment_rng{};   ///< trainer PRNG cursor
+
+  friend bool operator==(const Checkpoint&, const Checkpoint&) = default;
+
+  /// Serialize to the CRC-guarded blob. Deterministic: equal checkpoints
+  /// produce byte-identical blobs.
+  std::vector<std::uint8_t> to_bytes() const;
+
+  /// Parse + verify a blob. Throws std::runtime_error naming the failure
+  /// (bad magic, unsupported version, truncation, CRC mismatch) — a
+  /// damaged blob never loads as garbage state.
+  static Checkpoint from_bytes(std::span<const std::uint8_t> blob);
+
+  /// Stream wrappers over to_bytes/from_bytes (binary).
+  void save(std::ostream& os) const;
+  static Checkpoint load(std::istream& is);
+};
+
+}  // namespace trimgrad::ddp

@@ -14,9 +14,10 @@ namespace trimgrad::ddp {
 namespace {
 
 constexpr const char* kKeys[] = {
-    "transport", "scheme", "topology", "faults", "trim",
-    "drop",      "deadline", "world",  "epochs", "batch",
-    "lr",        "seed",     "fault_seed", "threads"};
+    "transport", "scheme",     "topology", "faults",       "trim",
+    "drop",      "deadline",   "world",    "epochs",       "batch",
+    "lr",        "seed",       "fault_seed", "threads",    "heartbeat_ms",
+    "evict_after", "ckpt_every"};
 
 [[noreturn]] void bad_key(const std::string& key) {
   std::string msg = "unknown ExperimentSpec key '" + key + "'; known:";
@@ -112,6 +113,12 @@ ExperimentSpec ExperimentSpec::parse(const std::string& text) {
       spec.fault_seed = parse_uint(key, value);
     } else if (key == "threads") {
       spec.threads = parse_uint(key, value);
+    } else if (key == "heartbeat_ms") {
+      spec.heartbeat_ms = parse_double(key, value);
+    } else if (key == "evict_after") {
+      spec.evict_after = parse_uint(key, value);
+    } else if (key == "ckpt_every") {
+      spec.ckpt_every = parse_uint(key, value);
     } else {
       bad_key(key);
     }
@@ -136,6 +143,9 @@ std::string ExperimentSpec::serialize() const {
   out += ",seed=" + std::to_string(seed);
   out += ",fault_seed=" + std::to_string(fault_seed);
   out += ",threads=" + std::to_string(threads);
+  out += ",heartbeat_ms=" + format_double(heartbeat_ms);
+  out += ",evict_after=" + std::to_string(evict_after);
+  out += ",ckpt_every=" + std::to_string(ckpt_every);
   return out;
 }
 
@@ -152,9 +162,10 @@ void ExperimentSpec::validate() const {
                                 topology + "'; known: fabric inject");
   }
   if (faults != "none" && faults != "corrupt" && faults != "flap" &&
-      faults != "chaos") {
-    throw std::invalid_argument("ExperimentSpec: unknown fault script '" +
-                                faults + "'; known: chaos corrupt flap none");
+      faults != "chaos" && faults != "elastic") {
+    throw std::invalid_argument(
+        "ExperimentSpec: unknown fault script '" + faults +
+        "'; known: chaos corrupt elastic flap none");
   }
   if (world < 2) {
     throw std::invalid_argument("ExperimentSpec: world must be >= 2");
@@ -166,6 +177,25 @@ void ExperimentSpec::validate() const {
   if (trim < 0 || trim > 1 || drop < 0 || drop > 1) {
     throw std::invalid_argument(
         "ExperimentSpec: trim/drop must be probabilities in [0, 1]");
+  }
+  if (heartbeat_ms < 0 || heartbeat_ms > 10000) {
+    throw std::invalid_argument(
+        "ExperimentSpec: heartbeat_ms must be in [0, 10000] "
+        "(0 disables membership)");
+  }
+  if (evict_after < 1 || evict_after > 1024) {
+    throw std::invalid_argument(
+        "ExperimentSpec: evict_after must be in [1, 1024]");
+  }
+  if (ckpt_every > (std::uint64_t{1} << 20)) {
+    throw std::invalid_argument(
+        "ExperimentSpec: ckpt_every must be in [0, 1048576] "
+        "(0 disables checkpoints)");
+  }
+  if (faults == "elastic" && heartbeat_ms == 0) {
+    throw std::invalid_argument(
+        "ExperimentSpec: faults=elastic needs heartbeat_ms > 0 "
+        "(without a detector nothing heals)");
   }
 }
 
@@ -207,6 +237,14 @@ collective::SimChannel::Config ExperimentSpec::sim_channel_config() const {
   collective::SimChannel::Config cfg;
   cfg.transport = transport;
   cfg.round_deadline = deadline;
+  return cfg;
+}
+
+MembershipConfig ExperimentSpec::membership_config() const {
+  MembershipConfig cfg;
+  cfg.heartbeat_s = heartbeat_ms * 1e-3;
+  cfg.evict_after = static_cast<unsigned>(evict_after);
+  cfg.ckpt_every = static_cast<unsigned>(ckpt_every);
   return cfg;
 }
 

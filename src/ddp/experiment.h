@@ -22,6 +22,7 @@
 
 #include "collective/inject_channel.h"
 #include "collective/sim_channel.h"
+#include "ddp/membership.h"
 #include "ddp/trainer.h"
 
 namespace trimgrad::ddp {
@@ -35,7 +36,9 @@ struct ExperimentSpec {
   /// trimming happens only when switch queues actually overflow.
   std::string topology = "inject";
   /// Fault script: "none", "corrupt" (bit-flips at corrupt_rate),
-  /// "flap" (periodic link flaps), or "chaos" (corrupt + flap + straggler).
+  /// "flap" (periodic link flaps), "chaos" (corrupt + flap + straggler), or
+  /// "elastic" (node kill/restart windows healed by membership — see
+  /// bench/bench_soak_elastic.cpp).
   std::string faults = "none";
 
   // --- trim regime ----------------------------------------------------
@@ -53,6 +56,15 @@ struct ExperimentSpec {
   std::uint64_t seed = 2024;      ///< injector / data seed
   std::uint64_t fault_seed = 1;   ///< keys fault plane + straggler choice
   std::uint64_t threads = 0;      ///< 0 = TRIMGRAD_THREADS / hardware
+
+  // --- elastic membership (ddp/membership.h) -------------------------
+  /// Heartbeat window per round, in milliseconds. 0 = membership off
+  /// (the default: no control plane, no view, exactly the old behavior).
+  double heartbeat_ms = 0.0;
+  /// Consecutive missed heartbeats before eviction.
+  std::uint64_t evict_after = 3;
+  /// Rounds between per-rank checkpoints; 0 = never checkpoint.
+  std::uint64_t ckpt_every = 8;
 
   bool operator==(const ExperimentSpec&) const = default;
 
@@ -86,6 +98,11 @@ struct ExperimentSpec {
 
   /// topology == "fabric": flows via the TransportRegistry.
   collective::SimChannel::Config sim_channel_config() const;
+
+  /// Membership control-plane knobs (heartbeat_ms/evict_after/ckpt_every).
+  /// Meaningful when heartbeat_ms > 0; callers construct the Membership
+  /// themselves (it needs the fabric's hosts).
+  MembershipConfig membership_config() const;
 
   /// Resize the global ThreadPool when threads > 0 (no-op otherwise).
   void apply_threads() const;

@@ -1,0 +1,186 @@
+// Elastic membership: heartbeat failure detection, versioned world views,
+// checkpoint custody, and the rank rejoin protocol.
+//
+// The control plane the chaos experiments were missing: until now a
+// NodeFault window silently cost the collective a contribution every round
+// (EpochRecord.missing_ranks) and nothing ever recovered. Membership closes
+// the loop:
+//
+//   detect  — once per round the trainer calls poll(): every rank's host
+//             sends one kHeartbeat frame (64 B, control-priority, never
+//             trimmed or corrupted) to the coordinator's host, and the
+//             simulator runs for one heartbeat window. Heartbeats from a
+//             dead host are dropped by the fault plane at transmit — the
+//             missing frame IS the detection signal. A live rank not heard
+//             accrues a miss; `evict_after` consecutive misses evicts it.
+//   evict   — eviction bumps the versioned WorldView that AllReducer and
+//             SimChannel consult, so the next round's collective runs over
+//             exactly the surviving ranks and stale frames cannot mix in.
+//   ckpt    — the trainer hands each live rank's Checkpoint (ddp/
+//             checkpoint.h) to the membership every ckpt_every rounds; the
+//             blob is held serialized, CRC and all, like a real checkpoint
+//             store would.
+//   rejoin  — when the fault window ends the host's heartbeats get through
+//             again, but still stamped with the view version the rank last
+//             saw — stale, which is how the coordinator tells "recovered,
+//             wants back in" from "never left". The trainer then restores
+//             the rank's state from its checkpoint, fetches current
+//             parameters from a live peer over a real transport flow, and
+//             complete_rejoin() re-admits it at the round boundary under a
+//             new view version.
+//
+// Everything is driven by simulated time and seed-deterministic inputs, so
+// the whole event history (evictions, rejoins, view versions, recovery
+// times) is bit-identical across TRIMGRAD_THREADS.
+//
+// Scope: the coordinator rank itself is assumed stable (the usual rank-0
+// assumption); electing a new coordinator is out of scope.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "collective/world_view.h"
+#include "ddp/checkpoint.h"
+#include "net/host.h"
+#include "net/sim.h"
+#include "net/transport_registry.h"
+
+namespace trimgrad::ddp {
+
+struct MembershipConfig {
+  /// Length of one heartbeat window in simulated seconds. Must exceed the
+  /// one-way host→coordinator latency or every heartbeat arrives late.
+  double heartbeat_s = 0.5e-3;
+  /// Consecutive missed heartbeats before a live rank is evicted.
+  unsigned evict_after = 3;
+  /// Rounds between checkpoints (the trainer consults this; 0 = every
+  /// round would be ckpt_every=1, 0 means "never checkpoint").
+  unsigned ckpt_every = 8;
+  /// Rank whose host terminates heartbeats and arbitrates the view.
+  int coordinator = 0;
+  /// Transport for rejoin parameter fetches (reliable by default: a model
+  /// snapshot must arrive bit-exact, so trimming it makes no sense).
+  std::string fetch_transport = "reliable";
+  net::FlowTuning fetch_tuning;
+  /// Frame payload size used when chunking a parameter fetch.
+  std::size_t fetch_frame_bytes = 1500;
+};
+
+/// One control-plane transition, on the simulated clock. The event log is
+/// part of the determinism contract: tests compare it bit-for-bit across
+/// thread counts.
+struct MembershipEvent {
+  enum class Kind : std::uint8_t { kEvict = 0, kRejoin = 1 };
+  Kind kind = Kind::kEvict;
+  double time_s = 0;            ///< simulated time of the transition
+  int rank = -1;
+  std::uint64_t view = 0;       ///< view version AFTER the transition
+  std::uint64_t round = 0;      ///< trainer round that polled
+
+  friend bool operator==(const MembershipEvent&,
+                         const MembershipEvent&) = default;
+};
+
+/// What one heartbeat window concluded.
+struct PollResult {
+  std::vector<int> evicted;       ///< ranks evicted this poll
+  std::vector<int> rejoin_ready;  ///< recovered ranks awaiting rejoin
+};
+
+/// Outcome of a rejoin parameter fetch.
+struct FetchResult {
+  double comm_s = 0;
+  std::uint64_t wire_bytes = 0;
+  bool failed = false;
+};
+
+class Membership {
+ public:
+  /// `sim` and the hosts must outlive the membership. rank_hosts[r] carries
+  /// rank r; the heartbeat sink is bound at the coordinator's host.
+  Membership(net::Simulator& sim, std::vector<net::Host*> rank_hosts,
+             MembershipConfig cfg);
+  ~Membership();
+
+  /// Run one heartbeat window (advances the simulated clock by
+  /// cfg().heartbeat_s) and apply the detection policy.
+  PollResult poll(std::uint64_t round);
+
+  /// Model a rejoining rank pulling `param_floats` parameters from a live
+  /// peer as a reliable flow on the fabric (runs the simulator to drain).
+  FetchResult fetch_params(int from_rank, int to_rank,
+                           std::size_t param_floats);
+
+  /// Re-admit a recovered rank (new view version). The caller has already
+  /// restored its state; from the next round it participates again.
+  void complete_rejoin(int rank, std::uint64_t round);
+
+  // --- checkpoint custody ----------------------------------------------
+  /// Serialize and retain `ck` as rank's latest checkpoint (replacing any
+  /// previous one). The blob is stored, not the struct — restore() goes
+  /// back through the CRC-verified parse, like a store that survived a
+  /// process boundary.
+  void store_checkpoint(const Checkpoint& ck);
+  bool has_checkpoint(int rank) const;
+  /// Parse rank's stored blob. Throws if absent or damaged.
+  Checkpoint restore_checkpoint(int rank) const;
+
+  // --- observers --------------------------------------------------------
+  const collective::WorldView& view() const noexcept { return view_; }
+  const MembershipConfig& cfg() const noexcept { return cfg_; }
+  const std::vector<MembershipEvent>& events() const noexcept {
+    return events_;
+  }
+  std::uint64_t evictions() const noexcept { return evictions_; }
+  std::uint64_t rejoins() const noexcept { return rejoins_; }
+  std::uint64_t heartbeat_misses() const noexcept { return misses_total_; }
+  /// Misses currently accrued against a live rank.
+  unsigned misses(int rank) const { return misses_.at(rank); }
+  /// Simulated seconds from a rank's eviction to its rejoin, summed over
+  /// all completed recoveries (the bench's time-to-recover).
+  double total_recovery_s() const noexcept { return recovery_s_total_; }
+  /// Total serialized checkpoint bytes currently held.
+  std::uint64_t checkpoint_bytes() const noexcept;
+  std::uint64_t checkpoint_saves() const noexcept { return ckpt_saves_; }
+  /// Wall-clock seconds spent serializing checkpoints (bench reporting
+  /// only — never feeds back into simulated time or compared state).
+  double checkpoint_save_wall_s() const noexcept { return ckpt_wall_s_; }
+
+  /// The reserved flow id heartbeats ride on.
+  static constexpr std::uint32_t kHeartbeatFlowId = 0xfeed0000u;
+
+ private:
+  class HeartbeatSink;
+
+  net::Simulator& sim_;
+  std::vector<net::Host*> hosts_;
+  MembershipConfig cfg_;
+  collective::WorldView view_;
+  std::unique_ptr<HeartbeatSink> sink_;
+
+  /// View version each rank's agent believes is current. Live ranks track
+  /// the real view (they see every round); an evicted rank keeps the stale
+  /// version it last saw until complete_rejoin — which is exactly what its
+  /// post-restart heartbeats carry.
+  std::vector<std::uint64_t> agent_view_;
+  std::vector<unsigned> misses_;
+  std::vector<double> evicted_at_;  ///< sim-time of eviction, -1 when live
+
+  std::vector<MembershipEvent> events_;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t rejoins_ = 0;
+  std::uint64_t misses_total_ = 0;
+  double recovery_s_total_ = 0;
+
+  /// Per-rank checkpoint blobs; an empty blob means "never saved".
+  std::vector<std::vector<std::uint8_t>> ckpt_blobs_;
+  std::uint64_t ckpt_saves_ = 0;
+  double ckpt_wall_s_ = 0;
+
+  std::uint32_t next_fetch_flow_ = 1u << 24;
+  std::uint32_t hb_seq_ = 0;
+};
+
+}  // namespace trimgrad::ddp

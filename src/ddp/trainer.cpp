@@ -6,9 +6,11 @@
 #include <cmath>
 
 #include "core/metrics.h"
+#include "core/prng.h"
 #include "core/threadpool.h"
 #include "core/trace.h"
 #include "ddp/clock_model.h"
+#include "ddp/membership.h"
 #include "net/fault_plane.h"
 
 namespace trimgrad::ddp {
@@ -57,6 +59,104 @@ DdpTrainer::DdpTrainer(const ml::SynthCifar& data,
   // Exact replication: every rank starts from rank 0's parameters.
   const auto flat = replicas_[0]->flat_params();
   for (int r = 1; r < cfg_.world; ++r) replicas_[r]->set_flat_params(flat);
+
+  residuals_.resize(static_cast<std::size_t>(cfg_.world));
+  if (cfg_.error_feedback) {
+    // One encoder per rank for the local EF round-trip, each with its own
+    // stochastic-rounding stream (mirrors the reducer's per-sender setup).
+    ef_encoders_.reserve(static_cast<std::size_t>(cfg_.world));
+    for (int r = 0; r < cfg_.world; ++r) {
+      core::CodecConfig cc = cfg_.codec;
+      cc.private_seed = core::mix64(cfg_.codec.private_seed,
+                                    static_cast<std::uint64_t>(r) + 1);
+      ef_encoders_.push_back(std::make_unique<core::TrimmableEncoder>(cc));
+    }
+  }
+}
+
+void DdpTrainer::attach_membership(Membership* membership) {
+  membership_ = membership;
+  reducer_.set_view(membership != nullptr ? &membership->view() : nullptr);
+}
+
+Checkpoint DdpTrainer::make_checkpoint(int rank, std::size_t epoch,
+                                       std::uint64_t round) const {
+  const auto r = static_cast<std::size_t>(rank);
+  Checkpoint ck;
+  ck.rank = rank;
+  ck.epoch = epoch;
+  ck.round = round;
+  ck.view_version = membership_ != nullptr ? membership_->view().version : 0;
+  ck.params = replicas_.at(r)->flat_params();
+  ck.lr = optims_.at(r)->lr();
+  ck.opt_epoch = optims_.at(r)->epoch();
+  ck.velocity = optims_.at(r)->velocity();
+  ck.residual = residuals_.at(r);
+  ck.augment_rng = augment_rng_.state();
+  return ck;
+}
+
+void DdpTrainer::restore_rank(int rank, const Checkpoint& ck) {
+  const auto r = static_cast<std::size_t>(rank);
+  replicas_.at(r)->set_flat_params(ck.params);
+  optims_.at(r)->restore(ck.lr, ck.opt_epoch, ck.velocity);
+  residuals_.at(r) = ck.residual;
+}
+
+void DdpTrainer::apply_error_feedback(
+    std::vector<std::vector<float>>& grads,
+    const std::vector<std::uint8_t>& live_mask, std::size_t epoch,
+    std::uint32_t round) {
+  if (!cfg_.error_feedback) return;
+  const core::TrimmableDecoder decoder(cfg_.codec);
+  for (std::size_t r = 0; r < grads.size(); ++r) {
+    if (live_mask[r] == 0) continue;
+    auto& res = residuals_[r];
+    if (res.size() != grads[r].size()) res.assign(grads[r].size(), 0.0f);
+    for (std::size_t i = 0; i < grads[r].size(); ++i) grads[r][i] += res[i];
+    // The residual is the local quantization error: what this rank is about
+    // to send minus what its own codec round-trip reconstructs. Network
+    // loss (trims/drops) stays out of the residual, as in standard EF.
+    const auto enc =
+        ef_encoders_[r]->encode(grads[r], 0xef000000u + round, epoch);
+    const auto dec = decoder.decode(enc.packets, enc.meta);
+    for (std::size_t i = 0; i < grads[r].size(); ++i) {
+      res[i] = grads[r][i] - dec.values[i];
+    }
+  }
+}
+
+void DdpTrainer::try_rejoin(int rank, std::uint64_t round, EpochRecord& rec,
+                            RoundBreakdown& rb) {
+  // Restore the rank's last checkpointed state (optimizer momentum,
+  // residual, stale params) ...
+  if (membership_->has_checkpoint(rank)) {
+    restore_rank(rank, membership_->restore_checkpoint(rank));
+  }
+  // ... then pull current parameters from a live peer over the fabric. If
+  // the fetch fails (donor's link is down too), stay evicted; the next
+  // poll offers another chance.
+  const auto live = membership_->view().live_ranks();
+  if (live.empty()) return;
+  const int donor = live.front();
+  const auto fetch = membership_->fetch_params(
+      donor, rank, replicas_.at(static_cast<std::size_t>(donor))->param_count());
+  rb.comm_s += fetch.comm_s;
+  rec.wire_bytes += fetch.wire_bytes;
+  if (fetch.failed) return;
+  replicas_.at(static_cast<std::size_t>(rank))
+      ->set_flat_params(replicas_.at(static_cast<std::size_t>(donor))
+                            ->flat_params());
+  // Momentum comes from the checkpoint; the lr schedule position comes
+  // from the collective (the checkpoint's may lag if the outage spanned an
+  // epoch boundary).
+  auto vel = optims_.at(static_cast<std::size_t>(rank))->velocity();
+  optims_.at(static_cast<std::size_t>(rank))
+      ->restore(optims_.at(static_cast<std::size_t>(donor))->lr(),
+                optims_.at(static_cast<std::size_t>(donor))->epoch(),
+                std::move(vel));
+  membership_->complete_rejoin(rank, round);
+  ++rec.recovered_ranks;
 }
 
 std::vector<std::vector<float>> DdpTrainer::all_reduce_buckets(
@@ -115,12 +215,38 @@ EpochRecord DdpTrainer::run_epoch(std::size_t epoch) {
   RoundBreakdown total_rb;
   std::uint64_t epoch_raw_bytes = 0;
 
+  const bool elastic = membership_ != nullptr;
+
   for (std::size_t b = 0; b < n_batches; ++b) {
     RoundBreakdown rb;
     const std::size_t world = static_cast<std::size_t>(cfg_.world);
+    const std::uint64_t global_round =
+        static_cast<std::uint64_t>(epoch) * n_batches + b;
     std::vector<std::vector<float>> grads(world);
     std::vector<double> rank_loss(world, 0.0);
     std::vector<double> rank_compute(world, 0.0);
+
+    // Control plane first: one heartbeat window, then any pending rejoins —
+    // so a recovered rank is back in the view before this round's
+    // collective forms its participant set. The window and any parameter
+    // fetch run on the simulated clock and bill into comm time.
+    if (elastic) {
+      const PollResult pr = membership_->poll(global_round);
+      rb.comm_s += membership_->cfg().heartbeat_s;
+      for (const int r : pr.rejoin_ready) {
+        try_rejoin(r, global_round, rec, rb);
+      }
+    }
+    std::vector<std::uint8_t> live_mask(world, 1);
+    int live_count = cfg_.world;
+    if (elastic) {
+      for (std::size_t r = 0; r < world; ++r) {
+        live_mask[r] =
+            membership_->view().is_live(static_cast<int>(r)) ? 1 : 0;
+      }
+      live_count = membership_->view().live_count();
+    }
+    const double loss_div = static_cast<double>(live_count);
 
     // Assemble every rank's augmented batch sequentially first: the
     // augmentation RNG is one stream consumed in rank order, and keeping
@@ -140,15 +266,23 @@ EpochRecord DdpTrainer::run_epoch(std::size_t epoch) {
     // literal. Every result lands in a per-rank slot; losses and the max
     // over compute times are then reduced in rank order afterwards, so the
     // round is bit-exact for any thread count.
+    const std::size_t n_params = replicas_[0]->param_count();
     core::parallel_for(world, 1, [&](std::size_t r0, std::size_t r1) {
       for (std::size_t r = r0; r < r1; ++r) {
+        // An evicted rank computes nothing; its (zero) gradient slot keeps
+        // the bucket shapes uniform but never reaches the collective — the
+        // view-aware reducer excludes it from the participant set.
+        if (live_mask[r] == 0) {
+          grads[r].assign(n_params, 0.0f);
+          continue;
+        }
         const auto t0 = Clock::now();
         replicas_[r]->zero_grads();
         const ml::Tensor logits = replicas_[r]->forward(inputs[r]);
         const auto lr = ml::softmax_cross_entropy(logits, labels[r]);
         replicas_[r]->backward(lr.grad);
         rank_compute[r] = seconds_since(t0);
-        rank_loss[r] = lr.loss / cfg_.world;
+        rank_loss[r] = lr.loss / loss_div;
         grads[r] = replicas_[r]->flat_grads();
       }
     });
@@ -169,12 +303,26 @@ EpochRecord DdpTrainer::run_epoch(std::size_t epoch) {
                                                       : 1.0)
                        : worst_compute;
 
+    apply_error_feedback(grads, live_mask,
+                         epoch, static_cast<std::uint32_t>(global_round));
+
     const std::uint64_t wire_before = rec.wire_bytes;
     const auto averaged = all_reduce_buckets(
-        grads, epoch, static_cast<std::uint32_t>(epoch * n_batches + b), rec,
-        rb);
+        grads, epoch, static_cast<std::uint32_t>(global_round), rec, rb);
     for (int r = 0; r < cfg_.world; ++r) {
+      if (live_mask[static_cast<std::size_t>(r)] == 0) continue;
       optims_[r]->step_flat(replicas_[r]->params(), averaged[r]);
+    }
+
+    // Periodic checkpoints of every live rank, after the round's update so
+    // a restore lands on a round boundary. Serialization is pure reads —
+    // the training trajectory is identical with or without it.
+    if (elastic && membership_->cfg().ckpt_every > 0 &&
+        (global_round + 1) % membership_->cfg().ckpt_every == 0) {
+      for (int r = 0; r < cfg_.world; ++r) {
+        if (live_mask[static_cast<std::size_t>(r)] == 0) continue;
+        membership_->store_checkpoint(make_checkpoint(r, epoch, global_round));
+      }
     }
 
     // Per-round telemetry on the trainer's own simulated clock: the four
@@ -222,9 +370,13 @@ EpochRecord DdpTrainer::run_epoch(std::size_t epoch) {
                     total_rb.comm_s / n_batches,
                     total_rb.decode_s / n_batches};
 
-  // Replica drift from lossy per-rank decodes.
+  if (elastic) rec.view_version = membership_->view().version;
+
+  // Replica drift from lossy per-rank decodes. Evicted replicas are frozen
+  // at pre-fault parameters — excluded, they'd swamp the live drift.
   const auto ref = replicas_[0]->flat_params();
   for (int r = 1; r < cfg_.world; ++r) {
+    if (elastic && !membership_->view().is_live(r)) continue;
     const auto other = replicas_[r]->flat_params();
     double worst = 0;
     for (std::size_t i = 0; i < ref.size(); ++i) {

@@ -30,12 +30,15 @@
 #include <vector>
 
 #include "collective/allreduce.h"
+#include "ddp/checkpoint.h"
 #include "ml/data.h"
 #include "ml/loss.h"
 #include "ml/model.h"
 #include "ml/optim.h"
 
 namespace trimgrad::ddp {
+
+class Membership;
 
 struct TrainerConfig {
   int world = 4;
@@ -62,6 +65,10 @@ struct TrainerConfig {
   /// — the host-pause half of the fault plane.
   double straggler_factor = 1.0;
   std::uint64_t fault_seed = 1;  ///< keys the per-epoch straggler choice
+  /// Error feedback: accumulate each rank's local quantization error
+  /// (sent − decode(encode(sent))) into a residual added to the next
+  /// round's gradient. The residual is part of a rank's checkpointed state.
+  bool error_feedback = false;
 };
 
 /// Per-round time breakdown (Fig. 5's bars).
@@ -95,6 +102,12 @@ struct EpochRecord {
   std::size_t missing_ranks = 0;
   std::size_t degraded_rounds = 0;
   int straggler_rank = -1;  ///< −1 when no straggler was injected
+  /// Elastic membership (ddp/membership.h): ranks re-admitted this epoch
+  /// and the view version in force when the epoch ended. 0 recovered with
+  /// a stable view is the answer to "did missing_ranks ever heal": with a
+  /// membership attached, recovery is now visible per epoch.
+  std::size_t recovered_ranks = 0;
+  std::uint64_t view_version = 0;
 };
 
 class DdpTrainer {
@@ -116,10 +129,36 @@ class DdpTrainer {
   double sim_time() const noexcept { return sim_time_s_; }
   ml::Sequential& replica(int rank) { return *replicas_.at(rank); }
 
+  /// Attach the elastic control plane (nullptr detaches). Each round then
+  /// starts with a heartbeat poll; evicted ranks stop computing, the
+  /// collective runs over the membership's view (the reducer is pointed at
+  /// it here — point the channel at it separately via SimChannel::set_view),
+  /// checkpoints are stored every cfg ckpt_every rounds, and recovered
+  /// ranks are rejoined at round boundaries. The membership must outlive
+  /// the trainer while attached.
+  void attach_membership(Membership* membership);
+
+  /// Capture rank's full training state (see ddp/checkpoint.h).
+  Checkpoint make_checkpoint(int rank, std::size_t epoch,
+                             std::uint64_t round) const;
+  /// Apply a checkpoint to rank: parameters, optimizer, residual. (The
+  /// augment RNG cursor is whole-trainer state, restored only by a full
+  /// restart, not a single-rank rejoin.)
+  void restore_rank(int rank, const Checkpoint& ck);
+
+  const std::vector<float>& residual(int rank) const {
+    return residuals_.at(rank);
+  }
+
  private:
   std::vector<std::vector<float>> all_reduce_buckets(
       const std::vector<std::vector<float>>& grads, std::size_t epoch,
       std::uint32_t round, EpochRecord& rec, RoundBreakdown& rb);
+  void apply_error_feedback(std::vector<std::vector<float>>& grads,
+                            const std::vector<std::uint8_t>& live_mask,
+                            std::size_t epoch, std::uint32_t round);
+  void try_rejoin(int rank, std::uint64_t round, EpochRecord& rec,
+                  RoundBreakdown& rb);
 
   const ml::SynthCifar& data_;
   collective::Channel& channel_;
@@ -130,6 +169,13 @@ class DdpTrainer {
   std::vector<std::unique_ptr<ml::SgdMomentum>> optims_;
   core::Xoshiro256 augment_rng_;
   double sim_time_s_ = 0;
+  Membership* membership_ = nullptr;
+  /// Per-rank error-feedback residuals (empty vectors until first use;
+  /// always sized `world` so checkpoints can serialize them).
+  std::vector<std::vector<float>> residuals_;
+  /// Per-rank encoders for the local EF round-trip (each owns its own
+  /// private stochastic-rounding stream, like the reducer's senders).
+  std::vector<std::unique_ptr<core::TrimmableEncoder>> ef_encoders_;
 };
 
 }  // namespace trimgrad::ddp

@@ -36,6 +36,13 @@ void SgdMomentum::step_flat(const std::vector<ParamView>& params,
   }
 }
 
+void SgdMomentum::restore(float lr, std::size_t epoch,
+                          std::vector<std::vector<float>> velocity) {
+  lr_ = lr;
+  epoch_ = epoch;
+  velocity_ = std::move(velocity);
+}
+
 void SgdMomentum::end_epoch() {
   ++epoch_;
   if (cfg_.step_epochs > 0 && epoch_ % cfg_.step_epochs == 0) {

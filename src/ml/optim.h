@@ -35,6 +35,14 @@ class SgdMomentum {
   float lr() const noexcept { return lr_; }
   std::size_t epoch() const noexcept { return epoch_; }
 
+  /// Checkpoint access (ddp/checkpoint.h): the full mutable state beyond
+  /// the config — momentum buffers, current lr, and the StepLR position.
+  const std::vector<std::vector<float>>& velocity() const noexcept {
+    return velocity_;
+  }
+  void restore(float lr, std::size_t epoch,
+               std::vector<std::vector<float>> velocity);
+
  private:
   void update_buffer(std::vector<float>& values, std::span<const float> grads,
                      std::vector<float>& velocity);

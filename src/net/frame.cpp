@@ -9,6 +9,7 @@ const char* to_string(FrameKind k) noexcept {
     case FrameKind::kNack: return "nack";
     case FrameKind::kMeta: return "meta";
     case FrameKind::kPull: return "pull";
+    case FrameKind::kHeartbeat: return "heartbeat";
   }
   return "?";
 }

@@ -27,6 +27,7 @@ enum class FrameKind : std::uint8_t {
   kNack = 2,
   kMeta = 3,  ///< reliable metadata (codec scales) — never trimmed
   kPull = 4,  ///< receiver-driven pacing credit (NDP-style), optional
+  kHeartbeat = 5,  ///< membership liveness probe (ddp/membership.h)
 };
 
 const char* to_string(FrameKind k) noexcept;
@@ -56,6 +57,13 @@ struct Frame {
   std::uint32_t ack_seq = 0;       ///< cumulative ack (next expected seq)
   std::uint32_t ack_echo = 0;      ///< seq this ACK acknowledges
   bool ack_was_trimmed = false;    ///< echoed trim flag
+
+  /// Heartbeat bookkeeping (valid when kind == kHeartbeat): the sending
+  /// rank and the membership view version it believes is current. A
+  /// heartbeat carrying a stale view id is rejected by the coordinator's
+  /// liveness count — the sender is told to rejoin instead.
+  std::uint32_t hb_rank = 0;
+  std::uint64_t hb_view = 0;
 
   /// Gradient packet carried by data frames (optional; timing-only
   /// experiments leave it null). Shared: switches copy-on-trim.

@@ -1,0 +1,162 @@
+// Checkpoint blob discipline: save/load round-trips are exact, blobs are
+// bit-identical across thread counts, and a damaged blob (truncated or
+// bit-flipped) fails its CRC with a clear error instead of loading garbage.
+#include "ddp/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "collective/inject_channel.h"
+#include "core/threadpool.h"
+#include "ddp/trainer.h"
+
+namespace trimgrad::ddp {
+namespace {
+
+Checkpoint sample_checkpoint() {
+  Checkpoint ck;
+  ck.rank = 2;
+  ck.epoch = 7;
+  ck.round = 91;
+  ck.view_version = 3;
+  ck.params = {1.5f, -2.25f, 0.0f, 3e-7f, -1e8f};
+  ck.lr = 0.0125f;
+  ck.opt_epoch = 7;
+  ck.velocity = {{0.5f, -0.5f}, {}, {1e-3f, 2e-3f, 3e-3f}};
+  ck.residual = {0.25f, -0.125f};
+  ck.augment_rng = {0x1234, 0x5678, 0x9abc, 0xdef0};
+  return ck;
+}
+
+TEST(Checkpoint, ToBytesFromBytesRoundTripsExactly) {
+  const Checkpoint ck = sample_checkpoint();
+  const auto blob = ck.to_bytes();
+  const Checkpoint back = Checkpoint::from_bytes(blob);
+  EXPECT_EQ(ck, back);
+}
+
+TEST(Checkpoint, SaveLoadSaveIsByteIdentical) {
+  const Checkpoint ck = sample_checkpoint();
+  std::stringstream first;
+  ck.save(first);
+  std::stringstream stream(first.str());
+  const Checkpoint loaded = Checkpoint::load(stream);
+  EXPECT_EQ(ck, loaded);
+  std::stringstream second;
+  loaded.save(second);
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(Checkpoint, EmptySectionsRoundTrip) {
+  Checkpoint ck;  // all defaults: no params, no velocity, no residual
+  const Checkpoint back = Checkpoint::from_bytes(ck.to_bytes());
+  EXPECT_EQ(ck, back);
+}
+
+TEST(Checkpoint, TruncationAtEveryPointFailsWithClearError) {
+  const auto blob = sample_checkpoint().to_bytes();
+  ASSERT_GT(blob.size(), 16u);
+  for (std::size_t keep = 0; keep < blob.size(); ++keep) {
+    try {
+      Checkpoint::from_bytes(std::span(blob.data(), keep));
+      FAIL() << "truncation to " << keep << " bytes parsed";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("Checkpoint"), std::string::npos)
+          << "error at keep=" << keep << " names the format: " << e.what();
+    }
+  }
+}
+
+TEST(Checkpoint, EveryBitFlipFailsVerification) {
+  const auto blob = sample_checkpoint().to_bytes();
+  for (std::size_t byte = 0; byte < blob.size(); ++byte) {
+    auto bad = blob;
+    bad[byte] ^= 0x40;
+    EXPECT_THROW(Checkpoint::from_bytes(bad), std::runtime_error)
+        << "flip at byte " << byte << " loaded anyway";
+  }
+}
+
+TEST(Checkpoint, MidPayloadFlipReportsCrcMismatch) {
+  const auto blob = sample_checkpoint().to_bytes();
+  auto bad = blob;
+  bad[blob.size() / 2] ^= 0x01;
+  try {
+    Checkpoint::from_bytes(bad);
+    FAIL() << "damaged blob parsed";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("CRC"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Checkpoint, BadMagicIsNamedNotCrc) {
+  auto blob = sample_checkpoint().to_bytes();
+  blob[0] ^= 0xff;
+  try {
+    Checkpoint::from_bytes(blob);
+    FAIL() << "foreign blob parsed";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("magic"), std::string::npos)
+        << e.what();
+  }
+}
+
+// --- thread-count bit-identity over real trainer state -------------------
+
+std::vector<std::uint8_t> train_and_checkpoint(std::size_t threads) {
+  core::ThreadPool::set_global_threads(threads);
+  collective::InjectChannel::Config ccfg;
+  ccfg.world = 4;
+  ccfg.injector.trim_rate = 0.3;
+  collective::InjectChannel channel(ccfg);
+
+  ml::SynthCifarConfig dcfg;
+  dcfg.classes = 10;
+  dcfg.height = dcfg.width = 8;
+  dcfg.train_per_class = 16;
+  dcfg.test_per_class = 8;
+  dcfg.proto_grid = 3;
+  ml::SynthCifar data(dcfg);
+
+  TrainerConfig tcfg;
+  tcfg.world = 4;
+  tcfg.global_batch = 32;
+  tcfg.epochs = 2;
+  tcfg.eval_every = 0;
+  tcfg.sgd.lr = 0.05f;
+  tcfg.codec.scheme = core::Scheme::kRHT;
+  tcfg.codec.rht_row_len = 1 << 10;
+  tcfg.error_feedback = true;  // residual must serialize identically too
+  DdpTrainer trainer(data, channel, tcfg, [] {
+    ml::ModelConfig mcfg;
+    mcfg.classes = 10;
+    mcfg.height = mcfg.width = 8;
+    return ml::make_mlp(mcfg, 48);
+  });
+  trainer.run_epoch(0);
+  trainer.run_epoch(1);
+  return trainer.make_checkpoint(/*rank=*/1, /*epoch=*/1, /*round=*/9)
+      .to_bytes();
+}
+
+TEST(Checkpoint, BlobIsBitIdenticalAcrossThreadCounts) {
+  const auto ref = train_and_checkpoint(1);
+  ASSERT_FALSE(ref.empty());
+  for (const std::size_t threads : {2, 8}) {
+    EXPECT_EQ(ref, train_and_checkpoint(threads))
+        << "checkpoint bytes differ at " << threads << " threads";
+  }
+  core::ThreadPool::set_global_threads(1);
+  // And the captured state survives the byte round-trip.
+  const Checkpoint ck = Checkpoint::from_bytes(ref);
+  EXPECT_EQ(ck.rank, 1);
+  EXPECT_EQ(ck.epoch, 1u);
+  EXPECT_FALSE(ck.params.empty());
+  EXPECT_FALSE(ck.residual.empty()) << "error feedback was on";
+}
+
+}  // namespace
+}  // namespace trimgrad::ddp

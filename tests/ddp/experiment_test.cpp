@@ -45,6 +45,9 @@ TEST(ExperimentSpec, EveryKeyRoundTripsBitExactly) {
   spec.seed = 99;
   spec.fault_seed = 7;
   spec.threads = 2;
+  spec.heartbeat_ms = 0.75;
+  spec.evict_after = 5;
+  spec.ckpt_every = 16;
   const ExperimentSpec back = ExperimentSpec::parse(spec.serialize());
   EXPECT_EQ(spec, back);
   // Doubles survive a second trip too (shortest-round-trip formatting).
@@ -167,6 +170,43 @@ TEST(ExperimentSpec, SimChannelConfigSelectsTransportByName) {
   const auto ccfg = spec.sim_channel_config();
   EXPECT_EQ(ccfg.transport, "ecn");
   EXPECT_DOUBLE_EQ(ccfg.round_deadline, 0.01);
+}
+
+TEST(ExperimentSpec, MembershipKeysRoundTripAndProject) {
+  const ExperimentSpec spec = ExperimentSpec::parse(
+      "faults=elastic,heartbeat_ms=0.5,evict_after=2,ckpt_every=4");
+  EXPECT_DOUBLE_EQ(spec.heartbeat_ms, 0.5);
+  EXPECT_EQ(spec.evict_after, 2u);
+  EXPECT_EQ(spec.ckpt_every, 4u);
+  EXPECT_EQ(spec, ExperimentSpec::parse(spec.serialize()));
+
+  const MembershipConfig mcfg = spec.membership_config();
+  EXPECT_DOUBLE_EQ(mcfg.heartbeat_s, 0.5e-3);
+  EXPECT_EQ(mcfg.evict_after, 2u);
+  EXPECT_EQ(mcfg.ckpt_every, 4u);
+}
+
+TEST(ExperimentSpec, MembershipKeysAreRangeChecked) {
+  // Out-of-range values name the valid range in the error.
+  const std::string hb = thrown_message(
+      [] { (void)ExperimentSpec::parse("heartbeat_ms=-1"); });
+  EXPECT_NE(hb.find("[0, 10000]"), std::string::npos) << hb;
+  EXPECT_THROW((void)ExperimentSpec::parse("heartbeat_ms=10001"),
+               std::invalid_argument);
+
+  const std::string ev = thrown_message(
+      [] { (void)ExperimentSpec::parse("evict_after=0"); });
+  EXPECT_NE(ev.find("[1, 1024]"), std::string::npos) << ev;
+  EXPECT_THROW((void)ExperimentSpec::parse("evict_after=2000"),
+               std::invalid_argument);
+
+  const std::string ck = thrown_message(
+      [] { (void)ExperimentSpec::parse("ckpt_every=1048577"); });
+  EXPECT_NE(ck.find("[0, 1048576]"), std::string::npos) << ck;
+
+  // The elastic fault script is meaningless without a detector.
+  EXPECT_THROW((void)ExperimentSpec::parse("faults=elastic"),
+               std::invalid_argument);
 }
 
 }  // namespace

@@ -1,0 +1,289 @@
+// Elastic membership closed loop: kill a rank's host mid-training on the
+// discrete-event fabric, watch the heartbeat detector evict it, keep
+// training over the surviving view, and — when the fault window ends —
+// restore it from its checkpoint, refill its parameters from a live peer,
+// and re-admit it. The whole event history must be bit-identical across
+// TRIMGRAD_THREADS for a fixed (seed, fault_seed).
+#include "ddp/membership.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "collective/sim_channel.h"
+#include "core/metrics.h"
+#include "core/threadpool.h"
+#include "ddp/trainer.h"
+#include "net/fault_plane.h"
+#include "net/topology.h"
+
+namespace trimgrad::ddp {
+namespace {
+
+std::uint64_t counter_value(const std::string& name) {
+  const auto snap = core::MetricsRegistry::global().snapshot();
+  for (const auto& c : snap.counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+struct ElasticOptions {
+  std::uint64_t fault_seed = 7;
+  std::size_t epochs = 4;
+  /// Kill rank 3's host once, for this long, starting at 30 ms. 0 = no
+  /// fault (the baseline the recovered run must converge back to).
+  net::SimTime dead_window = 100e-3;
+  unsigned evict_after = 2;
+  unsigned ckpt_every = 2;
+};
+
+struct ElasticResult {
+  std::vector<EpochRecord> records;
+  std::vector<MembershipEvent> events;
+  net::FaultLog fault_log;
+  std::uint64_t evictions = 0;
+  std::uint64_t rejoins = 0;
+  std::uint64_t heartbeat_misses = 0;
+  double recovery_s = 0;
+  std::uint64_t final_view = 0;
+  std::size_t recovered_ranks = 0;
+  bool queue_drained = false;
+};
+
+ElasticResult run_elastic(const ElasticOptions& opt) {
+  net::Simulator sim;
+  net::FabricConfig fcfg;
+  fcfg.core_link = {10e9, 1e-6};
+  fcfg.switch_queue.policy = net::QueuePolicy::kTrim;
+  fcfg.switch_queue.capacity_bytes = 20 * 1024;
+  fcfg.switch_queue.header_capacity_bytes = 64 * 1024;
+  const net::Dumbbell topo = net::build_dumbbell(sim, 2, 2, fcfg);
+  const std::vector<net::NodeId> ranks = {
+      topo.left_hosts[0], topo.left_hosts[1], topo.right_hosts[0],
+      topo.right_hosts[1]};
+
+  net::FaultPlaneConfig pcfg;
+  pcfg.seed = opt.fault_seed;
+  if (opt.dead_window > 0) {
+    net::NodeFault dead;  // rank 3: never the coordinator or PS server
+    dead.node = topo.right_hosts[1];
+    dead.start = 30e-3;
+    dead.duration = opt.dead_window;
+    dead.period = 1000.0;
+    dead.repeats = 1;
+    pcfg.node_faults.push_back(dead);
+  }
+  net::FaultPlane plane(pcfg);
+  sim.set_fault_plane(&plane);
+
+  collective::SimChannel::Config ccfg;
+  ccfg.transport = "trim";
+  ccfg.tuning.rto = 100e-6;
+  ccfg.tuning.rto_cap = 1e-3;
+  ccfg.tuning.retransmit_budget = 400;
+  ccfg.round_deadline = 10e-3;
+  collective::SimChannel channel(sim, ranks, ccfg);
+
+  std::vector<net::Host*> hosts;
+  for (const auto id : ranks) {
+    hosts.push_back(static_cast<net::Host*>(&sim.node(id)));
+  }
+  MembershipConfig mcfg;
+  mcfg.heartbeat_s = 0.5e-3;
+  mcfg.evict_after = opt.evict_after;
+  mcfg.ckpt_every = opt.ckpt_every;
+  mcfg.fetch_tuning = ccfg.tuning;
+  Membership membership(sim, hosts, mcfg);
+  channel.set_view(&membership.view());
+
+  ml::SynthCifarConfig dcfg;
+  dcfg.classes = 10;
+  dcfg.height = dcfg.width = 8;
+  dcfg.train_per_class = 16;
+  dcfg.test_per_class = 8;
+  dcfg.proto_grid = 3;
+  ml::SynthCifar data(dcfg);
+
+  TrainerConfig tcfg;
+  tcfg.world = 4;
+  tcfg.global_batch = 32;
+  tcfg.epochs = opt.epochs;
+  tcfg.eval_every = 0;
+  tcfg.sgd.lr = 0.05f;
+  tcfg.codec.scheme = core::Scheme::kRHT;
+  tcfg.codec.rht_row_len = 1 << 10;
+  tcfg.fault_seed = opt.fault_seed;
+  DdpTrainer trainer(data, channel, tcfg, [] {
+    ml::ModelConfig mcfg2;
+    mcfg2.classes = 10;
+    mcfg2.height = mcfg2.width = 8;
+    return ml::make_mlp(mcfg2, 48);
+  });
+  trainer.attach_membership(&membership);
+
+  ElasticResult out;
+  out.records = trainer.train();
+  out.events = membership.events();
+  out.fault_log = plane.log();
+  out.evictions = membership.evictions();
+  out.rejoins = membership.rejoins();
+  out.heartbeat_misses = membership.heartbeat_misses();
+  out.recovery_s = membership.total_recovery_s();
+  out.final_view = membership.view().version;
+  for (const auto& r : out.records) out.recovered_ranks += r.recovered_ranks;
+  const net::SimTime t_end = sim.now();
+  out.queue_drained = sim.run() == t_end;
+  return out;
+}
+
+TEST(Membership, DeadRankIsEvictedThenRejoinsAndRunConverges) {
+  ElasticOptions opt;
+  const ElasticResult res = run_elastic(opt);
+
+  ASSERT_EQ(res.records.size(), opt.epochs);
+  EXPECT_TRUE(res.queue_drained) << "events left in the queue after train()";
+  EXPECT_GE(res.heartbeat_misses, opt.evict_after);
+  ASSERT_GE(res.evictions, 1u) << "the dead host was never detected";
+  ASSERT_GE(res.rejoins, 1u) << "the recovered host never rejoined";
+  EXPECT_EQ(res.recovered_ranks, res.rejoins);
+  EXPECT_GT(res.recovery_s, 0.0);
+
+  // Event discipline: rank 3 only, evict strictly before its rejoin, and
+  // view versions only ever advance.
+  ASSERT_FALSE(res.events.empty());
+  std::uint64_t prev_view = 0;
+  for (const auto& e : res.events) {
+    EXPECT_EQ(e.rank, 3);
+    EXPECT_GT(e.view, prev_view) << "views must be monotone";
+    prev_view = e.view;
+  }
+  EXPECT_EQ(res.events.front().kind, MembershipEvent::Kind::kEvict);
+  EXPECT_EQ(res.final_view, res.events.back().view);
+
+  // Degradation is visible while the rank was dead-but-not-yet-evicted,
+  // and every epoch still finishes with a finite loss.
+  for (const auto& r : res.records) {
+    EXPECT_TRUE(std::isfinite(r.train_loss));
+    EXPECT_GT(r.sim_time_s, 0.0);
+  }
+
+  // The healed run must converge back to the fault-free baseline.
+  ElasticOptions base_opt;
+  base_opt.dead_window = 0;
+  const ElasticResult base = run_elastic(base_opt);
+  EXPECT_EQ(base.evictions, 0u);
+  EXPECT_EQ(base.final_view, 0u);
+  const double gap = std::fabs(res.records.back().train_loss -
+                               base.records.back().train_loss);
+  EXPECT_LT(gap, 0.35) << "recovered run did not converge near baseline: "
+                       << res.records.back().train_loss << " vs "
+                       << base.records.back().train_loss;
+}
+
+TEST(Membership, ElasticRunIsBitIdenticalAcrossThreadCounts) {
+  ElasticOptions opt;
+  opt.epochs = 3;
+  core::ThreadPool::set_global_threads(1);
+  const ElasticResult ref = run_elastic(opt);
+  ASSERT_GE(ref.evictions, 1u);
+  for (const std::size_t threads : {2, 8}) {
+    core::ThreadPool::set_global_threads(threads);
+    const ElasticResult got = run_elastic(opt);
+    ASSERT_EQ(ref.records.size(), got.records.size());
+    for (std::size_t i = 0; i < ref.records.size(); ++i) {
+      const auto& x = ref.records[i];
+      const auto& y = got.records[i];
+      EXPECT_EQ(x.sim_time_s, y.sim_time_s) << "epoch " << i << " @" << threads;
+      EXPECT_EQ(x.train_loss, y.train_loss) << "epoch " << i << " @" << threads;
+      EXPECT_EQ(x.wire_bytes, y.wire_bytes) << "epoch " << i;
+      EXPECT_EQ(x.missing_ranks, y.missing_ranks) << "epoch " << i;
+      EXPECT_EQ(x.degraded_rounds, y.degraded_rounds) << "epoch " << i;
+      EXPECT_EQ(x.recovered_ranks, y.recovered_ranks) << "epoch " << i;
+      EXPECT_EQ(x.view_version, y.view_version) << "epoch " << i;
+      EXPECT_EQ(x.replica_divergence, y.replica_divergence) << "epoch " << i;
+    }
+    EXPECT_EQ(ref.events, got.events)
+        << "membership events differ at " << threads << " threads";
+    EXPECT_EQ(ref.fault_log, got.fault_log);
+    EXPECT_EQ(ref.recovery_s, got.recovery_s);
+  }
+  core::ThreadPool::set_global_threads(1);
+}
+
+TEST(Membership, QuietFabricNeverEvicts) {
+  ElasticOptions opt;
+  opt.dead_window = 0;
+  opt.epochs = 2;
+  const ElasticResult res = run_elastic(opt);
+  EXPECT_EQ(res.evictions, 0u);
+  EXPECT_EQ(res.rejoins, 0u);
+  EXPECT_EQ(res.heartbeat_misses, 0u)
+      << "heartbeats must survive a healthy fabric";
+  EXPECT_TRUE(res.events.empty());
+  for (const auto& r : res.records) {
+    EXPECT_EQ(r.recovered_ranks, 0u);
+    EXPECT_EQ(r.view_version, 0u);
+  }
+}
+
+TEST(Membership, StaleTransfersAreRefusedWithoutTouchingTheFabric) {
+  net::Simulator sim;
+  net::FabricConfig fcfg;
+  const net::Dumbbell topo = net::build_dumbbell(sim, 2, 2, fcfg);
+  const std::vector<net::NodeId> ranks = {
+      topo.left_hosts[0], topo.left_hosts[1], topo.right_hosts[0],
+      topo.right_hosts[1]};
+  collective::SimChannel channel(sim, ranks, {});
+
+  collective::WorldView view = collective::WorldView::full(4);
+  view.evict(3);
+  channel.set_view(&view);
+
+  const std::uint64_t stale0 =
+      counter_value("net.membership.stale_transfers");
+  const std::uint64_t frames0 = sim.delivered_frames();
+
+  collective::TransferRequest req;
+  req.src = 0;
+  req.dst = 3;  // not live in the current view
+  const auto deliveries = channel.transfer({req});
+  ASSERT_EQ(deliveries.size(), 1u);
+  EXPECT_TRUE(deliveries[0].flow_failed)
+      << "a transfer into an evicted rank must fail, not deliver";
+  EXPECT_TRUE(deliveries[0].packets.empty());
+  EXPECT_EQ(sim.delivered_frames(), frames0)
+      << "a refused transfer must not put frames on the fabric";
+  EXPECT_EQ(counter_value("net.membership.stale_transfers"), stale0 + 1);
+}
+
+TEST(Membership, CheckpointCustodyRoundTripsThroughBlobStore) {
+  net::Simulator sim;
+  net::FabricConfig fcfg;
+  const net::Dumbbell topo = net::build_dumbbell(sim, 2, 2, fcfg);
+  std::vector<net::Host*> hosts;
+  for (const auto id : {topo.left_hosts[0], topo.left_hosts[1],
+                        topo.right_hosts[0], topo.right_hosts[1]}) {
+    hosts.push_back(static_cast<net::Host*>(&sim.node(id)));
+  }
+  Membership membership(sim, hosts, {});
+
+  EXPECT_FALSE(membership.has_checkpoint(2));
+  EXPECT_THROW(membership.restore_checkpoint(2), std::runtime_error);
+
+  Checkpoint ck;
+  ck.rank = 2;
+  ck.epoch = 5;
+  ck.params = {1.0f, 2.0f, 3.0f};
+  ck.velocity = {{0.5f}};
+  membership.store_checkpoint(ck);
+  EXPECT_TRUE(membership.has_checkpoint(2));
+  EXPECT_EQ(membership.checkpoint_saves(), 1u);
+  EXPECT_GT(membership.checkpoint_bytes(), 0u);
+  EXPECT_EQ(membership.restore_checkpoint(2), ck);
+}
+
+}  // namespace
+}  // namespace trimgrad::ddp

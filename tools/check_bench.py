@@ -1,13 +1,21 @@
 #!/usr/bin/env python3
-"""Validate bench_parallel_scaling output and gate on throughput regressions.
+"""Validate bench JSON outputs and gate on regressions.
 
 Usage:
     check_bench.py CANDIDATE [--baseline BENCH_parallel.json] [--max-slowdown 2.0]
+    check_bench.py --elastic BENCH_elastic.json
 
-CANDIDATE is the BENCH_parallel.json produced by the run under test (smoke or
-full size).  The committed baseline holds full-size numbers; comparisons use
-per-section throughput (items processed per second), which is roughly
-size-invariant, so a smoke run can be compared against a full-size baseline.
+Default mode validates the BENCH_parallel.json produced by
+bench_parallel_scaling (smoke or full size).  The committed baseline holds
+full-size numbers; comparisons use per-section throughput (items processed
+per second), which is roughly size-invariant, so a smoke run can be compared
+against a full-size baseline.
+
+--elastic mode validates the BENCH_elastic.json produced by
+bench_soak_elastic: the run must have drained its event queue, kept every
+epoch loss finite, advanced view versions monotonically, completed at least
+one evict->rejoin cycle, and converged back to within its own stated
+loss_tolerance of the uninterrupted baseline.
 
 Exit codes: 0 ok, 1 malformed candidate, 2 regression beyond the threshold.
 Only the Python standard library is used.
@@ -63,6 +71,43 @@ def validate(doc, path):
             fail(1, f"{path}: section {name!r} has non-positive throughput")
 
 
+def check_elastic(path):
+    """Invariant gate on a bench_soak_elastic JSON document."""
+    doc = load_json(path)
+    if not isinstance(doc, dict):
+        fail(1, f"{path}: top level is not an object")
+    required = ("label", "loss_gap", "loss_tolerance", "evictions", "rejoins",
+                "time_to_recover_s", "rounds_degraded", "checkpoint_bytes",
+                "checkpoint_saves", "views_monotone", "drained", "loss_finite")
+    for key in required:
+        if key not in doc:
+            fail(1, f"{path}: missing key {key!r}")
+    for key in ("views_monotone", "drained", "loss_finite"):
+        if doc[key] is not True:
+            fail(2, f"{path}: invariant {key!r} is {doc[key]!r}, not true")
+    if not isinstance(doc["rejoins"], int) or doc["rejoins"] < 1:
+        fail(2, f"{path}: no evict->rejoin cycle completed "
+                f"(rejoins={doc['rejoins']!r})")
+    if doc["evictions"] < doc["rejoins"]:
+        fail(1, f"{path}: more rejoins ({doc['rejoins']}) than evictions "
+                f"({doc['evictions']})")
+    gap, tol = doc["loss_gap"], doc["loss_tolerance"]
+    if not (isinstance(gap, (int, float)) and isinstance(tol, (int, float))):
+        fail(1, f"{path}: loss_gap/loss_tolerance are not numbers")
+    if gap > tol:
+        fail(2, f"{path}: healed run did not reconverge -- loss_gap {gap:.4f} "
+                f"exceeds tolerance {tol:.4f}")
+    if doc["rejoins"] > 0 and doc["time_to_recover_s"] <= 0:
+        fail(1, f"{path}: rejoins happened but time_to_recover_s is "
+                f"{doc['time_to_recover_s']!r}")
+    if doc["checkpoint_saves"] > 0 and doc["checkpoint_bytes"] <= 0:
+        fail(1, f"{path}: checkpoints saved but zero bytes recorded")
+    print(f"check_bench: {path} OK -- {doc['evictions']} evictions, "
+          f"{doc['rejoins']} rejoins, recovered in "
+          f"{doc['time_to_recover_s']:.4f}s sim-time, loss gap {gap:.4f} "
+          f"<= {tol:.4f}")
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("candidate")
@@ -72,7 +117,14 @@ def main():
     ap.add_argument("--max-slowdown", type=float, default=2.0,
                     help="fail if candidate throughput is more than this "
                          "factor below baseline (default 2.0)")
+    ap.add_argument("--elastic", action="store_true",
+                    help="treat CANDIDATE as BENCH_elastic.json from "
+                         "bench_soak_elastic and gate its invariants")
     args = ap.parse_args()
+
+    if args.elastic:
+        check_elastic(args.candidate)
+        return
 
     cand = load_json(args.candidate)
     validate(cand, args.candidate)
