@@ -1,7 +1,11 @@
 // Parallel-scaling microbench for the threaded hot paths (see ISSUE 2 /
 // DESIGN.md threading model): row-parallel RHT encode+decode, the blocked
 // GEMM kernels, message-level EDEN, and one DDP trainer round, each timed
-// at pool sizes 1/2/4/8 against the single-thread baseline.
+// at pool sizes 1/2/4/8 against the single-thread baseline. Per-kernel
+// sections (fwht, quantize, bitpack, crc32c) time the single-thread SIMD
+// primitives those paths are built from — flat across thread counts by
+// construction, but sensitive to the active ISA (reported in the JSON as
+// "isa").
 //
 // Emits a human-readable table on stdout and machine-readable
 // BENCH_parallel.json in the working directory. Also cross-checks that the
@@ -15,15 +19,21 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <functional>
+#include <span>
 #include <thread>
 #include <vector>
 
 #include "collective/inject_channel.h"
+#include "core/bitpack.h"
 #include "core/codec.h"
 #include "core/eden.h"
+#include "core/hadamard.h"
 #include "core/prng.h"
+#include "core/simd.h"
 #include "core/threadpool.h"
+#include "core/wire.h"
 #include "ddp/trainer.h"
 #include "ml/data.h"
 #include "ml/model.h"
@@ -46,8 +56,19 @@ double time_best_of(int reps, const std::function<void()>& fn) {
 }
 
 std::uint64_t fnv(std::uint64_t h, const float* p, std::size_t n) {
+  // FNV-style mix over 8-byte blocks. The determinism cross-check only
+  // needs equality within one run, and the hash sits inside the timed
+  // sections — the byte-at-a-time dependent-multiply chain was costing more
+  // than some of the kernels being measured.
   const unsigned char* b = reinterpret_cast<const unsigned char*>(p);
-  for (std::size_t i = 0; i < n * sizeof(float); ++i) {
+  const std::size_t bytes = n * sizeof(float);
+  std::size_t i = 0;
+  for (; i + 8 <= bytes; i += 8) {
+    std::uint64_t w;
+    std::memcpy(&w, b + i, 8);
+    h = (h ^ w) * 1099511628211ULL;
+  }
+  for (; i < bytes; ++i) {
     h = (h ^ b[i]) * 1099511628211ULL;
   }
   return h;
@@ -112,39 +133,57 @@ int main() {
                     static_cast<std::uint64_t>(dcfg.classes) *
                         dcfg.train_per_class};
 
+  // Per-kernel sections: single-thread SIMD primitives, items = floats (or
+  // bytes for crc32c) per rep. Scratch shared across reps; each rep
+  // reinitializes from grad so the work is identical.
+  Section s_fwht{"fwht", {}, {}, grad.size()};
+  Section s_quant{"quantize", {}, {}, grad.size()};
+  Section s_bitpack{"bitpack", {}, {}, grad.size()};
+  Section s_crc{"crc32c", {}, {}, grad.size() * sizeof(float)};
+  const std::size_t kRow = std::size_t{1} << 12;
+  std::vector<float> k_scratch(grad.size());
+  std::vector<std::uint8_t> k_heads(grad.size());
+  std::vector<std::uint32_t> k_tails(grad.size());
+  std::vector<std::uint8_t> k_heads2(grad.size());
+  std::vector<std::uint32_t> k_tails2(grad.size());
+  const std::vector<std::uint8_t> k_trim(grad.size(), 0);
+
   const int reps = smoke ? 2 : 3;
   const int trainer_reps = smoke ? 1 : 2;
   for (const std::size_t t : thread_counts) {
     ThreadPool::set_global_threads(t);
 
-    // RHT encode + decode round trip.
+    // RHT encode + decode round trip. Every rep produces the identical
+    // output (that is the determinism contract under test), so the
+    // cross-thread-count hash is taken once after timing rather than
+    // spending hash time inside the measured region.
     core::TrimmableEncoder enc(ccfg);
     core::TrimmableDecoder dec(ccfg);
-    std::uint64_t codec_hash = 1469598103934665603ULL;
+    core::DecodeResult codec_out;
     s_codec.seconds.push_back(time_best_of(reps, [&] {
       auto msg = enc.encode(grad, 1, 1);
-      auto out = dec.decode(msg.packets, msg.meta);
-      codec_hash = fnv(codec_hash, out.values.data(), out.values.size());
+      codec_out = dec.decode(msg.packets, msg.meta);
     }));
-    s_codec.hashes.push_back(codec_hash);
+    s_codec.hashes.push_back(fnv(1469598103934665603ULL,
+                                 codec_out.values.data(),
+                                 codec_out.values.size()));
 
     // EDEN 4-bit message round trip.
-    std::uint64_t eden_hash = 1469598103934665603ULL;
+    std::vector<float> eden_out;
     s_eden.seconds.push_back(time_best_of(reps, [&] {
       auto msg = core::eden_encode_message(grad, 1, 1, 1, 4);
-      auto out = core::eden_decode_message(msg, 1, 1, 1);
-      eden_hash = fnv(eden_hash, out.data(), out.size());
+      eden_out = core::eden_decode_message(msg, 1, 1, 1);
     }));
-    s_eden.hashes.push_back(eden_hash);
+    s_eden.hashes.push_back(
+        fnv(1469598103934665603ULL, eden_out.data(), eden_out.size()));
 
     // GEMM (forward-shaped kernel).
-    std::uint64_t gemm_hash = 1469598103934665603ULL;
     s_gemm.seconds.push_back(time_best_of(reps, [&] {
       std::fill(gc.begin(), gc.end(), 0.0f);
       ml::gemm_accumulate(ga.data(), gb.data(), gc.data(), M, K, N);
-      gemm_hash = fnv(gemm_hash, gc.data(), gc.size());
     }));
-    s_gemm.hashes.push_back(gemm_hash);
+    s_gemm.hashes.push_back(
+        fnv(1469598103934665603ULL, gc.data(), gc.size()));
 
     // One DDP epoch (fresh trainer each rep so state is identical).
     std::uint64_t tr_hash = 1469598103934665603ULL;
@@ -166,15 +205,66 @@ int main() {
       tr_hash = fnv(tr_hash, &loss, 1);
     }));
     s_trainer.hashes.push_back(tr_hash);
+
+    // FWHT: orthonormal transform over 4K-float rows (the paper's codec
+    // row shape), fresh data per rep.
+    s_fwht.seconds.push_back(time_best_of(reps, [&] {
+      std::copy(grad.begin(), grad.end(), k_scratch.begin());
+      for (std::size_t at = 0; at + kRow <= k_scratch.size(); at += kRow) {
+        core::fwht_orthonormal_inplace(
+            std::span<float>(k_scratch.data() + at, kRow));
+      }
+    }));
+    s_fwht.hashes.push_back(
+        fnv(1469598103934665603ULL, k_scratch.data(), k_scratch.size()));
+
+    // Quantize: sign/magnitude split + join round trip over the gradient.
+    s_quant.seconds.push_back(time_best_of(reps, [&] {
+      core::simd::split_sign_mag(grad.data(), grad.size(), k_heads.data(),
+                                 k_tails.data());
+      core::simd::join_sign_mag(k_heads.data(), k_tails.data(), k_trim.data(),
+                                1.0f, k_scratch.data(), grad.size());
+    }));
+    s_quant.hashes.push_back(
+        fnv(1469598103934665603ULL, k_scratch.data(), k_scratch.size()));
+
+    // Bitpack: bulk head-bit + 31-bit tail writes, then bulk reads back.
+    s_bitpack.seconds.push_back(time_best_of(reps, [&] {
+      core::BitWriter hw, tw;
+      hw.put_bits8(k_heads.data(), k_heads.size());
+      tw.put_run(k_tails.data(), k_tails.size(), 31);
+      const auto hb = std::move(hw).finish();
+      const auto tb = std::move(tw).finish();
+      core::BitReader hr(hb), tr(tb);
+      hr.get_bits8(k_heads2.data(), k_heads2.size());
+      tr.get_run(k_tails2.data(), k_tails2.size(), 31);
+    }));
+    s_bitpack.hashes.push_back(
+        fnv(1469598103934665603ULL,
+            reinterpret_cast<const float*>(k_tails2.data()),
+            k_tails2.size()));
+
+    // CRC32C over the whole gradient buffer (wire checksum path).
+    std::uint32_t crc_out = 0;
+    s_crc.seconds.push_back(time_best_of(reps, [&] {
+      const auto* bytes = reinterpret_cast<const std::uint8_t*>(grad.data());
+      crc_out = core::crc32c(
+          std::span<const std::uint8_t>(bytes, grad.size() * sizeof(float)));
+    }));
+    const float crc_f = static_cast<float>(crc_out);
+    s_crc.hashes.push_back(fnv(1469598103934665603ULL, &crc_f, 1));
   }
   ThreadPool::set_global_threads(1);
 
-  const std::vector<Section*> sections = {&s_codec, &s_eden, &s_gemm,
-                                          &s_trainer};
+  const std::vector<Section*> sections = {&s_codec,   &s_eden, &s_gemm,
+                                          &s_trainer, &s_fwht, &s_quant,
+                                          &s_bitpack, &s_crc};
   bool deterministic = true;
   std::printf("# Parallel scaling (best-of-N wall time; speedup vs 1 thread)\n");
   std::printf("# hardware threads available: %u\n",
               std::thread::hardware_concurrency());
+  std::printf("# simd isa: %s\n",
+              core::simd::to_string(core::simd::active_isa()));
   std::printf("%-20s", "section");
   for (std::size_t t : thread_counts) std::printf(" %7zuT %7s", t, "spdup");
   std::printf("\n");
@@ -195,9 +285,10 @@ int main() {
   FILE* f = std::fopen("BENCH_parallel.json", "w");
   if (f) {
     std::fprintf(f,
-                 "{\n  \"hardware_threads\": %u,\n  \"deterministic\": %s,\n"
-                 "  \"smoke\": %s,\n",
+                 "{\n  \"hardware_threads\": %u,\n  \"isa\": \"%s\",\n"
+                 "  \"deterministic\": %s,\n  \"smoke\": %s,\n",
                  std::thread::hardware_concurrency(),
+                 core::simd::to_string(core::simd::active_isa()),
                  deterministic ? "true" : "false", smoke ? "true" : "false");
     std::fprintf(f, "  \"thread_counts\": [");
     for (std::size_t i = 0; i < thread_counts.size(); ++i) {

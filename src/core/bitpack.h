@@ -31,6 +31,16 @@ class BitWriter {
   /// Append a single bit.
   void put_bit(bool bit) { put(bit ? 1u : 0u, 1); }
 
+  /// Append n values of the same width (1..32) — the bit stream n put()
+  /// calls would produce, via a 64-bit accumulator flushing 8 bytes at a
+  /// time. The codec tail-region hot path.
+  void put_run(const std::uint32_t* values, std::size_t n, unsigned width);
+
+  /// Append n single bits from bool bytes (0 => 0, nonzero => 1) — the bit
+  /// stream n put_bit() calls would produce, packed 8 bits per store. The
+  /// codec head-region hot path.
+  void put_bits8(const std::uint8_t* bits, std::size_t n);
+
   /// Total number of bits written so far.
   std::size_t bit_count() const noexcept { return bit_count_; }
 
@@ -58,6 +68,12 @@ class BitReader {
 
   /// Read a single bit.
   bool get_bit() noexcept { return get(1) != 0; }
+
+  /// Read n values of the same width (1..32); inverse of put_run.
+  void get_run(std::uint32_t* out, std::size_t n, unsigned width) noexcept;
+
+  /// Read n single bits into bool bytes (0/1); inverse of put_bits8.
+  void get_bits8(std::uint8_t* out, std::size_t n) noexcept;
 
   /// Bits not yet consumed.
   std::size_t bits_remaining() const noexcept {

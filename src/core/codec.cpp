@@ -85,12 +85,20 @@ GradientPacket make_packet(const CodecConfig& cfg, std::uint32_t msg_id,
   pkt.q_bits = static_cast<std::uint8_t>(cfg.effective_layout().q_bits);
 
   BitWriter head_w;
-  for (std::uint8_t h : heads) head_w.put_bit(h != 0);
+  head_w.put_bits8(heads.data(), heads.size());
   pkt.head_region = std::move(head_w).finish();
 
   BitWriter tail_w;
   const unsigned q = cfg.effective_layout().q_bits;
-  for (std::uint32_t t : tails) tail_w.put(tail_store(t, q), q);
+  if (q >= 31) {
+    // Default layout: 31-bit tails are stored verbatim.
+    tail_w.put_run(tails.data(), tails.size(), 31);
+  } else {
+    std::vector<std::uint32_t> stored(tails.size());
+    for (std::size_t i = 0; i < tails.size(); ++i)
+      stored[i] = tail_store(tails[i], q);
+    tail_w.put_run(stored.data(), stored.size(), q);
+  }
   pkt.tail_region = std::move(tail_w).finish();
   return pkt;
 }
@@ -207,10 +215,14 @@ EncodedMessage TrimmableEncoder::encode(std::span<const float> grad,
       }
       out.packets.resize(pkt_base[split.n_rows]);
       parallel_for(split.n_rows, 1, [&](std::size_t r0, std::size_t r1) {
+        // Per-chunk scratch: row copy and head/tail arrays are reused across
+        // the rows of this chunk instead of reallocated per row.
+        std::vector<float> row;
+        RhtEncodedRow enc;
         for (std::size_t r = r0; r < r1; ++r) {
-          const std::vector<float> row = extract_padded_row(grad, split, r);
+          extract_padded_row_into(grad, split, r, row);
           const StreamKey key{cfg_.shared_seed, epoch, msg_id, r};
-          RhtEncodedRow enc = rht_encode_row(row, key);
+          rht_encode_row_inplace(row, key, enc);
           out.meta.row_scales[r] = enc.scale_f;
           // Packets never span rows: coord_base is global, row-local offset
           // recovered as coord_base − row·row_len at decode.
@@ -316,56 +328,83 @@ DecodeResult TrimmableDecoder::decode(std::span<const GradientPacket> packets,
       }
       std::vector<DecodeStats> row_stats(split.n_rows);
       parallel_for(split.n_rows, 1, [&](std::size_t r0, std::size_t r1) {
+        // Per-chunk scratch reused across this chunk's rows.
+        std::vector<std::uint8_t> heads, state, trimmed_mask;
+        std::vector<std::uint32_t> tails;
+        std::vector<float> row;
         for (std::size_t r = r0; r < r1; ++r) {
           const std::size_t padded = split.padded_len(r);
           const std::size_t row_base = split.offset(r);
-          std::vector<std::uint8_t> heads(padded, 0);
-          std::vector<std::uint32_t> tails(padded, 0);
+          heads.assign(padded, 0);
+          tails.assign(padded, 0);
           // 0 = full, 1 = trimmed (head survives), 2 = lost (nothing).
-          std::vector<std::uint8_t> state(padded, 2);
+          state.assign(padded, 2);
           for (const GradientPacket* pkt : by_row[r]) {
+            // Bulk unpack. The reference per-coordinate loop reads a head
+            // bit for every j but skips writes (and never consumes tail
+            // bits) where local = coord_base − row_base + j lands outside
+            // [0, padded); with size_t wrap-around a coord_base below
+            // row_base means a leading skip of j0 = −start coordinates.
+            const std::size_t start = pkt->coord_base - row_base;
+            std::size_t j0 = 0;
+            std::size_t local0 = start;
+            if (start >= padded) {
+              j0 = std::size_t{0} - start;  // first j that wraps to local 0
+              if (j0 >= pkt->n_coords) continue;  // fully out of range
+              local0 = 0;
+            }
+            const std::size_t n_ok =
+                std::min<std::size_t>(pkt->n_coords - j0, padded - local0);
             BitReader hr(pkt->head_region);
-            BitReader tr(pkt->tail_region);
-            for (std::size_t j = 0; j < pkt->n_coords; ++j) {
-              const bool h = hr.get_bit();
-              const std::size_t local = pkt->coord_base - row_base + j;
-              if (local >= padded) continue;
-              heads[local] = h ? 1 : 0;
-              if (pkt->trimmed) {
-                state[local] = 1;
-              } else {
-                tails[local] =
-                    tail_expand(static_cast<std::uint32_t>(tr.get(pkt->q_bits)),
-                                pkt->q_bits);
-                state[local] = 0;
+            hr.skip(j0);
+            hr.get_bits8(heads.data() + local0, n_ok);
+            if (pkt->trimmed) {
+              std::fill_n(state.begin() + local0, n_ok, std::uint8_t{1});
+            } else {
+              BitReader tr(pkt->tail_region);
+              tr.get_run(tails.data() + local0, n_ok, pkt->q_bits);
+              if (pkt->q_bits < 31) {
+                for (std::size_t k = 0; k < n_ok; ++k)
+                  tails[local0 + k] =
+                      tail_expand(tails[local0 + k], pkt->q_bits);
               }
+              std::fill_n(state.begin() + local0, n_ok, std::uint8_t{0});
             }
           }
           // Lost coordinates decode as r̂ = 0 (no sign information at all);
           // substitute r̂ directly: head=1 (+0.0), tail=0, not trimmed.
-          std::vector<std::uint8_t> trimmed_mask(padded, 0);
+          // Single branchless pass: the compares are cheap and predictable
+          // where the branchy version mispredicted on mixed-state rows.
+          trimmed_mask.resize(padded);
           for (std::size_t i = 0; i < padded; ++i) {
-            if (state[i] == 1) trimmed_mask[i] = 1;
-            if (state[i] == 2) {
-              heads[i] = 1;
-              tails[i] = 0;
-              trimmed_mask[i] = 0;
-            }
+            const std::uint8_t lost = state[i] == 2;
+            trimmed_mask[i] = state[i] == 1;
+            heads[i] |= lost;
+            tails[i] &= std::uint32_t{lost} - 1u;  // lost: &0, else: &~0
           }
           const StreamKey key{cfg_.shared_seed, meta.epoch, meta.msg_id, r};
           const float f =
               r < meta.row_scales.size() ? meta.row_scales[r] : 0.0f;
-          std::vector<float> row =
-              rht_decode_row(heads, tails, trimmed_mask, f, key);
           const std::size_t real = split.real_len(r);
-          for (std::size_t i = 0; i < real; ++i)
-            out.values[row_base + i] = row[i];
-          for (std::size_t i = 0; i < real; ++i) {
-            // Padded coordinates don't count toward stats.
-            if (state[i] == 0) ++row_stats[r].full_coords;
-            else if (state[i] == 1) ++row_stats[r].trimmed_coords;
-            else ++row_stats[r].lost_coords;
+          if (real == padded) {
+            // Full row: decode straight into the output slice, no bounce
+            // through scratch.
+            rht_decode_row_to(heads, tails, trimmed_mask, f, key,
+                              std::span(out.values).subspan(row_base, padded));
+          } else {
+            rht_decode_row_into(heads, tails, trimmed_mask, f, key, row);
+            std::copy_n(row.begin(), real, out.values.begin() + row_base);
           }
+          // Padded coordinates don't count toward stats. Branchless sums
+          // vectorize; lost falls out of the other two.
+          std::size_t full = 0, trim = 0;
+          for (std::size_t i = 0; i < real; ++i) {
+            full += state[i] == 0;
+            trim += state[i] == 1;
+          }
+          row_stats[r].full_coords = full;
+          row_stats[r].trimmed_coords = trim;
+          row_stats[r].lost_coords = real - full - trim;
         }
       });
       for (const DecodeStats& rs : row_stats) {

@@ -8,6 +8,7 @@
 
 #include "core/hadamard.h"
 #include "core/metrics.h"
+#include "core/simd.h"
 #include "core/stats.h"
 #include "core/threadpool.h"
 #include "core/trace.h"
@@ -103,31 +104,49 @@ const GaussianCodebook& GaussianCodebook::get(unsigned bits) {
   return it->second;
 }
 
-EdenEncodedRow eden_encode_row(std::span<const float> row,
-                               const StreamKey& key, unsigned bits) {
+namespace {
+
+/// In-place core of eden_encode_row: rotates `row` (clobbering it) and
+/// overwrites `out`, reusing its capacity. Bit-identical to the copying
+/// entry point.
+void eden_encode_row_inplace(std::span<float> row, const StreamKey& key,
+                             unsigned bits, EdenEncodedRow& out) {
   assert(is_pow2(row.size()));
   const GaussianCodebook& cb = GaussianCodebook::get(bits);
 
-  std::vector<float> rotated(row.begin(), row.end());
   SharedRng rng(key);
-  rht_inplace(rotated, rng);
+  rht_inplace(row, rng);
 
   const double rms =
-      std::sqrt(l2_norm_sq(rotated) / static_cast<double>(rotated.size()));
-  EdenEncodedRow out;
+      std::sqrt(l2_norm_sq(row) / static_cast<double>(row.size()));
   out.bits = bits;
-  out.codes.reserve(rotated.size());
-  double dot = 0.0;  // ⟨R, C⟩ with C at unit-normal scale
-  for (float r : rotated) {
-    const float normalized =
-        rms > 0.0 ? static_cast<float>(r / rms) : 0.0f;
-    const std::uint32_t code = cb.quantize(normalized);
-    out.codes.push_back(code);
-    dot += static_cast<double>(r) * cb.centroids[code];
+  out.codes.resize(row.size());
+  if (rms > 0.0) {
+    // Lane-parallel codebook search: same double-precision normalization
+    // and boundary compares as the scalar quantize (see simd.h).
+    simd::eden_quantize(row.data(), row.size(), rms, cb.boundaries.data(),
+                        cb.boundaries.size(), out.codes.data());
+  } else {
+    std::fill(out.codes.begin(), out.codes.end(), cb.quantize(0.0f));
+  }
+  // ⟨R, C⟩ with C at unit-normal scale. Scalar double accumulation:
+  // order-sensitive rounding, deliberately not vectorized.
+  double dot = 0.0;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    dot += static_cast<double>(row[i]) * cb.centroids[out.codes[i]];
   }
   // Unbiased scale (DRIVE's f generalized): r̂ = f·C, f = ‖R‖²/⟨R,C⟩.
-  out.scale = dot > 0.0 ? static_cast<float>(l2_norm_sq(rotated) / dot) : 0.0f;
+  out.scale = dot > 0.0 ? static_cast<float>(l2_norm_sq(row) / dot) : 0.0f;
   EdenTelemetry::get().rows_encoded.add();
+}
+
+}  // namespace
+
+EdenEncodedRow eden_encode_row(std::span<const float> row,
+                               const StreamKey& key, unsigned bits) {
+  std::vector<float> rotated(row.begin(), row.end());
+  EdenEncodedRow out;
+  eden_encode_row_inplace(rotated, key, bits, out);
   return out;
 }
 
@@ -161,10 +180,11 @@ EdenEncodedMessage eden_encode_message(std::span<const float> grad,
   out.row_len = row_len;
   out.rows.resize(split.n_rows);
   parallel_for(split.n_rows, 1, [&](std::size_t r0, std::size_t r1) {
+    std::vector<float> row;  // per-chunk scratch, reused across rows
     for (std::size_t r = r0; r < r1; ++r) {
-      const std::vector<float> row = extract_padded_row(grad, split, r);
-      out.rows[r] =
-          eden_encode_row(row, StreamKey{seed, epoch, msg_id, r}, bits);
+      extract_padded_row_into(grad, split, r, row);
+      eden_encode_row_inplace(row, StreamKey{seed, epoch, msg_id, r}, bits,
+                              out.rows[r]);
     }
   });
   return out;

@@ -1,63 +1,80 @@
 #include "core/hadamard.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
-#include <cmath>
+#include <cstdint>
+
+#include "core/simd.h"
 
 namespace trimgrad::core {
 
-void fwht_inplace(std::span<float> data) noexcept {
-  const std::size_t n = data.size();
-  assert(is_pow2(n));
-  for (std::size_t len = 1; len < n; len <<= 1) {
-    for (std::size_t i = 0; i < n; i += len << 1) {
-      for (std::size_t j = i; j < i + len; ++j) {
-        const float a = data[j];
-        const float b = data[j + len];
-        data[j] = a + b;
-        data[j + len] = a - b;
-      }
+namespace {
+
+/// Keeps a 0/1 bit opaque to the optimizer. Without this, GCC traces the
+/// bit back through the generator, proves the stored sign word can only be
+/// one of two constants, and if-converts the branchless store below into a
+/// conditional store — one 50%-random branch per draw, which mispredicts
+/// its way to ~4 ns/coordinate.
+inline std::uint32_t opaque_bit(std::uint32_t x) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  __asm__("" : "+r"(x));
+#endif
+  return x;
+}
+
+/// data[i] *= random_sign(), in blocks: the RNG draws stay strictly
+/// sequential (one 64-bit draw per coordinate — the exact stream the
+/// per-element loop consumes), but the ±1.0f factors are materialized
+/// branchlessly into a block and applied in a separate elementwise multiply
+/// loop, which predicts perfectly and auto-vectorizes. Multiplying by the
+/// composed ±1.0f bit pattern is the same IEEE multiply the ternary
+/// `x *= d ? 1.0f : -1.0f` performs, so results are bit-identical.
+void scale_by_random_signs(std::span<float> data, Xoshiro256& rng) noexcept {
+  constexpr std::size_t kBlock = 256;
+  std::uint32_t signs[kBlock];
+  float* p = data.data();
+  std::size_t n = data.size();
+  while (n > 0) {
+    const std::size_t m = n < kBlock ? n : kBlock;
+    for (std::size_t i = 0; i < m; ++i) {
+      // draw & 1 set => +1.0f (0x3f800000), clear => -1.0f (sign bit on).
+      const std::uint32_t neg = opaque_bit(static_cast<std::uint32_t>(~rng()) & 1u);
+      signs[i] = 0x3f800000u | (neg << 31);
     }
+    for (std::size_t i = 0; i < m; ++i) {
+      p[i] *= std::bit_cast<float>(signs[i]);
+    }
+    p += m;
+    n -= m;
   }
+}
+
+}  // namespace
+
+void fwht_inplace(std::span<float> data) noexcept {
+  assert(is_pow2(data.size()));
+  simd::fwht(data.data(), data.size());
 }
 
 void fwht_orthonormal_inplace(std::span<float> data) noexcept {
-  const std::size_t n = data.size();
-  assert(is_pow2(n));
-  const float scale = 1.0f / std::sqrt(static_cast<float>(n));
-  if (n == 1) return;  // H is identity and scale is exactly 1
-  // All but the final butterfly stage, unscaled.
-  for (std::size_t len = 1; len < n >> 1; len <<= 1) {
-    for (std::size_t i = 0; i < n; i += len << 1) {
-      for (std::size_t j = i; j < i + len; ++j) {
-        const float a = data[j];
-        const float b = data[j + len];
-        data[j] = a + b;
-        data[j + len] = a - b;
-      }
-    }
-  }
-  // Final stage with the 1/√n scale fused into the butterfly outputs —
-  // same multiply the separate scaling pass would do, one fewer sweep
-  // over the row, bit-identical results.
-  const std::size_t half = n >> 1;
-  for (std::size_t j = 0; j < half; ++j) {
-    const float a = data[j];
-    const float b = data[j + half];
-    data[j] = (a + b) * scale;
-    data[j + half] = (a - b) * scale;
-  }
+  assert(is_pow2(data.size()));
+  if (data.size() == 1) return;  // H is identity and scale is exactly 1
+  // The 1/√n scale is fused into the final butterfly stage inside the
+  // kernel — same multiply a separate scaling pass would do, one fewer
+  // sweep over the row, bit-identical results.
+  simd::fwht_orthonormal(data.data(), data.size());
 }
 
 void rht_inplace(std::span<float> data, Xoshiro256& rng) noexcept {
-  for (float& x : data) x *= rng.random_sign();
+  scale_by_random_signs(data, rng);
   fwht_orthonormal_inplace(data);
 }
 
 void irht_inplace(std::span<float> data, Xoshiro256& rng) noexcept {
   // (H·D)⁻¹ = D⁻¹·H⁻¹ = D·H for orthonormal H and ±1 diagonal D.
   fwht_orthonormal_inplace(data);
-  for (float& x : data) x *= rng.random_sign();
+  scale_by_random_signs(data, rng);
 }
 
 RowSplit make_row_split(std::size_t total, std::size_t row_len) noexcept {
@@ -79,12 +96,21 @@ RowSplit make_row_split(std::size_t total, std::size_t row_len) noexcept {
 
 std::vector<float> extract_padded_row(std::span<const float> flat,
                                       const RowSplit& split, std::size_t row) {
+  std::vector<float> out;
+  extract_padded_row_into(flat, split, row, out);
+  return out;
+}
+
+void extract_padded_row_into(std::span<const float> flat,
+                             const RowSplit& split, std::size_t row,
+                             std::vector<float>& out) {
   assert(row < split.n_rows);
   const std::size_t off = split.offset(row);
   const std::size_t real = split.real_len(row);
-  std::vector<float> out(split.padded_len(row), 0.0f);
+  const std::size_t padded = split.padded_len(row);
+  out.resize(padded);
   std::copy(flat.begin() + off, flat.begin() + off + real, out.begin());
-  return out;
+  std::fill(out.begin() + real, out.end(), 0.0f);
 }
 
 }  // namespace trimgrad::core

@@ -154,12 +154,17 @@ MlEncodedMessage MultilevelCodec::encode(std::span<const float> grad,
   }
   out.packets.resize(pkt_base[split.n_rows]);
   parallel_for(split.n_rows, 1, [&](std::size_t r0, std::size_t r1) {
+    // Per-chunk scratch reused across rows and packets.
+    std::vector<float> row;
+    RhtEncodedRow enc;
+    std::vector<std::uint8_t> signs;
+    std::vector<std::uint32_t> mids, lows;
     for (std::size_t r = r0; r < r1; ++r) {
-      std::vector<float> row = extract_padded_row(grad, split, r);
+      extract_padded_row_into(grad, split, r, row);
       const StreamKey key{cfg_.shared_seed, epoch, msg_id, r};
       // Reuse the 1-bit RHT encoder for rotation + scale, then re-split the
       // rotated coordinates into the three regions.
-      RhtEncodedRow enc = rht_encode_row(row, key);
+      rht_encode_row_inplace(row, key, enc);
       out.meta.row_scales[r] = enc.scale_f;
 
       const std::size_t row_base = split.offset(r);
@@ -172,14 +177,20 @@ MlEncodedMessage MultilevelCodec::encode(std::span<const float> grad,
         pkt.coord_base = static_cast<std::uint32_t>(row_base + off);
         pkt.n_coords = static_cast<std::uint16_t>(n);
         pkt.seq = static_cast<std::uint16_t>(slot);
-        BitWriter a, b, c;
+        signs.resize(n);
+        mids.resize(n);
+        lows.resize(n);
         for (std::size_t j = 0; j < n; ++j) {
           const MlParts parts = ml_split(rht_coord_from_parts(
               enc.heads[off + j] != 0, enc.tails[off + j]));
-          a.put_bit(parts.sign);
-          b.put(parts.mid, 7);
-          c.put(parts.low, 24);
+          signs[j] = parts.sign ? 1 : 0;
+          mids[j] = parts.mid;
+          lows[j] = parts.low;
         }
+        BitWriter a, b, c;
+        a.put_bits8(signs.data(), n);
+        b.put_run(mids.data(), n, 7);
+        c.put_run(lows.data(), n, 24);
         pkt.region_a = std::move(a).finish();
         pkt.region_b = std::move(b).finish();
         pkt.region_c = std::move(c).finish();
@@ -210,34 +221,60 @@ std::vector<float> MultilevelCodec::decode(std::span<const MlPacket> packets,
     if (pkt.row_id < split.n_rows) by_row[pkt.row_id].push_back(&pkt);
   }
   parallel_for(split.n_rows, 1, [&](std::size_t r0, std::size_t r1) {
+    // Per-chunk scratch reused across rows and packets.
+    std::vector<float> r_hat;
+    std::vector<std::uint8_t> signs;
+    std::vector<std::uint32_t> mids, lows;
     for (std::size_t r = r0; r < r1; ++r) {
       const std::size_t padded = split.padded_len(r);
       const std::size_t row_base = split.offset(r);
       const float f = r < meta.row_scales.size() ? meta.row_scales[r] : 0.0f;
-      std::vector<float> r_hat(padded, 0.0f);
+      r_hat.assign(padded, 0.0f);
       for (const MlPacket* pkt : by_row[r]) {
+        // Bulk unpack with the same in-range clamping as the reference
+        // per-coordinate loop (see TrimmableDecoder::decode): sign bits are
+        // consumed for every j, mid/low bits only for in-range coords.
+        const std::size_t start = pkt->coord_base - row_base;
+        std::size_t j0 = 0;
+        std::size_t local0 = start;
+        if (start >= padded) {
+          j0 = std::size_t{0} - start;
+          if (j0 >= pkt->n_coords) continue;
+          local0 = 0;
+        }
+        const std::size_t n_ok =
+            std::min<std::size_t>(pkt->n_coords - j0, padded - local0);
+        signs.resize(n_ok);
         BitReader a(pkt->region_a);
+        a.skip(j0);
+        a.get_bits8(signs.data(), n_ok);
         BitReader b(pkt->region_b);
         BitReader c(pkt->region_c);
-        for (std::size_t j = 0; j < pkt->n_coords; ++j) {
-          const bool sign = a.get_bit();
-          const std::size_t local = pkt->coord_base - row_base + j;
-          if (local >= padded) continue;
-          switch (pkt->level) {
-            case TrimLevel::kFull: {
-              MlParts p{sign, static_cast<std::uint8_t>(b.get(7)),
-                        static_cast<std::uint32_t>(c.get(24))};
-              r_hat[local] = ml_join_full(p);
-              break;
+        switch (pkt->level) {
+          case TrimLevel::kFull:
+            mids.resize(n_ok);
+            lows.resize(n_ok);
+            b.get_run(mids.data(), n_ok, 7);
+            c.get_run(lows.data(), n_ok, 24);
+            for (std::size_t k = 0; k < n_ok; ++k) {
+              MlParts p{signs[k] != 0, static_cast<std::uint8_t>(mids[k]),
+                        lows[k]};
+              r_hat[local0 + k] = ml_join_full(p);
             }
-            case TrimLevel::kMid:
-              r_hat[local] =
-                  ml_join_mid(sign, static_cast<std::uint8_t>(b.get(7)), f);
-              break;
-            case TrimLevel::kHead:
-              r_hat[local] = ml_join_head(sign, f);
-              break;
-          }
+            break;
+          case TrimLevel::kMid:
+            mids.resize(n_ok);
+            b.get_run(mids.data(), n_ok, 7);
+            for (std::size_t k = 0; k < n_ok; ++k) {
+              r_hat[local0 + k] = ml_join_mid(
+                  signs[k] != 0, static_cast<std::uint8_t>(mids[k]), f);
+            }
+            break;
+          case TrimLevel::kHead:
+            for (std::size_t k = 0; k < n_ok; ++k) {
+              r_hat[local0 + k] = ml_join_head(signs[k] != 0, f);
+            }
+            break;
         }
       }
       SharedRng rng(StreamKey{cfg_.shared_seed, meta.epoch, meta.msg_id, r});

@@ -5,6 +5,7 @@
 #include <cassert>
 
 #include "core/bitpack.h"
+#include "core/simd.h"
 #include "core/stats.h"
 
 namespace trimgrad::core {
@@ -104,13 +105,29 @@ void scalar_encode_all(ScalarScheme scheme, std::span<const float> values,
                        std::vector<std::uint8_t>& heads,
                        std::vector<std::uint32_t>& tails) {
   assert(scheme != ScalarScheme::kSD || dithers.size() >= values.size());
-  heads.reserve(heads.size() + values.size());
-  tails.reserve(tails.size() + values.size());
-  for (std::size_t i = 0; i < values.size(); ++i) {
-    const float d = scheme == ScalarScheme::kSD ? dithers[i] : 0.0f;
-    const HeadTail ht = scalar_encode(scheme, values[i], scale, private_rng, d);
-    heads.push_back(ht.head ? 1 : 0);
-    tails.push_back(ht.tail);
+  const std::size_t at = heads.size();
+  heads.resize(at + values.size());
+  tails.resize(tails.size() + values.size());
+  switch (scheme) {
+    case ScalarScheme::kSign:
+      // Pure bit split — lane-parallel, vectorized (bit-identical; simd.h).
+      simd::split_sign_mag(values.data(), values.size(), heads.data() + at,
+                           tails.data() + at);
+      break;
+    case ScalarScheme::kSD:
+      simd::encode_sd(values.data(), dithers.data(), values.size(),
+                      heads.data() + at, tails.data() + at);
+      break;
+    case ScalarScheme::kSQ:
+      // SQ's head consumes one private_rng draw per coordinate in index
+      // order — inherently sequential, deliberately scalar.
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        const HeadTail ht =
+            scalar_encode(scheme, values[i], scale, private_rng, 0.0f);
+        heads[at + i] = ht.head ? 1 : 0;
+        tails[at + i] = ht.tail;
+      }
+      break;
   }
 }
 

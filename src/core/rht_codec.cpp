@@ -5,6 +5,7 @@
 #include "core/bitpack.h"
 #include "core/hadamard.h"
 #include "core/metrics.h"
+#include "core/simd.h"
 #include "core/stats.h"
 
 namespace trimgrad::core {
@@ -40,46 +41,67 @@ float rht_coord_trimmed(bool head, float scale_f) noexcept {
 }
 
 RhtEncodedRow rht_encode_row(std::span<const float> row, const StreamKey& key) {
-  assert(is_pow2(row.size()));
   std::vector<float> rotated(row.begin(), row.end());
-  SharedRng rng(key);
-  rht_inplace(rotated, rng);
-
   RhtEncodedRow out;
-  out.heads.reserve(rotated.size());
-  out.tails.reserve(rotated.size());
-  for (float r : rotated) {
-    const std::uint32_t b = float_bits(r);
-    out.heads.push_back((b & kSignMask) == 0 ? 1 : 0);
-    out.tails.push_back(b & kMagMask);
-  }
-
-  // Unbiased scale f = ‖V‖₂² / ‖R‖₁. The rotation is orthonormal so
-  // ‖V‖₂² = ‖R‖₂²; using the pre-rotation norm follows the paper exactly.
-  const double l1 = l1_norm(rotated);
-  out.scale_f = l1 > 0.0 ? static_cast<float>(l2_norm_sq(row) / l1) : 0.0f;
-  RhtTelemetry::get().rows_encoded.add();
+  rht_encode_row_inplace(rotated, key, out);
   return out;
+}
+
+void rht_encode_row_inplace(std::span<float> row, const StreamKey& key,
+                            RhtEncodedRow& out) {
+  assert(is_pow2(row.size()));
+  // ‖V‖₂² before the in-place rotation clobbers V. The rotation is
+  // orthonormal so ‖V‖₂² = ‖R‖₂²; using the pre-rotation norm follows the
+  // paper exactly. (Scalar double-accumulator reduction: order-sensitive
+  // rounding, deliberately not vectorized — see simd.h.)
+  const double l2_sq = l2_norm_sq(row);
+  SharedRng rng(key);
+  rht_inplace(row, rng);
+
+  out.heads.resize(row.size());
+  out.tails.resize(row.size());
+  simd::split_sign_mag(row.data(), row.size(), out.heads.data(),
+                       out.tails.data());
+
+  // Unbiased scale f = ‖V‖₂² / ‖R‖₁.
+  const double l1 = l1_norm(row);
+  out.scale_f = l1 > 0.0 ? static_cast<float>(l2_sq / l1) : 0.0f;
+  RhtTelemetry::get().rows_encoded.add();
 }
 
 std::vector<float> rht_decode_row(std::span<const std::uint8_t> heads,
                                   std::span<const std::uint32_t> tails,
                                   std::span<const std::uint8_t> trimmed,
                                   float scale_f, const StreamKey& key) {
+  std::vector<float> r_hat;
+  rht_decode_row_into(heads, tails, trimmed, scale_f, key, r_hat);
+  return r_hat;
+}
+
+void rht_decode_row_into(std::span<const std::uint8_t> heads,
+                         std::span<const std::uint32_t> tails,
+                         std::span<const std::uint8_t> trimmed, float scale_f,
+                         const StreamKey& key, std::vector<float>& r_hat) {
+  r_hat.resize(heads.size());
+  rht_decode_row_to(heads, tails, trimmed, scale_f, key, r_hat);
+}
+
+void rht_decode_row_to(std::span<const std::uint8_t> heads,
+                       std::span<const std::uint32_t> tails,
+                       std::span<const std::uint8_t> trimmed, float scale_f,
+                       const StreamKey& key, std::span<float> r_hat) {
   assert(heads.size() == tails.size());
   assert(heads.size() == trimmed.size());
+  assert(heads.size() == r_hat.size());
   assert(is_pow2(heads.size()));
 
-  std::vector<float> r_hat(heads.size());
-  for (std::size_t i = 0; i < heads.size(); ++i) {
-    r_hat[i] = trimmed[i] != 0
-                   ? rht_coord_trimmed(heads[i] != 0, scale_f)
-                   : rht_coord_from_parts(heads[i] != 0, tails[i]);
-  }
+  // scale_f = ‖V‖₂²/‖R‖₁ >= 0, so the kernel's sign-bit composition of
+  // ±scale is bit-identical to rht_coord_trimmed's arithmetic negate.
+  simd::join_sign_mag(heads.data(), tails.data(), trimmed.data(), scale_f,
+                      r_hat.data(), heads.size());
   SharedRng rng(key);
   irht_inplace(r_hat, rng);
   RhtTelemetry::get().rows_decoded.add();
-  return r_hat;
 }
 
 }  // namespace trimgrad::core

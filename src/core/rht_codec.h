@@ -34,6 +34,12 @@ struct RhtEncodedRow {
 /// (seed, epoch, message, row) — see prng.h.
 RhtEncodedRow rht_encode_row(std::span<const float> row, const StreamKey& key);
 
+/// Scratch variant for hot row loops: rotates `row` in place (clobbering
+/// it) and overwrites `out`, reusing its vectors' capacity across calls.
+/// Bit-identical to rht_encode_row on the same input.
+void rht_encode_row_inplace(std::span<float> row, const StreamKey& key,
+                            RhtEncodedRow& out);
+
 /// Decode one row. `trimmed[i] != 0` marks coordinates whose 31-bit tail was
 /// trimmed away; for those only the sign head is used, scaled by f. Returns
 /// the reconstructed row of heads.size() coordinates (caller slices away any
@@ -42,6 +48,21 @@ std::vector<float> rht_decode_row(std::span<const std::uint8_t> heads,
                                   std::span<const std::uint32_t> tails,
                                   std::span<const std::uint8_t> trimmed,
                                   float scale_f, const StreamKey& key);
+
+/// Scratch variant of rht_decode_row: overwrites `r_hat`, reusing its
+/// capacity across calls. Bit-identical results.
+void rht_decode_row_into(std::span<const std::uint8_t> heads,
+                         std::span<const std::uint32_t> tails,
+                         std::span<const std::uint8_t> trimmed, float scale_f,
+                         const StreamKey& key, std::vector<float>& r_hat);
+
+/// Destination-span variant: decodes straight into caller-owned storage
+/// (`r_hat.size()` must equal `heads.size()`), letting full rows land in the
+/// output tensor without a bounce through scratch. Bit-identical results.
+void rht_decode_row_to(std::span<const std::uint8_t> heads,
+                       std::span<const std::uint32_t> tails,
+                       std::span<const std::uint8_t> trimmed, float scale_f,
+                       const StreamKey& key, std::span<float> r_hat);
 
 /// Reassemble the rotated coordinate r_i from its head/tail split
 /// (bit-exact inverse of the encoder's split).

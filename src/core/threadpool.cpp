@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <cstdlib>
 #include <memory>
 #include <mutex>
@@ -27,6 +28,21 @@ std::size_t default_thread_count() {
   return hw != 0 ? hw : 1;
 }
 
+inline void cpu_pause() noexcept {
+#if defined(__x86_64__) || defined(_M_X64)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#endif
+}
+
+/// Spin budgets before falling back to the condition variables. Idle
+/// workers spin this long for the next job (covers back-to-back
+/// parallel_for bursts, e.g. per-row codec loops); the caller spins for
+/// stragglers after finishing its own chunks.
+constexpr int kIdleSpins = 1 << 12;
+constexpr int kDoneSpins = 1 << 14;
+
 }  // namespace
 
 struct ThreadPool::Impl {
@@ -35,16 +51,25 @@ struct ThreadPool::Impl {
   std::mutex mu;
   std::condition_variable cv_start;
   std::condition_variable cv_done;
-  // Job state, published under mu. job_seq bumps once per parallel_for so
-  // each worker runs each job exactly once.
-  std::uint64_t job_seq = 0;
-  const std::function<void(std::size_t, std::size_t)>* job_fn = nullptr;
+
+  // Job publication. The plain fields are written first, then job_seq is
+  // store-released (under mu, so a worker between its predicate check and
+  // its sleep cannot miss the bump); workers acquire-load job_seq — either
+  // in their spin loop or inside cv_start's predicate — and the fields are
+  // visible by release/acquire ordering. One job at a time (busy flag), so
+  // the fields are stable until every worker has finished.
+  std::atomic<std::uint64_t> job_seq{0};
+  ParallelForFn job_fn;
   std::size_t job_n = 0;
   std::size_t job_chunks = 0;
-  std::size_t pending = 0;  // workers that have not finished the current job
-  bool stop = false;
+  std::atomic<bool> stop{false};
 
   std::atomic<std::size_t> next_chunk{0};
+
+  // Completion latch: workers that have not finished the current job. The
+  // last worker down notifies cv_done (taking mu only for the handoff);
+  // the caller usually observes 0 in its spin and never touches mu.
+  std::atomic<std::size_t> pending{0};
 
   /// True while a job is in flight. The pool runs one job at a time, so any
   /// parallel_for that arrives while busy — a nested call from the caller's
@@ -60,8 +85,7 @@ struct ThreadPool::Impl {
     end = n * (c + 1) / chunks;
   }
 
-  void run_chunks(std::size_t n, std::size_t chunks,
-                  const std::function<void(std::size_t, std::size_t)>& fn) {
+  void run_chunks(std::size_t n, std::size_t chunks, ParallelForFn fn) {
     for (;;) {
       const std::size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
       if (c >= chunks) return;
@@ -71,21 +95,39 @@ struct ThreadPool::Impl {
     }
   }
 
+  /// Wait for job_seq to move past `seen`: spin first, then sleep on
+  /// cv_start. Returns `seen` itself only when stopping.
+  std::uint64_t wait_for_job(std::uint64_t seen) {
+    for (int spins = 0; spins < kIdleSpins; ++spins) {
+      if (stop.load(std::memory_order_relaxed)) return seen;
+      const std::uint64_t s = job_seq.load(std::memory_order_acquire);
+      if (s != seen) return s;
+      cpu_pause();
+    }
+    std::unique_lock<std::mutex> lk(mu);
+    cv_start.wait(lk, [&] {
+      return stop.load(std::memory_order_relaxed) ||
+             job_seq.load(std::memory_order_acquire) != seen;
+    });
+    return stop.load(std::memory_order_relaxed)
+               ? seen
+               : job_seq.load(std::memory_order_acquire);
+  }
+
   void worker_loop() {
     tls_in_pool_worker = true;
     std::uint64_t seen = 0;
     for (;;) {
-      std::unique_lock<std::mutex> lk(mu);
-      cv_start.wait(lk, [&] { return stop || job_seq != seen; });
-      if (stop) return;
-      seen = job_seq;
-      const auto* fn = job_fn;
-      const std::size_t n = job_n;
-      const std::size_t chunks = job_chunks;
-      lk.unlock();
-      run_chunks(n, chunks, *fn);
-      lk.lock();
-      if (--pending == 0) cv_done.notify_one();
+      const std::uint64_t seq = wait_for_job(seen);
+      if (seq == seen) return;  // stop
+      seen = seq;
+      run_chunks(job_n, job_chunks, job_fn);
+      if (pending.fetch_sub(1, std::memory_order_release) == 1) {
+        // Last worker down. Take mu so a caller past its spin and inside
+        // cv_done.wait cannot miss the notification.
+        std::lock_guard<std::mutex> lk(mu);
+        cv_done.notify_one();
+      }
     }
   }
 };
@@ -101,7 +143,7 @@ ThreadPool::ThreadPool(std::size_t threads) : impl_(new Impl) {
 ThreadPool::~ThreadPool() {
   {
     std::lock_guard<std::mutex> lk(impl_->mu);
-    impl_->stop = true;
+    impl_->stop.store(true, std::memory_order_relaxed);
   }
   impl_->cv_start.notify_all();
   for (auto& w : impl_->workers) w.join();
@@ -112,9 +154,8 @@ std::size_t ThreadPool::thread_count() const noexcept {
   return impl_->workers.size() + 1;
 }
 
-void ThreadPool::parallel_for(
-    std::size_t n, std::size_t grain,
-    const std::function<void(std::size_t, std::size_t)>& fn) {
+void ThreadPool::parallel_for(std::size_t n, std::size_t grain,
+                              ParallelForFn fn) {
   if (n == 0) return;
   if (grain == 0) grain = 1;
   const std::size_t threads = thread_count();
@@ -135,21 +176,36 @@ void ThreadPool::parallel_for(
     fn(0, n);
     return;
   }
+  impl_->job_fn = fn;
+  impl_->job_n = n;
+  impl_->job_chunks = chunks;
+  impl_->next_chunk.store(0, std::memory_order_relaxed);
+  impl_->pending.store(impl_->workers.size(), std::memory_order_relaxed);
   {
+    // Publish under mu (see Impl::job_seq) so sleeping workers can't miss
+    // it; spinning workers pick the release-store up without the lock.
     std::lock_guard<std::mutex> lk(impl_->mu);
-    impl_->job_fn = &fn;
-    impl_->job_n = n;
-    impl_->job_chunks = chunks;
-    impl_->next_chunk.store(0, std::memory_order_relaxed);
-    impl_->pending = impl_->workers.size();
-    ++impl_->job_seq;
+    impl_->job_seq.fetch_add(1, std::memory_order_release);
   }
   impl_->cv_start.notify_all();
   impl_->run_chunks(n, chunks, fn);
-  std::unique_lock<std::mutex> lk(impl_->mu);
-  impl_->cv_done.wait(lk, [&] { return impl_->pending == 0; });
-  impl_->job_fn = nullptr;
-  lk.unlock();
+  // Completion latch: spin for stragglers first — for codec-sized chunks
+  // the workers finish within the budget and no futex is touched.
+  bool done = false;
+  for (int spins = 0; spins < kDoneSpins; ++spins) {
+    if (impl_->pending.load(std::memory_order_acquire) == 0) {
+      done = true;
+      break;
+    }
+    cpu_pause();
+  }
+  if (!done) {
+    std::unique_lock<std::mutex> lk(impl_->mu);
+    impl_->cv_done.wait(lk, [&] {
+      return impl_->pending.load(std::memory_order_acquire) == 0;
+    });
+  }
+  impl_->job_fn = ParallelForFn();
   impl_->busy.store(false, std::memory_order_release);
 }
 
@@ -169,8 +225,7 @@ void ThreadPool::set_global_threads(std::size_t threads) {
   g_pool = std::make_unique<ThreadPool>(threads > 0 ? threads : 1);
 }
 
-void parallel_for(std::size_t n, std::size_t grain,
-                  const std::function<void(std::size_t, std::size_t)>& fn) {
+void parallel_for(std::size_t n, std::size_t grain, ParallelForFn fn) {
   ThreadPool::global().parallel_for(n, grain, fn);
 }
 

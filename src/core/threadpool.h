@@ -18,12 +18,22 @@
 // parallel_for calls from inside a worker run inline (sequentially) on that
 // worker — the DDP trainer parallelizes over model replicas while each
 // replica's GEMMs still call parallel_for.
+//
+// Dispatch overhead: jobs are passed as a FunctionRef (no per-call heap
+// allocation), published through an atomic sequence number, and completion
+// is a plain atomic countdown latch — workers and the caller spin briefly
+// before falling back to a condition variable, so short jobs never pay a
+// futex round trip.
 #pragma once
 
 #include <cstddef>
-#include <functional>
+
+#include "core/function_ref.h"
 
 namespace trimgrad::core {
+
+/// Chunk callback: fn(begin, end) over a contiguous index range.
+using ParallelForFn = FunctionRef<void(std::size_t, std::size_t)>;
 
 class ThreadPool {
  public:
@@ -41,9 +51,9 @@ class ThreadPool {
 
   /// Run fn(begin, end) over a static partition of [0, n) into contiguous
   /// chunks of at least `grain` indices each. Blocks until all chunks are
-  /// done. Safe to call from inside a pool worker (runs inline there).
-  void parallel_for(std::size_t n, std::size_t grain,
-                    const std::function<void(std::size_t, std::size_t)>& fn);
+  /// done (so fn only has to outlive this call). Safe to call from inside a
+  /// pool worker (runs inline there).
+  void parallel_for(std::size_t n, std::size_t grain, ParallelForFn fn);
 
   /// Process-wide pool used by the codec/GEMM/trainer hot paths. Sized on
   /// first use from the TRIMGRAD_THREADS environment variable, falling back
@@ -60,7 +70,6 @@ class ThreadPool {
 };
 
 /// Shorthand for ThreadPool::global().parallel_for(...).
-void parallel_for(std::size_t n, std::size_t grain,
-                  const std::function<void(std::size_t, std::size_t)>& fn);
+void parallel_for(std::size_t n, std::size_t grain, ParallelForFn fn);
 
 }  // namespace trimgrad::core

@@ -1,6 +1,19 @@
 #include "core/wire.h"
 
+#include <bit>
 #include <cstring>
+
+#include "core/simd.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define TRIMGRAD_WIRE_X86 1
+#include <nmmintrin.h>
+#if defined(__SSE4_2__)
+#define TG_SSE42
+#else
+#define TG_SSE42 __attribute__((target("sse4.2")))
+#endif
+#endif
 
 namespace trimgrad::core {
 
@@ -75,10 +88,67 @@ class Cursor {
 /// Offset of the head_crc field (the non-CRC header prefix it covers).
 constexpr std::size_t kCrcFieldOffset = 28;
 
+/// Overwrite 4 bytes at `at` with a little-endian u32 (CRC field patching).
+void patch_u32(std::vector<std::uint8_t>& out, std::size_t at,
+               std::uint32_t v) noexcept {
+  for (int i = 0; i < 4; ++i)
+    out[at + i] = static_cast<std::uint8_t>((v >> (8 * i)) & 0xff);
+}
+
+/// Slice-by-8 lookup tables: t[0] is the classic per-byte table; t[k]
+/// advances a byte's contribution k more bytes through the shift register,
+/// so eight parallel lookups retire a 64-bit word per step.
+struct Crc32cTables {
+  std::uint32_t t[8][256];
+};
+
+constexpr Crc32cTables make_crc32c_tables() {
+  Crc32cTables tb{};
+  for (std::uint32_t b = 0; b < 256; ++b) {
+    std::uint32_t c = b;
+    for (int k = 0; k < 8; ++k) {
+      c = (c >> 1) ^ (0x82f63b78u & (0u - (c & 1u)));
+    }
+    tb.t[0][b] = c;
+  }
+  for (int k = 1; k < 8; ++k) {
+    for (std::uint32_t b = 0; b < 256; ++b) {
+      tb.t[k][b] = (tb.t[k - 1][b] >> 8) ^ tb.t[0][tb.t[k - 1][b] & 0xffu];
+    }
+  }
+  return tb;
+}
+
+constexpr Crc32cTables kCrcTables = make_crc32c_tables();
+
+#if TRIMGRAD_WIRE_X86
+
+TG_SSE42 std::uint32_t crc32c_hw_impl(std::span<const std::uint8_t> data,
+                                      std::uint32_t seed) noexcept {
+  std::uint64_t crc = ~seed;
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+  for (; n >= 8; n -= 8, p += 8) {
+    std::uint64_t w;
+    std::memcpy(&w, p, 8);
+    crc = _mm_crc32_u64(crc, w);
+  }
+  std::uint32_t crc32 = static_cast<std::uint32_t>(crc);
+  for (; n != 0; --n, ++p) crc32 = _mm_crc32_u8(crc32, *p);
+  return ~crc32;
+}
+
+bool cpu_has_crc32() noexcept {
+  static const bool ok = __builtin_cpu_supports("sse4.2");
+  return ok;
+}
+
+#endif  // TRIMGRAD_WIRE_X86
+
 }  // namespace
 
-std::uint32_t crc32c(std::span<const std::uint8_t> data,
-                     std::uint32_t seed) noexcept {
+std::uint32_t crc32c_reference(std::span<const std::uint8_t> data,
+                               std::uint32_t seed) noexcept {
   std::uint32_t crc = ~seed;
   for (const std::uint8_t b : data) {
     crc ^= b;
@@ -87,6 +157,47 @@ std::uint32_t crc32c(std::span<const std::uint8_t> data,
     }
   }
   return ~crc;
+}
+
+std::uint32_t crc32c_table(std::span<const std::uint8_t> data,
+                           std::uint32_t seed) noexcept {
+  const auto& t = kCrcTables.t;
+  std::uint32_t crc = ~seed;
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+  if constexpr (std::endian::native == std::endian::little) {
+    for (; n >= 8; n -= 8, p += 8) {
+      std::uint64_t w;
+      std::memcpy(&w, p, 8);
+      w ^= crc;
+      crc = t[7][w & 0xff] ^ t[6][(w >> 8) & 0xff] ^ t[5][(w >> 16) & 0xff] ^
+            t[4][(w >> 24) & 0xff] ^ t[3][(w >> 32) & 0xff] ^
+            t[2][(w >> 40) & 0xff] ^ t[1][(w >> 48) & 0xff] ^
+            t[0][(w >> 56) & 0xff];
+    }
+  }
+  for (; n != 0; --n, ++p) crc = (crc >> 8) ^ t[0][(crc ^ *p) & 0xffu];
+  return ~crc;
+}
+
+std::uint32_t crc32c_hw(std::span<const std::uint8_t> data,
+                        std::uint32_t seed) noexcept {
+#if TRIMGRAD_WIRE_X86
+  if (cpu_has_crc32()) return crc32c_hw_impl(data, seed);
+#endif
+  return crc32c_table(data, seed);
+}
+
+std::uint32_t crc32c(std::span<const std::uint8_t> data,
+                     std::uint32_t seed) noexcept {
+#if TRIMGRAD_WIRE_X86
+  // Honor the simd-layer scalar override so TRIMGRAD_SIMD=scalar runs the
+  // whole wire path through portable code (checksums are byte-identical
+  // either way — this is a testing/diagnostics knob, not a behavior switch).
+  if (simd::active_isa() != simd::Isa::kScalar && cpu_has_crc32())
+    return crc32c_hw_impl(data, seed);
+#endif
+  return crc32c_table(data, seed);
 }
 
 const char* to_string(WireVerdict v) noexcept {
@@ -115,15 +226,24 @@ std::vector<std::uint8_t> serialize_packet(const GradientPacket& pkt) {
   out.push_back(pkt.trimmed ? 1 : 0);
   put_u16(out, static_cast<std::uint16_t>(pkt.head_region.size()));
   put_u16(out, static_cast<std::uint16_t>(pkt.tail_region.size()));
-  // head_crc chains the header prefix with the head region; tail_crc covers
-  // the tail alone, so a trim (which removes exactly the tail) invalidates
-  // neither.
-  const std::uint32_t head_crc =
-      crc32c(pkt.head_region, crc32c({out.data(), kCrcFieldOffset}));
-  put_u32(out, head_crc);
-  put_u32(out, crc32c(pkt.tail_region));
+  put_u32(out, 0);  // head_crc, patched below
+  put_u32(out, 0);  // tail_crc, patched below
   out.insert(out.end(), pkt.head_region.begin(), pkt.head_region.end());
   out.insert(out.end(), pkt.tail_region.begin(), pkt.tail_region.end());
+  // Fused encode+CRC: checksum the assembled wire bytes while they are
+  // still cache-hot, then patch the two CRC fields in place. head_crc
+  // chains the header prefix [0, 28) with the head region (skipping the
+  // zeroed CRC fields themselves); tail_crc covers the tail alone, so a
+  // trim (which removes exactly the tail) invalidates neither.
+  const std::size_t head_at = kWireHeaderBytes;
+  const std::size_t tail_at = head_at + pkt.head_region.size();
+  const std::uint32_t head_crc =
+      crc32c({out.data() + head_at, pkt.head_region.size()},
+             crc32c({out.data(), kCrcFieldOffset}));
+  const std::uint32_t tail_crc =
+      crc32c({out.data() + tail_at, pkt.tail_region.size()});
+  patch_u32(out, kCrcFieldOffset, head_crc);
+  patch_u32(out, kCrcFieldOffset + 4, tail_crc);
   return out;
 }
 

@@ -51,10 +51,27 @@ namespace trimgrad::core {
 inline constexpr std::size_t kWireHeaderBytes = 36;
 inline constexpr std::uint32_t kWireMagic = 0x31504754;  // "TGP1" LE
 
-/// CRC32C (Castagnoli), bitwise reference implementation. Chain regions by
-/// passing the previous return value as `seed`.
+/// CRC32C (Castagnoli). Chain regions by passing the previous return value
+/// as `seed`. Dispatches to the x86 crc32 instruction when the CPU has it
+/// (and core/simd.h's active ISA is not forced to scalar), else to the
+/// slice-by-8 table implementation; all paths are byte-identical, verified
+/// against the RFC 3720 test vectors in tests/core/wire_test.cpp.
 std::uint32_t crc32c(std::span<const std::uint8_t> data,
                      std::uint32_t seed = 0) noexcept;
+
+/// Bitwise reference implementation (1 bit per step). The ground truth the
+/// fast paths are tested against; not used on any hot path.
+std::uint32_t crc32c_reference(std::span<const std::uint8_t> data,
+                               std::uint32_t seed = 0) noexcept;
+
+/// Table-driven slice-by-8 implementation (8 bytes per step).
+std::uint32_t crc32c_table(std::span<const std::uint8_t> data,
+                           std::uint32_t seed = 0) noexcept;
+
+/// Hardware crc32-instruction implementation; falls back to crc32c_table
+/// when the CPU lacks SSE4.2 (or on non-x86 builds).
+std::uint32_t crc32c_hw(std::span<const std::uint8_t> data,
+                        std::uint32_t seed = 0) noexcept;
 
 /// Serialize a packet to its exact wire bytes (application layer).
 std::vector<std::uint8_t> serialize_packet(const GradientPacket& pkt);

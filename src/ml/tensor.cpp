@@ -16,8 +16,11 @@ namespace {
 constexpr std::size_t kKc = 128;
 
 /// Minimum multiply-adds per parallel chunk; below this the dispatch
-/// overhead dominates and parallel_for degrades to an inline call.
-constexpr std::size_t kGrainFlops = std::size_t{1} << 15;
+/// overhead dominates and parallel_for degrades to an inline call. Retuned
+/// upward after the FunctionRef/latch pool rework: dispatch itself got
+/// cheaper, but splitting a sub-128k-flop GEMM still loses more to cold B
+/// slabs per chunk than it gains in parallelism.
+constexpr std::size_t kGrainFlops = std::size_t{1} << 17;
 
 std::size_t row_grain(std::size_t flops_per_row) noexcept {
   return std::max<std::size_t>(1, kGrainFlops / std::max<std::size_t>(1, flops_per_row));

@@ -179,6 +179,118 @@ TEST(BitReader, BitsRemainingCountsDown) {
   EXPECT_EQ(r.bits_remaining(), 27u);
 }
 
+TEST(BulkRuns, PutRunMatchesElementwisePutForAllWidths) {
+  Xoshiro256 rng(0xb41);
+  for (unsigned width = 1; width <= 32; ++width) {
+    for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                          std::size_t{16}, std::size_t{65}}) {
+      std::vector<std::uint32_t> vals(n);
+      const std::uint32_t mask =
+          width == 32 ? 0xffffffffu : ((1u << width) - 1u);
+      for (auto& v : vals) v = static_cast<std::uint32_t>(rng()) & mask;
+
+      BitWriter bulk;
+      bulk.put_run(vals.data(), vals.size(), width);
+      BitWriter ref;
+      for (std::uint32_t v : vals) ref.put(v, width);
+      EXPECT_EQ(std::move(bulk).finish(), std::move(ref).finish())
+          << "width=" << width << " n=" << n;
+    }
+  }
+}
+
+TEST(BulkRuns, MisalignedStartStillMatchesElementwise) {
+  Xoshiro256 rng(0xb42);
+  // A prefix of `lead` single bits puts the run start at every bit phase.
+  for (unsigned lead = 0; lead < 8; ++lead) {
+    std::vector<std::uint32_t> vals(33);
+    for (auto& v : vals) v = static_cast<std::uint32_t>(rng()) & 0x7fffffffu;
+
+    BitWriter bulk, ref;
+    for (unsigned i = 0; i < lead; ++i) {
+      bulk.put_bit(i & 1);
+      ref.put_bit(i & 1);
+    }
+    bulk.put_run(vals.data(), vals.size(), 31);
+    for (std::uint32_t v : vals) ref.put(v, 31);
+    const auto bytes = std::move(bulk).finish();
+    EXPECT_EQ(bytes, std::move(ref).finish()) << "lead=" << lead;
+
+    BitReader r(bytes);
+    r.skip(lead);
+    std::vector<std::uint32_t> out(vals.size());
+    r.get_run(out.data(), out.size(), 31);
+    EXPECT_EQ(out, vals) << "lead=" << lead;
+  }
+}
+
+TEST(BulkRuns, GetRunMatchesElementwiseGetAndCursor) {
+  Xoshiro256 rng(0xb43);
+  for (unsigned width : {1u, 7u, 8u, 24u, 31u, 32u}) {
+    std::vector<std::uint32_t> vals(40);
+    const std::uint32_t mask =
+        width == 32 ? 0xffffffffu : ((1u << width) - 1u);
+    for (auto& v : vals) v = static_cast<std::uint32_t>(rng()) & mask;
+    BitWriter w;
+    w.put_run(vals.data(), vals.size(), width);
+    const auto bytes = std::move(w).finish();
+
+    BitReader bulk(bytes), ref(bytes);
+    std::vector<std::uint32_t> out(vals.size());
+    bulk.get_run(out.data(), out.size(), width);
+    for (std::size_t i = 0; i < vals.size(); ++i) {
+      EXPECT_EQ(out[i], static_cast<std::uint32_t>(ref.get(width)));
+    }
+    EXPECT_EQ(bulk.bits_remaining(), ref.bits_remaining()) << width;
+  }
+}
+
+TEST(BulkBits, PutBits8AndGetBits8RoundTrip) {
+  Xoshiro256 rng(0xb44);
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{8},
+                        std::size_t{9}, std::size_t{64}, std::size_t{367}}) {
+    std::vector<std::uint8_t> bits(n);
+    // Any nonzero byte counts as a set bit (bool-byte contract).
+    for (auto& b : bits) b = static_cast<std::uint8_t>(rng() % 3);
+
+    BitWriter bulk, ref;
+    bulk.put_bits8(bits.data(), bits.size());
+    for (std::uint8_t b : bits) ref.put_bit(b != 0);
+    const auto bytes = std::move(bulk).finish();
+    EXPECT_EQ(bytes, std::move(ref).finish()) << "n=" << n;
+
+    BitReader r(bytes);
+    std::vector<std::uint8_t> out(n);
+    r.get_bits8(out.data(), out.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(out[i], bits[i] ? 1 : 0) << "i=" << i;
+    }
+  }
+}
+
+TEST(BulkBits, MisalignedBitRunsFallBackCorrectly) {
+  Xoshiro256 rng(0xb45);
+  for (unsigned lead = 1; lead < 8; ++lead) {
+    std::vector<std::uint8_t> bits(50);
+    for (auto& b : bits) b = static_cast<std::uint8_t>(rng() & 1);
+    BitWriter bulk, ref;
+    for (unsigned i = 0; i < lead; ++i) {
+      bulk.put_bit(true);
+      ref.put_bit(true);
+    }
+    bulk.put_bits8(bits.data(), bits.size());
+    for (std::uint8_t b : bits) ref.put_bit(b != 0);
+    const auto bytes = std::move(bulk).finish();
+    EXPECT_EQ(bytes, std::move(ref).finish()) << "lead=" << lead;
+
+    BitReader r(bytes);
+    r.skip(lead);
+    std::vector<std::uint8_t> out(bits.size());
+    r.get_bits8(out.data(), out.size());
+    EXPECT_EQ(out, bits) << "lead=" << lead;
+  }
+}
+
 TEST(FloatBits, RoundTripsExactly) {
   for (float v : {0.0f, -0.0f, 1.0f, -1.0f, 3.14159f, -2.5e-30f, 1e30f}) {
     EXPECT_EQ(bits_float(float_bits(v)), v);

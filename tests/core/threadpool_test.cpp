@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <thread>
 #include <vector>
 
@@ -111,6 +112,65 @@ TEST(ThreadPool, FreeFunctionUsesGlobalPool) {
   });
   for (int h : hits) EXPECT_EQ(h, 1);
   ThreadPool::set_global_threads(1);
+}
+
+TEST(FunctionRef, CallsThroughWithoutCopyingTheCallable) {
+  int calls = 0;
+  auto counter = [&](std::size_t b, std::size_t e) {
+    calls += static_cast<int>(e - b);
+  };
+  FunctionRef<void(std::size_t, std::size_t)> ref = counter;
+  ref(0, 3);
+  ref(3, 10);
+  EXPECT_EQ(calls, 10);
+  // Null by default, truthy once bound.
+  FunctionRef<void(std::size_t, std::size_t)> null_ref;
+  EXPECT_FALSE(static_cast<bool>(null_ref));
+  EXPECT_TRUE(static_cast<bool>(ref));
+}
+
+TEST(FunctionRef, MutableAndConstCallablesBothBind) {
+  int state = 0;
+  auto mut = [state](std::size_t, std::size_t) mutable { ++state; };
+  const auto cst = [&state](std::size_t, std::size_t) { ++state; };
+  FunctionRef<void(std::size_t, std::size_t)> a = mut;
+  FunctionRef<void(std::size_t, std::size_t)> b = cst;
+  a(0, 1);  // mutates the lambda's copy, not `state`
+  b(0, 1);
+  EXPECT_EQ(state, 1);
+}
+
+TEST(ThreadPool, BackToBackJobsReuseTheLatchCorrectly) {
+  // Thousands of tiny jobs in a tight loop: if the completion latch or the
+  // job sequence number ever let a worker run a stale job (or the caller
+  // return early), some index would be missed or double-counted.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(512);
+  for (int round = 0; round < 2000; ++round) {
+    pool.parallel_for(hits.size(), 1, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 2000);
+}
+
+TEST(ThreadPool, StackLocalStateIsSafeAcrossDispatch) {
+  // The job is passed by reference (FunctionRef): parallel_for blocks until
+  // every chunk ran, so capturing stack locals by reference is sound even
+  // though nothing is copied into the pool.
+  ThreadPool pool(3);
+  for (int round = 0; round < 200; ++round) {
+    std::vector<std::uint64_t> acc(97, 0);
+    const std::uint64_t salt = 0x9e3779b97f4a7c15ull * (round + 1);
+    pool.parallel_for(acc.size(), 1, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) acc[i] = salt ^ i;
+    });
+    for (std::size_t i = 0; i < acc.size(); ++i) {
+      ASSERT_EQ(acc[i], salt ^ i);
+    }
+  }
 }
 
 }  // namespace

@@ -131,6 +131,45 @@ TEST(Wire, Crc32cMatchesKnownVectorAndChains) {
   EXPECT_EQ(whole, chained);
 }
 
+TEST(Wire, Crc32cRfc3720VectorsOnEveryImplementation) {
+  // The full RFC 3720 §B.4 test vector set, run against the bitwise
+  // reference, the slice-by-8 tables, the hardware path, and the dispatcher.
+  std::vector<std::uint8_t> zeros(32, 0x00);
+  std::vector<std::uint8_t> ones(32, 0xff);
+  std::vector<std::uint8_t> inc(32), dec(32);
+  for (std::size_t i = 0; i < 32; ++i) {
+    inc[i] = static_cast<std::uint8_t>(i);
+    dec[i] = static_cast<std::uint8_t>(31 - i);
+  }
+  const std::uint8_t digits[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  const struct {
+    std::span<const std::uint8_t> data;
+    std::uint32_t expect;
+  } vectors[] = {
+      {digits, 0xE3069283u}, {zeros, 0x8A9136AAu}, {ones, 0x62A8AB43u},
+      {inc, 0x46DD794Eu},    {dec, 0x113FDB5Cu},
+  };
+  for (const auto& v : vectors) {
+    EXPECT_EQ(crc32c_reference(v.data), v.expect);
+    EXPECT_EQ(crc32c_table(v.data), v.expect);
+    EXPECT_EQ(crc32c_hw(v.data), v.expect);
+    EXPECT_EQ(crc32c(v.data), v.expect);
+  }
+}
+
+TEST(Wire, Crc32cImplementationsAgreeOnRandomLengthsAndSeeds) {
+  Xoshiro256 rng(0xc4c);
+  for (std::size_t n = 0; n <= 70; ++n) {
+    std::vector<std::uint8_t> data(n);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+    const std::uint32_t seed = static_cast<std::uint32_t>(rng());
+    const std::uint32_t ref = crc32c_reference(data, seed);
+    EXPECT_EQ(crc32c_table(data, seed), ref) << "n=" << n;
+    EXPECT_EQ(crc32c_hw(data, seed), ref) << "n=" << n;
+    EXPECT_EQ(crc32c(data, seed), ref) << "n=" << n;
+  }
+}
+
 TEST(Wire, VerdictsDistinguishFullTrimmedCorruptMalformed) {
   TrimmableEncoder enc(cfg_of(Scheme::kRHT));
   const auto msg = enc.encode(gaussian_vec(1200, 11), 1, 1);

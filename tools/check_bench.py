@@ -2,7 +2,8 @@
 """Validate bench JSON outputs and gate on regressions.
 
 Usage:
-    check_bench.py CANDIDATE [--baseline BENCH_parallel.json] [--max-slowdown 2.0]
+    check_bench.py CANDIDATE [--baseline BENCH_parallel.json]
+                   [--max-slowdown 2.0] [--min-speedup 3.0]
     check_bench.py --elastic BENCH_elastic.json
 
 Default mode validates the BENCH_parallel.json produced by
@@ -10,6 +11,13 @@ bench_parallel_scaling (smoke or full size).  The committed baseline holds
 full-size numbers; comparisons use per-section throughput (items processed
 per second), which is roughly size-invariant, so a smoke run can be compared
 against a full-size baseline.
+
+--min-speedup gates parallel *scaling* inside the candidate itself: the
+row-parallel codec sections must reach the requested speedup over their own
+single-thread time at some measured thread count.  The floor is capped by
+the cores the machine actually has (hardware_threads in the JSON), so the
+same invocation demands ~3x on an 8-core CI runner and degrades to a plain
+no-regression check on a single-core container.
 
 --elastic mode validates the BENCH_elastic.json produced by
 bench_soak_elastic: the run must have drained its event queue, kept every
@@ -71,6 +79,41 @@ def validate(doc, path):
             fail(1, f"{path}: section {name!r} has non-positive throughput")
 
 
+# Sections that run through ThreadPool::parallel_for row-parallelism and are
+# therefore expected to scale with cores.  The per-kernel sections (fwht,
+# quantize, bitpack, crc32c) are single-thread SIMD primitives and flat by
+# construction; gemm/trainer_round scale but saturate memory bandwidth well
+# below the codec curves, so the scaling gate covers the codecs only.
+SCALING_SECTIONS = ("rht_encode_decode", "eden_encode_decode")
+
+
+def check_scaling(doc, path, min_speedup):
+    """Gate parallel speedup of the codec sections within one bench run."""
+    hw = doc.get("hardware_threads") or 1
+    tmax = max(doc["thread_counts"])
+    # A machine can only deliver speedup up to its core count; allow ~0.4x
+    # per usable core (memory-bandwidth saturation eats the rest) and never
+    # demand more than the caller's floor.  On a single-core machine this
+    # degrades to 0.8, i.e. "threading must not make the codecs slower".
+    allowance = max(0.8, 0.4 * min(hw, tmax))
+    floor = min(min_speedup, allowance)
+    print(f"check_bench: scaling gate: floor {floor:.2f}x "
+          f"(requested {min_speedup:.2f}x, hardware_threads={hw})")
+    for name in SCALING_SECTIONS:
+        sec = doc["sections"].get(name)
+        if sec is None:
+            fail(1, f"{path}: scaling section {name!r} missing")
+        secs = sec["seconds"]
+        best = max(secs[0] / s for s in secs)
+        best_t = doc["thread_counts"][max(range(len(secs)),
+                                          key=lambda i: secs[0] / secs[i])]
+        print(f"check_bench: {name}: best speedup {best:.2f}x "
+              f"at {best_t} threads")
+        if best < floor:
+            fail(2, f"section {name!r} scaled only {best:.2f}x, below the "
+                    f"{floor:.2f}x floor")
+
+
 def check_elastic(path):
     """Invariant gate on a bench_soak_elastic JSON document."""
     doc = load_json(path)
@@ -117,6 +160,10 @@ def main():
     ap.add_argument("--max-slowdown", type=float, default=2.0,
                     help="fail if candidate throughput is more than this "
                          "factor below baseline (default 2.0)")
+    ap.add_argument("--min-speedup", type=float, default=None,
+                    help="fail if the codec sections' parallel speedup "
+                         "(within the candidate run) stays below this floor, "
+                         "capped by the machine's hardware_threads")
     ap.add_argument("--elastic", action="store_true",
                     help="treat CANDIDATE as BENCH_elastic.json from "
                          "bench_soak_elastic and gate its invariants")
@@ -129,7 +176,11 @@ def main():
     cand = load_json(args.candidate)
     validate(cand, args.candidate)
     print(f"check_bench: {args.candidate} is well-formed "
-          f"({len(cand['sections'])} sections, smoke={cand.get('smoke')})")
+          f"({len(cand['sections'])} sections, smoke={cand.get('smoke')}, "
+          f"isa={cand.get('isa')})")
+
+    if args.min_speedup is not None:
+        check_scaling(cand, args.candidate, args.min_speedup)
 
     if args.baseline is None:
         return
