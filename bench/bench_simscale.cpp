@@ -1,0 +1,303 @@
+// Sim-scale benchmark: closed-loop traffic on the 1024-host k=16 fat-tree
+// (smoke: k=8, 128 hosts), timed sequentially and sharded across the pool
+// at 1/2/4/8 threads. Reports events/sec, the number of hosts the engine
+// could carry at real time (hosts * sim_seconds / wall_seconds), and the
+// scaling curve — and cross-checks that every execution mode produces the
+// same workload digest, the determinism contract the simscale unit tests
+// pin at small scale, re-verified here at full scale.
+//
+// Emits a human-readable table on stdout plus two files:
+//   BENCH_simscale.json         timing + scaling (gated by check_bench.py
+//                               --simscale against the committed baseline)
+//   BENCH_simscale_digest.json  deterministic bytes only (digest, event and
+//                               delivery counts, sorted counters) — the CI
+//                               determinism matrix diffs this file
+//                               byte-for-byte across TRIMGRAD_THREADS and
+//                               TRIMGRAD_SIMD settings.
+//
+// TRIMGRAD_DIGEST_ONLY=1 skips the timing sweep: one parallel run on the
+// ambient pool (TRIMGRAD_THREADS-sized), digest file written, exit. That is
+// the mode the CI matrix uses, so the pool size under test is the one from
+// the environment, not the bench's internal sweep.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/metrics.h"
+#include "core/simd.h"
+#include "core/threadpool.h"
+#include "net/fault_plane.h"
+#include "net/topology.h"
+#include "net/traffic.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using trimgrad::core::ThreadPool;
+using namespace trimgrad::net;
+
+std::uint64_t fnv_bytes(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* b = static_cast<const unsigned char*>(data);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t w;
+    std::memcpy(&w, b + i, 8);
+    h = (h ^ w) * 1099511628211ULL;
+  }
+  for (; i < n; ++i) h = (h ^ b[i]) * 1099511628211ULL;
+  return h;
+}
+
+template <typename T>
+std::uint64_t fnv_pod(std::uint64_t h, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return fnv_bytes(h, &v, sizeof(v));
+}
+
+struct RunResult {
+  double wall_s = 0;
+  double sim_s = 0;
+  std::uint64_t events = 0;
+  std::uint64_t delivered = 0;
+  std::size_t flows_completed = 0;
+  std::uint64_t digest = 0;
+};
+
+// Full size targets ~3M events so each 1 us lookahead window carries enough
+// work per domain (~50 events) to amortize the barrier on real multicore
+// hardware; smoke shrinks to a fast CI-sized run.
+struct Workload {
+  std::size_t k = 16;
+  double poisson_rate = 5e6;  ///< flows/sec across the whole fabric
+  SimTime stop = 2e-3;        ///< stop launching background flows
+};
+
+/// One full closed-loop run. Builds the fabric fresh (topology construction
+/// is outside the timed region), attaches incast bursts + Poisson
+/// background, runs to quiescence, and folds every deterministic observable
+/// into the digest.
+RunResult run_once(const Workload& w, bool parallel) {
+  trimgrad::core::MetricsRegistry::global().reset_values();
+  Simulator sim;
+  FabricConfig fcfg;
+  fcfg.edge_link = {100e9, 1e-6};
+  fcfg.core_link = {100e9, 1e-6};
+  fcfg.switch_queue.policy = QueuePolicy::kTrim;
+  fcfg.switch_queue.capacity_bytes = 30 * 1024;
+  fcfg.switch_queue.header_capacity_bytes = 64 * 1024;
+  const FatTree ft = build_fat_tree(sim, w.k, fcfg);
+  partition_fat_tree(sim, ft);
+  sim.seal_partition();
+
+  const std::vector<NodeId> hosts = ft.all_hosts();
+  TransportConfig tcfg;
+  tcfg.retransmit_budget = 64;
+  tcfg.flow_deadline = 10e-3;
+
+  // One cross-pod incast per pod: 8 senders dump trimmable bulk at host 0
+  // of the pod, staggered so bursts overlap the background load.
+  std::vector<std::unique_ptr<IncastPattern>> incasts;
+  for (std::size_t p = 0; p < w.k; ++p) {
+    IncastPattern::Config icfg;
+    icfg.packets_per_sender = 64;
+    icfg.trim_size = 88;
+    icfg.transport = tcfg;
+    icfg.start = 50e-6 * static_cast<double>(p);
+    icfg.base_flow_id = static_cast<std::uint32_t>(1000 + 100 * p);
+    std::vector<NodeId> senders;
+    for (std::size_t s = 0; s < 8; ++s) {
+      const std::size_t pod = (p + 1 + s % (w.k - 1)) % w.k;
+      senders.push_back(ft.pod_hosts[pod][s % ft.pod_hosts[pod].size()]);
+    }
+    incasts.push_back(std::make_unique<IncastPattern>(
+        sim, senders, ft.pod_hosts[p][0], icfg));
+  }
+
+  PoissonTraffic::Config pcfg;
+  pcfg.flows_per_sec = w.poisson_rate;
+  pcfg.packets_per_flow = 8;
+  pcfg.stop = w.stop;
+  pcfg.transport = tcfg;
+  PoissonTraffic poisson(sim, hosts, pcfg);
+
+  sim.set_parallel_execution(parallel);
+  const auto t0 = Clock::now();
+  const SimTime end = sim.run();
+  const auto t1 = Clock::now();
+
+  RunResult r;
+  r.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  r.sim_s = end;
+  r.events = sim.executed_events();
+  r.delivered = sim.delivered_frames();
+  r.flows_completed = poisson.completed();
+  for (const auto& ic : incasts) r.flows_completed += ic->completed_count();
+
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const auto& ic : incasts) {
+    for (const FlowStats& st : ic->flow_stats()) {
+      h = fnv_pod(h, st.end_time);
+      h = fnv_pod(h, st.frames_sent);
+      h = fnv_pod(h, st.retransmits);
+      h = fnv_pod(h, st.acked_full);
+      h = fnv_pod(h, st.acked_trimmed);
+      h = fnv_pod(h, st.completed);
+    }
+  }
+  for (SimTime fct : poisson.fcts()) h = fnv_pod(h, fct);
+  h = fnv_pod(h, r.events);
+  h = fnv_pod(h, r.delivered);
+  h = fnv_pod(h, sim.now());
+  // Counters sorted by name: registration order is first-touch order,
+  // which varies across pool sizes; the value set does not.
+  auto snap = trimgrad::core::MetricsRegistry::global().snapshot();
+  std::sort(snap.counters.begin(), snap.counters.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  for (const auto& c : snap.counters) {
+    h = fnv_bytes(h, c.name.data(), c.name.size());
+    h = fnv_pod(h, c.value);
+  }
+  r.digest = h;
+  return r;
+}
+
+void write_digest_json(const Workload& w, const RunResult& r) {
+  FILE* f = std::fopen("BENCH_simscale_digest.json", "w");
+  if (f == nullptr) return;
+  // Deterministic observables only — this file must be byte-identical
+  // across TRIMGRAD_THREADS and TRIMGRAD_SIMD settings.
+  std::fprintf(f,
+               "{\n  \"k\": %zu,\n  \"hosts\": %zu,\n"
+               "  \"digest\": \"%016llx\",\n  \"events\": %llu,\n"
+               "  \"delivered\": %llu,\n  \"flows_completed\": %zu\n}\n",
+               w.k, w.k * w.k * w.k / 4,
+               static_cast<unsigned long long>(r.digest),
+               static_cast<unsigned long long>(r.events),
+               static_cast<unsigned long long>(r.delivered),
+               r.flows_completed);
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = std::getenv("TRIMGRAD_SMOKE") != nullptr;
+  const bool digest_only = std::getenv("TRIMGRAD_DIGEST_ONLY") != nullptr;
+
+  Workload w;
+  if (smoke || digest_only) {
+    w.k = 8;
+    w.poisson_rate = 2e5;
+    w.stop = 1e-3;
+  }
+  const std::size_t hosts = w.k * w.k * w.k / 4;
+
+  if (digest_only) {
+    // One parallel run on the ambient pool (TRIMGRAD_THREADS-sized): the
+    // CI determinism matrix invokes this under each env combination and
+    // byte-diffs the digest file.
+    const RunResult r = run_once(w, /*parallel=*/true);
+    write_digest_json(w, r);
+    std::printf("digest %016llx  events %llu  flows %zu  (k=%zu, %zu hosts)\n",
+                static_cast<unsigned long long>(r.digest),
+                static_cast<unsigned long long>(r.events), r.flows_completed,
+                w.k, hosts);
+    return 0;
+  }
+
+  const std::vector<std::size_t> thread_counts = {1, 2, 4, 8};
+
+  // Sequential reference first: warms metric registration and anchors the
+  // determinism cross-check.
+  ThreadPool::set_global_threads(1);
+  const RunResult ref = run_once(w, /*parallel=*/false);
+
+  std::vector<RunResult> runs;
+  for (const std::size_t t : thread_counts) {
+    ThreadPool::set_global_threads(t);
+    runs.push_back(run_once(w, /*parallel=*/true));
+  }
+  ThreadPool::set_global_threads(1);
+
+  bool deterministic = true;
+  for (const RunResult& r : runs) {
+    if (r.digest != ref.digest || r.events != ref.events) {
+      deterministic = false;
+    }
+  }
+
+  std::printf("# Sim-scale: k=%zu fat-tree, %zu hosts, %llu events, "
+              "%.3f sim ms\n",
+              w.k, hosts, static_cast<unsigned long long>(ref.events),
+              ref.sim_s * 1e3);
+  std::printf("# hardware threads available: %u\n",
+              std::thread::hardware_concurrency());
+  std::printf("# simd isa: %s\n",
+              trimgrad::core::simd::to_string(
+                  trimgrad::core::simd::active_isa()));
+  std::printf("%-12s %10s %12s %10s %14s\n", "mode", "wall s", "events/s",
+              "speedup", "hosts@realtime");
+  const double seq_eps = ref.events / ref.wall_s;
+  std::printf("%-12s %10.4f %12.0f %10s %14.1f\n", "sequential", ref.wall_s,
+              seq_eps, "-", hosts * ref.sim_s / ref.wall_s);
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const RunResult& r = runs[i];
+    std::printf("%-12zuT %9.4f %12.0f %9.2fx %14.1f\n", thread_counts[i],
+                r.wall_s, r.events / r.wall_s, runs[0].wall_s / r.wall_s,
+                hosts * r.sim_s / r.wall_s);
+  }
+  std::printf("# bit-exact across modes and thread counts: %s\n",
+              deterministic ? "yes" : "NO — DETERMINISM VIOLATION");
+
+  FILE* f = std::fopen("BENCH_simscale.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f,
+                 "{\n  \"hardware_threads\": %u,\n  \"isa\": \"%s\",\n"
+                 "  \"smoke\": %s,\n  \"deterministic\": %s,\n"
+                 "  \"k\": %zu,\n  \"hosts\": %zu,\n"
+                 "  \"events\": %llu,\n  \"sim_seconds\": %.9f,\n",
+                 std::thread::hardware_concurrency(),
+                 trimgrad::core::simd::to_string(
+                     trimgrad::core::simd::active_isa()),
+                 smoke ? "true" : "false", deterministic ? "true" : "false",
+                 w.k, hosts, static_cast<unsigned long long>(ref.events),
+                 ref.sim_s);
+    std::fprintf(f, "  \"sequential\": {\"seconds\": %.6f, "
+                 "\"events_per_sec\": %.1f},\n",
+                 ref.wall_s, seq_eps);
+    std::fprintf(f, "  \"thread_counts\": [");
+    for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+      std::fprintf(f, "%s%zu", i ? ", " : "", thread_counts[i]);
+    }
+    std::fprintf(f, "],\n  \"seconds\": [");
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      std::fprintf(f, "%s%.6f", i ? ", " : "", runs[i].wall_s);
+    }
+    std::fprintf(f, "],\n  \"events_per_sec\": [");
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      std::fprintf(f, "%s%.1f", i ? ", " : "", runs[i].events / runs[i].wall_s);
+    }
+    std::fprintf(f, "],\n  \"speedup\": [");
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      std::fprintf(f, "%s%.3f", i ? ", " : "", runs[0].wall_s / runs[i].wall_s);
+    }
+    std::fprintf(f, "],\n  \"hosts_realtime\": [");
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      std::fprintf(f, "%s%.1f", i ? ", " : "",
+                   hosts * runs[i].sim_s / runs[i].wall_s);
+    }
+    std::fprintf(f, "]\n}\n");
+    std::fclose(f);
+    std::printf("# wrote BENCH_simscale.json\n");
+  }
+  write_digest_json(w, runs.back());
+  std::printf("# wrote BENCH_simscale_digest.json\n");
+  return deterministic ? 0 : 1;
+}

@@ -1,9 +1,11 @@
 #include "net/fault_plane.h"
 
+#include <algorithm>
 #include <cmath>
 #include <istream>
 #include <limits>
 #include <ostream>
+#include <tuple>
 
 #include "core/metrics.h"
 
@@ -91,6 +93,16 @@ FaultLog FaultLog::load(std::istream& is) {
   return log;
 }
 
+FaultLog FaultLog::sorted() const {
+  FaultLog out = *this;
+  std::sort(out.events_.begin(), out.events_.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              return std::tie(a.time, a.frame_id, a.kind, a.node, a.port) <
+                     std::tie(b.time, b.frame_id, b.kind, b.node, b.port);
+            });
+  return out;
+}
+
 FaultPlane::FaultPlane(FaultPlaneConfig cfg) : cfg_(std::move(cfg)) {}
 
 bool FaultPlane::link_up(NodeId node, std::size_t port,
@@ -153,26 +165,38 @@ bool FaultPlane::maybe_corrupt(NodeId node, std::size_t port, SimTime now,
     }
     frame.cargo = std::move(mangled);
   }
-  log_.record({FaultEvent::Kind::kCorrupt, now, node, port, frame.id});
+  {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    log_.record({FaultEvent::Kind::kCorrupt, now, node, port, frame.id});
+  }
   FaultTelemetry::get().corrupted.add();
   return true;
 }
 
 void FaultPlane::note_link_refused(NodeId node, std::size_t port, SimTime now,
                                    std::uint64_t frame_id) {
-  log_.record({FaultEvent::Kind::kLinkRefused, now, node, port, frame_id});
+  {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    log_.record({FaultEvent::Kind::kLinkRefused, now, node, port, frame_id});
+  }
   FaultTelemetry::get().link_refused.add();
 }
 
 void FaultPlane::note_queue_flushed(NodeId node, std::size_t port, SimTime now,
                                     std::uint64_t frame_id) {
-  log_.record({FaultEvent::Kind::kQueueFlushed, now, node, port, frame_id});
+  {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    log_.record({FaultEvent::Kind::kQueueFlushed, now, node, port, frame_id});
+  }
   FaultTelemetry::get().queue_flushed.add();
 }
 
 void FaultPlane::note_node_drop(NodeId node, SimTime now,
                                 std::uint64_t frame_id) {
-  log_.record({FaultEvent::Kind::kNodeDrop, now, node, 0, frame_id});
+  {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    log_.record({FaultEvent::Kind::kNodeDrop, now, node, 0, frame_id});
+  }
   FaultTelemetry::get().node_drops.add();
 }
 

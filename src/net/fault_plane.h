@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <mutex>
 #include <vector>
 
 #include "core/prng.h"
@@ -113,6 +114,12 @@ class FaultLog {
   void save(std::ostream& os) const;
   static FaultLog load(std::istream& is);
 
+  /// Copy with events in canonical (time, frame_id, kind, node, port) order.
+  /// On a sharded simulator the *append* order of the log follows worker
+  /// interleaving even though the *set* of decisions is deterministic;
+  /// cross-mode comparisons go through this normal form.
+  FaultLog sorted() const;
+
   friend bool operator==(const FaultLog& a, const FaultLog& b) {
     return a.events_ == b.events_;
   }
@@ -159,6 +166,10 @@ class FaultPlane {
 
   FaultPlaneConfig cfg_;
   FaultLog log_;
+  /// Guards log_ appends: on a sharded simulator fault decisions are made
+  /// concurrently from domain workers. Decisions themselves are stateless
+  /// coins, so the lock only serializes bookkeeping, never outcomes.
+  std::mutex log_mu_;
 };
 
 /// Receivers call this when a checksum mismatch (frame.corrupted) stops a

@@ -1,16 +1,39 @@
 #include "net/sim.h"
 
+#include <algorithm>
 #include <cassert>
+#include <limits>
 #include <stdexcept>
 
+#include "core/threadpool.h"
 #include "core/trace.h"
 #include "net/fault_plane.h"
 
 namespace trimgrad::net {
 
-Simulator::Simulator() {
-  // While a simulator is alive, trace timestamps read the simulated clock.
-  core::TraceLog::global().set_time_source([this] { return now_; });
+namespace {
+
+/// Execution context of the event currently running on this thread. Lets
+/// now()/schedule()/next_frame_id() route to the executing domain without
+/// passing the simulator through every handler signature — and makes those
+/// calls race-free in parallel windows (each domain is owned by one worker).
+struct ExecCtx {
+  Simulator* sim = nullptr;
+  std::uint32_t domain = 0;
+  NodeId node = kInvalidNode;
+};
+
+thread_local ExecCtx g_ctx;
+
+constexpr SimTime kInf = std::numeric_limits<SimTime>::infinity();
+
+}  // namespace
+
+Simulator::Simulator() : domains_(1) {
+  // While a simulator is alive, trace timestamps read the simulated clock
+  // (the executing domain's clock inside an event, the high-water mark
+  // outside — see now()).
+  core::TraceLog::global().set_time_source([this] { return now(); });
 }
 
 Simulator::~Simulator() {
@@ -18,32 +41,258 @@ Simulator::~Simulator() {
   core::TraceLog::global().set_time_source({});
 }
 
+SimTime Simulator::now() const noexcept {
+  if (g_ctx.sim == this) return domains_[g_ctx.domain].now;
+  return now_;
+}
+
 void Simulator::schedule(SimTime delay, std::function<void()> fn) {
+  const NodeId ctx_node = (g_ctx.sim == this) ? g_ctx.node : kInvalidNode;
+  schedule_event(ctx_node, delay, std::move(fn));
+}
+
+void Simulator::schedule_at(NodeId node_id, SimTime delay,
+                            std::function<void()> fn) {
+  if (node_id >= nodes_.size()) throw std::out_of_range("bad node id");
+  schedule_event(node_id, delay, std::move(fn));
+}
+
+void Simulator::schedule_event(NodeId exec_node, SimTime delay,
+                               std::function<void()> fn) {
   assert(delay >= 0.0);
-  events_.push(Event{now_ + delay, ++event_counter_, std::move(fn)});
+  const bool in_exec = (g_ctx.sim == this);
+  // The event key is assigned by the *scheduling* domain: its id plus the
+  // next value of its private sequence counter. Each domain executes its
+  // events in the same order under every execution mode, so the keys it
+  // hands out are mode-independent — the heart of the determinism argument.
+  // Outside any event the scheduler is domain 0, which makes an
+  // unpartitioned simulator's key exactly the classic (time, FIFO counter).
+  const std::uint32_t sched = in_exec ? g_ctx.domain : 0u;
+  Domain& sd = domains_[sched];
+  const SimTime base = in_exec ? sd.now : now_;
+  push_event(Event{base + delay, sched, ++sd.seq, exec_node, std::move(fn)});
+}
+
+std::uint32_t Simulator::exec_domain_of(NodeId node_id) const noexcept {
+  if (node_id == kInvalidNode || node_id >= node_domain_.size()) return 0;
+  return node_domain_[node_id];
+}
+
+void Simulator::push_event(Event ev) {
+  const std::uint32_t dest = exec_domain_of(ev.exec_node);
+  if (in_window_ && g_ctx.sim == this && dest != g_ctx.domain) {
+    // Cross-domain events born inside a parallel window go to the
+    // scheduler's private outbox (the destination heap belongs to another
+    // worker right now); the barrier merges them. Conservative lookahead
+    // guarantees their time is at or beyond the window horizon.
+    domains_[g_ctx.domain].outbox.push_back(std::move(ev));
+    return;
+  }
+  auto& heap = domains_[dest].heap;
+  heap.push_back(std::move(ev));
+  std::push_heap(heap.begin(), heap.end(), EventLater{});
+}
+
+void Simulator::run_domain(std::uint32_t d, SimTime bound, SimTime until) {
+  Domain& dom = domains_[d];
+  const ExecCtx saved = g_ctx;
+  g_ctx.sim = this;
+  g_ctx.domain = d;
+  while (!dom.heap.empty()) {
+    if (dom.heap.front().time >= bound || dom.heap.front().time > until) break;
+    std::pop_heap(dom.heap.begin(), dom.heap.end(), EventLater{});
+    Event ev = std::move(dom.heap.back());
+    dom.heap.pop_back();
+    assert(ev.time >= dom.now);
+    dom.now = ev.time;
+    g_ctx.node = ev.exec_node;
+    ++dom.executed;
+    ev.fn();
+  }
+  g_ctx = saved;
+}
+
+void Simulator::run_sequential(SimTime until) {
+  if (domains_.size() == 1) {
+    run_domain(0, kInf, until);
+    return;
+  }
+  // K-way merge across domain heaps in global key order: the sequential
+  // reference execution the parallel mode is pinned against. One event at a
+  // time so cross-domain causality is exact (no lookahead needed here).
+  const ExecCtx saved = g_ctx;
+  for (;;) {
+    std::size_t best = domains_.size();
+    for (std::size_t d = 0; d < domains_.size(); ++d) {
+      auto& heap = domains_[d].heap;
+      if (heap.empty() || heap.front().time > until) continue;
+      if (best == domains_.size() ||
+          EventLater{}(domains_[best].heap.front(), heap.front())) {
+        best = d;
+      }
+    }
+    if (best == domains_.size()) break;
+    Domain& dom = domains_[best];
+    std::pop_heap(dom.heap.begin(), dom.heap.end(), EventLater{});
+    Event ev = std::move(dom.heap.back());
+    dom.heap.pop_back();
+    assert(ev.time >= dom.now);
+    dom.now = ev.time;
+    g_ctx.sim = this;
+    g_ctx.domain = static_cast<std::uint32_t>(best);
+    g_ctx.node = ev.exec_node;
+    ++dom.executed;
+    ev.fn();
+  }
+  g_ctx = saved;
+}
+
+bool Simulator::next_event_time(SimTime* t) const noexcept {
+  SimTime best = kInf;
+  bool found = false;
+  for (const Domain& d : domains_) {
+    if (!d.heap.empty() && d.heap.front().time < best) {
+      best = d.heap.front().time;
+      found = true;
+    }
+  }
+  *t = best;
+  return found;
+}
+
+void Simulator::run_parallel(SimTime until) {
+  if (domains_.size() == 1) {
+    run_sequential(until);
+    return;
+  }
+  auto& pool = core::ThreadPool::global();
+  for (;;) {
+    SimTime t_min = 0;
+    if (!next_event_time(&t_min) || t_min > until) break;
+    // Conservative window [t_min, t_min + lookahead): no event executed in
+    // it can schedule a cross-domain event landing inside it, so every
+    // domain may drain its share independently.
+    const SimTime horizon = t_min + lookahead_;
+    in_window_ = true;
+    pool.parallel_for(domains_.size(), 1,
+                      [&](std::size_t b, std::size_t e) {
+                        for (std::size_t d = b; d < e; ++d) {
+                          run_domain(static_cast<std::uint32_t>(d), horizon,
+                                     until);
+                        }
+                      });
+    in_window_ = false;
+    // Barrier: merge the windows' cross-domain traffic into the destination
+    // heaps. Order of insertion is irrelevant — pop order is defined by the
+    // event keys, which were fixed at schedule time.
+    for (Domain& d : domains_) {
+      for (Event& ev : d.outbox) push_event(std::move(ev));
+      d.outbox.clear();
+    }
+  }
 }
 
 SimTime Simulator::run() {
-  while (!events_.empty()) {
-    // priority_queue::top() is const; move out via const_cast is UB-adjacent,
-    // so copy the function handle (cheap relative to simulation work).
-    Event ev = events_.top();
-    events_.pop();
-    assert(ev.time >= now_);
-    now_ = ev.time;
-    ev.fn();
+  if (parallel_) {
+    run_parallel(kInf);
+  } else {
+    run_sequential(kInf);
   }
+  for (const Domain& d : domains_) now_ = std::max(now_, d.now);
   return now_;
 }
 
 void Simulator::run_until(SimTime t) {
-  while (!events_.empty() && events_.top().time <= t) {
-    Event ev = events_.top();
-    events_.pop();
-    now_ = ev.time;
-    ev.fn();
+  if (parallel_) {
+    run_parallel(t);
+  } else {
+    run_sequential(t);
   }
-  if (now_ < t) now_ = t;
+  for (const Domain& d : domains_) now_ = std::max(now_, d.now);
+  now_ = std::max(now_, t);
+}
+
+void Simulator::set_node_domain(NodeId node_id, std::uint32_t domain) {
+  if (node_id >= nodes_.size()) throw std::out_of_range("bad node id");
+  if (sealed_) throw std::logic_error("partition already sealed");
+  if (node_domain_.size() < nodes_.size()) {
+    node_domain_.resize(nodes_.size(), 0);
+  }
+  node_domain_[node_id] = domain;
+}
+
+std::uint32_t Simulator::node_domain(NodeId node_id) const noexcept {
+  return exec_domain_of(node_id);
+}
+
+void Simulator::seal_partition() {
+  if (sealed_) throw std::logic_error("partition already sealed");
+  for (const Domain& d : domains_) {
+    if (!d.heap.empty()) {
+      throw std::logic_error("seal_partition: events already queued");
+    }
+  }
+  if (now_ != 0.0) throw std::logic_error("seal_partition: clock has run");
+  node_domain_.resize(nodes_.size(), 0);
+  std::uint32_t max_domain = 0;
+  for (std::uint32_t d : node_domain_) max_domain = std::max(max_domain, d);
+  if (!node_domain_.empty()) {
+    std::vector<bool> used(max_domain + 1, false);
+    for (std::uint32_t d : node_domain_) used[d] = true;
+    for (std::size_t d = 0; d <= max_domain; ++d) {
+      if (!used[d]) {
+        throw std::invalid_argument("seal_partition: domain ids not dense");
+      }
+    }
+  }
+  // Conservative lookahead: minimum propagation latency over links whose
+  // endpoints live in different domains. A zero-latency inter-domain link
+  // admits no safe window at all, so it is a partition error.
+  SimTime lookahead = kInf;
+  for (const auto& n : nodes_) {
+    const std::uint32_t dn = node_domain_[n->id()];
+    for (std::size_t p = 0; p < n->port_count(); ++p) {
+      const Port& port = n->port(p);
+      if (node_domain_[port.peer()] == dn) continue;
+      if (port.link().latency_s <= 0.0) {
+        throw std::invalid_argument(
+            "seal_partition: zero-latency inter-domain link (no lookahead)");
+      }
+      lookahead = std::min(lookahead, port.link().latency_s);
+    }
+  }
+  lookahead_ = (max_domain == 0) ? 0.0 : lookahead;
+  // Keep domain 0's counters (frame ids may have been handed out already);
+  // grow per-domain state for the rest of the partition.
+  domains_.resize(static_cast<std::size_t>(max_domain) + 1);
+  sealed_ = true;
+}
+
+void Simulator::set_parallel_execution(bool on) {
+  if (on && !sealed_) {
+    throw std::logic_error("set_parallel_execution: partition not sealed");
+  }
+  parallel_ = on;
+}
+
+std::uint64_t Simulator::executed_events() const noexcept {
+  std::uint64_t total = 0;
+  for (const Domain& d : domains_) total += d.executed;
+  return total;
+}
+
+std::uint64_t Simulator::delivered_frames() const noexcept {
+  std::uint64_t total = 0;
+  for (const Domain& d : domains_) total += d.delivered;
+  return total;
+}
+
+std::uint64_t Simulator::next_frame_id() noexcept {
+  const std::uint32_t dom = (g_ctx.sim == this) ? g_ctx.domain : 0u;
+  Domain& d = domains_[dom];
+  const std::uint64_t seq = ++d.frame_seq;
+  if (dom == 0) return seq;  // unpartitioned runs match the classic counter
+  return (static_cast<std::uint64_t>(dom + 1) << 40) | seq;
 }
 
 Node& Simulator::node(NodeId id) {
@@ -54,6 +303,7 @@ Node& Simulator::node(NodeId id) {
 std::size_t Simulator::node_count() const noexcept { return nodes_.size(); }
 
 void Simulator::register_node(std::unique_ptr<Node> node) {
+  if (sealed_) throw std::logic_error("add_node: partition already sealed");
   nodes_.push_back(std::move(node));
 }
 
@@ -61,6 +311,7 @@ std::pair<std::size_t, std::size_t> Simulator::connect(NodeId a, NodeId b,
                                                        LinkSpec link,
                                                        QueueConfig qcfg_a,
                                                        QueueConfig qcfg_b) {
+  if (sealed_) throw std::logic_error("connect: partition already sealed");
   Node& na = node(a);
   Node& nb = node(b);
   na.ports_.push_back(std::make_unique<Port>(link, qcfg_a, b));
@@ -74,12 +325,12 @@ bool Simulator::transmit(NodeId from, std::size_t port_idx, Frame frame) {
   if (fault_plane_ != nullptr) {
     // A dead origin node originates nothing; a dead link refuses new
     // frames (the NIC sees carrier loss and drops at the source).
-    if (!fault_plane_->node_up(from, now_)) {
-      fault_plane_->note_node_drop(from, now_, frame.id);
+    if (!fault_plane_->node_up(from, now())) {
+      fault_plane_->note_node_drop(from, now(), frame.id);
       return false;
     }
-    if (!fault_plane_->link_up(from, port_idx, now_)) {
-      fault_plane_->note_link_refused(from, port_idx, now_, frame.id);
+    if (!fault_plane_->link_up(from, port_idx, now())) {
+      fault_plane_->note_link_refused(from, port_idx, now(), frame.id);
       return false;
     }
   }
@@ -92,12 +343,12 @@ void Simulator::drain_port(NodeId node_id, std::size_t port_idx) {
   Node& n = node(node_id);
   Port& p = n.port(port_idx);
   if (fault_plane_ != nullptr &&
-      !fault_plane_->link_up(node_id, port_idx, now_)) {
+      !fault_plane_->link_up(node_id, port_idx, now())) {
     // The link went down with frames still queued: they are lost with it.
     // transmit() refuses new frames for the rest of the window, so the
     // queue stays empty and the first post-recovery transmit re-kicks us.
     while (auto queued = p.queue().dequeue()) {
-      fault_plane_->note_queue_flushed(node_id, port_idx, now_, queued->id);
+      fault_plane_->note_queue_flushed(node_id, port_idx, now(), queued->id);
     }
     p.transmitting_ = false;
     return;
@@ -111,23 +362,27 @@ void Simulator::drain_port(NodeId node_id, std::size_t port_idx) {
   Frame frame = std::move(*next);
   LinkSpec link = p.link();
   if (fault_plane_ != nullptr) {
-    link = fault_plane_->effective_link(node_id, port_idx, now_, p.link());
-    fault_plane_->maybe_corrupt(node_id, port_idx, now_, frame);
+    link = fault_plane_->effective_link(node_id, port_idx, now(), p.link());
+    fault_plane_->maybe_corrupt(node_id, port_idx, now(), frame);
   }
   const SimTime tx = link.tx_time(frame.size_bytes);
   const SimTime prop = link.latency_s;
   const NodeId peer = p.peer();
   // Link is busy for the serialization time, then pulls the next frame.
-  schedule(tx, [this, node_id, port_idx] { drain_port(node_id, port_idx); });
-  // The frame lands at the peer after serialization + propagation. Frames
-  // already on the wire when a *link* fails still land (they left the
-  // queue); frames addressed to a dead *node* are lost on arrival.
-  schedule(tx + prop, [this, peer, f = std::move(frame)]() mutable {
-    if (fault_plane_ != nullptr && !fault_plane_->node_up(peer, now_)) {
-      fault_plane_->note_node_drop(peer, now_, f.id);
+  // Anchored at this node: the next-drain event stays in our domain.
+  schedule_event(node_id, tx,
+                 [this, node_id, port_idx] { drain_port(node_id, port_idx); });
+  // The frame lands at the peer after serialization + propagation — in the
+  // peer's domain, which for an inter-domain link is at least `lookahead`
+  // away (prop >= lookahead by construction). Frames already on the wire
+  // when a *link* fails still land (they left the queue); frames addressed
+  // to a dead *node* are lost on arrival.
+  schedule_event(peer, tx + prop, [this, peer, f = std::move(frame)]() mutable {
+    if (fault_plane_ != nullptr && !fault_plane_->node_up(peer, now())) {
+      fault_plane_->note_node_drop(peer, now(), f.id);
       return;
     }
-    ++delivered_;
+    ++domains_[exec_domain_of(peer)].delivered;
     node(peer).on_frame(std::move(f));
   });
 }

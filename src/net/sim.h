@@ -1,16 +1,25 @@
-// Discrete-event simulation kernel.
+// Discrete-event simulation kernel, shardable across the thread pool.
 //
-// Single-threaded event queue with a monotone simulated clock, plus the node
-// registry and link wiring for the fabric. This is the ns-3 substitute the
-// reproduction needs: the paper defers closed-loop trimming studies to
-// "full-scale simulations" (§5.1); this kernel runs them.
+// The engine keeps a monotone simulated clock, the node registry, and the
+// link wiring for the fabric. Events live in per-domain priority heaps; a
+// *domain* is a set of nodes (default: everything in domain 0). With one
+// domain the engine is the classic single-queue sequential simulator. With
+// a multi-domain partition it can additionally run *parallel*: each pool
+// worker drains its domains' heaps between conservative synchronization
+// horizons (barrier windows of width `lookahead()`, the minimum latency of
+// any inter-domain link), which is what lets 1024-host closed-loop runs use
+// every core. See DESIGN.md "Parallel simulation" for the determinism
+// argument; the short version is that the event order is defined by the
+// partition-aware key (time, scheduling domain, per-domain sequence) — never
+// by thread scheduling — so sequential and parallel execution of the same
+// partitioned fabric are bit-identical, for any TRIMGRAD_THREADS.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "net/frame.h"
@@ -52,7 +61,8 @@ class Port {
   bool transmitting_ = false;
 };
 
-/// The simulation engine: event queue, clock, node registry, link wiring.
+/// The simulation engine: event heaps, clock, node registry, link wiring,
+/// and (optionally) a sharded-execution plan over a node partition.
 class Simulator {
  public:
   Simulator();
@@ -60,16 +70,63 @@ class Simulator {
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
-  SimTime now() const noexcept { return now_; }
+  /// Simulated now. Inside an event handler this is the executing domain's
+  /// clock (domains advance independently within a synchronization window);
+  /// outside a run it is the global high-water mark.
+  SimTime now() const noexcept;
 
-  /// Schedule `fn` to run `delay` seconds from now (delay >= 0).
+  /// Schedule `fn` to run `delay` seconds from now (delay >= 0). The event
+  /// executes in the domain of the node whose handler is currently running
+  /// (node-local timers inherit their node), or domain 0 when scheduled
+  /// from outside any event.
   void schedule(SimTime delay, std::function<void()> fn);
 
-  /// Run until the event queue drains. Returns the final clock value.
+  /// Schedule `fn` anchored at `node`: it executes in `node`'s domain, with
+  /// that node as the current context (so nested schedules and frame ids
+  /// stay with the node). This is how traffic generators start flows on
+  /// partitioned fabrics without violating domain confinement.
+  void schedule_at(NodeId node, SimTime delay, std::function<void()> fn);
+
+  /// Run until every event heap drains. Returns the final clock value.
   SimTime run();
 
   /// Run until the clock reaches `t` (events at > t stay queued).
   void run_until(SimTime t);
+
+  // --- Partitioning & parallel execution -----------------------------------
+
+  /// Assign `node` to `domain`. Call after the topology is built and before
+  /// any traffic is scheduled. Domain ids must be dense (0..D-1 all used).
+  void set_node_domain(NodeId node, std::uint32_t domain);
+
+  /// Domain of a node (0 unless assigned).
+  std::uint32_t node_domain(NodeId node) const noexcept;
+
+  /// Freeze the partition: computes the conservative lookahead (minimum
+  /// latency over links that cross domains) and allocates per-domain state.
+  /// Throws std::invalid_argument if any inter-domain link has zero latency
+  /// (no lookahead -> no safe window), and std::logic_error if events are
+  /// already queued or the clock has advanced.
+  void seal_partition();
+
+  /// Execute sharded across ThreadPool::global() (requires a sealed
+  /// partition with >= 2 domains). Off by default: the engine runs
+  /// sequentially, which is also the bit-identical reference the parallel
+  /// mode is tested against. Throws std::logic_error if unsealed.
+  void set_parallel_execution(bool on);
+  bool parallel_execution() const noexcept { return parallel_; }
+
+  std::uint32_t domain_count() const noexcept {
+    return static_cast<std::uint32_t>(domains_.size());
+  }
+  /// Conservative lookahead of the sealed partition (0 before sealing or
+  /// with a single domain).
+  SimTime lookahead() const noexcept { return lookahead_; }
+
+  /// Events executed so far, summed over domains (bench bookkeeping).
+  std::uint64_t executed_events() const noexcept;
+
+  // --- Topology ------------------------------------------------------------
 
   /// Construct a node of type T (T : public Node) and register it.
   template <typename T, typename... Args>
@@ -100,11 +157,14 @@ class Simulator {
   /// Returns false if the queue dropped the frame.
   bool transmit(NodeId from, std::size_t port_idx, Frame frame);
 
-  /// Fresh frame id for tracing.
-  std::uint64_t next_frame_id() noexcept { return ++frame_counter_; }
+  /// Fresh frame id for tracing and the fault plane's stateless coins.
+  /// Drawn from the current domain's counter (domain 0 outside events), so
+  /// ids are deterministic under any execution mode; ids from different
+  /// domains live in disjoint ranges.
+  std::uint64_t next_frame_id() noexcept;
 
   /// Total frames delivered to nodes (for conservation checks in tests).
-  std::uint64_t delivered_frames() const noexcept { return delivered_; }
+  std::uint64_t delivered_frames() const noexcept;
 
   /// Attach a fault plane (net/fault_plane.h); nullptr detaches. The plane
   /// must outlive every run while attached. Consulted at transmit (origin
@@ -116,14 +176,32 @@ class Simulator {
  private:
   struct Event {
     SimTime time;
-    std::uint64_t order;  ///< FIFO tiebreaker for equal times
+    std::uint32_t key_domain;  ///< scheduling domain (tiebreaker, part 1)
+    std::uint64_t key_seq;     ///< per-domain sequence (tiebreaker, part 2)
+    NodeId exec_node;          ///< node context the event runs as
     std::function<void()> fn;
   };
+  /// a after b in execution order? Key = (time, key_domain, key_seq): with
+  /// one domain this is exactly time-then-FIFO; the key never depends on
+  /// thread scheduling, which is the whole determinism argument.
   struct EventLater {
     bool operator()(const Event& a, const Event& b) const noexcept {
       if (a.time != b.time) return a.time > b.time;
-      return a.order > b.order;
+      if (a.key_domain != b.key_domain) return a.key_domain > b.key_domain;
+      return a.key_seq > b.key_seq;
     }
+  };
+
+  /// Per-domain execution state. Padded: in parallel windows each domain is
+  /// owned by exactly one worker, and neighbors must not share cache lines.
+  struct alignas(64) Domain {
+    std::vector<Event> heap;    ///< binary heap via std::push_heap/pop_heap
+    std::vector<Event> outbox;  ///< cross-domain events emitted this window
+    SimTime now = 0.0;
+    std::uint64_t seq = 0;        ///< event-key sequence for this scheduler
+    std::uint64_t frame_seq = 0;  ///< frame-id counter for this scheduler
+    std::uint64_t delivered = 0;
+    std::uint64_t executed = 0;
   };
 
   NodeId next_node_id() noexcept {
@@ -132,12 +210,27 @@ class Simulator {
   void register_node(std::unique_ptr<Node> node);
   void drain_port(NodeId node_id, std::size_t port_idx);
 
+  std::uint32_t exec_domain_of(NodeId node) const noexcept;
+  void schedule_event(NodeId exec_node, SimTime delay,
+                      std::function<void()> fn);
+  void push_event(Event ev);
+  /// Execute ready events of `d` with time < bound and <= until.
+  void run_domain(std::uint32_t d, SimTime bound, SimTime until);
+  void run_sequential(SimTime until);
+  void run_parallel(SimTime until);
+  bool next_event_time(SimTime* t) const noexcept;
+
   SimTime now_ = 0.0;
   FaultPlane* fault_plane_ = nullptr;
-  std::uint64_t event_counter_ = 0;
-  std::uint64_t frame_counter_ = 0;
-  std::uint64_t delivered_ = 0;
-  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  bool sealed_ = false;
+  bool parallel_ = false;
+  /// True while a parallel window is in flight (ordered by the pool's job
+  /// publish/latch, so plain bool suffices); cross-domain pushes divert to
+  /// the scheduler's outbox.
+  bool in_window_ = false;
+  SimTime lookahead_ = 0.0;
+  std::vector<Domain> domains_;            ///< always >= 1 (domain 0)
+  std::vector<std::uint32_t> node_domain_; ///< by node id; empty -> all 0
   std::vector<std::unique_ptr<Node>> nodes_;
 };
 

@@ -20,27 +20,32 @@ struct SwitchTelemetry {
 
 }  // namespace
 
-void SwitchNode::on_frame(Frame frame) {
-  std::size_t out;
-  const auto it = routes_.find(frame.dst);
+std::ptrdiff_t SwitchNode::egress_for(NodeId dst,
+                                      std::uint32_t flow_id) const noexcept {
+  const auto it = routes_.find(dst);
+  const std::vector<std::size_t>* group = nullptr;
   if (it != routes_.end() && !it->second.empty()) {
-    const auto& group = it->second;
-    if (group.size() == 1) {
-      out = group[0];
-    } else {
-      // Per-flow ECMP: deterministic hash keeps a flow on one path.
-      const std::uint64_t h = core::mix64(frame.flow_id, frame.dst);
-      out = group[h % group.size()];
-    }
-  } else if (default_port_ >= 0) {
-    out = static_cast<std::size_t>(default_port_);
+    group = &it->second;
+  } else if (!default_group_.empty()) {
+    group = &default_group_;
   } else {
+    return -1;
+  }
+  if (group->size() == 1) return static_cast<std::ptrdiff_t>((*group)[0]);
+  // Per-flow ECMP: deterministic hash keeps a flow on one path.
+  const std::uint64_t h = core::mix64(flow_id, dst);
+  return static_cast<std::ptrdiff_t>((*group)[h % group->size()]);
+}
+
+void SwitchNode::on_frame(Frame frame) {
+  const std::ptrdiff_t out = egress_for(frame.dst, frame.flow_id);
+  if (out < 0) {
     ++unroutable_;
     SwitchTelemetry::get().unroutable.add();
     return;
   }
   SwitchTelemetry::get().forwarded.add();
-  sim_.transmit(id(), out, std::move(frame));
+  sim_.transmit(id(), static_cast<std::size_t>(out), std::move(frame));
 }
 
 }  // namespace trimgrad::net

@@ -30,18 +30,35 @@ class SwitchNode : public Node {
   }
 
   /// Fallback port when no table entry matches (e.g. leaf uplink).
-  void set_default_route(std::size_t port_idx) {
-    default_port_ = static_cast<std::ptrdiff_t>(port_idx);
+  void set_default_route(std::size_t port_idx) { default_group_ = {port_idx}; }
+
+  /// ECMP fallback: unmatched frames hash across `port_idxs` (fat-tree
+  /// edge/agg uplinks, where per-remote-host entries would be wasteful).
+  void set_default_ecmp(std::vector<std::size_t> port_idxs) {
+    default_group_ = std::move(port_idxs);
   }
 
   void on_frame(Frame frame) override;
+
+  /// The exact egress port the datapath would pick for (dst, flow_id),
+  /// including the ECMP hash; -1 if the frame would be unroutable. This is
+  /// the hook the topology invariant tests use to walk paths.
+  std::ptrdiff_t egress_for(NodeId dst, std::uint32_t flow_id) const noexcept;
+
+  /// Route table entry for `dst` (ECMP group), or nullptr if none.
+  const std::vector<std::size_t>* route_ports(NodeId dst) const noexcept {
+    const auto it = routes_.find(dst);
+    return it == routes_.end() ? nullptr : &it->second;
+  }
+
+  std::size_t route_count() const noexcept { return routes_.size(); }
 
   /// Frames that arrived with no usable route (counted, then dropped).
   std::uint64_t unroutable() const noexcept { return unroutable_; }
 
  private:
   std::unordered_map<NodeId, std::vector<std::size_t>> routes_;
-  std::ptrdiff_t default_port_ = -1;
+  std::vector<std::size_t> default_group_;
   std::uint64_t unroutable_ = 0;
 };
 

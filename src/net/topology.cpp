@@ -1,8 +1,24 @@
 #include "net/topology.h"
 
+#include <stdexcept>
 #include <string>
 
 namespace trimgrad::net {
+
+namespace {
+
+/// "p3-e1"-style names, built with += to sidestep GCC 12's false-positive
+/// -Wrestrict on `literal + to_string(...)` (PR 105651).
+std::string tiered_name(const char* prefix, std::size_t a, const char* infix,
+                        std::size_t b) {
+  std::string name = prefix;
+  name += std::to_string(a);
+  name += infix;
+  name += std::to_string(b);
+  return name;
+}
+
+}  // namespace
 
 std::vector<NodeId> LeafSpine::all_hosts() const {
   std::vector<NodeId> out;
@@ -107,6 +123,137 @@ LeafSpine build_leaf_spine(Simulator& sim, std::size_t n_leaves,
     }
   }
   return t;
+}
+
+std::vector<NodeId> FatTree::all_hosts() const {
+  std::vector<NodeId> out;
+  out.reserve(host_count());
+  for (const auto& pod : pod_hosts) out.insert(out.end(), pod.begin(), pod.end());
+  return out;
+}
+
+FatTree build_fat_tree(Simulator& sim, std::size_t k, const FabricConfig& cfg) {
+  if (k < 2 || k % 2 != 0) {
+    throw std::invalid_argument("build_fat_tree: k must be even and >= 2");
+  }
+  const std::size_t half = k / 2;
+  FatTree ft;
+  ft.k = k;
+  ft.pod_hosts.resize(k);
+  ft.edges.resize(k);
+  ft.aggs.resize(k);
+  ft.cores.resize(half);
+
+  // Switch layer first so the wiring loops can reference every id.
+  for (std::size_t p = 0; p < k; ++p) {
+    for (std::size_t e = 0; e < half; ++e) {
+      ft.edges[p].push_back(
+          sim.add_node<SwitchNode>(tiered_name("p", p, "-e", e)).id());
+    }
+    for (std::size_t a = 0; a < half; ++a) {
+      ft.aggs[p].push_back(
+          sim.add_node<SwitchNode>(tiered_name("p", p, "-a", a)).id());
+    }
+  }
+  for (std::size_t g = 0; g < half; ++g) {
+    for (std::size_t i = 0; i < half; ++i) {
+      ft.cores[g].push_back(
+          sim.add_node<SwitchNode>(tiered_name("c", g, "-", i)).id());
+    }
+  }
+
+  // Pod-internal mesh: every edge to every agg in the pod.
+  // agg_down[p][a][e] = port on agg a of pod p toward edge e;
+  // edge_up[p][e][a] = port on edge e of pod p toward agg a.
+  std::vector<std::vector<std::vector<std::size_t>>> agg_down(k);
+  std::vector<std::vector<std::vector<std::size_t>>> edge_up(k);
+  for (std::size_t p = 0; p < k; ++p) {
+    agg_down[p].resize(half);
+    edge_up[p].resize(half);
+    for (std::size_t e = 0; e < half; ++e) {
+      for (std::size_t a = 0; a < half; ++a) {
+        const auto [ep, ap] = sim.connect(ft.edges[p][e], ft.aggs[p][a],
+                                          cfg.core_link, cfg.switch_queue);
+        edge_up[p][e].push_back(ep);
+        agg_down[p][a].push_back(ap);
+      }
+    }
+  }
+
+  // Agg j of every pod to all k/2 cores of group j — the only links that
+  // cross pods, hence the only inter-domain links of the partition.
+  // core_down[g][i][p] = port on core (g, i) toward pod p.
+  std::vector<std::vector<std::vector<std::size_t>>> core_down(half);
+  for (std::size_t g = 0; g < half; ++g) {
+    core_down[g].resize(half);
+    for (std::size_t p = 0; p < k; ++p) {
+      for (std::size_t i = 0; i < half; ++i) {
+        const auto [ap, cp] = sim.connect(ft.aggs[p][g], ft.cores[g][i],
+                                          cfg.core_link, cfg.switch_queue);
+        (void)ap;  // agg uplinks are contiguous after the k/2 downlinks
+        core_down[g][i].push_back(cp);
+      }
+    }
+  }
+
+  // Hosts under each edge switch, with routes installed bottom-up: the
+  // edge knows its hosts, every agg in the pod routes down to the right
+  // edge, every core routes down to the host's pod.
+  for (std::size_t p = 0; p < k; ++p) {
+    for (std::size_t e = 0; e < half; ++e) {
+      auto& edge = static_cast<SwitchNode&>(sim.node(ft.edges[p][e]));
+      for (std::size_t h = 0; h < half; ++h) {
+        auto& host = sim.add_node<Host>(
+            tiered_name("p", p, "-h", e * half + h));
+        const auto [host_port, edge_port] =
+            sim.connect(host.id(), ft.edges[p][e], cfg.edge_link,
+                        cfg.host_queue, cfg.switch_queue);
+        (void)host_port;
+        ft.pod_hosts[p].push_back(host.id());
+        edge.set_route(host.id(), edge_port);
+        for (std::size_t a = 0; a < half; ++a) {
+          static_cast<SwitchNode&>(sim.node(ft.aggs[p][a]))
+              .set_route(host.id(), agg_down[p][a][e]);
+        }
+        for (std::size_t g = 0; g < half; ++g) {
+          for (std::size_t i = 0; i < half; ++i) {
+            static_cast<SwitchNode&>(sim.node(ft.cores[g][i]))
+                .set_route(host.id(), core_down[g][i][p]);
+          }
+        }
+      }
+    }
+  }
+
+  // Unmatched traffic ECMPs upward: edges across their pod's aggs, aggs
+  // across their core group. (Aggs match intra-pod hosts in the table
+  // first, so only inter-pod traffic climbs to the cores.)
+  for (std::size_t p = 0; p < k; ++p) {
+    for (std::size_t e = 0; e < half; ++e) {
+      static_cast<SwitchNode&>(sim.node(ft.edges[p][e]))
+          .set_default_ecmp(edge_up[p][e]);
+    }
+    for (std::size_t a = 0; a < half; ++a) {
+      auto& agg = static_cast<SwitchNode&>(sim.node(ft.aggs[p][a]));
+      std::vector<std::size_t> uplinks;
+      for (std::size_t i = 0; i < half; ++i) uplinks.push_back(half + i);
+      agg.set_default_ecmp(std::move(uplinks));
+    }
+  }
+  return ft;
+}
+
+void partition_fat_tree(Simulator& sim, const FatTree& ft) {
+  for (std::size_t p = 0; p < ft.k; ++p) {
+    const auto d = static_cast<std::uint32_t>(p);
+    for (NodeId id : ft.edges[p]) sim.set_node_domain(id, d);
+    for (NodeId id : ft.aggs[p]) sim.set_node_domain(id, d);
+    for (NodeId id : ft.pod_hosts[p]) sim.set_node_domain(id, d);
+  }
+  for (std::size_t g = 0; g < ft.cores.size(); ++g) {
+    const auto d = static_cast<std::uint32_t>(ft.k + g);
+    for (NodeId id : ft.cores[g]) sim.set_node_domain(id, d);
+  }
 }
 
 }  // namespace trimgrad::net

@@ -57,4 +57,35 @@ LeafSpine build_leaf_spine(Simulator& sim, std::size_t n_leaves,
                            std::size_t n_spines, std::size_t hosts_per_leaf,
                            const FabricConfig& cfg);
 
+/// Three-tier k-ary fat-tree (Al-Fares et al.): k pods of k/2 edge + k/2
+/// aggregation switches, (k/2)^2 cores in k/2 groups, k^3/4 hosts. k = 16
+/// is the 1024-host default large topology. Agg j of every pod connects to
+/// all k/2 cores of group j, so the only inter-pod links are agg <-> core —
+/// which is what makes the pod-per-domain partition (below) legal.
+struct FatTree {
+  std::size_t k = 0;
+  std::vector<std::vector<NodeId>> pod_hosts;  ///< [pod][i], (k/2)^2 per pod
+  std::vector<std::vector<NodeId>> edges;      ///< [pod][e], k/2 per pod
+  std::vector<std::vector<NodeId>> aggs;       ///< [pod][a], k/2 per pod
+  std::vector<std::vector<NodeId>> cores;      ///< [group][i], k/2 per group
+
+  std::size_t host_count() const noexcept { return k * k * k / 4; }
+  /// Domains of the canonical partition: one per pod + one per core group.
+  std::size_t domain_count() const noexcept { return k + k / 2; }
+
+  /// Flattened host list, pod-major.
+  std::vector<NodeId> all_hosts() const;
+};
+
+/// Build the fabric with full routing: edge/agg switches ECMP unmatched
+/// traffic up (default group = uplinks), cores route every host down via
+/// its pod's aggregation layer. `k` must be even and >= 2.
+FatTree build_fat_tree(Simulator& sim, std::size_t k, const FabricConfig& cfg);
+
+/// Canonical sharding partition: pod p -> domain p, core group g -> domain
+/// k + g. Every inter-domain link is an agg <-> core link, so the
+/// conservative lookahead after seal_partition() is cfg.core_link.latency_s.
+/// Assigns domains only; the caller seals when the fabric is complete.
+void partition_fat_tree(Simulator& sim, const FatTree& ft);
+
 }  // namespace trimgrad::net

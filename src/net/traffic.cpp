@@ -22,7 +22,7 @@ ManagedFlow::ManagedFlow(Simulator& sim, NodeId src, NodeId dst,
                          std::uint32_t flow_id, TransportConfig cfg,
                          std::size_t n_packets,
                          std::function<void(const Frame&)> on_data)
-    : sim_(sim) {
+    : sim_(sim), src_(src) {
   auto& src_host = static_cast<Host&>(sim.node(src));
   auto& dst_host = static_cast<Host&>(sim.node(dst));
   sender_ = std::make_unique<Sender>(src_host, dst, flow_id, cfg);
@@ -33,8 +33,11 @@ ManagedFlow::ManagedFlow(Simulator& sim, NodeId src, NodeId dst,
 void ManagedFlow::start_at(SimTime when, std::vector<SendItem> items,
                            std::function<void(const FlowStats&)> on_complete) {
   assert(when >= sim_.now());
-  sim_.schedule(when - sim_.now(), [this, items = std::move(items),
-                                    cb = std::move(on_complete)]() mutable {
+  // Anchored at the source host so the start event (and everything the
+  // sender schedules from it) runs in the source's domain.
+  sim_.schedule_at(src_, when - sim_.now(),
+                   [this, items = std::move(items),
+                    cb = std::move(on_complete)]() mutable {
     sender_->send_message(std::move(items), [this, cb = std::move(cb)](
                                                 const FlowStats& st) {
       done_ = true;
@@ -88,35 +91,30 @@ std::size_t IncastPattern::completed_count() const {
 
 PoissonTraffic::PoissonTraffic(Simulator& sim, std::vector<NodeId> hosts,
                                const Config& cfg)
-    : sim_(sim),
-      hosts_(std::move(hosts)),
-      cfg_(cfg),
-      rng_(cfg.seed),
-      next_flow_id_(cfg.base_flow_id) {
+    : sim_(sim), hosts_(std::move(hosts)), cfg_(cfg) {
   assert(hosts_.size() >= 2);
-  sim_.schedule(cfg_.start - sim_.now(), [this] { schedule_next(); });
-}
-
-void PoissonTraffic::schedule_next() {
-  if (sim_.now() >= cfg_.stop) return;
-  const double gap = -std::log(1.0 - rng_.uniform()) / cfg_.flows_per_sec;
-  sim_.schedule(gap, [this] {
-    if (sim_.now() >= cfg_.stop) return;
-    launch_flow();
-    schedule_next();
-  });
-}
-
-void PoissonTraffic::launch_flow() {
-  const std::size_t a = rng_.below(hosts_.size());
-  std::size_t b = rng_.below(hosts_.size() - 1);
-  if (b >= a) ++b;  // distinct src/dst, uniform over ordered pairs
-  auto flow = std::make_unique<ManagedFlow>(sim_, hosts_[a], hosts_[b],
-                                            next_flow_id_++, cfg_.transport,
-                                            cfg_.packets_per_flow);
-  flow->start_at(sim_.now(), make_bulk_items(cfg_.packets_per_flow,
-                                             cfg_.mtu_bytes, cfg_.trim_size));
-  flows_.push_back(std::move(flow));
+  // Draw the whole arrival process up front — same draw order as the old
+  // launch-as-you-go generator (gap, src, dst, gap, ...), so a given seed
+  // produces the identical schedule. Every flow's endpoints exist before
+  // the run starts; the only mid-run work is the per-flow start event,
+  // anchored at its source host.
+  core::Xoshiro256 rng(cfg_.seed);
+  std::uint32_t next_flow_id = cfg_.base_flow_id;
+  SimTime t = std::max(cfg_.start, sim_.now());
+  while (t < cfg_.stop) {
+    const double gap = -std::log(1.0 - rng.uniform()) / cfg_.flows_per_sec;
+    t += gap;
+    if (t >= cfg_.stop) break;
+    const std::size_t a = rng.below(hosts_.size());
+    std::size_t b = rng.below(hosts_.size() - 1);
+    if (b >= a) ++b;  // distinct src/dst, uniform over ordered pairs
+    auto flow = std::make_unique<ManagedFlow>(sim_, hosts_[a], hosts_[b],
+                                              next_flow_id++, cfg_.transport,
+                                              cfg_.packets_per_flow);
+    flow->start_at(t, make_bulk_items(cfg_.packets_per_flow, cfg_.mtu_bytes,
+                                      cfg_.trim_size));
+    flows_.push_back(std::move(flow));
+  }
 }
 
 std::size_t PoissonTraffic::completed() const {

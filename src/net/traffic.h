@@ -35,7 +35,9 @@ class ManagedFlow {
               TransportConfig cfg, std::size_t n_packets,
               std::function<void(const Frame&)> on_data = {});
 
-  /// Start at an absolute simulation time.
+  /// Start at an absolute simulation time. The start event is anchored at
+  /// the source host (Simulator::schedule_at), so flows launch correctly on
+  /// partitioned fabrics: the event runs in the src host's domain.
   void start_at(SimTime when, std::vector<SendItem> items,
                 std::function<void(const FlowStats&)> on_complete = {});
 
@@ -48,6 +50,7 @@ class ManagedFlow {
 
  private:
   Simulator& sim_;
+  NodeId src_;
   std::unique_ptr<Sender> sender_;
   std::unique_ptr<Receiver> receiver_;
   bool done_ = false;
@@ -80,6 +83,14 @@ class IncastPattern {
 };
 
 /// Poisson background load between random host pairs.
+///
+/// The whole arrival schedule (times, src/dst pairs, flow ids) is drawn at
+/// construction and every flow's endpoints are created up front, with start
+/// events anchored at their source hosts. The draw order matches the old
+/// launch-as-you-go generator exactly (gap, src, dst, gap, ...), so the
+/// schedule for a given seed is unchanged — but nothing mutates shared
+/// state mid-run, which is what lets background load run on a partitioned
+/// (sharded) fabric.
 class PoissonTraffic {
  public:
   struct Config {
@@ -102,14 +113,9 @@ class PoissonTraffic {
   std::vector<SimTime> fcts() const;
 
  private:
-  void schedule_next();
-  void launch_flow();
-
   Simulator& sim_;
   std::vector<NodeId> hosts_;
   Config cfg_;
-  core::Xoshiro256 rng_;
-  std::uint32_t next_flow_id_;
   std::vector<std::unique_ptr<ManagedFlow>> flows_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "net/traffic.h"
@@ -117,6 +118,152 @@ TEST(LeafSpine, EcmpSpreadsFlowsAcrossSpines) {
     if (carried > 0) ++spines_used;
   }
   EXPECT_GE(spines_used, 3) << "64 flows should hash across >= 3 of 4 spines";
+}
+
+/// Number of links a frame for (dst, flow_id) traverses from src, walked
+/// through the exact datapath egress selection. Returns -1 on a routing
+/// loop or an unroutable hop.
+int walk_path(Simulator& sim, NodeId src, NodeId dst, std::uint32_t flow_id) {
+  NodeId cur = sim.node(src).port(0).peer();  // host's single uplink
+  int hops = 1;
+  while (cur != dst) {
+    if (hops > 10) return -1;
+    auto& sw = static_cast<SwitchNode&>(sim.node(cur));
+    const std::ptrdiff_t out = sw.egress_for(dst, flow_id);
+    if (out < 0) return -1;
+    cur = sim.node(cur).port(static_cast<std::size_t>(out)).peer();
+    ++hops;
+  }
+  return hops;
+}
+
+/// Construction invariants for a k-ary fat-tree, checked at k = 4/8/16 so
+/// the 1024-host default cannot silently miswire.
+void check_fat_tree_invariants(std::size_t k) {
+  SCOPED_TRACE("k=" + std::to_string(k));
+  const std::size_t half = k / 2;
+  Simulator sim;
+  const FatTree ft = build_fat_tree(sim, k, default_cfg());
+
+  // --- Counts ---------------------------------------------------------
+  ASSERT_EQ(ft.k, k);
+  EXPECT_EQ(ft.all_hosts().size(), k * k * k / 4);
+  EXPECT_EQ(ft.host_count(), k * k * k / 4);
+  ASSERT_EQ(ft.edges.size(), k);
+  ASSERT_EQ(ft.aggs.size(), k);
+  ASSERT_EQ(ft.cores.size(), half);
+  for (std::size_t p = 0; p < k; ++p) {
+    EXPECT_EQ(ft.edges[p].size(), half);
+    EXPECT_EQ(ft.aggs[p].size(), half);
+    EXPECT_EQ(ft.pod_hosts[p].size(), half * half);
+  }
+  for (const auto& group : ft.cores) EXPECT_EQ(group.size(), half);
+  EXPECT_EQ(sim.node_count(), k * k * k / 4 + k * k + half * half);
+
+  // --- Port counts: every switch radix is exactly k, hosts have one NIC.
+  std::set<NodeId> core_ids;
+  for (const auto& group : ft.cores)
+    core_ids.insert(group.begin(), group.end());
+  for (std::size_t p = 0; p < k; ++p) {
+    for (NodeId e : ft.edges[p]) EXPECT_EQ(sim.node(e).port_count(), k);
+    for (NodeId a : ft.aggs[p]) EXPECT_EQ(sim.node(a).port_count(), k);
+    for (NodeId h : ft.pod_hosts[p]) EXPECT_EQ(sim.node(h).port_count(), 1u);
+  }
+  for (NodeId c : core_ids) EXPECT_EQ(sim.node(c).port_count(), k);
+
+  // --- Bisection: agg->core links must number k^3/4 (full bisection,
+  // one per host), and every agg uplink must land on a core in the agg's
+  // own group.
+  std::size_t bisection_links = 0;
+  for (std::size_t p = 0; p < k; ++p) {
+    for (std::size_t a = 0; a < half; ++a) {
+      const Node& agg = sim.node(ft.aggs[p][a]);
+      for (std::size_t port = half; port < k; ++port) {
+        const NodeId peer = agg.port(port).peer();
+        EXPECT_TRUE(core_ids.count(peer)) << "agg uplink not to a core";
+        EXPECT_TRUE(std::count(ft.cores[a].begin(), ft.cores[a].end(), peer))
+            << "agg " << a << " wired outside core group " << a;
+        ++bisection_links;
+      }
+    }
+  }
+  EXPECT_EQ(bisection_links, k * k * k / 4);
+
+  // --- Path lengths through the real datapath: 2 links under one edge,
+  // 4 within a pod, 6 across pods — for several ECMP hash inputs.
+  const NodeId src = ft.pod_hosts[0][0];
+  const NodeId same_edge = ft.pod_hosts[0][1];
+  const NodeId same_pod = ft.pod_hosts[0][half * half - 1];  // last edge
+  const NodeId other_pod = ft.pod_hosts[k - 1][0];
+  for (std::uint32_t flow = 1; flow <= 16; ++flow) {
+    EXPECT_EQ(walk_path(sim, src, same_edge, flow), 2);
+    EXPECT_EQ(walk_path(sim, src, same_pod, flow), 4);
+    EXPECT_EQ(walk_path(sim, src, other_pod, flow), 6);
+    EXPECT_EQ(walk_path(sim, other_pod, src, flow), 6);
+  }
+
+  // --- Partition: the canonical sharding must cross domains only on
+  // agg <-> core links, and the sealed lookahead is the core-link latency.
+  partition_fat_tree(sim, ft);
+  for (std::size_t id = 0; id < sim.node_count(); ++id) {
+    const Node& n = sim.node(static_cast<NodeId>(id));
+    for (std::size_t port = 0; port < n.port_count(); ++port) {
+      const NodeId peer = n.port(port).peer();
+      if (sim.node_domain(n.id()) == sim.node_domain(peer)) continue;
+      const bool n_is_core = core_ids.count(n.id()) > 0;
+      const bool peer_is_core = core_ids.count(peer) > 0;
+      EXPECT_TRUE(n_is_core != peer_is_core)
+          << "inter-domain link not agg<->core: " << n.name();
+    }
+  }
+  sim.seal_partition();
+  EXPECT_EQ(sim.domain_count(), k + half);
+  EXPECT_DOUBLE_EQ(sim.lookahead(), default_cfg().core_link.latency_s);
+}
+
+TEST(FatTree, InvariantsK4) { check_fat_tree_invariants(4); }
+TEST(FatTree, InvariantsK8) { check_fat_tree_invariants(8); }
+TEST(FatTree, InvariantsK16) { check_fat_tree_invariants(16); }
+
+TEST(FatTree, RejectsOddOrTinyK) {
+  Simulator sim;
+  FabricConfig cfg;
+  EXPECT_THROW(build_fat_tree(sim, 3, cfg), std::invalid_argument);
+  EXPECT_THROW(build_fat_tree(sim, 0, cfg), std::invalid_argument);
+}
+
+TEST(FatTree, AnyPairCommunicatesAndEcmpSpreadsAcrossCores) {
+  Simulator sim;
+  const FatTree ft = build_fat_tree(sim, 4, default_cfg());
+  const auto hosts = ft.all_hosts();
+  // A sampled all-pairs sweep (full 16x16 would be slow for no extra
+  // coverage): every pod pair appears.
+  std::vector<std::unique_ptr<ManagedFlow>> flows;
+  std::uint32_t flow_id = 1;
+  for (std::size_t i = 0; i < hosts.size(); i += 3) {
+    for (std::size_t j = 0; j < hosts.size(); j += 5) {
+      if (hosts[i] == hosts[j]) continue;
+      auto f = std::make_unique<ManagedFlow>(sim, hosts[i], hosts[j],
+                                             flow_id++,
+                                             TransportConfig::reliable(), 2);
+      f->start_at(0.0, make_bulk_items(2, 1500, 0));
+      flows.push_back(std::move(f));
+    }
+  }
+  sim.run();
+  for (const auto& f : flows) EXPECT_TRUE(f->done());
+  int cores_used = 0;
+  for (const auto& group : ft.cores) {
+    for (NodeId c : group) {
+      auto& core_sw = sim.node(c);
+      std::uint64_t carried = 0;
+      for (std::size_t p = 0; p < core_sw.port_count(); ++p)
+        carried += core_sw.port(p).queue().counters().enqueued;
+      if (carried > 0) ++cores_used;
+      EXPECT_EQ(static_cast<SwitchNode&>(core_sw).unroutable(), 0u);
+    }
+  }
+  EXPECT_GE(cores_used, 2) << "inter-pod flows should use multiple cores";
 }
 
 TEST(Poisson, BackgroundFlowsLaunchAndComplete) {

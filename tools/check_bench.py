@@ -5,6 +5,9 @@ Usage:
     check_bench.py CANDIDATE [--baseline BENCH_parallel.json]
                    [--max-slowdown 2.0] [--min-speedup 3.0]
     check_bench.py --elastic BENCH_elastic.json
+    check_bench.py --simscale BENCH_simscale.json
+                   [--baseline BENCH_simscale.json]
+                   [--max-slowdown 2.0] [--min-speedup 3.0]
 
 Default mode validates the BENCH_parallel.json produced by
 bench_parallel_scaling (smoke or full size).  The committed baseline holds
@@ -18,6 +21,16 @@ single-thread time at some measured thread count.  The floor is capped by
 the cores the machine actually has (hardware_threads in the JSON), so the
 same invocation demands ~3x on an 8-core CI runner and degrades to a plain
 no-regression check on a single-core container.
+
+--simscale mode validates the BENCH_simscale.json produced by
+bench_simscale (the sharded-simulator scale benchmark).  The run must be
+bit-exact across execution modes (deterministic: true), its events/sec must
+not regress more than --max-slowdown below the baseline, and -- on machines
+with enough cores and a full-size (non-smoke) workload -- the sharded
+engine's best speedup over its own single-thread time must clear the
+hardware-capped --min-speedup floor.  Smoke workloads are too small to
+amortize window barriers, so they degrade to determinism + regression
+checks with a printed notice.
 
 --elastic mode validates the BENCH_elastic.json produced by
 bench_soak_elastic: the run must have drained its event queue, kept every
@@ -114,6 +127,80 @@ def check_scaling(doc, path, min_speedup):
                     f"{floor:.2f}x floor")
 
 
+def validate_simscale(doc, path):
+    """Structural checks on a bench_simscale JSON document."""
+    if not isinstance(doc, dict):
+        fail(1, f"{path}: top level is not an object")
+    required = ("hardware_threads", "deterministic", "k", "hosts", "events",
+                "thread_counts", "seconds", "events_per_sec", "speedup",
+                "sequential")
+    for key in required:
+        if key not in doc:
+            fail(1, f"{path}: missing key {key!r}")
+    if doc["deterministic"] is not True:
+        fail(1, f"{path}: deterministic is not true -- sharded runs diverged "
+                "from the sequential reference")
+    n = len(doc["thread_counts"])
+    if n == 0:
+        fail(1, f"{path}: empty thread_counts")
+    for key in ("seconds", "events_per_sec", "speedup"):
+        vals = doc[key]
+        if len(vals) != n:
+            fail(1, f"{path}: {key} has {len(vals)} entries for {n} "
+                    "thread counts")
+        if any(not isinstance(v, (int, float)) or v <= 0 for v in vals):
+            fail(1, f"{path}: {key} has non-positive entries")
+    if not isinstance(doc["events"], int) or doc["events"] <= 0:
+        fail(1, f"{path}: invalid events count")
+    seq = doc["sequential"]
+    if not isinstance(seq, dict) or "events_per_sec" not in seq:
+        fail(1, f"{path}: sequential is missing events_per_sec")
+
+
+def check_simscale(args):
+    """Gate a bench_simscale run: determinism, scaling, regression."""
+    cand = load_json(args.candidate)
+    validate_simscale(cand, args.candidate)
+    hw = cand.get("hardware_threads") or 1
+    best_i = max(range(len(cand["speedup"])), key=lambda i: cand["speedup"][i])
+    best = cand["speedup"][best_i]
+    best_eps = max(cand["events_per_sec"])
+    print(f"check_bench: {args.candidate} is well-formed -- "
+          f"{cand['hosts']} hosts (k={cand['k']}), {cand['events']} events, "
+          f"bit-exact, best {best_eps:.3g} events/s, best speedup "
+          f"{best:.2f}x at {cand['thread_counts'][best_i]} threads")
+
+    if args.min_speedup is not None:
+        tmax = max(cand["thread_counts"])
+        if cand.get("smoke"):
+            print("check_bench: smoke workload -- too small to amortize "
+                  "window barriers; scaling gate skipped "
+                  "(determinism + regression gates still apply)")
+        else:
+            allowance = max(0.8, 0.4 * min(hw, tmax))
+            floor = min(args.min_speedup, allowance)
+            print(f"check_bench: scaling gate: floor {floor:.2f}x "
+                  f"(requested {args.min_speedup:.2f}x, "
+                  f"hardware_threads={hw})")
+            if best < floor:
+                fail(2, f"sharded simulator scaled only {best:.2f}x, below "
+                        f"the {floor:.2f}x floor")
+
+    if args.baseline is None:
+        return
+    base = load_json(args.baseline)
+    validate_simscale(base, args.baseline)
+    base_eps = max(base["events_per_sec"])
+    ratio = base_eps / best_eps
+    print(f"check_bench: events/sec: baseline {base_eps:.3g}, "
+          f"candidate {best_eps:.3g} (slowdown {ratio:.2f}x)")
+    if ratio > args.max_slowdown:
+        fail(2, f"events/sec regressed {ratio:.2f}x vs baseline "
+                f"(threshold {args.max_slowdown}x)")
+    print(f"check_bench: OK -- simscale within {args.max_slowdown}x "
+          "of baseline")
+
+
 def check_elastic(path):
     """Invariant gate on a bench_soak_elastic JSON document."""
     doc = load_json(path)
@@ -167,10 +254,17 @@ def main():
     ap.add_argument("--elastic", action="store_true",
                     help="treat CANDIDATE as BENCH_elastic.json from "
                          "bench_soak_elastic and gate its invariants")
+    ap.add_argument("--simscale", action="store_true",
+                    help="treat CANDIDATE as BENCH_simscale.json from "
+                         "bench_simscale and gate determinism, scaling, "
+                         "and events/sec regression")
     args = ap.parse_args()
 
     if args.elastic:
         check_elastic(args.candidate)
+        return
+    if args.simscale:
+        check_simscale(args)
         return
 
     cand = load_json(args.candidate)
@@ -188,12 +282,22 @@ def main():
     base = load_json(args.baseline)
     validate(base, args.baseline)
 
+    # Diff the section sets both ways before touching any values: a fresh
+    # bench run that grew a section the committed baseline lacks must fail
+    # with a regenerate-the-baseline message, not a lookup error.
+    missing_in_base = sorted(set(cand["sections"]) - set(base["sections"]))
+    if missing_in_base:
+        fail(1, f"{args.baseline}: baseline is missing sections "
+                f"{missing_in_base} that the candidate run produced -- "
+                "regenerate and commit the baseline")
+    missing_in_cand = sorted(set(base["sections"]) - set(cand["sections"]))
+    if missing_in_cand:
+        fail(1, f"{args.candidate}: candidate is missing sections "
+                f"{missing_in_cand} present in the baseline")
+
     worst = None
     for name, bsec in base["sections"].items():
-        csec = cand["sections"].get(name)
-        if csec is None:
-            fail(1, f"{args.candidate}: section {name!r} present in baseline "
-                    "but missing from candidate")
+        csec = cand["sections"][name]
         ratio = bsec["throughput"] / csec["throughput"]
         print(f"check_bench: {name}: baseline {bsec['throughput']:.3g} items/s, "
               f"candidate {csec['throughput']:.3g} items/s "

@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Unit tests for check_bench.py exit codes and error messages.
+
+Runs the script as a subprocess (the way CI invokes it) so the tests pin the
+actual contract: exit 0 on pass, 1 on malformed input, 2 on regression, and
+a clear one-line message -- never a traceback -- on section mismatches.
+
+Stdlib only; executable both as `python3 tools/test_check_bench.py` and
+under pytest (the classes are plain unittest.TestCase).
+"""
+
+import copy
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+CHECK_BENCH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "check_bench.py")
+
+PARALLEL_DOC = {
+    "hardware_threads": 8,
+    "isa": "avx2",
+    "smoke": False,
+    "deterministic": True,
+    "thread_counts": [1, 2],
+    "sections": {
+        "rht_encode_decode": {"seconds": [1.0, 0.5], "items": 100,
+                              "throughput": 100.0},
+        "eden_encode_decode": {"seconds": [1.0, 0.5], "items": 100,
+                               "throughput": 100.0},
+    },
+}
+
+SIMSCALE_DOC = {
+    "hardware_threads": 8,
+    "isa": "avx2",
+    "smoke": False,
+    "deterministic": True,
+    "k": 16,
+    "hosts": 1024,
+    "events": 2000000,
+    "sim_seconds": 0.012,
+    "sequential": {"seconds": 1.0, "events_per_sec": 2000000.0},
+    "thread_counts": [1, 2, 4, 8],
+    "seconds": [1.0, 0.55, 0.3, 0.25],
+    "events_per_sec": [2000000.0, 3636363.0, 6666666.0, 8000000.0],
+    "speedup": [1.0, 1.818, 3.333, 4.0],
+    "hosts_realtime": [24.0, 43.6, 80.0, 96.0],
+}
+
+
+class CheckBenchHarness(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self._tmp.cleanup)
+
+    def write(self, name, doc):
+        path = os.path.join(self._tmp.name, name)
+        with open(path, "w", encoding="utf-8") as f:
+            if isinstance(doc, str):
+                f.write(doc)
+            else:
+                json.dump(doc, f)
+        return path
+
+    def run_check(self, *argv):
+        return subprocess.run(
+            [sys.executable, CHECK_BENCH, *argv],
+            capture_output=True, text=True, check=False)
+
+    def assert_clean_failure(self, proc, code, needle):
+        self.assertEqual(proc.returncode, code,
+                         f"stdout={proc.stdout!r} stderr={proc.stderr!r}")
+        self.assertIn(needle, proc.stderr)
+        self.assertNotIn("Traceback", proc.stderr)
+
+
+class ParallelModeTest(CheckBenchHarness):
+    def test_well_formed_passes(self):
+        cand = self.write("cand.json", PARALLEL_DOC)
+        base = self.write("base.json", PARALLEL_DOC)
+        proc = self.run_check(cand, "--baseline", base)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_baseline_missing_section_fails_cleanly(self):
+        # A fresh run grew a section the committed baseline lacks: must be
+        # a clear "regenerate the baseline" failure, not a KeyError.
+        stale = copy.deepcopy(PARALLEL_DOC)
+        del stale["sections"]["eden_encode_decode"]
+        cand = self.write("cand.json", PARALLEL_DOC)
+        base = self.write("base.json", stale)
+        proc = self.run_check(cand, "--baseline", base)
+        self.assert_clean_failure(proc, 1, "regenerate")
+        self.assertIn("eden_encode_decode", proc.stderr)
+
+    def test_candidate_missing_section_fails_cleanly(self):
+        shrunk = copy.deepcopy(PARALLEL_DOC)
+        del shrunk["sections"]["eden_encode_decode"]
+        cand = self.write("cand.json", shrunk)
+        base = self.write("base.json", PARALLEL_DOC)
+        proc = self.run_check(cand, "--baseline", base)
+        self.assert_clean_failure(proc, 1, "missing sections")
+
+    def test_regression_exits_two(self):
+        slow = copy.deepcopy(PARALLEL_DOC)
+        for sec in slow["sections"].values():
+            sec["throughput"] = 10.0
+        cand = self.write("cand.json", slow)
+        base = self.write("base.json", PARALLEL_DOC)
+        proc = self.run_check(cand, "--baseline", base,
+                              "--max-slowdown", "2.0")
+        self.assert_clean_failure(proc, 2, "regressed")
+
+    def test_unparseable_json_exits_one(self):
+        cand = self.write("cand.json", "{not json")
+        proc = self.run_check(cand)
+        self.assert_clean_failure(proc, 1, "cannot parse")
+
+
+class SimscaleModeTest(CheckBenchHarness):
+    def test_well_formed_passes_with_gates(self):
+        cand = self.write("cand.json", SIMSCALE_DOC)
+        base = self.write("base.json", SIMSCALE_DOC)
+        proc = self.run_check("--simscale", cand, "--baseline", base,
+                              "--min-speedup", "3.0")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("scaling gate", proc.stdout)
+
+    def test_nondeterministic_run_exits_one(self):
+        bad = copy.deepcopy(SIMSCALE_DOC)
+        bad["deterministic"] = False
+        cand = self.write("cand.json", bad)
+        proc = self.run_check("--simscale", cand)
+        self.assert_clean_failure(proc, 1, "deterministic")
+
+    def test_missing_key_fails_cleanly(self):
+        bad = copy.deepcopy(SIMSCALE_DOC)
+        del bad["events_per_sec"]
+        cand = self.write("cand.json", bad)
+        proc = self.run_check("--simscale", cand)
+        self.assert_clean_failure(proc, 1, "events_per_sec")
+
+    def test_speedup_floor_capped_by_hardware(self):
+        # Flat scaling on a 1-core machine passes a 3x request: the floor
+        # degrades to max(0.8, 0.4*1) = 0.8 and speedup[0] is 1.0.
+        flat = copy.deepcopy(SIMSCALE_DOC)
+        flat["hardware_threads"] = 1
+        flat["seconds"] = [1.0, 1.1, 1.2, 1.3]
+        flat["events_per_sec"] = [2e6, 1.8e6, 1.6e6, 1.5e6]
+        flat["speedup"] = [1.0, 0.909, 0.833, 0.769]
+        cand = self.write("cand.json", flat)
+        proc = self.run_check("--simscale", cand, "--min-speedup", "3.0")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("floor 0.80x", proc.stdout)
+
+    def test_speedup_below_floor_exits_two(self):
+        flat = copy.deepcopy(SIMSCALE_DOC)
+        flat["speedup"] = [1.0, 1.1, 1.2, 1.2]  # 8 cores but no scaling
+        cand = self.write("cand.json", flat)
+        proc = self.run_check("--simscale", cand, "--min-speedup", "3.0")
+        self.assert_clean_failure(proc, 2, "below")
+
+    def test_smoke_run_skips_scaling_gate(self):
+        smoke = copy.deepcopy(SIMSCALE_DOC)
+        smoke["smoke"] = True
+        smoke["speedup"] = [1.0, 1.0, 1.0, 1.0]
+        cand = self.write("cand.json", smoke)
+        proc = self.run_check("--simscale", cand, "--min-speedup", "3.0")
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("scaling gate skipped", proc.stdout)
+
+    def test_events_per_sec_regression_exits_two(self):
+        slow = copy.deepcopy(SIMSCALE_DOC)
+        slow["events_per_sec"] = [v / 10 for v in slow["events_per_sec"]]
+        cand = self.write("cand.json", slow)
+        base = self.write("base.json", SIMSCALE_DOC)
+        proc = self.run_check("--simscale", cand, "--baseline", base)
+        self.assert_clean_failure(proc, 2, "events/sec regressed")
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)
