@@ -1,0 +1,275 @@
+// Chaos search: property-checked exploration of the fault space.
+//
+// Samples seeded random FaultScripts at ramping intensity across
+// {transport × codec × queue-policy} cells, runs each as an
+// invariant-checked closed training loop on a partitioned fat-tree
+// (ddp/chaos_search.h), and delta-debugs any violation to a 1-minimal
+// deterministic repro written as REPRO_chaos_<cell>_<n>.txt — a FaultScript
+// file whose leading comments carry its own replay command line.
+//
+//   bench_chaos_search                     # search (TRIMGRAD_SMOKE shrinks it)
+//   bench_chaos_search --replay "<spec>" [--script <path>] [--k N] [--queue P]
+//
+// In replay mode the spec's faults=file:<path> (or --script) names the
+// script to run; the sorted violation report prints deterministically, so
+// two replays at different TRIMGRAD_THREADS diff clean.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "ddp/chaos_search.h"
+#include "net/fault_script.h"
+
+using namespace trimgrad;
+
+namespace {
+
+struct Cell {
+  const char* transport;
+  const char* scheme;
+  net::QueuePolicy policy;
+  const char* qname;  ///< --queue spelling of the policy
+};
+
+constexpr Cell kCells[] = {
+    {"trim", "rht", net::QueuePolicy::kTrim, "trim"},
+    {"reliable", "rht", net::QueuePolicy::kTrim, "trim"},
+    {"pull", "sq", net::QueuePolicy::kTrim, "trim"},
+    {"ecn", "sign", net::QueuePolicy::kEcn, "ecn"},
+};
+
+ddp::ExperimentSpec cell_spec(const Cell& cell, std::size_t epochs) {
+  ddp::ExperimentSpec spec;
+  spec.transport = cell.transport;
+  spec.scheme = cell.scheme;
+  spec.topology = "fabric";
+  spec.faults = "none";  // the script is injected directly, not by name
+  spec.trim = 0;
+  spec.deadline = 10e-3;
+  spec.world = 4;
+  spec.epochs = epochs;
+  spec.batch = 16;
+  spec.lr = 0.05;
+  return spec;
+}
+
+net::QueuePolicy parse_queue(const std::string& name) {
+  if (name == "trim") return net::QueuePolicy::kTrim;
+  if (name == "ecn") return net::QueuePolicy::kEcn;
+  if (name == "droptail") return net::QueuePolicy::kDropTail;
+  std::fprintf(stderr, "unknown --queue '%s' (trim|ecn|droptail)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+const char* queue_name(net::QueuePolicy p) {
+  switch (p) {
+    case net::QueuePolicy::kTrim: return "trim";
+    case net::QueuePolicy::kEcn: return "ecn";
+    case net::QueuePolicy::kDropTail: return "droptail";
+  }
+  return "?";
+}
+
+void print_violations(const std::vector<net::InvariantViolation>& vs) {
+  for (const auto& v : vs) {
+    std::printf("violation rule=%s t=%.9g node=%u flow=%u frame=%llu "
+                "faults=[%s] %s\n",
+                v.rule.c_str(), v.time, v.node, v.flow_id,
+                static_cast<unsigned long long>(v.frame_id),
+                v.active_faults.c_str(), v.detail.c_str());
+  }
+}
+
+int replay_main(const std::string& spec_text, std::string script_path,
+                std::size_t k, net::QueuePolicy policy) {
+  ddp::ExperimentSpec spec = ddp::ExperimentSpec::parse(spec_text);
+  if (script_path.empty() && spec.faults_is_file())
+    script_path = spec.faults_path();
+  if (script_path.empty()) {
+    std::fprintf(stderr,
+                 "replay needs --script <path> or faults=file:<path>\n");
+    return 2;
+  }
+  const net::FaultScript script = net::FaultScript::load_file(script_path);
+
+  ddp::ChaosCellConfig cfg;
+  cfg.fat_tree_k = k;
+  cfg.queue_policy = policy;
+  const ddp::ChaosCellResult r = ddp::run_chaos_cell(spec, script, cfg);
+  std::printf("# replay %s script=%s k=%zu queue=%s\n", spec.label().c_str(),
+              script_path.c_str(), k, queue_name(policy));
+  std::printf("epochs=%zu drained=%s checks=%llu violations=%llu\n", r.epochs,
+              r.drained ? "yes" : "NO",
+              static_cast<unsigned long long>(r.checks),
+              static_cast<unsigned long long>(r.total_violations));
+  print_violations(r.violations);
+  return 0;
+}
+
+/// The repro artifact is a valid FaultScript file: parse() skips the '#'
+/// comment lines that carry the replay recipe.
+std::string repro_file_text(const std::string& path, const Cell& cell,
+                            const ddp::ChaosRepro& repro, std::size_t k) {
+  ddp::ExperimentSpec spec = repro.spec;
+  spec.faults = "file:" + path;
+  std::string text;
+  text += "# minimal chaos repro: " + std::string(cell.transport) + "/" +
+          cell.scheme + "/" + cell.qname + ", " +
+          std::to_string(repro.script.event_count()) + " event(s)\n";
+  text += "# replay: bench_chaos_search --replay \"" + spec.serialize() +
+          "\" --k " + std::to_string(k) + " --queue " + cell.qname + "\n";
+  for (const auto& v : repro.violations)
+    text += "# violates: " + v.rule + " at t=" + std::to_string(v.time) +
+            " (" + v.detail + ")\n";
+  text += repro.script.serialize();
+  return text;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string replay_spec, script_path, queue = "trim";
+  std::size_t k = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", a.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--replay") replay_spec = next();
+    else if (a == "--script") script_path = next();
+    else if (a == "--k") k = static_cast<std::size_t>(std::stoul(next()));
+    else if (a == "--queue") queue = next();
+    else {
+      std::fprintf(stderr, "unknown argument '%s'\n", a.c_str());
+      return 2;
+    }
+  }
+  if (!replay_spec.empty())
+    return replay_main(replay_spec, script_path, k != 0 ? k : 4,
+                       parse_queue(queue));
+
+  const bool smoke = std::getenv("TRIMGRAD_SMOKE") != nullptr;
+  const std::size_t fat_k = k != 0 ? k : (smoke ? 4 : 8);
+  const std::size_t scripts_per_cell = smoke ? 50 : 100;
+  const std::size_t epochs = smoke ? 1 : 2;
+
+  std::printf("# chaos search: %zu scripts x %zu cells on a k=%zu fat-tree "
+              "(%zu epoch closed loops)\n",
+              scripts_per_cell, std::size(kCells), fat_k, epochs);
+  std::printf("%20s %8s %10s %10s %8s %8s\n", "cell", "scripts", "violations",
+              "checks", "repros", "drain");
+
+  std::string cells_json;
+  std::vector<std::string> repro_files;
+  std::uint64_t violations_total = 0, checks_total = 0;
+  std::size_t unshrunk = 0, scripts_total = 0;
+  bool drained_all = true;
+
+  for (std::size_t ci = 0; ci < std::size(kCells); ++ci) {
+    const Cell& cell = kCells[ci];
+    ddp::ChaosCellConfig ccfg;
+    ccfg.fat_tree_k = fat_k;
+    ccfg.queue_policy = cell.policy;
+    const ddp::ExperimentSpec spec = cell_spec(cell, epochs);
+
+    std::uint64_t cell_violations = 0, cell_checks = 0;
+    std::size_t cell_repros = 0;
+    bool cell_drained = true;
+    for (std::size_t i = 0; i < scripts_per_cell; ++i) {
+      // Intensity ramps from gentle to brutal across the cell's scripts.
+      const double intensity =
+          0.1 + 0.9 * static_cast<double>(i) /
+                    static_cast<double>(scripts_per_cell - 1);
+      const std::uint64_t seed = 1 + ci * 100000 + i;
+      const net::FaultScript script = net::generate_fault_script(
+          ddp::chaos_candidates(fat_k, seed, intensity));
+
+      const ddp::ChaosCellResult r = ddp::run_chaos_cell(spec, script, ccfg);
+      ++scripts_total;
+      cell_checks += r.checks;
+      cell_drained = cell_drained && r.drained;
+      if (r.total_violations == 0) continue;
+
+      cell_violations += r.total_violations;
+      std::printf("! %s/%s script %zu (seed %llu): %llu violation(s), "
+                  "shrinking...\n",
+                  cell.transport, cell.scheme, i,
+                  static_cast<unsigned long long>(seed),
+                  static_cast<unsigned long long>(r.total_violations));
+      print_violations(r.violations);
+      const ddp::ChaosRepro repro = ddp::shrink_repro(spec, script, ccfg);
+      if (repro.violations.empty()) {
+        ++unshrunk;  // shrinking lost the bug: report the original script
+        std::printf("  shrink FAILED to retain the violation (%zu probes)\n",
+                    repro.probes);
+        continue;
+      }
+      char name[128];
+      std::snprintf(name, sizeof(name), "REPRO_chaos_%s_%s_%zu.txt",
+                    cell.transport, cell.scheme, i);
+      std::ofstream out(name, std::ios::binary);
+      out << repro_file_text(name, cell, repro, fat_k);
+      repro_files.push_back(name);
+      ++cell_repros;
+      std::printf("  shrunk to %zu event(s) in %zu probes -> %s\n",
+                  repro.script.event_count(), repro.probes, name);
+    }
+
+    std::printf("%13s/%s/%s %8zu %10llu %10llu %8zu %8s\n", cell.transport,
+                cell.scheme, cell.qname, scripts_per_cell,
+                static_cast<unsigned long long>(cell_violations),
+                static_cast<unsigned long long>(cell_checks), cell_repros,
+                cell_drained ? "yes" : "NO");
+    std::fflush(stdout);
+
+    violations_total += cell_violations;
+    checks_total += cell_checks;
+    drained_all = drained_all && cell_drained;
+    if (!cells_json.empty()) cells_json += ',';
+    char cj[256];
+    std::snprintf(cj, sizeof(cj),
+                  "{\"transport\":\"%s\",\"scheme\":\"%s\",\"queue\":\"%s\","
+                  "\"scripts\":%zu,\"violations\":%llu,\"checks\":%llu,"
+                  "\"repros\":%zu,\"drained\":%s}",
+                  cell.transport, cell.scheme, cell.qname, scripts_per_cell,
+                  static_cast<unsigned long long>(cell_violations),
+                  static_cast<unsigned long long>(cell_checks), cell_repros,
+                  cell_drained ? "true" : "false");
+    cells_json += cj;
+  }
+
+  std::string repros_json;
+  for (const auto& f : repro_files) {
+    if (!repros_json.empty()) repros_json += ',';
+    repros_json += "\"" + f + "\"";
+  }
+  char head[512];
+  std::snprintf(head, sizeof(head),
+                "{\"smoke\":%s,\"k\":%zu,\"scripts_total\":%zu,"
+                "\"violations_total\":%llu,\"unshrunk_violations\":%zu,"
+                "\"checks_total\":%llu,\"drained_all\":%s,"
+                "\"search_completed\":true,",
+                smoke ? "true" : "false", fat_k, scripts_total,
+                static_cast<unsigned long long>(violations_total), unshrunk,
+                static_cast<unsigned long long>(checks_total),
+                drained_all ? "true" : "false");
+  {
+    std::ofstream out("BENCH_chaos_search.json", std::ios::binary);
+    out << head << "\"repros\":[" << repros_json << "],\"cells\":["
+        << cells_json << "]}\n";
+    if (out) std::printf("wrote BENCH_chaos_search.json\n");
+  }
+  std::printf("# %zu scripts, %llu violations (%zu unshrunk), drained=%s\n",
+              scripts_total,
+              static_cast<unsigned long long>(violations_total), unshrunk,
+              drained_all ? "all" : "NOT ALL");
+  return 0;
+}

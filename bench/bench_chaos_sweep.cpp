@@ -65,17 +65,24 @@ CellResult run_cell(const ddp::ExperimentSpec& spec) {
   fcfg.switch_queue.policy = net::QueuePolicy::kTrim;
   fcfg.switch_queue.capacity_bytes = 20 * 1024;
   fcfg.switch_queue.header_capacity_bytes = 64 * 1024;
-  const net::Dumbbell topo = net::build_dumbbell(sim, 2, 2, fcfg);
+  // Partitioned k=8 fat-tree (128 hosts, 12 domains), ranks spread across
+  // the first four pods so every collective crosses the core layer — the
+  // chaos cells now soak the same sharded engine the scale bench measures.
+  constexpr std::size_t kFatTreeK = 8;
+  const net::FatTree topo = net::build_fat_tree(sim, kFatTreeK, fcfg);
+  net::partition_fat_tree(sim, topo);
+  sim.seal_partition();
+  sim.set_parallel_execution(true);
   const std::vector<net::NodeId> ranks = {
-      topo.left_hosts[0], topo.left_hosts[1], topo.right_hosts[0],
-      topo.right_hosts[1]};
+      topo.pod_hosts[0][0], topo.pod_hosts[1][0], topo.pod_hosts[2][0],
+      topo.pod_hosts[3][0]};
 
   net::FaultPlaneConfig pcfg;  // spec.faults == "chaos": corrupt + flap
   pcfg.seed = spec.fault_seed;
   pcfg.corrupt_rate = 0.01;
-  net::LinkFault flap;  // flap the fan-in: the left switch's core egress
-  flap.node = topo.left_switch;
-  flap.port = 0;
+  net::LinkFault flap;  // flap the fan-in: pod 0's agg 0 first core uplink
+  flap.node = topo.aggs[0][0];
+  flap.port = kFatTreeK / 2;  // uplinks sit after the k/2 edge downlinks
   flap.start = 50e-6;
   flap.duration = 20e-6;
   flap.period = 500e-6;
@@ -127,8 +134,8 @@ int main() {
   const std::size_t epochs = smoke ? 3 : 8;
   const std::vector<std::uint64_t> seeds = {7, 21, 1017};
 
-  std::printf("# chaos sweep: link flap + 1%% corruption + straggler/epoch "
-              "(%zu epochs)\n", epochs);
+  std::printf("# chaos sweep on a partitioned k=8 fat-tree: link flap + 1%% "
+              "corruption + straggler/epoch (%zu epochs)\n", epochs);
   std::printf("%6s %10s %8s %8s %10s %10s %8s %8s %10s %8s\n", "seed", "mode",
               "epochs", "top1", "retx", "faults", "corrupt", "degr",
               "missing", "drain");

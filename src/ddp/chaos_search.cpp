@@ -1,0 +1,261 @@
+#include "ddp/chaos_search.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "collective/sim_channel.h"
+#include "ml/data.h"
+#include "ml/model.h"
+#include "net/fault_plane.h"
+#include "net/topology.h"
+
+namespace trimgrad::ddp {
+namespace {
+
+/// The cells' dataset is fixed (tiny: invariants are about the fabric and
+/// the recovery paths, not accuracy) and the shrinker runs hundreds of
+/// cells, so build it once.
+const ml::SynthCifar& cell_data() {
+  static const ml::SynthCifar* data = [] {
+    ml::SynthCifarConfig dcfg;
+    dcfg.classes = 10;
+    dcfg.height = dcfg.width = 8;
+    dcfg.train_per_class = 8;
+    dcfg.test_per_class = 4;
+    dcfg.proto_grid = 3;
+    return new ml::SynthCifar(dcfg);
+  }();
+  return *data;
+}
+
+/// Spread ranks across pods so every collective crosses the core layer —
+/// rank r lands on pod r mod k, host r/k within the pod.
+std::vector<net::NodeId> pick_rank_hosts(const net::FatTree& ft, int world) {
+  if (static_cast<std::size_t>(world) > ft.host_count()) {
+    throw std::invalid_argument(
+        "run_chaos_cell: world exceeds fat-tree host count");
+  }
+  std::vector<net::NodeId> ranks;
+  for (int r = 0; r < world; ++r) {
+    const std::size_t pod = static_cast<std::size_t>(r) % ft.k;
+    const std::size_t i = static_cast<std::size_t>(r) / ft.k;
+    ranks.push_back(ft.pod_hosts[pod][i]);
+  }
+  return ranks;
+}
+
+net::FabricConfig cell_fabric_config(const ChaosCellConfig& cfg) {
+  net::FabricConfig fcfg;
+  fcfg.edge_link = {10e9, 1e-6};
+  fcfg.core_link = {10e9, 2e-6};
+  fcfg.switch_queue.policy = cfg.queue_policy;
+  fcfg.switch_queue.capacity_bytes = 20 * 1024;
+  fcfg.switch_queue.header_capacity_bytes = 64 * 1024;
+  return fcfg;
+}
+
+}  // namespace
+
+ChaosCellResult run_chaos_cell(const ExperimentSpec& spec,
+                               const net::FaultScript& script,
+                               const ChaosCellConfig& cfg) {
+  net::Simulator sim;
+  const net::FatTree ft =
+      net::build_fat_tree(sim, cfg.fat_tree_k, cell_fabric_config(cfg));
+  net::partition_fat_tree(sim, ft);
+  sim.seal_partition();
+  sim.set_parallel_execution(true);
+
+  net::FaultPlane plane(script.plane);
+  sim.set_fault_plane(&plane);
+
+  net::InvariantMonitor::Config mcfg;
+  mcfg.flow_progress_deadline = cfg.flow_progress_deadline;
+  mcfg.max_violations = cfg.max_violations;
+  net::InvariantMonitor monitor(mcfg);
+  monitor.attach(sim);
+
+  collective::SimChannel::Config ccfg = spec.sim_channel_config();
+  ccfg.tuning.rto = 100e-6;
+  ccfg.tuning.rto_cap = 1e-3;
+  ccfg.tuning.retransmit_budget = 400;
+  collective::SimChannel channel(sim, pick_rank_hosts(ft, spec.world), ccfg);
+
+  TrainerConfig tcfg = spec.trainer_config();
+  tcfg.eval_every = 0;  // accuracy is not the property under test
+  tcfg.codec.rht_row_len = std::size_t{1} << 10;
+  tcfg.straggler_factor = script.straggler_factor;
+  tcfg.fault_seed = script.plane.seed;
+  DdpTrainer trainer(cell_data(), channel, tcfg, [] {
+    ml::ModelConfig mcfg2;
+    mcfg2.classes = 10;
+    mcfg2.height = mcfg2.width = 8;
+    return ml::make_mlp(mcfg2, 32);
+  });
+  trainer.set_invariant_monitor(&monitor);
+
+  ChaosCellResult out;
+  out.epochs = trainer.train().size();
+  const net::SimTime t_end = sim.now();
+  out.drained = sim.run() == t_end;
+  monitor.finalize();
+
+  out.violations = monitor.sorted_violations();
+  out.total_violations = monitor.total_violations();
+  out.checks = monitor.checks();
+  out.fault_events = plane.log().size();
+  return out;
+}
+
+net::ScriptGenConfig chaos_candidates(std::size_t fat_tree_k,
+                                      std::uint64_t seed, double intensity) {
+  // Probe build: node and port ids depend only on (k, build order), so the
+  // candidates replay against the fabric run_chaos_cell constructs.
+  net::Simulator probe;
+  ChaosCellConfig cfg;
+  cfg.fat_tree_k = fat_tree_k;
+  const net::FatTree ft =
+      net::build_fat_tree(probe, fat_tree_k, cell_fabric_config(cfg));
+
+  net::ScriptGenConfig gen;
+  gen.seed = seed;
+  gen.intensity = intensity;
+  std::vector<net::NodeId> switches;
+  for (const auto& pod : ft.edges) switches.insert(switches.end(), pod.begin(), pod.end());
+  for (const auto& pod : ft.aggs) switches.insert(switches.end(), pod.begin(), pod.end());
+  for (const auto& grp : ft.cores) switches.insert(switches.end(), grp.begin(), grp.end());
+  for (const net::NodeId s : switches) {
+    const net::Node& n = probe.node(s);
+    for (std::size_t p = 0; p < n.port_count(); ++p) gen.links.push_back({s, p});
+    gen.nodes.push_back(s);
+  }
+  return gen;
+}
+
+ChaosRepro shrink_repro(const ExperimentSpec& spec,
+                        const net::FaultScript& script,
+                        const ChaosCellConfig& cfg) {
+  ChaosRepro repro;
+  repro.spec = spec;
+  repro.script = script;
+
+  auto fails = [&](const ExperimentSpec& s, const net::FaultScript& f) {
+    ++repro.probes;
+    const ChaosCellResult r = run_chaos_cell(s, f, cfg);
+    if (r.total_violations > 0) repro.violations = r.violations;
+    return r.total_violations > 0;
+  };
+
+  // Phase 1 — event removal to fixpoint. After this loop, removing any
+  // single remaining event makes the run pass (1-minimality over events).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    auto& s = repro.script;
+    for (std::size_t i = 0; i < s.plane.link_faults.size(); ++i) {
+      net::FaultScript c = s;
+      c.plane.link_faults.erase(c.plane.link_faults.begin() +
+                                static_cast<std::ptrdiff_t>(i));
+      if (fails(repro.spec, c)) { repro.script = c; changed = true; break; }
+    }
+    if (changed) continue;
+    for (std::size_t i = 0; i < s.plane.node_faults.size(); ++i) {
+      net::FaultScript c = s;
+      c.plane.node_faults.erase(c.plane.node_faults.begin() +
+                                static_cast<std::ptrdiff_t>(i));
+      if (fails(repro.spec, c)) { repro.script = c; changed = true; break; }
+    }
+    if (changed) continue;
+    for (std::size_t i = 0; i < s.plane.corrupt_overrides.size(); ++i) {
+      net::FaultScript c = s;
+      c.plane.corrupt_overrides.erase(c.plane.corrupt_overrides.begin() +
+                                      static_cast<std::ptrdiff_t>(i));
+      if (fails(repro.spec, c)) { repro.script = c; changed = true; break; }
+    }
+    if (changed) continue;
+    if (s.plane.corrupt_rate > 0) {
+      net::FaultScript c = s;
+      c.plane.corrupt_rate = 0;
+      if (fails(repro.spec, c)) { repro.script = c; changed = true; continue; }
+    }
+    if (s.straggler_factor > 1.0) {
+      net::FaultScript c = s;
+      c.straggler_factor = 1.0;
+      if (fails(repro.spec, c)) { repro.script = c; changed = true; }
+    }
+  }
+
+  // Phase 2 — value shrinking on what remains: halve fault windows and
+  // repeat counts while the violation survives.
+  for (bool shrunk = true; shrunk;) {
+    shrunk = false;
+    auto& s = repro.script;
+    for (std::size_t i = 0; i < s.plane.link_faults.size(); ++i) {
+      net::FaultScript c = s;
+      auto& l = c.plane.link_faults[i];
+      if (l.repeats > 1) {
+        l.repeats = l.repeats / 2;
+        if (fails(repro.spec, c)) { repro.script = c; shrunk = true; break; }
+        c = s;
+      }
+      auto& l2 = c.plane.link_faults[i];
+      if (l2.duration > 1e-6) {
+        l2.duration = l2.duration / 2;
+        if (fails(repro.spec, c)) { repro.script = c; shrunk = true; break; }
+      }
+    }
+    if (shrunk) continue;
+    for (std::size_t i = 0; i < s.plane.node_faults.size(); ++i) {
+      net::FaultScript c = s;
+      auto& n = c.plane.node_faults[i];
+      if (n.duration > 1e-6) {
+        n.duration = n.duration / 2;
+        if (fails(repro.spec, c)) { repro.script = c; shrunk = true; break; }
+      }
+    }
+    if (shrunk) continue;
+    if (s.plane.corrupt_rate > 1e-6) {
+      net::FaultScript c = s;
+      c.plane.corrupt_rate = c.plane.corrupt_rate / 2;
+      if (fails(repro.spec, c)) { repro.script = c; shrunk = true; }
+    }
+  }
+
+  // Phase 3 — shrink the experiment shape: fewer epochs, smaller world,
+  // smaller batch. Each knob halves toward its floor while still failing.
+  auto try_spec = [&](ExperimentSpec cand) {
+    if (fails(cand, repro.script)) { repro.spec = std::move(cand); return true; }
+    return false;
+  };
+  for (bool shrunk = true; shrunk;) {
+    shrunk = false;
+    if (repro.spec.epochs > 1) {
+      ExperimentSpec c = repro.spec;
+      c.epochs = std::max<std::uint64_t>(1, c.epochs / 2);
+      shrunk = try_spec(std::move(c));
+      if (shrunk) continue;
+    }
+    if (repro.spec.world > 2) {
+      ExperimentSpec c = repro.spec;
+      c.world = std::max(2, c.world / 2);
+      shrunk = try_spec(std::move(c));
+      if (shrunk) continue;
+    }
+    if (repro.spec.batch > 8) {
+      ExperimentSpec c = repro.spec;
+      c.batch = std::max<std::uint64_t>(8, c.batch / 2);
+      shrunk = try_spec(std::move(c));
+    }
+  }
+
+  // The stored violations must describe the *final* pair; re-run once if
+  // the last probe was a passing candidate.
+  const ChaosCellResult last = run_chaos_cell(repro.spec, repro.script, cfg);
+  ++repro.probes;
+  repro.violations = last.violations;
+  return repro;
+}
+
+}  // namespace trimgrad::ddp

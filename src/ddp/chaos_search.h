@@ -1,0 +1,86 @@
+// Property-checked chaos search with minimal-repro shrinking.
+//
+// One *chaos cell* is a closed training loop — DDP over SimChannel flows on
+// a partitioned fat-tree — run under a FaultScript with an InvariantMonitor
+// (net/invariants.h) attached to every layer. run_chaos_cell() executes one
+// cell and returns the canonical violation report; the search driver
+// (bench/bench_chaos_search.cpp) samples hundreds of generated scripts
+// across {transport × codec × queue-policy} cells and calls shrink_repro()
+// on any violation to delta-debug the script down to a 1-minimal
+// deterministic repro: greedily drop fault events, then halve windows and
+// shrink the experiment shape (epochs, world, batch), keeping every step
+// only if the violation survives. The result serializes to a FaultScript
+// file replayable via `ExperimentSpec faults=file:<path>` — the artifact CI
+// uploads when a property ever breaks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ddp/experiment.h"
+#include "net/fault_script.h"
+#include "net/invariants.h"
+#include "net/queue.h"
+
+namespace trimgrad::ddp {
+
+/// Fixed (non-searched) parameters of a chaos cell.
+struct ChaosCellConfig {
+  /// Fat-tree arity; k*k*k/4 hosts, partitioned pod-per-domain and run with
+  /// parallel execution, so a cell exercises the sharded engine too.
+  std::size_t fat_tree_k = 4;
+  /// Switch egress policy for the cell (the "trim" axis of the cell grid).
+  net::QueuePolicy queue_policy = net::QueuePolicy::kTrim;
+  /// InvariantMonitor stuck-flow deadline, in simulated seconds.
+  net::SimTime flow_progress_deadline = 1.0;
+  /// Violation retention cap per run.
+  std::size_t max_violations = 64;
+};
+
+struct ChaosCellResult {
+  /// Canonically sorted (bit-comparable across TRIMGRAD_THREADS).
+  std::vector<net::InvariantViolation> violations;
+  std::uint64_t total_violations = 0;
+  std::uint64_t checks = 0;       ///< monitor hook invocations (> 0 == wired)
+  std::size_t epochs = 0;         ///< epochs the trainer completed
+  std::uint64_t fault_events = 0; ///< FaultLog entries the plane recorded
+  bool drained = false;           ///< no events left after training finished
+};
+
+/// Run one invariant-checked closed loop: build the fat-tree, attach the
+/// script's fault plane and a fresh monitor, train spec.epochs epochs, then
+/// finalize() the monitor (queues drained, custody empty, no live flows).
+/// Deterministic in (spec, script, cfg) for any TRIMGRAD_THREADS.
+/// spec.world must fit the k^3/4 hosts; ranks are spread across pods.
+ChaosCellResult run_chaos_cell(const ExperimentSpec& spec,
+                               const net::FaultScript& script,
+                               const ChaosCellConfig& cfg = {});
+
+/// Candidate pools for generate_fault_script on the cell's fabric: every
+/// switch egress port (edge, agg, core) and every switch node of a k-ary
+/// fat-tree built the way run_chaos_cell builds it. Host nodes are excluded
+/// from kill candidates — killing a rank's host tests the elastic layer
+/// (bench_soak_elastic), not the invariants under churn.
+net::ScriptGenConfig chaos_candidates(std::size_t fat_tree_k,
+                                      std::uint64_t seed, double intensity);
+
+/// A shrunk failing case: the smallest (spec, script) pair this search found
+/// that still violates an invariant.
+struct ChaosRepro {
+  ExperimentSpec spec;
+  net::FaultScript script;
+  std::vector<net::InvariantViolation> violations;  ///< of the minimal pair
+  std::size_t probes = 0;  ///< cell runs spent shrinking
+};
+
+/// Delta-debug (spec, script) to a 1-minimal repro: remove fault events one
+/// at a time to fixpoint (the result stays failing, and removing any single
+/// remaining event makes it pass), then try halving durations/repeats,
+/// zeroing the corrupt rate, disabling the straggler, and shrinking
+/// epochs/world/batch — keeping each step only if a violation survives.
+/// Precondition: run_chaos_cell(spec, script, cfg) reports a violation.
+ChaosRepro shrink_repro(const ExperimentSpec& spec,
+                        const net::FaultScript& script,
+                        const ChaosCellConfig& cfg = {});
+
+}  // namespace trimgrad::ddp

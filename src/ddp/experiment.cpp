@@ -154,6 +154,14 @@ std::string ExperimentSpec::label() const {
          ",trim=" + format_double(trim);
 }
 
+bool ExperimentSpec::faults_is_file() const noexcept {
+  return faults.rfind("file:", 0) == 0;
+}
+
+std::string ExperimentSpec::faults_path() const {
+  return faults_is_file() ? faults.substr(5) : std::string{};
+}
+
 void ExperimentSpec::validate() const {
   net::TransportRegistry::global().at(transport);  // throws, lists names
   core::CodecRegistry::global().at(scheme);        // throws, lists names
@@ -162,10 +170,14 @@ void ExperimentSpec::validate() const {
                                 topology + "'; known: fabric inject");
   }
   if (faults != "none" && faults != "corrupt" && faults != "flap" &&
-      faults != "chaos" && faults != "elastic") {
+      faults != "chaos" && faults != "elastic" && !faults_is_file()) {
     throw std::invalid_argument(
         "ExperimentSpec: unknown fault script '" + faults +
-        "'; known: chaos corrupt elastic flap none");
+        "'; known: chaos corrupt elastic flap none file:<path>");
+  }
+  if (faults_is_file() && faults_path().empty()) {
+    throw std::invalid_argument(
+        "ExperimentSpec: faults=file: needs a path (faults=file:<path>)");
   }
   if (world < 2) {
     throw std::invalid_argument("ExperimentSpec: world must be >= 2");

@@ -36,9 +36,11 @@ struct ExperimentSpec {
   /// trimming happens only when switch queues actually overflow.
   std::string topology = "inject";
   /// Fault script: "none", "corrupt" (bit-flips at corrupt_rate),
-  /// "flap" (periodic link flaps), "chaos" (corrupt + flap + straggler), or
+  /// "flap" (periodic link flaps), "chaos" (corrupt + flap + straggler),
   /// "elastic" (node kill/restart windows healed by membership — see
-  /// bench/bench_soak_elastic.cpp).
+  /// bench/bench_soak_elastic.cpp), or "file:<path>" — load a serialized
+  /// net::FaultScript and replay it verbatim (the chaos-search shrinker
+  /// writes minimal repros in exactly this form).
   std::string faults = "none";
 
   // --- trim regime ----------------------------------------------------
@@ -83,6 +85,12 @@ struct ExperimentSpec {
   /// Registry + range checks; throws std::invalid_argument with the list
   /// of registered names when a component name is unknown.
   void validate() const;
+
+  /// True when `faults` is a "file:<path>" reference.
+  bool faults_is_file() const noexcept;
+  /// The path part of a "file:<path>" faults value ("" otherwise). Load it
+  /// with net::FaultScript::load_file; validate() does not touch the disk.
+  std::string faults_path() const;
 
   /// Project onto TrainerConfig (world/batch/epochs/lr/scheme/fault_seed;
   /// codec details beyond the scheme keep TrainerConfig defaults). Throws

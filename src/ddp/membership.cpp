@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/metrics.h"
+#include "net/invariants.h"
 
 namespace trimgrad::ddp {
 
@@ -137,6 +138,9 @@ PollResult Membership::poll(std::uint64_t round) {
         events_.push_back({MembershipEvent::Kind::kEvict, sim_.now(), rank,
                            view_.version, round});
         result.evicted.push_back(rank);
+        if (monitor_ != nullptr) {
+          monitor_->on_view_version(view_.version, sim_.now());
+        }
       }
     } else if (heard_stale[r] || heard_current[r]) {
       // An evicted rank we can hear again: it survived its fault window
@@ -200,6 +204,9 @@ void Membership::complete_rejoin(int rank, std::uint64_t round) {
   MembershipTelemetry::get().rejoins.add();
   events_.push_back({MembershipEvent::Kind::kRejoin, sim_.now(), rank,
                      view_.version, round});
+  if (monitor_ != nullptr) {
+    monitor_->on_view_version(view_.version, sim_.now());
+  }
 }
 
 void Membership::store_checkpoint(const Checkpoint& ck) {
@@ -210,6 +217,18 @@ void Membership::store_checkpoint(const Checkpoint& ck) {
           .count();
   ckpt_blobs_.at(static_cast<std::size_t>(ck.rank)) = std::move(blob);
   ++ckpt_saves_;
+  if (monitor_ != nullptr) {
+    // Custody check: the blob we just stored must survive its CRC-verified
+    // parse — a store that can't be restored is a silent data-loss bug.
+    bool ok = true;
+    try {
+      (void)Checkpoint::from_bytes(
+          ckpt_blobs_.at(static_cast<std::size_t>(ck.rank)));
+    } catch (const std::exception&) {
+      ok = false;
+    }
+    monitor_->on_checkpoint_custody(ck.rank, ok, sim_.now());
+  }
 }
 
 bool Membership::has_checkpoint(int rank) const {
@@ -221,6 +240,16 @@ Checkpoint Membership::restore_checkpoint(int rank) const {
   if (blob.empty()) {
     throw std::runtime_error("Membership: no checkpoint stored for rank " +
                              std::to_string(rank));
+  }
+  if (monitor_ != nullptr) {
+    try {
+      Checkpoint ck = Checkpoint::from_bytes(blob);
+      monitor_->on_checkpoint_custody(rank, true, sim_.now());
+      return ck;
+    } catch (const std::exception&) {
+      monitor_->on_checkpoint_custody(rank, false, sim_.now());
+      throw;
+    }
   }
   return Checkpoint::from_bytes(blob);
 }

@@ -151,12 +151,21 @@ class Membership {
   /// The reserved flow id heartbeats ride on.
   static constexpr std::uint32_t kHeartbeatFlowId = 0xfeed0000u;
 
+  /// Attach an invariant monitor (net/invariants.h); nullptr detaches.
+  /// Reports every view-version change (monotonicity) and re-verifies each
+  /// checkpoint blob's CRC at store and restore (custody). The monitor must
+  /// outlive the membership while attached.
+  void set_invariant_monitor(net::InvariantMonitor* monitor) noexcept {
+    monitor_ = monitor;
+  }
+
  private:
   class HeartbeatSink;
 
   net::Simulator& sim_;
   std::vector<net::Host*> hosts_;
   MembershipConfig cfg_;
+  net::InvariantMonitor* monitor_ = nullptr;
   collective::WorldView view_;
   std::unique_ptr<HeartbeatSink> sink_;
 

@@ -12,6 +12,7 @@
 #include "ddp/clock_model.h"
 #include "ddp/membership.h"
 #include "net/fault_plane.h"
+#include "net/invariants.h"
 
 namespace trimgrad::ddp {
 
@@ -410,6 +411,7 @@ std::vector<EpochRecord> DdpTrainer::train() {
   records.reserve(cfg_.epochs);
   for (std::size_t e = 0; e < cfg_.epochs; ++e) {
     EpochRecord rec = run_epoch(e);
+    if (monitor_ != nullptr) monitor_->on_epoch_time(e, rec.sim_time_s);
     if (cfg_.eval_every > 0 &&
         (e % cfg_.eval_every == 0 || e + 1 == cfg_.epochs)) {
       evaluate(rec);

@@ -36,6 +36,10 @@
 #include "ml/model.h"
 #include "ml/optim.h"
 
+namespace trimgrad::net {
+class InvariantMonitor;
+}  // namespace trimgrad::net
+
 namespace trimgrad::ddp {
 
 class Membership;
@@ -138,6 +142,14 @@ class DdpTrainer {
   /// the trainer while attached.
   void attach_membership(Membership* membership);
 
+  /// Attach an invariant monitor (net/invariants.h); nullptr detaches. The
+  /// trainer reports each epoch's cumulative simulated time so the monitor
+  /// can assert the clock advances every epoch. The monitor must outlive
+  /// the trainer while attached.
+  void set_invariant_monitor(net::InvariantMonitor* monitor) noexcept {
+    monitor_ = monitor;
+  }
+
   /// Capture rank's full training state (see ddp/checkpoint.h).
   Checkpoint make_checkpoint(int rank, std::size_t epoch,
                              std::uint64_t round) const;
@@ -170,6 +182,7 @@ class DdpTrainer {
   core::Xoshiro256 augment_rng_;
   double sim_time_s_ = 0;
   Membership* membership_ = nullptr;
+  net::InvariantMonitor* monitor_ = nullptr;
   /// Per-rank error-feedback residuals (empty vectors until first use;
   /// always sized `world` so checkpoints can serialize them).
   std::vector<std::vector<float>> residuals_;

@@ -49,6 +49,8 @@ struct LinkFault {
   SimTime period = 0;
   std::size_t repeats = 1;
 
+  friend bool operator==(const LinkFault&, const LinkFault&) = default;
+
   /// True when `now` falls inside one of the fault's windows.
   bool active_at(SimTime now) const noexcept;
 };
@@ -62,6 +64,8 @@ struct NodeFault {
   SimTime period = 0;
   std::size_t repeats = 1;
 
+  friend bool operator==(const NodeFault&, const NodeFault&) = default;
+
   bool active_at(SimTime now) const noexcept;
 };
 
@@ -71,6 +75,8 @@ struct CorruptRule {
   NodeId node = kInvalidNode;
   std::size_t port = 0;
   double rate = 0.0;
+
+  friend bool operator==(const CorruptRule&, const CorruptRule&) = default;
 };
 
 struct FaultPlaneConfig {
@@ -80,6 +86,9 @@ struct FaultPlaneConfig {
   std::vector<CorruptRule> corrupt_overrides;
   std::vector<LinkFault> link_faults;
   std::vector<NodeFault> node_faults;
+
+  friend bool operator==(const FaultPlaneConfig&,
+                         const FaultPlaneConfig&) = default;
 };
 
 /// One fault decision, recorded as it is made. The log is the fault-plane

@@ -2,12 +2,22 @@
 
 #include <algorithm>
 
+#include <atomic>
+
 #include "core/metrics.h"
 #include "core/trace.h"
 #include "net/fault_plane.h"
+#include "net/invariants.h"
 
 namespace trimgrad::net {
 namespace {
+
+std::atomic<bool> g_swallow_corrupt{false};
+
+/// The monitor attached to this core's simulator, or nullptr.
+InvariantMonitor* monitor_of(Host& host) noexcept {
+  return host.sim().invariant_monitor();
+}
 
 struct TransportTelemetry {
   core::Counter flows_completed, flows_failed, frames_sent, bytes_sent,
@@ -29,6 +39,14 @@ struct TransportTelemetry {
 };
 
 }  // namespace
+
+void test_set_swallow_corrupt_frames(bool on) noexcept {
+  g_swallow_corrupt.store(on, std::memory_order_relaxed);
+}
+
+bool test_swallow_corrupt_frames() noexcept {
+  return g_swallow_corrupt.load(std::memory_order_relaxed);
+}
 
 void record_flow_telemetry(const FlowStats& stats) {
   const TransportTelemetry& t = TransportTelemetry::get();
@@ -65,6 +83,9 @@ bool FlowCore::begin(std::vector<SendItem> items, const Limits& limits,
   on_complete_ = std::move(on_complete);
   timeout_extra_ = std::move(timeout_extra);
   ++msg_epoch_;
+  if (auto* m = monitor_of(host_)) {
+    m->on_flow_begin(this, flow_id_, host_.sim().now());
+  }
   if (items_.empty()) {
     complete();
     return true;
@@ -127,6 +148,9 @@ bool FlowCore::mark_acked(std::uint32_t seq, bool was_trimmed) {
   else ++stats_.acked_full;
   // Forward progress: reset the RTO clock.
   rto_cur_ = limits_.rto;
+  if (auto* m = monitor_of(host_)) {
+    m->on_flow_progress(this, flow_id_, host_.sim().now());
+  }
   return true;
 }
 
@@ -172,6 +196,9 @@ void FlowCore::complete() {
   ++timer_epoch_;  // cancel pending timers
   stats_.completed = true;
   stats_.end_time = host_.sim().now();
+  if (auto* m = monitor_of(host_)) {
+    m->on_flow_complete(this, flow_id_, false, stats_.end_time);
+  }
   record_flow_telemetry(stats_);
   if (on_complete_) on_complete_(stats_);
 }
@@ -182,6 +209,9 @@ void FlowCore::fail() {
   stats_.completed = false;
   stats_.failed = true;
   stats_.end_time = host_.sim().now();
+  if (auto* m = monitor_of(host_)) {
+    m->on_flow_complete(this, flow_id_, true, stats_.end_time);
+  }
   record_flow_telemetry(stats_);
   if (on_complete_) on_complete_(stats_);
 }
@@ -238,7 +268,13 @@ void ReceiverCore::send_nack(const Frame& data) {
 
 bool ReceiverCore::pre_deliver(const Frame& frame) {
   if (frame.kind != FrameKind::kData) return false;
-  if (frame.seq >= delivered_.size()) return false;  // malformed
+  InvariantMonitor* monitor = monitor_of(host_);
+  if (frame.seq >= delivered_.size()) {  // malformed
+    if (monitor != nullptr) {
+      monitor->resolve_delivery(InvariantMonitor::Outcome::kMalformed);
+    }
+    return false;
+  }
   if (stats_.delivered_full + stats_.delivered_trimmed == 0) {
     stats_.first_frame_time = host_.sim().now();
   }
@@ -247,6 +283,9 @@ bool ReceiverCore::pre_deliver(const Frame& frame) {
     // Duplicate (retransmission after a lost ACK): re-ACK, don't re-deliver.
     ++stats_.duplicate_frames;
     send_ack(frame, delivered_[frame.seq] == 2);
+    if (monitor != nullptr) {
+      monitor->resolve_delivery(InvariantMonitor::Outcome::kDuplicate);
+    }
     return false;
   }
 
@@ -255,13 +294,24 @@ bool ReceiverCore::pre_deliver(const Frame& frame) {
     // mangled, not trimmed — never deliver it as a gradient; NACK it.
     ++stats_.corrupt_frames;
     count_corrupt_detected();
+    if (test_swallow_corrupt_frames()) {
+      // Mutation under test: the NACK (and its delivery-outcome report) is
+      // skipped, so the monitor sees the frame vanish.
+      return false;
+    }
     send_nack(frame);
+    if (monitor != nullptr) {
+      monitor->resolve_delivery(InvariantMonitor::Outcome::kCorruptNacked);
+    }
     return false;
   }
 
   if (frame.trimmed && !policy_.trimmed_is_delivered) {
     // Reliable semantics: the payload is gone; demand a retransmission.
     send_nack(frame);
+    if (monitor != nullptr) {
+      monitor->resolve_delivery(InvariantMonitor::Outcome::kTrimRejected);
+    }
     return false;
   }
   return true;
@@ -272,6 +322,9 @@ void ReceiverCore::deliver(const Frame& frame) {
   ++delivered_count_;
   if (frame.trimmed) ++stats_.delivered_trimmed;
   else ++stats_.delivered_full;
+  if (auto* m = monitor_of(host_)) {
+    m->resolve_delivery(InvariantMonitor::Outcome::kDelivered);
+  }
   if (on_data_) on_data_(frame);
   send_ack(frame, frame.trimmed);
 }

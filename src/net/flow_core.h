@@ -57,6 +57,13 @@ struct ReceiverStats {
   SimTime complete_time = 0;
 };
 
+/// Test-only mutation hook: while set, ReceiverCore silently swallows
+/// corrupt frames instead of NACKing them. Exists so the invariants tests
+/// can prove the conservation monitor catches a broken recovery path; never
+/// set outside tests.
+void test_set_swallow_corrupt_frames(bool on) noexcept;
+bool test_swallow_corrupt_frames() noexcept;
+
 /// Fold a completed flow's stats into the global MetricsRegistry
 /// (net.transport.* counters) and record a "flow" complete event spanning
 /// start_time..end_time on the global trace. FlowCore calls this from its

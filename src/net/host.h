@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "net/invariants.h"
 #include "net/sim.h"
 
 namespace trimgrad::net {
@@ -35,6 +36,9 @@ class Host : public Node {
     const auto it = endpoints_.find(frame.flow_id);
     if (it == endpoints_.end()) {
       ++unclaimed_;
+      if (auto* m = sim_.invariant_monitor()) {
+        m->resolve_delivery(InvariantMonitor::Outcome::kUnclaimed);
+      }
       return;
     }
     it->second->on_frame(std::move(frame));

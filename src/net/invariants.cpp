@@ -1,0 +1,373 @@
+#include "net/invariants.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "net/fault_plane.h"
+#include "net/sim.h"
+
+namespace trimgrad::net {
+
+namespace {
+
+/// The frame dispatch currently executing on this thread. Deliveries never
+/// nest (a node's on_frame runs to completion inside one event, and each
+/// domain is owned by exactly one worker inside a parallel window), so a
+/// single slot per thread suffices; the owner pointer keeps concurrently
+/// live monitors from seeing each other's dispatches.
+struct PendingDelivery {
+  const InvariantMonitor* owner = nullptr;
+  NodeId node = kInvalidNode;
+  std::uint32_t flow_id = 0;
+  std::uint64_t frame_id = 0;
+  SimTime time = 0;
+  bool is_data = false;
+  bool resolved = false;
+};
+
+thread_local PendingDelivery g_pending;
+
+std::string format_sim_time(SimTime t) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", t);
+  return buf;
+}
+
+}  // namespace
+
+const char* to_string(InvariantMonitor::Outcome o) noexcept {
+  switch (o) {
+    case InvariantMonitor::Outcome::kDelivered: return "delivered";
+    case InvariantMonitor::Outcome::kForwarded: return "forwarded";
+    case InvariantMonitor::Outcome::kDuplicate: return "duplicate";
+    case InvariantMonitor::Outcome::kCorruptNacked: return "corrupt_nacked";
+    case InvariantMonitor::Outcome::kTrimRejected: return "trim_rejected";
+    case InvariantMonitor::Outcome::kMalformed: return "malformed";
+    case InvariantMonitor::Outcome::kUnroutable: return "unroutable";
+    case InvariantMonitor::Outcome::kUnclaimed: return "unclaimed";
+  }
+  return "?";
+}
+
+InvariantMonitor::InvariantMonitor(Config cfg) : cfg_(cfg) {}
+
+InvariantMonitor::~InvariantMonitor() {
+  if (sim_ != nullptr && sim_->invariant_monitor() == this) {
+    sim_->set_invariant_monitor(nullptr);
+  }
+}
+
+void InvariantMonitor::attach(Simulator& sim) {
+  sim_ = &sim;
+  sim.set_invariant_monitor(this);
+}
+
+std::string InvariantMonitor::render_active_faults(SimTime now) const {
+  if (sim_ == nullptr || sim_->fault_plane() == nullptr) return {};
+  const FaultPlaneConfig& cfg = sim_->fault_plane()->config();
+  std::string out;
+  const auto append = [&out](const std::string& s) {
+    if (!out.empty()) out += ' ';
+    out += s;
+  };
+  for (const LinkFault& f : cfg.link_faults) {
+    if (!f.active_at(now)) continue;
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "link(%u,%zu,bw=%g)",
+                  static_cast<unsigned>(f.node), f.port, f.bandwidth_scale);
+    append(buf);
+  }
+  for (const NodeFault& f : cfg.node_faults) {
+    if (!f.active_at(now)) continue;
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "node(%u)", static_cast<unsigned>(f.node));
+    append(buf);
+  }
+  if (cfg.corrupt_rate > 0) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "corrupt(%g)", cfg.corrupt_rate);
+    append(buf);
+  }
+  for (const CorruptRule& r : cfg.corrupt_overrides) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "corrupt(%u,%zu,%g)",
+                  static_cast<unsigned>(r.node), r.port, r.rate);
+    append(buf);
+  }
+  return out;
+}
+
+void InvariantMonitor::report(InvariantViolation v) {
+  // Caller holds mu_.
+  ++total_violations_;
+  if (violations_.size() >= cfg_.max_violations) return;
+  v.active_faults = render_active_faults(v.time);
+  violations_.push_back(std::move(v));
+}
+
+// --- Simulator hooks --------------------------------------------------------
+
+void InvariantMonitor::on_frame_id(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++checks_;
+  if (!seen_frame_ids_.insert(id).second) {
+    report({"frame_id_unique", sim_ != nullptr ? sim_->now() : 0.0,
+            kInvalidNode, 0, id,
+            "frame id handed out twice across scheduling domains", {}});
+  }
+}
+
+void InvariantMonitor::on_transmit(NodeId from, std::uint64_t frame_id,
+                                   FrameKind kind, bool accepted, SimTime now) {
+  (void)kind;
+  if (g_pending.owner == this && g_pending.frame_id == frame_id) {
+    // A switch forwarding the frame it is currently being handed: whether
+    // the egress queue accepted it or dropped/refused it, its delivery is
+    // accounted for.
+    g_pending.resolved = true;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++checks_;
+  if (accepted) ++custody_[frame_id];
+  (void)from;
+  (void)now;
+}
+
+void InvariantMonitor::on_queue_flushed(NodeId node, std::uint64_t frame_id,
+                                        SimTime now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++checks_;
+  const auto it = custody_.find(frame_id);
+  if (it == custody_.end() || it->second <= 0) {
+    report({"frame_conservation", now, node, 0, frame_id,
+            "queue flushed a frame that was not in custody", {}});
+    return;
+  }
+  if (--it->second == 0) custody_.erase(it);
+}
+
+void InvariantMonitor::on_arrival_drop(NodeId node, std::uint64_t frame_id,
+                                       SimTime now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++checks_;
+  const auto it = custody_.find(frame_id);
+  if (it == custody_.end() || it->second <= 0) {
+    report({"frame_conservation", now, node, 0, frame_id,
+            "dead-node drop of a frame that was not in custody", {}});
+    return;
+  }
+  if (--it->second == 0) custody_.erase(it);
+}
+
+void InvariantMonitor::begin_delivery(NodeId node, const Frame& frame,
+                                      SimTime now) {
+  g_pending = PendingDelivery{this,      node, frame.flow_id, frame.id, now,
+                              frame.kind == FrameKind::kData, false};
+  std::lock_guard<std::mutex> lock(mu_);
+  ++checks_;
+  const auto it = custody_.find(frame.id);
+  if (it == custody_.end() || it->second <= 0) {
+    report({"frame_conservation", now, node, frame.flow_id, frame.id,
+            "frame delivered more than once (custody went negative)", {}});
+    return;
+  }
+  if (--it->second == 0) custody_.erase(it);
+}
+
+void InvariantMonitor::resolve_delivery(Outcome outcome) {
+  (void)outcome;
+  if (g_pending.owner != this) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++checks_;
+  if (g_pending.resolved) {
+    report({"delivery_accounting", g_pending.time, g_pending.node,
+            g_pending.flow_id, g_pending.frame_id,
+            std::string("frame resolved twice (second outcome: ") +
+                to_string(outcome) + ")",
+            {}});
+    return;
+  }
+  g_pending.resolved = true;
+}
+
+void InvariantMonitor::end_delivery() {
+  if (g_pending.owner != this) return;
+  const PendingDelivery p = g_pending;
+  g_pending = PendingDelivery{};
+  if (!p.is_data || p.resolved) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++checks_;
+  report({"frame_conservation", p.time, p.node, p.flow_id, p.frame_id,
+          "data frame consumed without an outcome (delivered, NACKed, "
+          "forwarded, or dropped) — a recovery path swallowed it",
+          {}});
+}
+
+// --- Flow hooks -------------------------------------------------------------
+
+void InvariantMonitor::on_flow_begin(const void* core, std::uint32_t flow_id,
+                                     SimTime now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++checks_;
+  live_flows_[core] = FlowRecord{flow_id, now, false};
+}
+
+void InvariantMonitor::on_flow_progress(const void* core,
+                                        std::uint32_t flow_id, SimTime now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++checks_;
+  const auto it = live_flows_.find(core);
+  if (it == live_flows_.end()) return;
+  FlowRecord& rec = it->second;
+  if (!rec.stuck_reported && cfg_.flow_progress_deadline > 0 &&
+      now - rec.last_progress > cfg_.flow_progress_deadline) {
+    rec.stuck_reported = true;
+    report({"stuck_flow", now, kInvalidNode, flow_id, 0,
+            "flow made no forward progress for " +
+                format_sim_time(now - rec.last_progress) + "s (deadline " +
+                format_sim_time(cfg_.flow_progress_deadline) + "s)",
+            {}});
+  }
+  rec.last_progress = now;
+}
+
+void InvariantMonitor::on_flow_complete(const void* core,
+                                        std::uint32_t flow_id, bool failed,
+                                        SimTime now) {
+  (void)failed;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++checks_;
+  const auto it = live_flows_.find(core);
+  if (it == live_flows_.end()) {
+    report({"on_complete_once", now, kInvalidNode, flow_id, 0,
+            "flow terminal state reported without a live flow "
+            "(on_complete fired twice, or complete without begin)",
+            {}});
+    return;
+  }
+  if (!it->second.stuck_reported && cfg_.flow_progress_deadline > 0 &&
+      now - it->second.last_progress > cfg_.flow_progress_deadline) {
+    report({"stuck_flow", now, kInvalidNode, flow_id, 0,
+            "flow sat " + format_sim_time(now - it->second.last_progress) +
+                "s without progress before terminating",
+            {}});
+  }
+  live_flows_.erase(it);
+}
+
+// --- Control-plane hooks ----------------------------------------------------
+
+void InvariantMonitor::on_view_version(std::uint64_t version, SimTime now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++checks_;
+  if (view_seen_ && version < last_view_version_) {
+    report({"view_monotonic", now, kInvalidNode, 0, 0,
+            "membership view version went backwards: " +
+                std::to_string(last_view_version_) + " -> " +
+                std::to_string(version),
+            {}});
+  }
+  last_view_version_ = std::max(last_view_version_, version);
+  view_seen_ = true;
+}
+
+void InvariantMonitor::on_checkpoint_custody(int rank, bool crc_ok,
+                                             SimTime now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++checks_;
+  if (!crc_ok) {
+    report({"checkpoint_custody", now, kInvalidNode, 0, 0,
+            "rank " + std::to_string(rank) +
+                " checkpoint blob failed its CRC round-trip",
+            {}});
+  }
+}
+
+void InvariantMonitor::on_epoch_time(std::uint64_t epoch, double sim_time_s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++checks_;
+  if (epoch_seen_ && sim_time_s <= last_epoch_time_) {
+    report({"epoch_clock", sim_time_s, kInvalidNode, 0, 0,
+            "epoch " + std::to_string(epoch) +
+                " did not advance the simulated clock (" +
+                format_sim_time(last_epoch_time_) + " -> " +
+                format_sim_time(sim_time_s) + ")",
+            {}});
+  }
+  last_epoch_time_ = std::max(last_epoch_time_, sim_time_s);
+  epoch_seen_ = true;
+}
+
+// --- Finalize ---------------------------------------------------------------
+
+void InvariantMonitor::finalize() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++checks_;
+  const SimTime now = sim_ != nullptr ? sim_->now() : 0.0;
+  if (sim_ != nullptr) {
+    for (NodeId id = 0; id < sim_->node_count(); ++id) {
+      Node& n = sim_->node(id);
+      for (std::size_t p = 0; p < n.port_count(); ++p) {
+        const EgressQueue& q = n.port(p).queue();
+        if (q.empty()) continue;
+        report({"queues_drained", now, id, 0, 0,
+                "egress queue " + std::to_string(p) + " holds " +
+                    std::to_string(q.data_bytes() + q.header_bytes()) +
+                    " bytes after the run drained",
+                {}});
+      }
+    }
+  }
+  for (const auto& [id, count] : custody_) {
+    if (count <= 0) continue;
+    report({"frame_conservation", now, kInvalidNode, 0, id,
+            "frame still in custody at sim end (stuck in a queue or "
+            "never dispatched)",
+            {}});
+  }
+  for (const auto& [core, rec] : live_flows_) {
+    (void)core;
+    report({"stuck_flow", now, kInvalidNode, rec.flow_id, 0,
+            "flow never reached a terminal state (last progress at " +
+                format_sim_time(rec.last_progress) + "s)",
+            {}});
+  }
+}
+
+// --- Observers --------------------------------------------------------------
+
+std::vector<InvariantViolation> InvariantMonitor::violations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return violations_;
+}
+
+std::vector<InvariantViolation> InvariantMonitor::sorted_violations() const {
+  std::vector<InvariantViolation> out = violations();
+  std::sort(out.begin(), out.end(),
+            [](const InvariantViolation& a, const InvariantViolation& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              if (a.node != b.node) return a.node < b.node;
+              if (a.flow_id != b.flow_id) return a.flow_id < b.flow_id;
+              if (a.frame_id != b.frame_id) return a.frame_id < b.frame_id;
+              return a.detail < b.detail;
+            });
+  return out;
+}
+
+std::uint64_t InvariantMonitor::total_violations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_violations_;
+}
+
+std::uint64_t InvariantMonitor::checks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return checks_;
+}
+
+std::size_t InvariantMonitor::frames_in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return custody_.size();
+}
+
+}  // namespace trimgrad::net

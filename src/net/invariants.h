@@ -1,0 +1,186 @@
+// Runtime invariant monitors: global correctness properties checked while a
+// simulation runs, not just asserted after it.
+//
+// The fault plane (net/fault_plane.h) made chaos runs *replayable*; this
+// subsystem makes them *checkable*. An InvariantMonitor attaches to a
+// Simulator (and, through thin hooks, to FlowCore/ReceiverCore, Host,
+// SwitchNode, ddp::Membership and ddp::DdpTrainer) and continuously verifies
+// the properties every recovery path is supposed to preserve:
+//
+//   frame conservation  — every frame accepted into the fabric leaves it
+//                         exactly once (delivered, flushed with a dead link,
+//                         or lost at a dead node); custody going negative
+//                         means duplication, custody left at sim end means a
+//                         frame is stuck in a queue.
+//   delivery accounting — every *data* frame handed to a node is resolved by
+//                         exactly one outcome during its dispatch: forwarded,
+//                         delivered, duplicate re-ACKed, corrupt-NACKed,
+//                         trim-rejected, malformed-dropped, unroutable, or
+//                         unclaimed. A receiver that silently swallows a
+//                         frame (the classic broken-recovery bug) violates
+//                         this even though no counter ever disagrees.
+//   no stuck flows      — every live flow must make forward progress (begin,
+//                         ACK, or terminal) within a simulated-time deadline.
+//   on_complete once    — a flow's completion callback fires exactly once,
+//                         from exactly one of complete()/fail().
+//   queues drained      — at finalize() every egress queue is empty.
+//   view monotonicity   — membership view versions never go backwards.
+//   frame-id uniqueness — ids are unique across scheduling domains.
+//   checkpoint custody  — stored checkpoint blobs re-parse CRC-clean.
+//   epoch clock         — the trainer's simulated clock advances every epoch.
+//
+// Violations are structured reports (rule, sim time, node, flow, frame, the
+// fault windows active at that instant) with a canonical sort order, so a
+// report is bit-comparable across TRIMGRAD_THREADS — which is what lets the
+// chaos-search shrinker (ddp/chaos_search.h) treat "same sorted report" as
+// "same bug".
+//
+// Hooks are nullptr-checked single branches on the hot paths and the monitor
+// itself is mutex-guarded, so it is safe under parallel-window execution;
+// runs without a monitor attached pay one predictable-not-taken branch.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/frame.h"
+
+namespace trimgrad::net {
+
+class Simulator;
+
+/// One detected property violation, with enough context to debug it: what
+/// rule broke, when, where, and which fault windows were active.
+struct InvariantViolation {
+  std::string rule;          ///< e.g. "frame_conservation", "stuck_flow"
+  SimTime time = 0;
+  NodeId node = kInvalidNode;
+  std::uint32_t flow_id = 0;
+  std::uint64_t frame_id = 0;
+  std::string detail;
+  std::string active_faults;  ///< fault windows covering `time`, rendered
+
+  friend bool operator==(const InvariantViolation&,
+                         const InvariantViolation&) = default;
+};
+
+/// Monitor knobs (namespace-scope so it can be a default argument).
+struct InvariantConfig {
+  /// Max simulated seconds a live flow may go without forward progress
+  /// before it counts as stuck. Generous by default: legitimate RTO
+  /// backoff chains in our experiments stay well under a second.
+  SimTime flow_progress_deadline = 1.0;
+  /// Retention cap for violation reports; further violations are counted
+  /// (total_violations()) but not stored.
+  std::size_t max_violations = 256;
+};
+
+class InvariantMonitor {
+ public:
+  using Config = InvariantConfig;
+
+  /// How a data frame's delivery to a node was resolved.
+  enum class Outcome : std::uint8_t {
+    kDelivered = 0,     ///< accepted by a receiver (fresh, intact)
+    kForwarded = 1,     ///< a switch re-transmitted it (or dropped trying)
+    kDuplicate = 2,     ///< receiver re-ACKed a duplicate
+    kCorruptNacked = 3, ///< checksum mismatch, NACKed back
+    kTrimRejected = 4,  ///< trimmed arrival NACKed (reliable semantics)
+    kMalformed = 5,     ///< out-of-range seq or wrong kind, dropped
+    kUnroutable = 6,    ///< switch had no route
+    kUnclaimed = 7,     ///< host had no endpoint for the flow
+  };
+
+  explicit InvariantMonitor(Config cfg = {});
+  ~InvariantMonitor();
+  InvariantMonitor(const InvariantMonitor&) = delete;
+  InvariantMonitor& operator=(const InvariantMonitor&) = delete;
+
+  /// Register with `sim` (sim.set_invariant_monitor(this)) and remember it
+  /// for fault-window rendering and finalize(). The monitor detaches itself
+  /// on destruction; `sim` must outlive the monitor or detach first.
+  void attach(Simulator& sim);
+
+  // --- Simulator hooks ----------------------------------------------------
+  void on_frame_id(std::uint64_t id);
+  /// A transmit attempt: `accepted` means the frame entered the egress
+  /// queue (possibly trimmed). Refused/dropped frames never gain custody.
+  /// Also resolves a pending delivery of the same frame id (switch forward).
+  void on_transmit(NodeId from, std::uint64_t frame_id, FrameKind kind,
+                   bool accepted, SimTime now);
+  /// A queued frame was flushed when its link died: custody released.
+  void on_queue_flushed(NodeId node, std::uint64_t frame_id, SimTime now);
+  /// A frame arrived at a dead node and was lost: custody released.
+  void on_arrival_drop(NodeId node, std::uint64_t frame_id, SimTime now);
+  /// Bracket a frame dispatch to a node: custody released at begin; at end,
+  /// a data frame must have been resolved by exactly one outcome.
+  void begin_delivery(NodeId node, const Frame& frame, SimTime now);
+  void resolve_delivery(Outcome outcome);
+  void end_delivery();
+
+  // --- Flow hooks (FlowCore; keyed by core address while the flow lives) --
+  void on_flow_begin(const void* core, std::uint32_t flow_id, SimTime now);
+  void on_flow_progress(const void* core, std::uint32_t flow_id, SimTime now);
+  void on_flow_complete(const void* core, std::uint32_t flow_id, bool failed,
+                        SimTime now);
+
+  // --- Control-plane hooks (ddp::Membership / ddp::DdpTrainer) ------------
+  void on_view_version(std::uint64_t version, SimTime now);
+  void on_checkpoint_custody(int rank, bool crc_ok, SimTime now);
+  void on_epoch_time(std::uint64_t epoch, double sim_time_s);
+
+  /// End-of-run checks against the attached simulator: every egress queue
+  /// empty, no frame still in custody, no live flow left behind. Call after
+  /// the sim has drained; idempotent per run.
+  void finalize();
+
+  // --- Observers ----------------------------------------------------------
+  /// Reports in detection order (capped at Config::max_violations).
+  std::vector<InvariantViolation> violations() const;
+  /// Reports in canonical (time, rule, node, flow, frame, detail) order —
+  /// bit-comparable across thread counts.
+  std::vector<InvariantViolation> sorted_violations() const;
+  /// Violations detected, including any beyond the retention cap.
+  std::uint64_t total_violations() const;
+  /// Hook invocations served (a liveness sanity check for tests: a monitor
+  /// that saw zero checks was not actually wired up).
+  std::uint64_t checks() const;
+  /// Frames currently in custody (in a queue or on the wire).
+  std::size_t frames_in_flight() const;
+
+ private:
+  void report(InvariantViolation v);
+  std::string render_active_faults(SimTime now) const;
+
+  Config cfg_;
+  Simulator* sim_ = nullptr;
+
+  mutable std::mutex mu_;
+  std::vector<InvariantViolation> violations_;
+  std::uint64_t total_violations_ = 0;
+  std::uint64_t checks_ = 0;
+
+  /// frame id -> custody count (+1 queue accept, -1 dispatch/flush/drop).
+  std::unordered_map<std::uint64_t, int> custody_;
+  std::unordered_set<std::uint64_t> seen_frame_ids_;
+
+  struct FlowRecord {
+    std::uint32_t flow_id = 0;
+    SimTime last_progress = 0;
+    bool stuck_reported = false;
+  };
+  std::unordered_map<const void*, FlowRecord> live_flows_;
+
+  std::uint64_t last_view_version_ = 0;
+  bool view_seen_ = false;
+  double last_epoch_time_ = 0;
+  bool epoch_seen_ = false;
+};
+
+const char* to_string(InvariantMonitor::Outcome o) noexcept;
+
+}  // namespace trimgrad::net

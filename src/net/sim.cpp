@@ -8,6 +8,7 @@
 #include "core/threadpool.h"
 #include "core/trace.h"
 #include "net/fault_plane.h"
+#include "net/invariants.h"
 
 namespace trimgrad::net {
 
@@ -291,8 +292,11 @@ std::uint64_t Simulator::next_frame_id() noexcept {
   const std::uint32_t dom = (g_ctx.sim == this) ? g_ctx.domain : 0u;
   Domain& d = domains_[dom];
   const std::uint64_t seq = ++d.frame_seq;
-  if (dom == 0) return seq;  // unpartitioned runs match the classic counter
-  return (static_cast<std::uint64_t>(dom + 1) << 40) | seq;
+  const std::uint64_t id =
+      dom == 0 ? seq  // unpartitioned runs match the classic counter
+               : (static_cast<std::uint64_t>(dom + 1) << 40) | seq;
+  if (monitor_ != nullptr) monitor_->on_frame_id(id);
+  return id;
 }
 
 Node& Simulator::node(NodeId id) {
@@ -322,19 +326,30 @@ std::pair<std::size_t, std::size_t> Simulator::connect(NodeId a, NodeId b,
 bool Simulator::transmit(NodeId from, std::size_t port_idx, Frame frame) {
   Node& n = node(from);
   Port& p = n.port(port_idx);
+  const std::uint64_t frame_id = frame.id;
+  const FrameKind kind = frame.kind;
   if (fault_plane_ != nullptr) {
     // A dead origin node originates nothing; a dead link refuses new
     // frames (the NIC sees carrier loss and drops at the source).
     if (!fault_plane_->node_up(from, now())) {
       fault_plane_->note_node_drop(from, now(), frame.id);
+      if (monitor_ != nullptr) {
+        monitor_->on_transmit(from, frame_id, kind, false, now());
+      }
       return false;
     }
     if (!fault_plane_->link_up(from, port_idx, now())) {
       fault_plane_->note_link_refused(from, port_idx, now(), frame.id);
+      if (monitor_ != nullptr) {
+        monitor_->on_transmit(from, frame_id, kind, false, now());
+      }
       return false;
     }
   }
   const bool accepted = p.queue().enqueue(std::move(frame));
+  if (monitor_ != nullptr) {
+    monitor_->on_transmit(from, frame_id, kind, accepted, now());
+  }
   if (accepted && !p.transmitting_) drain_port(from, port_idx);
   return accepted;
 }
@@ -349,6 +364,9 @@ void Simulator::drain_port(NodeId node_id, std::size_t port_idx) {
     // queue stays empty and the first post-recovery transmit re-kicks us.
     while (auto queued = p.queue().dequeue()) {
       fault_plane_->note_queue_flushed(node_id, port_idx, now(), queued->id);
+      if (monitor_ != nullptr) {
+        monitor_->on_queue_flushed(node_id, queued->id, now());
+      }
     }
     p.transmitting_ = false;
     return;
@@ -380,10 +398,19 @@ void Simulator::drain_port(NodeId node_id, std::size_t port_idx) {
   schedule_event(peer, tx + prop, [this, peer, f = std::move(frame)]() mutable {
     if (fault_plane_ != nullptr && !fault_plane_->node_up(peer, now())) {
       fault_plane_->note_node_drop(peer, now(), f.id);
+      if (monitor_ != nullptr) monitor_->on_arrival_drop(peer, f.id, now());
       return;
     }
     ++domains_[exec_domain_of(peer)].delivered;
-    node(peer).on_frame(std::move(f));
+    if (monitor_ == nullptr) {
+      node(peer).on_frame(std::move(f));
+    } else {
+      // Bracket the dispatch: the monitor requires every data frame to be
+      // resolved by exactly one outcome before the handler returns.
+      monitor_->begin_delivery(peer, f, now());
+      node(peer).on_frame(std::move(f));
+      monitor_->end_delivery();
+    }
   });
 }
 

@@ -29,6 +29,7 @@ namespace trimgrad::net {
 
 class Node;
 class FaultPlane;
+class InvariantMonitor;
 
 /// Physical link parameters (one direction; connect() wires both).
 struct LinkSpec {
@@ -173,6 +174,15 @@ class Simulator {
   void set_fault_plane(FaultPlane* plane) noexcept { fault_plane_ = plane; }
   FaultPlane* fault_plane() const noexcept { return fault_plane_; }
 
+  /// Attach an invariant monitor (net/invariants.h); nullptr detaches. The
+  /// monitor must outlive every run while attached. Hooked at frame-id
+  /// allocation, transmit, dead-link flush, and delivery dispatch; nodes and
+  /// flow machinery consult it through this accessor for their own hooks.
+  void set_invariant_monitor(InvariantMonitor* monitor) noexcept {
+    monitor_ = monitor;
+  }
+  InvariantMonitor* invariant_monitor() const noexcept { return monitor_; }
+
  private:
   struct Event {
     SimTime time;
@@ -222,6 +232,7 @@ class Simulator {
 
   SimTime now_ = 0.0;
   FaultPlane* fault_plane_ = nullptr;
+  InvariantMonitor* monitor_ = nullptr;
   bool sealed_ = false;
   bool parallel_ = false;
   /// True while a parallel window is in flight (ordered by the pool's job

@@ -2,6 +2,7 @@
 
 #include "core/metrics.h"
 #include "core/prng.h"
+#include "net/invariants.h"
 
 namespace trimgrad::net {
 namespace {
@@ -42,6 +43,9 @@ void SwitchNode::on_frame(Frame frame) {
   if (out < 0) {
     ++unroutable_;
     SwitchTelemetry::get().unroutable.add();
+    if (auto* m = sim_.invariant_monitor()) {
+      m->resolve_delivery(InvariantMonitor::Outcome::kUnroutable);
+    }
     return;
   }
   SwitchTelemetry::get().forwarded.add();

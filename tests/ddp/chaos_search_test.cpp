@@ -1,0 +1,166 @@
+// Chaos search end to end: clean cells stay clean, a seeded mutation is
+// caught by the conservation invariant, the shrinker delta-debugs it to a
+// <= 3-event repro, and the repro replays bit-identically at 1/2/8 threads.
+#include "ddp/chaos_search.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <thread>
+#include <string>
+#include <vector>
+
+#include "core/threadpool.h"
+#include "net/flow_core.h"
+
+namespace trimgrad::ddp {
+namespace {
+
+ExperimentSpec tiny_spec(const std::string& transport,
+                         const std::string& scheme) {
+  ExperimentSpec spec;
+  spec.transport = transport;
+  spec.scheme = scheme;
+  spec.topology = "fabric";
+  spec.faults = "none";
+  spec.trim = 0;
+  spec.deadline = 10e-3;
+  spec.world = 4;
+  spec.epochs = 1;
+  spec.batch = 16;
+  spec.lr = 0.05;
+  return spec;
+}
+
+/// Restores the mutation flag even when an assertion bails out early.
+struct SwallowGuard {
+  explicit SwallowGuard(bool on) { net::test_set_swallow_corrupt_frames(on); }
+  ~SwallowGuard() { net::test_set_swallow_corrupt_frames(false); }
+};
+
+/// The seeded script the mutation test starts from: three events (a global
+/// corrupt rate, one brown-out window, a straggler) so the shrinker has
+/// something real to delta-debug away.
+net::FaultScript mutation_script() {
+  net::FaultScript script;
+  script.plane.seed = 13;
+  script.plane.corrupt_rate = 0.05;
+  script.straggler_factor = 2.0;
+  net::LinkFault brown;
+  brown.node = 0;  // edge switch p0-e0 of the k=4 fat-tree
+  brown.port = 0;  // its first agg uplink
+  brown.start = 100e-6;
+  brown.duration = 300e-6;
+  brown.bandwidth_scale = 0.5;
+  brown.latency_scale = 2.0;
+  script.plane.link_faults.push_back(brown);
+  return script;
+}
+
+TEST(ChaosSearch, CleanCellRunIsViolationFree) {
+  net::FaultScript quiet;
+  quiet.plane.seed = 3;
+  const ChaosCellResult r = run_chaos_cell(tiny_spec("trim", "rht"), quiet);
+  EXPECT_EQ(r.total_violations, 0u);
+  EXPECT_TRUE(r.violations.empty());
+  EXPECT_TRUE(r.drained) << "events left in the simulator after training";
+  EXPECT_GT(r.checks, 0u) << "the monitor was not wired into the cell";
+  EXPECT_EQ(r.epochs, 1u);
+  EXPECT_EQ(r.fault_events, 0u);
+}
+
+TEST(ChaosSearch, GeneratedFaultsWithWorkingRecoveryStayClean) {
+  const net::ScriptGenConfig gen = chaos_candidates(4, /*seed=*/21,
+                                                    /*intensity=*/0.6);
+  const net::FaultScript script = generate_fault_script(gen);
+  ASSERT_GT(script.event_count(), 0u);
+  const ChaosCellResult r = run_chaos_cell(tiny_spec("reliable", "rht"),
+                                           script);
+  EXPECT_EQ(r.total_violations, 0u)
+      << "recovery paths must absorb generated faults without violations";
+  EXPECT_TRUE(r.drained);
+  EXPECT_EQ(r.epochs, 1u);
+}
+
+TEST(ChaosSearch, CandidatesComeFromTheFabric) {
+  const net::ScriptGenConfig gen = chaos_candidates(4, 9, 0.4);
+  EXPECT_EQ(gen.seed, 9u);
+  EXPECT_DOUBLE_EQ(gen.intensity, 0.4);
+  // k=4 fat-tree: 8 edge + 8 agg switches with 4 ports, 4 cores with 4
+  // ports; all are link candidates, only switches are kill candidates.
+  EXPECT_EQ(gen.links.size(), 80u);
+  EXPECT_EQ(gen.nodes.size(), 20u);
+  // The builder creates switches first (ids 0..19), hosts after (20..35).
+  for (const auto n : gen.nodes) {
+    EXPECT_LT(n, 20u) << "hosts must not be kill candidates";
+  }
+}
+
+TEST(ChaosSearch, MutationIsCaughtShrunkAndReplaysAcrossThreadCounts) {
+  // The seeded bug: the receiver swallows corrupt data frames without
+  // NACKing them. Every per-rank counter still adds up — only the frame
+  // conservation property notices.
+  SwallowGuard guard(true);
+  const ExperimentSpec spec = tiny_spec("reliable", "rht");
+  const net::FaultScript script = mutation_script();
+  ASSERT_EQ(script.event_count(), 3u);
+
+  const ChaosCellResult broken = run_chaos_cell(spec, script);
+  ASSERT_GT(broken.total_violations, 0u)
+      << "the mutation must be observable before shrinking";
+  bool saw_conservation = false;
+  for (const auto& v : broken.violations) {
+    saw_conservation |= v.rule == "frame_conservation";
+  }
+  EXPECT_TRUE(saw_conservation);
+
+  const ChaosRepro repro = shrink_repro(spec, script);
+  EXPECT_LE(repro.script.event_count(), 3u);
+  EXPECT_GT(repro.probes, 0u);
+  ASSERT_FALSE(repro.violations.empty())
+      << "the shrunk pair must still violate";
+  EXPECT_LE(repro.spec.epochs, spec.epochs);
+  EXPECT_LE(repro.spec.world, spec.world);
+
+  // 1-minimality: dropping any remaining event makes the run pass... is
+  // guaranteed by construction; what we verify here is the replay contract:
+  // the minimal repro is bit-identical for any worker count.
+  std::vector<std::vector<net::InvariantViolation>> runs;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    core::ThreadPool::set_global_threads(threads);
+    runs.push_back(run_chaos_cell(repro.spec, repro.script).violations);
+  }
+  core::ThreadPool::set_global_threads(std::thread::hardware_concurrency());
+  ASSERT_FALSE(runs[0].empty());
+  EXPECT_EQ(runs[0], runs[1]) << "1 vs 2 threads diverged";
+  EXPECT_EQ(runs[0], runs[2]) << "1 vs 8 threads diverged";
+  EXPECT_EQ(runs[0], repro.violations)
+      << "replay diverged from the shrinker's own final run";
+}
+
+TEST(ChaosSearch, ReproScriptReplaysViaFaultsFileSpec) {
+  // The artifact contract: a repro is a FaultScript file plus a spec whose
+  // faults=file:<path> points at it.
+  const net::FaultScript script = mutation_script();
+  const std::string path = ::testing::TempDir() + "chaos_repro_rt.txt";
+  {
+    std::ofstream os(path);
+    script.save(os);
+  }
+  const net::FaultScript loaded = net::FaultScript::load_file(path);
+  EXPECT_EQ(loaded, script);
+
+  ExperimentSpec spec = tiny_spec("trim", "rht");
+  spec.faults = "file:" + path;
+  EXPECT_NO_THROW(spec.validate());
+  EXPECT_TRUE(spec.faults_is_file());
+  EXPECT_EQ(spec.faults_path(), path);
+  const ExperimentSpec reparsed = ExperimentSpec::parse(spec.serialize());
+  EXPECT_EQ(reparsed.faults_path(), path)
+      << "faults=file:<path> must survive the spec round-trip";
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace trimgrad::ddp

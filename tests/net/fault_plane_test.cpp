@@ -5,10 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "core/metrics.h"
+#include "core/threadpool.h"
 #include "net/topology.h"
 #include "net/traffic.h"
 
@@ -292,6 +295,81 @@ TEST(FaultPlane, CorruptionCoinIsStateless) {
   for (std::size_t i = 0; i < 64; ++i) {
     EXPECT_EQ(forward[i], backward[63 - i]) << "frame " << i;
   }
+}
+
+/// One faulted, sharded run: cross-pod flows on a partitioned k=4 fat-tree
+/// under corruption plus a flapping agg core-uplink, executed with `threads`
+/// pool workers. Returns the plane's log.
+FaultLog sharded_faulted_log(std::size_t threads) {
+  core::ThreadPool::set_global_threads(threads);
+  Simulator sim;
+  FabricConfig cfg;
+  cfg.edge_link = {100e9, 1e-6};
+  cfg.core_link = {10e9, 2e-6};
+  cfg.switch_queue.policy = QueuePolicy::kDropTail;
+  cfg.switch_queue.capacity_bytes = 2048 * 1024;
+  cfg.switch_queue.header_capacity_bytes = 64 * 1024;
+  const FatTree ft = build_fat_tree(sim, 4, cfg);
+  partition_fat_tree(sim, ft);
+  sim.seal_partition();
+  sim.set_parallel_execution(true);
+
+  FaultPlaneConfig fcfg;
+  fcfg.seed = 31;
+  fcfg.corrupt_rate = 0.05;
+  LinkFault flap;
+  flap.node = ft.aggs[0][0];
+  flap.port = 2;  // first core uplink (ports 0..1 are edge downlinks)
+  flap.start = 20e-6;
+  flap.duration = 30e-6;
+  flap.period = 150e-6;
+  flap.repeats = 4;
+  fcfg.link_faults.push_back(flap);
+  FaultPlane plane(fcfg);
+  sim.set_fault_plane(&plane);
+
+  TransportConfig tcfg = TransportConfig::reliable();
+  tcfg.rto = 100e-6;
+  tcfg.rto_cap = 1e-3;
+  std::vector<std::unique_ptr<ManagedFlow>> flows;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    // Cross-pod pairs so every flow rides the (faulted) core layer.
+    flows.push_back(std::make_unique<ManagedFlow>(
+        sim, ft.pod_hosts[i][0], ft.pod_hosts[(i + 1) % 4][0], i + 1, tcfg,
+        32));
+    flows.back()->start_at(0.0, make_bulk_items(32, 1500, 0));
+  }
+  sim.run();
+  for (const auto& f : flows) EXPECT_TRUE(f->stats().completed);
+  return plane.log();
+}
+
+TEST(FaultLog, SortedIsStableAcrossWorkerCounts) {
+  // The append order of a sharded run's log follows worker interleaving;
+  // the sorted() normal form must erase that so chaos repros replay
+  // bit-identically at any TRIMGRAD_THREADS.
+  const FaultLog one = sharded_faulted_log(1);
+  const FaultLog two = sharded_faulted_log(2);
+  const FaultLog eight = sharded_faulted_log(8);
+  core::ThreadPool::set_global_threads(std::thread::hardware_concurrency());
+  ASSERT_GT(one.size(), 0u) << "the faults never fired";
+  EXPECT_EQ(one.sorted(), two.sorted()) << "1 vs 2 workers diverged";
+  EXPECT_EQ(one.sorted(), eight.sorted()) << "1 vs 8 workers diverged";
+}
+
+TEST(FaultLog, SaveLoadSaveIsByteIdentical) {
+  const FaultLog log = sharded_faulted_log(2).sorted();
+  core::ThreadPool::set_global_threads(std::thread::hardware_concurrency());
+  ASSERT_GT(log.size(), 0u);
+  std::stringstream first;
+  log.save(first);
+  std::stringstream replay(first.str());
+  const FaultLog loaded = FaultLog::load(replay);
+  EXPECT_EQ(loaded, log);
+  std::stringstream second;
+  loaded.save(second);
+  EXPECT_EQ(second.str(), first.str())
+      << "serialize -> parse -> serialize must be byte-identical";
 }
 
 TEST(FaultPlane, StragglerScheduleIsDeterministicAndInRange) {

@@ -1,0 +1,262 @@
+// Runtime invariant monitors: clean runs stay clean, faulted-but-recovered
+// runs stay clean, and each property's violation path actually fires.
+#include "net/invariants.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/fault_plane.h"
+#include "net/flow_core.h"
+#include "net/topology.h"
+#include "net/traffic.h"
+
+namespace trimgrad::net {
+namespace {
+
+struct Bench {
+  Simulator sim;
+  Dumbbell topo;
+
+  explicit Bench(QueuePolicy policy = QueuePolicy::kDropTail) {
+    FabricConfig cfg;
+    cfg.edge_link = {100e9, 1e-6};
+    cfg.core_link = {10e9, 1e-6};
+    cfg.switch_queue.policy = policy;
+    cfg.switch_queue.capacity_bytes = 2048 * 1024;
+    cfg.switch_queue.header_capacity_bytes = 64 * 1024;
+    topo = build_dumbbell(sim, 4, 4, cfg);
+  }
+};
+
+/// Restores the mutation flag even when an assertion bails out early.
+struct SwallowGuard {
+  explicit SwallowGuard(bool on) { test_set_swallow_corrupt_frames(on); }
+  ~SwallowGuard() { test_set_swallow_corrupt_frames(false); }
+};
+
+TEST(InvariantMonitor, CleanRunReportsNoViolations) {
+  Bench b;
+  InvariantMonitor monitor;
+  monitor.attach(b.sim);
+
+  ManagedFlow flow(b.sim, b.topo.left_hosts[0], b.topo.right_hosts[0], 1,
+                   TransportConfig::reliable(), 16);
+  flow.start_at(0.0, make_bulk_items(16, 1500, 0));
+  b.sim.run();
+  monitor.finalize();
+
+  EXPECT_TRUE(flow.stats().completed);
+  EXPECT_EQ(monitor.total_violations(), 0u) << "clean run must be clean";
+  EXPECT_GT(monitor.checks(), 0u) << "monitor was not actually wired up";
+  EXPECT_EQ(monitor.frames_in_flight(), 0u);
+}
+
+TEST(InvariantMonitor, FaultedRunWithWorkingRecoveryStaysClean) {
+  // Corruption + a link flap + a brief dead node: the recovery paths (NACK,
+  // RTO retransmit) route around all of it, so no property is violated.
+  Bench b;
+  FaultPlaneConfig fcfg;
+  fcfg.seed = 11;
+  fcfg.corrupt_rate = 0.1;
+  LinkFault flap;
+  flap.node = b.topo.left_switch;
+  flap.port = 0;
+  flap.start = 10e-6;
+  flap.duration = 20e-6;
+  flap.period = 200e-6;
+  flap.repeats = 3;
+  fcfg.link_faults.push_back(flap);
+  NodeFault dead;
+  dead.node = b.topo.right_hosts[1];
+  dead.start = 0.0;
+  dead.duration = 100e-6;
+  fcfg.node_faults.push_back(dead);
+  FaultPlane plane(fcfg);
+  b.sim.set_fault_plane(&plane);
+
+  InvariantMonitor monitor;
+  monitor.attach(b.sim);
+
+  TransportConfig cfg = TransportConfig::reliable();
+  cfg.rto = 50e-6;
+  cfg.rto_cap = 200e-6;
+  ManagedFlow f1(b.sim, b.topo.left_hosts[0], b.topo.right_hosts[0], 1, cfg,
+                 24);
+  ManagedFlow f2(b.sim, b.topo.left_hosts[1], b.topo.right_hosts[1], 2, cfg,
+                 24);
+  f1.start_at(0.0, make_bulk_items(24, 1500, 0));
+  f2.start_at(0.0, make_bulk_items(24, 1500, 0));
+  b.sim.run();
+  monitor.finalize();
+
+  EXPECT_TRUE(f1.stats().completed);
+  EXPECT_TRUE(f2.stats().completed);
+  ASSERT_GT(plane.log().size(), 0u) << "faults must actually have fired";
+  EXPECT_EQ(monitor.total_violations(), 0u)
+      << "working recovery paths preserve every invariant";
+}
+
+TEST(InvariantMonitor, SwallowedCorruptFrameViolatesConservation) {
+  // The seeded mutation: the receiver detects the corrupt frame but skips
+  // the NACK (and with it the delivery-outcome report). No counter goes
+  // wrong — only the per-dispatch accounting notices the frame vanished.
+  Bench b;
+  FaultPlaneConfig fcfg;
+  fcfg.seed = 7;
+  fcfg.corrupt_rate = 0.25;
+  FaultPlane plane(fcfg);
+  b.sim.set_fault_plane(&plane);
+
+  InvariantMonitor monitor;
+  monitor.attach(b.sim);
+
+  SwallowGuard guard(true);
+  TransportConfig cfg = TransportConfig::reliable();
+  cfg.rto = 50e-6;
+  cfg.rto_cap = 200e-6;
+  ManagedFlow flow(b.sim, b.topo.left_hosts[0], b.topo.right_hosts[0], 1, cfg,
+                   32);
+  flow.start_at(0.0, make_bulk_items(32, 1500, 0));
+  b.sim.run();
+  monitor.finalize();
+
+  EXPECT_TRUE(flow.stats().completed)
+      << "RTO retransmits still finish the flow — the bug is silent";
+  ASSERT_GT(monitor.total_violations(), 0u);
+  bool saw_conservation = false;
+  for (const auto& v : monitor.violations()) {
+    saw_conservation |= v.rule == "frame_conservation";
+  }
+  EXPECT_TRUE(saw_conservation)
+      << "the swallowed frame must surface as a conservation violation";
+}
+
+TEST(InvariantMonitor, StuckFlowWatchdogFires) {
+  // An absurdly tight progress deadline turns ordinary ACK gaps into
+  // violations — proving the watchdog measures simulated-time progress.
+  Bench b;
+  InvariantMonitor::Config mcfg;
+  mcfg.flow_progress_deadline = 1e-9;
+  InvariantMonitor monitor(mcfg);
+  monitor.attach(b.sim);
+
+  ManagedFlow flow(b.sim, b.topo.left_hosts[0], b.topo.right_hosts[0], 1,
+                   TransportConfig::reliable(), 8);
+  flow.start_at(0.0, make_bulk_items(8, 1500, 0));
+  b.sim.run();
+  monitor.finalize();
+
+  EXPECT_TRUE(flow.stats().completed);
+  bool saw_stuck = false;
+  for (const auto& v : monitor.violations()) saw_stuck |= v.rule == "stuck_flow";
+  EXPECT_TRUE(saw_stuck);
+}
+
+TEST(InvariantMonitor, FlowLeftBehindIsReportedAtFinalize) {
+  Bench b;
+  InvariantMonitor monitor;
+  monitor.attach(b.sim);
+
+  ManagedFlow flow(b.sim, b.topo.left_hosts[0], b.topo.right_hosts[0], 1,
+                   TransportConfig::reliable(), 64);
+  flow.start_at(0.0, make_bulk_items(64, 1500, 0));
+  b.sim.run_until(3e-6);  // stop long before the flow can finish
+  monitor.finalize();
+
+  bool saw_stuck = false;
+  for (const auto& v : monitor.violations()) saw_stuck |= v.rule == "stuck_flow";
+  EXPECT_TRUE(saw_stuck) << "a live flow at sim end is a stuck flow";
+  EXPECT_GT(monitor.frames_in_flight(), 0u)
+      << "frames were still queued or in flight when the run was cut";
+}
+
+TEST(InvariantMonitor, DirectHooksCoverControlPlaneRules) {
+  InvariantMonitor m;
+
+  // frame_id_unique: same id handed out twice.
+  m.on_frame_id(42);
+  m.on_frame_id(42);
+
+  // on_complete_once: terminal state without a live flow.
+  int flow_marker = 0;
+  m.on_flow_complete(&flow_marker, 9, false, 1.0);
+
+  // view_monotonic: version goes backwards.
+  m.on_view_version(5, 2.0);
+  m.on_view_version(3, 2.5);
+
+  // checkpoint_custody: a CRC-dirty blob.
+  m.on_checkpoint_custody(2, false, 3.0);
+
+  // epoch_clock: the simulated clock fails to advance.
+  m.on_epoch_time(0, 1.5);
+  m.on_epoch_time(1, 1.5);
+
+  std::vector<std::string> rules;
+  for (const auto& v : m.violations()) rules.push_back(v.rule);
+  EXPECT_EQ(rules, (std::vector<std::string>{
+                       "frame_id_unique", "on_complete_once", "view_monotonic",
+                       "checkpoint_custody", "epoch_clock"}));
+}
+
+TEST(InvariantMonitor, DuplicateDeliveryDrivesCustodyNegative) {
+  InvariantMonitor m;
+  Frame f;
+  f.id = 77;
+  f.flow_id = 5;
+  f.kind = FrameKind::kData;
+
+  m.on_transmit(0, f.id, f.kind, /*accepted=*/true, 0.0);
+  m.begin_delivery(1, f, 1e-6);
+  m.resolve_delivery(InvariantMonitor::Outcome::kDelivered);
+  m.end_delivery();
+  EXPECT_EQ(m.total_violations(), 0u);
+
+  m.begin_delivery(1, f, 2e-6);  // same frame delivered again
+  m.resolve_delivery(InvariantMonitor::Outcome::kDelivered);
+  m.end_delivery();
+  ASSERT_EQ(m.total_violations(), 1u);
+  EXPECT_EQ(m.violations()[0].rule, "frame_conservation");
+  EXPECT_EQ(m.violations()[0].frame_id, 77u);
+}
+
+TEST(InvariantMonitor, UnresolvedDataDeliveryIsReported) {
+  InvariantMonitor m;
+  Frame f;
+  f.id = 13;
+  f.flow_id = 2;
+  f.kind = FrameKind::kData;
+  m.on_transmit(0, f.id, f.kind, true, 0.0);
+  m.begin_delivery(1, f, 1e-6);
+  m.end_delivery();  // no resolve_delivery in between
+  ASSERT_EQ(m.total_violations(), 1u);
+  EXPECT_EQ(m.violations()[0].rule, "frame_conservation");
+
+  // Control frames need no outcome.
+  Frame ack;
+  ack.id = 14;
+  ack.kind = FrameKind::kAck;
+  m.on_transmit(0, ack.id, ack.kind, true, 0.0);
+  m.begin_delivery(1, ack, 2e-6);
+  m.end_delivery();
+  EXPECT_EQ(m.total_violations(), 1u);
+}
+
+TEST(InvariantMonitor, SortedViolationsAreCanonicallyOrdered) {
+  InvariantMonitor m;
+  m.on_view_version(5, 9.0);
+  m.on_view_version(4, 9.5);   // t=9.5 view_monotonic
+  m.on_frame_id(1);
+  m.on_frame_id(1);            // t=0 frame_id_unique (no sim: time 0)
+  m.on_checkpoint_custody(0, false, 4.0);  // t=4 checkpoint_custody
+
+  const auto sorted = m.sorted_violations();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].rule, "frame_id_unique");
+  EXPECT_EQ(sorted[1].rule, "checkpoint_custody");
+  EXPECT_EQ(sorted[2].rule, "view_monotonic");
+}
+
+}  // namespace
+}  // namespace trimgrad::net

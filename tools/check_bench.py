@@ -8,6 +8,8 @@ Usage:
     check_bench.py --simscale BENCH_simscale.json
                    [--baseline BENCH_simscale.json]
                    [--max-slowdown 2.0] [--min-speedup 3.0]
+    check_bench.py --chaos-search BENCH_chaos_search.json
+                   [--min-scripts 200] [--min-cells 4]
 
 Default mode validates the BENCH_parallel.json produced by
 bench_parallel_scaling (smoke or full size).  The committed baseline holds
@@ -31,6 +33,15 @@ engine's best speedup over its own single-thread time must clear the
 hardware-capped --min-speedup floor.  Smoke workloads are too small to
 amortize window barriers, so they degrade to determinism + regression
 checks with a printed notice.
+
+--chaos-search mode validates the BENCH_chaos_search.json produced by
+bench_chaos_search (property-checked chaos search).  The search must have
+run to completion over at least --min-scripts fault scripts across at least
+--min-cells {transport x codec x queue} cells, with the invariant monitor
+demonstrably wired (checks > 0 in every cell), every cell's event queue
+drained, and zero violations.  A violation is a red build by definition:
+the gate fails and names the shrunk REPRO_chaos_*.txt artifacts (which CI
+uploads) -- or reports how many violations the shrinker could not reduce.
 
 --elastic mode validates the BENCH_elastic.json produced by
 bench_soak_elastic: the run must have drained its event queue, kept every
@@ -238,6 +249,64 @@ def check_elastic(path):
           f"<= {tol:.4f}")
 
 
+def check_chaos_search(args):
+    """Gate a bench_chaos_search run: coverage, wiring, zero violations."""
+    path = args.candidate
+    doc = load_json(path)
+    if not isinstance(doc, dict):
+        fail(1, f"{path}: top level is not an object")
+    required = ("smoke", "k", "scripts_total", "violations_total",
+                "unshrunk_violations", "checks_total", "drained_all",
+                "search_completed", "repros", "cells")
+    for key in required:
+        if key not in doc:
+            fail(1, f"{path}: missing key {key!r}")
+    cells = doc["cells"]
+    if not isinstance(cells, list) or not cells:
+        fail(1, f"{path}: cells must be a non-empty array")
+    cell_scripts = 0
+    for cell in cells:
+        for key in ("transport", "scheme", "queue", "scripts", "violations",
+                    "checks", "repros", "drained"):
+            if key not in cell:
+                fail(1, f"{path}: cell missing key {key!r}")
+        label = f"{cell['transport']}/{cell['scheme']}/{cell['queue']}"
+        if not isinstance(cell["scripts"], int) or cell["scripts"] <= 0:
+            fail(1, f"{path}: cell {label} ran no scripts")
+        if cell["checks"] <= 0:
+            fail(1, f"{path}: cell {label} reports zero invariant checks -- "
+                    "the monitor was not wired into the closed loop")
+        cell_scripts += cell["scripts"]
+    if cell_scripts != doc["scripts_total"]:
+        fail(1, f"{path}: cells sum to {cell_scripts} scripts but "
+                f"scripts_total is {doc['scripts_total']}")
+    if doc["checks_total"] <= 0:
+        fail(1, f"{path}: zero invariant checks across the whole search")
+
+    if doc["search_completed"] is not True:
+        fail(2, f"{path}: the search did not run to completion")
+    if doc["scripts_total"] < args.min_scripts:
+        fail(2, f"{path}: only {doc['scripts_total']} fault scripts searched, "
+                f"below the {args.min_scripts} floor")
+    if len(cells) < args.min_cells:
+        fail(2, f"{path}: only {len(cells)} cells searched, below the "
+                f"{args.min_cells} floor")
+    if doc["drained_all"] is not True:
+        undrained = [f"{c['transport']}/{c['scheme']}/{c['queue']}"
+                     for c in cells if c["drained"] is not True]
+        fail(2, f"{path}: event queues not drained in cells {undrained}")
+    if doc["violations_total"] != 0 or doc["unshrunk_violations"] != 0:
+        repros = doc["repros"]
+        detail = (f"minimal repros: {', '.join(repros)}" if repros
+                  else "no shrunk repro was produced")
+        fail(2, f"{path}: {doc['violations_total']} invariant violations "
+                f"({doc['unshrunk_violations']} unshrunk) -- {detail}")
+    print(f"check_bench: {path} OK -- {doc['scripts_total']} fault scripts "
+          f"across {len(cells)} cells (k={doc['k']}, "
+          f"smoke={doc['smoke']}), {doc['checks_total']} invariant checks, "
+          "0 violations, all drained")
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("candidate")
@@ -258,6 +327,16 @@ def main():
                     help="treat CANDIDATE as BENCH_simscale.json from "
                          "bench_simscale and gate determinism, scaling, "
                          "and events/sec regression")
+    ap.add_argument("--chaos-search", action="store_true",
+                    help="treat CANDIDATE as BENCH_chaos_search.json from "
+                         "bench_chaos_search and gate coverage, monitor "
+                         "wiring, drain, and zero invariant violations")
+    ap.add_argument("--min-scripts", type=int, default=200,
+                    help="--chaos-search: minimum fault scripts the search "
+                         "must have covered (default 200)")
+    ap.add_argument("--min-cells", type=int, default=4,
+                    help="--chaos-search: minimum {transport x codec x "
+                         "queue} cells searched (default 4)")
     args = ap.parse_args()
 
     if args.elastic:
@@ -265,6 +344,9 @@ def main():
         return
     if args.simscale:
         check_simscale(args)
+        return
+    if args.chaos_search:
+        check_chaos_search(args)
         return
 
     cand = load_json(args.candidate)

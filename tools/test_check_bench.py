@@ -52,6 +52,31 @@ SIMSCALE_DOC = {
 }
 
 
+def chaos_cell(transport, scheme, queue, scripts=50):
+    return {"transport": transport, "scheme": scheme, "queue": queue,
+            "scripts": scripts, "violations": 0, "checks": 250000,
+            "repros": 0, "drained": True}
+
+
+CHAOS_DOC = {
+    "smoke": True,
+    "k": 4,
+    "scripts_total": 200,
+    "violations_total": 0,
+    "unshrunk_violations": 0,
+    "checks_total": 1000000,
+    "drained_all": True,
+    "search_completed": True,
+    "repros": [],
+    "cells": [
+        chaos_cell("trim", "rht", "trim"),
+        chaos_cell("reliable", "rht", "trim"),
+        chaos_cell("pull", "sq", "trim"),
+        chaos_cell("ecn", "sign", "ecn"),
+    ],
+}
+
+
 class CheckBenchHarness(unittest.TestCase):
     def setUp(self):
         self._tmp = tempfile.TemporaryDirectory()
@@ -179,6 +204,87 @@ class SimscaleModeTest(CheckBenchHarness):
         base = self.write("base.json", SIMSCALE_DOC)
         proc = self.run_check("--simscale", cand, "--baseline", base)
         self.assert_clean_failure(proc, 2, "events/sec regressed")
+
+
+class ChaosSearchModeTest(CheckBenchHarness):
+    def test_clean_search_passes(self):
+        cand = self.write("cand.json", CHAOS_DOC)
+        proc = self.run_check("--chaos-search", cand)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("0 violations", proc.stdout)
+
+    def test_violation_exits_two_and_names_repros(self):
+        bad = copy.deepcopy(CHAOS_DOC)
+        bad["violations_total"] = 3
+        bad["repros"] = ["REPRO_chaos_trim_rht_7.txt"]
+        bad["cells"][0]["violations"] = 3
+        bad["cells"][0]["repros"] = 1
+        cand = self.write("cand.json", bad)
+        proc = self.run_check("--chaos-search", cand)
+        self.assert_clean_failure(proc, 2, "REPRO_chaos_trim_rht_7.txt")
+
+    def test_unshrunk_violation_exits_two(self):
+        bad = copy.deepcopy(CHAOS_DOC)
+        bad["unshrunk_violations"] = 1
+        cand = self.write("cand.json", bad)
+        proc = self.run_check("--chaos-search", cand)
+        self.assert_clean_failure(proc, 2, "unshrunk")
+
+    def test_too_few_scripts_exits_two(self):
+        thin = copy.deepcopy(CHAOS_DOC)
+        thin["scripts_total"] = 40
+        for cell in thin["cells"]:
+            cell["scripts"] = 10
+        cand = self.write("cand.json", thin)
+        proc = self.run_check("--chaos-search", cand, "--min-scripts", "200")
+        self.assert_clean_failure(proc, 2, "below the 200")
+
+    def test_too_few_cells_exits_two(self):
+        thin = copy.deepcopy(CHAOS_DOC)
+        thin["cells"] = thin["cells"][:2]
+        for cell in thin["cells"]:
+            cell["scripts"] = 100  # coverage floor met, cell floor not
+        cand = self.write("cand.json", thin)
+        proc = self.run_check("--chaos-search", cand, "--min-cells", "4")
+        self.assert_clean_failure(proc, 2, "cells")
+
+    def test_incomplete_search_exits_two(self):
+        bad = copy.deepcopy(CHAOS_DOC)
+        bad["search_completed"] = False
+        cand = self.write("cand.json", bad)
+        proc = self.run_check("--chaos-search", cand)
+        self.assert_clean_failure(proc, 2, "completion")
+
+    def test_undrained_cell_exits_two(self):
+        bad = copy.deepcopy(CHAOS_DOC)
+        bad["drained_all"] = False
+        bad["cells"][2]["drained"] = False
+        cand = self.write("cand.json", bad)
+        proc = self.run_check("--chaos-search", cand)
+        self.assert_clean_failure(proc, 2, "pull/sq/trim")
+
+    def test_zero_checks_is_malformed(self):
+        # A search that never invoked the monitor proves nothing; that is
+        # a wiring bug (exit 1), not a property failure (exit 2).
+        bad = copy.deepcopy(CHAOS_DOC)
+        bad["cells"][1]["checks"] = 0
+        cand = self.write("cand.json", bad)
+        proc = self.run_check("--chaos-search", cand)
+        self.assert_clean_failure(proc, 1, "zero invariant checks")
+
+    def test_script_count_mismatch_is_malformed(self):
+        bad = copy.deepcopy(CHAOS_DOC)
+        bad["scripts_total"] = 300
+        cand = self.write("cand.json", bad)
+        proc = self.run_check("--chaos-search", cand)
+        self.assert_clean_failure(proc, 1, "sum to")
+
+    def test_missing_key_fails_cleanly(self):
+        bad = copy.deepcopy(CHAOS_DOC)
+        del bad["unshrunk_violations"]
+        cand = self.write("cand.json", bad)
+        proc = self.run_check("--chaos-search", cand)
+        self.assert_clean_failure(proc, 1, "unshrunk_violations")
 
 
 if __name__ == "__main__":
