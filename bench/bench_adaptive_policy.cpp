@@ -1,0 +1,364 @@
+// Experiment X11: the per-round compression control plane (core/policy.h)
+// under phased capacity congestion.
+//
+// Training runs on the reliable (retransmitting) transport against an
+// inject channel whose per-batch byte budget alternates between loose and
+// tight thirds. The budget is keyed so a q=7 burst fits and deeper tails do
+// not: every over-budget packet costs a retransmission (wire bytes twice +
+// the drop penalty), so a pinned (codec, Q) cell is badly wrong in one
+// phase on a *wall-clock* axis — full tails (q=31) stall on retransmits
+// whenever the budget bites, shallow tails (q=7) dodge the congestion but
+// pay a permanent precision floor that keeps their loss curve above the
+// target. The aimd-trim policy observes each round's NetFeedback
+// (retransmit rate counts toward pressure) and re-tunes Q, so it rides
+// q=31 precision in the loose phases and drops to the floor while the
+// budget is tight — reaching the accuracy target sooner than every fixed
+// cell ("slightly under-compress and over-send", paper §5.3 — closed
+// through the trainer instead of a standalone loop).
+//
+// Emitted gate (tools/check_bench.py --adaptive, BENCH_adaptive.json):
+//   * the adaptive cell's time-to-accuracy beats every fixed cell that
+//     reached the target at all;
+//   * the adaptive run's decision sequence and final parameters are
+//     bit-identical at TRIMGRAD_THREADS = 1, 2, 8;
+//   * the invariant monitor saw no violations and every loss was finite.
+//
+// Usage: bench_adaptive_policy            (full sweep)
+//        TRIMGRAD_SMOKE=1 bench_adaptive_policy   (CI-sized)
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "collective/inject_channel.h"
+#include "core/codec_registry.h"
+#include "core/prng.h"
+#include "core/threadpool.h"
+#include "ddp/experiment.h"
+#include "ddp/trainer.h"
+#include "net/invariants.h"
+
+using namespace trimgrad;
+
+namespace {
+
+struct BenchShape {
+  std::size_t epochs = 12;
+  std::size_t classes = 10;
+  std::size_t image = 8;
+  std::size_t train_per_class = 24;
+  std::size_t test_per_class = 12;
+  std::size_t mlp_hidden = 48;
+  /// Low enough that the class clusters are cleanly separable and the late
+  /// loss floor is set by gradient precision, not label noise — this is
+  /// what makes a shallow fixed tail pay for its missing bits.
+  float noise = 0.45f;
+  std::uint64_t batch = 32;
+  double lr = 0.05;
+  int world = 4;
+  /// Middle third of the run: the byte budget is this factor times the
+  /// q=7 burst, so the adaptive sender fits at its Q floor with headroom
+  /// while q=15 and q=31 bursts overflow and retransmit.
+  double q7_headroom = 1.15;
+};
+
+struct CellOutcome {
+  std::string name;                      ///< "rht@31", "aimd-trim", ...
+  std::vector<ddp::EpochRecord> records;
+  std::vector<core::PolicyDecision> decisions;
+  std::vector<float> final_params;       ///< rank 0, for determinism checks
+  double final_top1 = 0;
+  double mean_q = 0;
+  std::uint64_t switches = 0;
+  std::uint64_t violations = 0;
+  bool loss_finite = true;
+};
+
+ml::SynthCifarConfig data_config(const BenchShape& shape) {
+  ml::SynthCifarConfig dcfg;
+  dcfg.classes = shape.classes;
+  dcfg.height = dcfg.width = shape.image;
+  dcfg.train_per_class = shape.train_per_class;
+  dcfg.test_per_class = shape.test_per_class;
+  dcfg.noise = shape.noise;
+  dcfg.proto_grid = 3;
+  return dcfg;
+}
+
+/// The burst the channel sees per collective phase: world-1 messages of the
+/// full gradient encoded at the given tail depth.
+std::uint64_t burst_bytes(const BenchShape& shape, std::size_t param_count,
+                          unsigned q_bits) {
+  core::CodecConfig cc;
+  cc.scheme = core::Scheme::kRHT;
+  cc.rht_row_len = std::size_t{1} << 10;
+  cc.layout.q_bits = q_bits;
+  core::Xoshiro256 rng(7);
+  std::vector<float> probe(param_count);
+  for (auto& x : probe) x = static_cast<float>(rng.gaussian());
+  core::TrimmableEncoder enc(cc);
+  std::uint64_t bytes = 0;
+  for (const auto& p : enc.encode(probe, 1, 1).packets)
+    bytes += p.wire_bytes();
+  return static_cast<std::uint64_t>(shape.world - 1) * bytes;
+}
+
+ddp::ExperimentSpec cell_spec(const BenchShape& shape,
+                              const std::string& policy) {
+  ddp::ExperimentSpec spec;
+  spec.transport = "reliable";  // over-budget packets retransmit, not trim
+  spec.scheme = "rht";
+  spec.topology = "inject";
+  spec.trim = 0.0;  // congestion comes from the capacity budget only
+  spec.drop = 0.0;
+  spec.world = shape.world;
+  spec.epochs = shape.epochs;
+  spec.batch = shape.batch;
+  spec.lr = shape.lr;
+  spec.policy = policy;
+  return spec;
+}
+
+/// One cell: train under the phased budget, with the invariant monitor's
+/// epoch-clock check live and every epoch evaluated.
+CellOutcome run_cell(const BenchShape& shape, const std::string& name,
+                     const ddp::ExperimentSpec& spec, unsigned q_bits,
+                     std::uint64_t tight_capacity) {
+  ml::SynthCifar data(data_config(shape));
+
+  collective::InjectChannel::Config ccfg = spec.inject_channel_config();
+  // Fast links: serialization is cheap, so time-to-accuracy is decided by
+  // gradient quality per round plus the per-retransmission penalty — not by
+  // who ships the fewest tail bits.
+  ccfg.time.bottleneck_bps = 20e9;
+  collective::InjectChannel channel(ccfg);
+
+  ddp::TrainerConfig tcfg = spec.trainer_config();
+  tcfg.codec.rht_row_len = std::size_t{1} << 10;
+  tcfg.codec.layout.q_bits = q_bits;
+  tcfg.compute_round_s = 2e-3;
+  tcfg.eval_every = 1;
+
+  const ml::SynthCifarConfig dcfg = data_config(shape);
+  ddp::DdpTrainer trainer(data, channel, tcfg, [&dcfg, &shape] {
+    ml::ModelConfig mcfg;
+    mcfg.classes = dcfg.classes;
+    mcfg.height = dcfg.height;
+    mcfg.width = dcfg.width;
+    return ml::make_mlp(mcfg, shape.mlp_hidden);
+  });
+
+  net::InvariantMonitor monitor;
+  trainer.set_invariant_monitor(&monitor);
+
+  CellOutcome out;
+  out.name = name;
+  for (std::size_t e = 0; e < shape.epochs; ++e) {
+    // Loose -> tight -> loose thirds.
+    const bool tight =
+        e >= shape.epochs / 3 && e < 2 * shape.epochs / 3;
+    channel.set_capacity(tight ? tight_capacity : 0);
+    ddp::EpochRecord rec = trainer.run_epoch(e);
+    monitor.on_epoch_time(e, rec.sim_time_s);
+    trainer.evaluate(rec);
+    out.loss_finite = out.loss_finite && std::isfinite(rec.train_loss);
+    out.records.push_back(rec);
+  }
+  monitor.finalize();
+  out.violations = monitor.total_violations();
+
+  out.decisions = trainer.decisions();
+  for (std::size_t i = 0; i < out.decisions.size(); ++i) {
+    out.mean_q += out.decisions[i].q_bits;
+    if (i > 0 && !(out.decisions[i] == out.decisions[i - 1]))
+      ++out.switches;
+  }
+  if (!out.decisions.empty()) {
+    out.mean_q /= static_cast<double>(out.decisions.size());
+  }
+  out.final_params = trainer.replica(0).flat_params();
+  out.final_top1 = out.records.back().top1;
+  return out;
+}
+
+/// First cumulative sim time at which the train loss crosses below
+/// `target`, linearly interpolated between epoch boundaries (sub-epoch
+/// resolution keeps same-epoch arrivals from degenerating into ties);
+/// -1 if the run never gets there.
+double time_to_loss(const std::vector<ddp::EpochRecord>& records,
+                    double target) {
+  double prev_loss = 0, prev_t = 0;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const double loss = records[i].train_loss;
+    const double t = records[i].sim_time_s;
+    if (loss <= target) {
+      if (i == 0 || prev_loss <= loss) return t;
+      const double frac = (prev_loss - target) / (prev_loss - loss);
+      return prev_t + frac * (t - prev_t);
+    }
+    prev_loss = loss;
+    prev_t = t;
+  }
+  return -1.0;
+}
+
+std::string decision_digest(const std::vector<core::PolicyDecision>& ds) {
+  // FNV-1a over the rendered decisions: a short, order-sensitive digest.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const auto& d : ds) {
+    for (const char c : core::to_string(d)) {
+      h ^= static_cast<std::uint8_t>(c);
+      h *= 0x100000001b3ULL;
+    }
+  }
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = std::getenv("TRIMGRAD_SMOKE") != nullptr;
+  BenchShape shape;
+  if (smoke) {
+    shape.epochs = 9;
+    shape.train_per_class = 16;
+    shape.test_per_class = 10;
+  }
+
+  // The tight budget is derived from the actual model size: a q=7 burst
+  // fits with headroom, deeper tails overflow and pay retransmissions.
+  const std::size_t param_count = [&shape] {
+    ml::ModelConfig mcfg;
+    mcfg.classes = shape.classes;
+    mcfg.height = mcfg.width = shape.image;
+    return ml::make_mlp(mcfg, shape.mlp_hidden)->param_count();
+  }();
+  const std::uint64_t burst31 = burst_bytes(shape, param_count, 31);
+  const std::uint64_t burst7 = burst_bytes(shape, param_count, 7);
+  const auto tight_capacity = static_cast<std::uint64_t>(
+      shape.q7_headroom * static_cast<double>(burst7));
+
+  std::printf("# adaptive policy vs fixed {codec x Q} under phased capacity\n"
+              "# params=%zu q31_burst=%llu q7_burst=%llu tight_budget=%llu "
+              "smoke=%d\n",
+              param_count, static_cast<unsigned long long>(burst31),
+              static_cast<unsigned long long>(burst7),
+              static_cast<unsigned long long>(tight_capacity), smoke);
+
+  // Fixed competitors: the pinned-codec grid the policy must beat.
+  const unsigned fixed_qs[] = {31, 15, 7};
+  std::vector<CellOutcome> fixed;
+  for (const unsigned q : fixed_qs) {
+    const std::string name = "rht@" + std::to_string(q);
+    fixed.push_back(run_cell(shape, name, cell_spec(shape, "fixed"), q,
+                             tight_capacity));
+  }
+
+  // The adaptive cell, run at three thread counts: the control trajectory
+  // and the trained parameters must be bit-identical across all of them.
+  ddp::ExperimentSpec aspec = cell_spec(shape, "aimd-trim");
+  aspec.policy_min_q = 7;
+  aspec.policy_max_q = 31;
+  aspec.policy_target = 0.05;
+  CellOutcome adaptive;
+  bool deterministic = true;
+  std::string digest;
+  const std::size_t threads[] = {1, 2, 8};
+  for (std::size_t i = 0; i < 3; ++i) {
+    core::ThreadPool::set_global_threads(threads[i]);
+    CellOutcome run =
+        run_cell(shape, "aimd-trim", aspec, 31, tight_capacity);
+    if (i == 0) {
+      adaptive = std::move(run);
+      digest = decision_digest(adaptive.decisions);
+    } else {
+      deterministic = deterministic &&
+                      run.decisions == adaptive.decisions &&
+                      run.final_params == adaptive.final_params;
+    }
+  }
+
+  // Target: 3% above the best train loss any fixed cell touches — set by
+  // the competition, not by the adaptive run. Keying off the fixed grid's
+  // best point puts the target in the late, separated region of the curves
+  // (past the common early descent), where the squeeze-phase noise a fixed
+  // cell accumulated and a shallow Q's precision floor both cost time.
+  double best_fixed = 1e30;
+  for (const auto& c : fixed) {
+    for (const auto& r : c.records) {
+      best_fixed = std::min(best_fixed, r.train_loss);
+    }
+  }
+  const double target = 1.03 * best_fixed;
+
+  const double adaptive_tta = time_to_loss(adaptive.records, target);
+  bool beats_all = adaptive_tta >= 0;
+  std::printf("# per-epoch train loss / top1 (middle third is tight):\n");
+  const auto print_curve = [](const CellOutcome& c) {
+    std::printf("# %12s loss:", c.name.c_str());
+    for (const auto& r : c.records) std::printf(" %.3f", r.train_loss);
+    std::printf("\n# %12s top1:", c.name.c_str());
+    for (const auto& r : c.records) std::printf(" %.3f", r.top1);
+    std::printf("\n");
+  };
+  for (const auto& c : fixed) print_curve(c);
+  print_curve(adaptive);
+  std::printf("# target train loss = %.4f\n", target);
+  std::printf("%12s %10s %10s %8s %10s\n", "cell", "tta_s", "final_top1",
+              "mean_q", "switches");
+  std::ostringstream cells;
+  for (const auto& c : fixed) {
+    const double tta = time_to_loss(c.records, target);
+    if (tta >= 0 && adaptive_tta >= 0) {
+      beats_all = beats_all && adaptive_tta < tta;
+    }
+    std::printf("%12s %10.4f %10.4f %8.1f %10llu\n", c.name.c_str(), tta,
+                c.final_top1, c.mean_q,
+                static_cast<unsigned long long>(c.switches));
+    if (cells.tellp() > 0) cells << ',';
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"tta_s\":%.6f,\"final_top1\":%.4f}",
+                  c.name.c_str(), tta, c.final_top1);
+    cells << buf;
+  }
+  std::printf("%12s %10.4f %10.4f %8.1f %10llu\n", adaptive.name.c_str(),
+              adaptive_tta, adaptive.final_top1, adaptive.mean_q,
+              static_cast<unsigned long long>(adaptive.switches));
+
+  bool loss_finite = adaptive.loss_finite;
+  std::uint64_t violations = adaptive.violations;
+  for (const auto& c : fixed) {
+    loss_finite = loss_finite && c.loss_finite;
+    violations += c.violations;
+  }
+
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"label\":\"%s\",\"smoke\":%s,\"target_loss\":%.6f,"
+      "\"adaptive\":{\"name\":\"aimd-trim\",\"tta_s\":%.6f,"
+      "\"final_top1\":%.4f,\"mean_q\":%.2f,\"switches\":%llu},"
+      "\"beats_all_fixed\":%s,\"deterministic\":%s,"
+      "\"decision_digest\":\"%s\",\"violations\":%llu,\"loss_finite\":%s,",
+      aspec.label().c_str(), smoke ? "true" : "false", target, adaptive_tta,
+      adaptive.final_top1, adaptive.mean_q,
+      static_cast<unsigned long long>(adaptive.switches),
+      beats_all ? "true" : "false", deterministic ? "true" : "false",
+      digest.c_str(), static_cast<unsigned long long>(violations),
+      loss_finite ? "true" : "false");
+  {
+    std::ofstream out("BENCH_adaptive.json", std::ios::binary);
+    out << buf << "\"fixed\":[" << cells.str() << "]}\n";
+    if (out) std::printf("wrote BENCH_adaptive.json\n");
+  }
+  std::printf("# (expected: adaptive reaches the target before every fixed "
+              "cell, with a bit-identical trajectory at 1/2/8 threads)\n");
+  return 0;
+}

@@ -55,6 +55,12 @@ AllReducer::AllReducer(Channel& channel, core::CodecConfig codec,
       encoder_(codec),
       decoder_(codec) {}
 
+void AllReducer::set_codec(const core::CodecConfig& codec) {
+  codec_cfg_ = codec;
+  encoder_ = core::TrimmableEncoder(codec);
+  decoder_ = core::TrimmableDecoder(codec);
+}
+
 core::EncodedMessage AllReducer::encode_timed(std::span<const float> grad,
                                               std::uint32_t msg_id,
                                               std::uint64_t epoch,

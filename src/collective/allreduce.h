@@ -73,6 +73,12 @@ class AllReducer {
 
   const core::CodecConfig& codec() const noexcept { return codec_cfg_; }
 
+  /// Per-round control plane: swap the codec between collectives. Rebuilds
+  /// the encoder/decoder pair — the encoder's private stochastic-rounding
+  /// stream restarts from config.private_seed, so callers that reconfigure
+  /// every round mix the round index into it to keep draws independent.
+  void set_codec(const core::CodecConfig& codec);
+
  private:
   AllReduceResult run_ps(const std::vector<std::vector<float>>& grads,
                          std::uint32_t msg_id, std::uint64_t epoch);

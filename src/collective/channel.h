@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/codec.h"
+#include "core/policy.h"
 #include "net/frame.h"
 
 namespace trimgrad::collective {
@@ -57,6 +58,38 @@ class Channel {
   virtual std::vector<Delivery> transfer(std::vector<TransferRequest> batch) = 0;
 
   virtual int world_size() const = 0;
+
+  /// The control plane's telemetry surface: everything the channel did to
+  /// packets since the last call, folded into one deterministic snapshot
+  /// (per-delivery integer counters; implementations may enrich it with
+  /// fabric signals such as ECN alpha). Resets the accumulator — the
+  /// trainer drains it once per round and hands it to the policy.
+  virtual core::NetFeedback take_feedback() {
+    core::NetFeedback fb = pending_feedback_;
+    pending_feedback_ = core::NetFeedback{};
+    return fb;
+  }
+
+ protected:
+  /// Fold one transfer batch into the pending snapshot. Implementations
+  /// call this at the end of transfer(); offered = delivered + dropped.
+  void note_batch(const std::vector<Delivery>& deliveries) {
+    auto& fb = pending_feedback_;
+    for (const Delivery& d : deliveries) {
+      fb.packets += d.packets.size() + d.dropped_packets;
+      fb.trimmed += d.trimmed_packets;
+      fb.dropped += d.dropped_packets;
+      fb.retransmits += d.retransmits;
+      fb.wire_bytes += d.wire_bytes;
+      if (d.flow_failed) ++fb.flow_failures;
+    }
+    double worst = 0;
+    for (const Delivery& d : deliveries)
+      worst = worst < d.comm_time ? d.comm_time : worst;
+    fb.comm_s += worst;
+  }
+
+  core::NetFeedback pending_feedback_{};
 };
 
 /// Batch completion time: the straggler-defining maximum.

@@ -54,6 +54,38 @@ std::vector<Delivery> InjectChannel::transfer(
     out.push_back(std::move(d));
   }
 
+  // Capacity congestion: when the batch's data bytes exceed the budget,
+  // trim from the back of the burst until it fits — deterministically, so
+  // the control loop sees the same congestion at every thread count. In
+  // reliable mode the payload still arrives intact but each cut costs a
+  // retransmission (the baseline's §4.4 penalty).
+  if (cfg_.capacity_bytes > 0) {
+    std::uint64_t data_bytes = 0;
+    for (const auto& d : out) {
+      for (const auto& p : d.packets) data_bytes += p.wire_bytes();
+    }
+    for (auto it = out.rbegin();
+         it != out.rend() && data_bytes > cfg_.capacity_bytes; ++it) {
+      for (auto pit = it->packets.rbegin();
+           pit != it->packets.rend() && data_bytes > cfg_.capacity_bytes;
+           ++pit) {
+        if (pit->trimmed) continue;
+        const std::uint64_t saved =
+            pit->wire_bytes() - pit->trimmed_wire_bytes();
+        if (saved == 0) continue;
+        data_bytes -= saved;
+        if (cfg_.reliable) {
+          ++it->retransmits;
+          it->wire_bytes += pit->wire_bytes();
+        } else {
+          pit->trim();
+          ++it->trimmed_packets;
+          it->wire_bytes -= saved;
+        }
+      }
+    }
+  }
+
   // Timing: transfers in a batch share the bottleneck if configured.
   std::uint64_t batch_bytes = 0;
   for (const auto& d : out) batch_bytes += d.wire_bytes;
@@ -65,6 +97,7 @@ std::vector<Delivery> InjectChannel::transfer(
                   cfg_.time.base_rtt +
                   static_cast<double>(d.retransmits) * cfg_.time.drop_penalty;
   }
+  note_batch(out);
   return out;
 }
 

@@ -32,12 +32,21 @@ class InjectChannel : public Channel {
     /// size until everything arrives intact; trim/drop coins then cost time
     /// but not gradient fidelity.
     bool reliable = false;
+    /// Deterministic congestion: per-batch byte budget at the bottleneck.
+    /// When the batch's data bytes exceed it, packets are trimmed from the
+    /// back of the batch until they fit (what a drop-tail trimming switch
+    /// does to a burst, bench_ablation_adaptiveq's closed loop) — so a
+    /// sender that lowers Q genuinely escapes trimming. 0 disables.
+    std::uint64_t capacity_bytes = 0;
   };
 
   explicit InjectChannel(Config cfg) : cfg_(cfg), injector_(cfg.injector) {}
 
   std::vector<Delivery> transfer(std::vector<TransferRequest> batch) override;
   int world_size() const override { return cfg_.world; }
+
+  /// Adjust the capacity budget between rounds (phased-congestion benches).
+  void set_capacity(std::uint64_t bytes) { cfg_.capacity_bytes = bytes; }
 
   /// Epoch used for transcript-keyed randomness; the trainer advances it.
   void set_epoch(std::uint64_t epoch) { epoch_ = epoch; }

@@ -118,7 +118,40 @@ std::vector<Delivery> SimChannel::transfer(std::vector<TransferRequest> batch) {
     assert(lv->done && "flow neither completed nor failed");
     out.push_back(std::move(lv->delivery));
   }
+  note_batch(out);
   return out;
+}
+
+core::NetFeedback SimChannel::take_feedback() {
+  core::NetFeedback fb = Channel::take_feedback();
+  // Enrich with fabric telemetry. snapshot() is a sequential-phase call;
+  // the trainer drains feedback once per round, between collectives.
+  const auto snap = core::MetricsRegistry::global().snapshot();
+  for (const auto& g : snap.gauges) {
+    if (g.name == "net.ecn.alpha") fb.dctcp_alpha = g.value;
+  }
+  for (const auto& c : snap.counters) {
+    if (c.name == "net.fault.corrupt_detected") {
+      fb.corrupt_nacks = c.value - seen_corrupt_;
+      seen_corrupt_ = c.value;
+    }
+  }
+  for (const auto& h : snap.histograms) {
+    if (h.name != "net.queue.depth_bytes") continue;
+    std::uint64_t hot = 0;
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      if (b >= h.bounds.size() || h.bounds[b] >= 65536.0) hot += h.counts[b];
+    }
+    const std::uint64_t d_total = h.total - seen_depth_total_;
+    const std::uint64_t d_hot = hot - seen_depth_hot_;
+    seen_depth_total_ = h.total;
+    seen_depth_hot_ = hot;
+    if (d_total > 0) {
+      fb.queue_depth_frac =
+          static_cast<double>(d_hot) / static_cast<double>(d_total);
+    }
+  }
+  return fb;
 }
 
 }  // namespace trimgrad::collective

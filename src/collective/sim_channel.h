@@ -44,6 +44,13 @@ class SimChannel : public Channel {
     return static_cast<int>(rank_hosts_.size());
   }
 
+  /// The per-delivery counters, enriched with fabric telemetry the inject
+  /// channel cannot see: the last DCTCP alpha gauge, the round's corrupt
+  /// NACKs, and the fraction of queue-depth samples in the hot (>= 64 KiB)
+  /// buckets — all deltas against the previous snapshot of the process-wide
+  /// metrics registry, so consecutive rounds see disjoint windows.
+  core::NetFeedback take_feedback() override;
+
   net::Simulator& sim() { return sim_; }
 
   /// Elastic membership: with a view attached, a transfer whose source or
@@ -60,6 +67,10 @@ class SimChannel : public Channel {
   Config cfg_;
   const WorldView* view_ = nullptr;
   std::uint32_t next_flow_id_ = 1 << 20;
+  // Metric cursors for take_feedback deltas.
+  std::uint64_t seen_corrupt_ = 0;
+  std::uint64_t seen_depth_total_ = 0;
+  std::uint64_t seen_depth_hot_ = 0;
 };
 
 }  // namespace trimgrad::collective

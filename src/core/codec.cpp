@@ -5,9 +5,12 @@
 
 #include "core/bitpack.h"
 #include "core/hadamard.h"
+#include "core/lowrank.h"
+#include "core/magnitude.h"
 #include "core/metrics.h"
 #include "core/quantizer.h"
 #include "core/rht_codec.h"
+#include "core/sparsify.h"
 #include "core/stats.h"
 #include "core/threadpool.h"
 #include "core/trace.h"
@@ -48,6 +51,11 @@ ScalarScheme to_scalar(Scheme s) noexcept {
     case Scheme::kSign: return ScalarScheme::kSign;
     case Scheme::kSQ: return ScalarScheme::kSQ;
     case Scheme::kSD: return ScalarScheme::kSD;
+    // The composed schemes ride SD heads/tails over a transformed buffer
+    // (sparsified / magnitude-placed); SD's shared-dither reconstruction
+    // needs no extra sender state.
+    case Scheme::kTopK: return ScalarScheme::kSD;
+    case Scheme::kMagnitude: return ScalarScheme::kSD;
     default: break;
   }
   assert(false && "not a scalar scheme");
@@ -136,7 +144,10 @@ PacketLayout CodecConfig::effective_layout() const noexcept {
 std::size_t MessageMeta::wire_bytes() const noexcept {
   // header + msg_id(4) + epoch(8) + scheme(1) + total(4) + row_len(4) +
   // scalar scale(4) + row scales.
-  return kTransportHeaderBytes + 25 + 4 * row_scales.size();
+  std::size_t bytes = kTransportHeaderBytes + 25 + 4 * row_scales.size();
+  if (!perm.empty()) bytes += permutation_overhead_bytes(perm.size());
+  if (lr_rank > 0) bytes += 12 + 4 * lr_q.size();
+  return bytes;
 }
 
 std::size_t EncodedMessage::total_wire_bytes() const noexcept {
@@ -166,6 +177,30 @@ EncodedMessage TrimmableEncoder::encode(std::span<const float> grad,
   assert(per_pkt > 0);
   std::uint16_t seq = 0;
 
+  // Shared §3.1 head/tail path: scalar-encode `values` (the gradient, or a
+  // sparsified/permuted stand-in) and cut it into packets.
+  const auto encode_scalar = [&](ScalarScheme ss,
+                                 std::span<const float> values) {
+    const float scale = scalar_scale(ss, values);
+    out.meta.scalar_scale = scale;
+    std::vector<float> dithers;
+    if (ss == ScalarScheme::kSD) {
+      dithers = make_dithers(
+          values.size(), scale,
+          SharedRng(StreamKey{cfg_.shared_seed, epoch, msg_id, 0}));
+    }
+    std::vector<std::uint8_t> heads;
+    std::vector<std::uint32_t> tails;
+    scalar_encode_all(ss, values, scale, private_rng_, dithers, heads, tails);
+    for (std::size_t base = 0; base < values.size(); base += per_pkt) {
+      const std::size_t n = std::min(per_pkt, values.size() - base);
+      out.packets.push_back(make_packet(
+          cfg_, msg_id, /*row_id=*/0, static_cast<std::uint32_t>(base),
+          seq++, std::span(heads).subspan(base, n),
+          std::span(tails).subspan(base, n)));
+    }
+  };
+
   switch (cfg_.scheme) {
     case Scheme::kBaseline: {
       for (std::size_t base = 0; base < grad.size(); base += per_pkt) {
@@ -179,24 +214,69 @@ EncodedMessage TrimmableEncoder::encode(std::span<const float> grad,
     case Scheme::kSign:
     case Scheme::kSQ:
     case Scheme::kSD: {
-      const ScalarScheme ss = to_scalar(cfg_.scheme);
-      const float scale = scalar_scale(ss, grad);
-      out.meta.scalar_scale = scale;
-      std::vector<float> dithers;
-      if (ss == ScalarScheme::kSD) {
-        dithers = make_dithers(
-            grad.size(), scale,
-            SharedRng(StreamKey{cfg_.shared_seed, epoch, msg_id, 0}));
-      }
-      std::vector<std::uint8_t> heads;
-      std::vector<std::uint32_t> tails;
-      scalar_encode_all(ss, grad, scale, private_rng_, dithers, heads, tails);
-      for (std::size_t base = 0; base < grad.size(); base += per_pkt) {
-        const std::size_t n = std::min(per_pkt, grad.size() - base);
-        out.packets.push_back(make_packet(
-            cfg_, msg_id, /*row_id=*/0, static_cast<std::uint32_t>(base),
-            seq++, std::span(heads).subspan(base, n),
-            std::span(tails).subspan(base, n)));
+      encode_scalar(to_scalar(cfg_.scheme), grad);
+      break;
+    }
+    case Scheme::kTopK: {
+      // Ahead-of-time sparsify (§5.3): drop the smallest-magnitude share
+      // before encoding, then ship the survivors trimmably so switches can
+      // still compress further under unpredicted congestion.
+      std::vector<float> kept(grad.begin(), grad.end());
+      topk_sparsify_inplace(kept, cfg_.topk_keep);
+      encode_scalar(ScalarScheme::kSD, kept);
+      break;
+    }
+    case Scheme::kMagnitude: {
+      // §2 strawman: magnitude-ordered placement. The permutation rides the
+      // reliable metadata (cost made explicit in MessageMeta::wire_bytes).
+      out.meta.perm = magnitude_order(grad);
+      const std::vector<float> placed = apply_permutation(grad, out.meta.perm);
+      encode_scalar(ScalarScheme::kSD, placed);
+      break;
+    }
+    case Scheme::kLowRank: {
+      if (grad.empty()) break;
+      const std::size_t n = grad.size();
+      const std::size_t cols =
+          std::min(std::max<std::size_t>(cfg_.lowrank_cols, 1), n);
+      const std::size_t rows = (n + cols - 1) / cols;
+      std::vector<float> m(rows * cols, 0.0f);
+      std::copy(grad.begin(), grad.end(), m.begin());
+      const std::size_t rank = std::clamp<std::size_t>(
+          cfg_.lowrank_rank, 1, std::min(rows, cols));
+      const LowRankFactors f =
+          power_factorize(m, rows, cols, rank, cfg_.lowrank_iters,
+                          mix64(cfg_.shared_seed, mix64(epoch, msg_id)));
+      // Importance-ordered component split: the first lr_head components go
+      // into the untrimmable head region, the rest into the tail — a switch
+      // trim always cuts the smallest-singular-value ranks (§5.2).
+      const std::size_t head_k = std::max<std::size_t>(1, rank / 4);
+      out.meta.lr_rows = static_cast<std::uint32_t>(rows);
+      out.meta.lr_cols = static_cast<std::uint32_t>(cols);
+      out.meta.lr_rank = static_cast<std::uint16_t>(rank);
+      out.meta.lr_head = static_cast<std::uint16_t>(head_k);
+      out.meta.lr_q = f.q;
+      const std::size_t rows_per = std::max<std::size_t>(
+          1, layout.payload_bytes() / (rank * sizeof(float)));
+      for (std::size_t r0 = 0; r0 < rows; r0 += rows_per) {
+        const std::size_t nr = std::min(rows_per, rows - r0);
+        GradientPacket pkt;
+        pkt.msg_id = msg_id;
+        pkt.coord_base = static_cast<std::uint32_t>(r0);
+        pkt.n_coords = static_cast<std::uint16_t>(nr);
+        pkt.seq = seq++;
+        pkt.scheme = Scheme::kLowRank;
+        pkt.p_bits = static_cast<std::uint8_t>(head_k);
+        pkt.q_bits = static_cast<std::uint8_t>(rank);
+        BitWriter head_w, tail_w;
+        for (std::size_t k = 0; k < rank; ++k) {
+          BitWriter& w = k < head_k ? head_w : tail_w;
+          for (std::size_t i = 0; i < nr; ++i)
+            w.put(float_bits(f.p[k * rows + r0 + i]), 32);
+        }
+        pkt.head_region = std::move(head_w).finish();
+        pkt.tail_region = std::move(tail_w).finish();
+        out.packets.push_back(std::move(pkt));
       }
       break;
     }
@@ -279,7 +359,9 @@ DecodeResult TrimmableDecoder::decode(std::span<const GradientPacket> packets,
     }
     case Scheme::kSign:
     case Scheme::kSQ:
-    case Scheme::kSD: {
+    case Scheme::kSD:
+    case Scheme::kTopK:
+    case Scheme::kMagnitude: {
       const ScalarScheme ss = to_scalar(meta.scheme);
       std::vector<float> dithers;
       if (ss == ScalarScheme::kSD) {
@@ -314,6 +396,75 @@ DecodeResult TrimmableDecoder::decode(std::span<const GradientPacket> packets,
       }
       for (std::uint8_t s : seen)
         if (s == 0) ++out.stats.lost_coords;
+      if (meta.scheme == Scheme::kMagnitude &&
+          meta.perm.size() == out.values.size()) {
+        // The packets carried placement order; restore coordinate order.
+        std::vector<float> orig(out.values.size(), 0.0f);
+        for (std::size_t i = 0; i < out.values.size(); ++i)
+          orig[meta.perm[i]] = out.values[i];
+        out.values = std::move(orig);
+      }
+      break;
+    }
+    case Scheme::kLowRank: {
+      const std::size_t rows = meta.lr_rows;
+      const std::size_t cols = meta.lr_cols;
+      const std::size_t rank = meta.lr_rank;
+      if (rows == 0 || cols == 0 || rank == 0 ||
+          meta.lr_q.size() != cols * rank) {
+        out.stats.lost_coords = meta.total_coords;
+        break;
+      }
+      // Assemble the P factor from surviving slices. Components a trim cut
+      // away stay zero — reconstruction then uses exactly the surviving
+      // (most important) ranks of each row slice.
+      std::vector<float> p(rows * rank, 0.0f);
+      std::vector<std::uint8_t> row_state(rows, 2);  // 0 full, 1 trim, 2 lost
+      for (const auto& pkt : packets) {
+        const std::size_t head_k = pkt.p_bits;
+        const std::size_t r0 = pkt.coord_base;
+        const std::size_t nr = pkt.n_coords;
+        if (pkt.q_bits != rank || head_k > rank || r0 + nr > rows) continue;
+        BitReader hr(pkt.head_region);
+        for (std::size_t k = 0; k < head_k; ++k)
+          for (std::size_t i = 0; i < nr; ++i)
+            p[k * rows + r0 + i] =
+                bits_float(static_cast<std::uint32_t>(hr.get(32)));
+        if (!pkt.trimmed) {
+          BitReader tr(pkt.tail_region);
+          for (std::size_t k = head_k; k < rank; ++k)
+            for (std::size_t i = 0; i < nr; ++i)
+              p[k * rows + r0 + i] =
+                  bits_float(static_cast<std::uint32_t>(tr.get(32)));
+        }
+        for (std::size_t i = r0; i < r0 + nr; ++i) {
+          if (!pkt.trimmed) {
+            row_state[i] = 0;
+          } else if (row_state[i] == 2) {
+            row_state[i] = 1;
+          }
+        }
+      }
+      // M̂ = P·Qᵀ row by row, only the real (unpadded) coordinates.
+      for (std::size_t i = 0; i < rows; ++i) {
+        const std::size_t base = i * cols;
+        if (base >= out.values.size()) break;
+        const std::size_t real = std::min(cols, out.values.size() - base);
+        for (std::size_t k = 0; k < rank; ++k) {
+          const float pv = p[k * rows + i];
+          if (pv == 0.0f) continue;
+          const float* qc = meta.lr_q.data() + k * cols;
+          for (std::size_t j = 0; j < real; ++j)
+            out.values[base + j] += pv * qc[j];
+        }
+        if (row_state[i] == 0) {
+          out.stats.full_coords += real;
+        } else if (row_state[i] == 1) {
+          out.stats.trimmed_coords += real;
+        } else {
+          out.stats.lost_coords += real;
+        }
+      }
       break;
     }
     case Scheme::kRHT: {

@@ -35,6 +35,12 @@ struct CodecConfig {
   std::size_t rht_row_len = std::size_t{1} << 15;  ///< RHT row length (pow2)
   std::uint64_t shared_seed = 1;             ///< base seed for SharedRng keys
   std::uint64_t private_seed = 0x5eed;       ///< SQ stochastic rounding
+  /// kTopK: fraction of coordinates kept before encoding (clamped to
+  /// (0, 1]); the MLT observation puts the near-free share at ~0.8 dropped.
+  double topk_keep = 0.25;
+  std::size_t lowrank_rank = 4;    ///< kLowRank: target rank r
+  unsigned lowrank_iters = 2;      ///< kLowRank: power iterations
+  std::size_t lowrank_cols = 64;   ///< kLowRank: reshape width cap
 
   /// Layout adjusted for the scheme (baseline has no head region).
   PacketLayout effective_layout() const noexcept;
@@ -49,9 +55,18 @@ struct MessageMeta {
   std::uint32_t row_len = 0;        ///< RHT row length; 0 for non-RHT
   float scalar_scale = 0.0f;        ///< σ (sign) or L (SQ/SD); 0 for RHT
   std::vector<float> row_scales;    ///< per-row f for RHT; empty otherwise
+  /// kMagnitude: placement permutation (placed[i] = grad[perm[i]]); rides
+  /// the reliable channel at ceil(log2 n) bits per entry.
+  std::vector<std::uint32_t> perm;
+  // kLowRank: matrix shape, component split, and the reliable Q factor.
+  std::uint32_t lr_rows = 0, lr_cols = 0;
+  std::uint16_t lr_rank = 0;   ///< components encoded per packet
+  std::uint16_t lr_head = 0;   ///< components in the untrimmable head region
+  std::vector<float> lr_q;     ///< m×r column-major, orthonormal
 
   /// Modeled wire size of the metadata packet(s): header + fixed fields +
-  /// one float per row scale. Counted against the reliable channel.
+  /// one float per row scale (+ the magnitude permutation / low-rank Q
+  /// factor when present). Counted against the reliable channel.
   std::size_t wire_bytes() const noexcept;
 };
 

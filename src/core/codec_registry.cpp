@@ -18,6 +18,12 @@ const CodecRegistry& CodecRegistry::global() {
             "stochastic dithering with shared-seed reconstruction"});
     r->add({"rht", Scheme::kRHT, true,
             "randomized Hadamard transform + 1-bit heads (the paper's codec)"});
+    r->add({"sparsify", Scheme::kTopK, true,
+            "ahead-of-time top-k sparsify, then SD heads/tails (MLT-style)"});
+    r->add({"magnitude", Scheme::kMagnitude, true,
+            "magnitude-ordered placement + SD (the paper's §2 strawman)"});
+    r->add({"lowrank", Scheme::kLowRank, true,
+            "PowerSGD factors in a rank-ordered trimmable layout"});
     r->add({"eden", Scheme::kBaseline, false,
             "EDEN b-bit rotated quantization (core/eden.h; no packet train)"});
     r->add({"multilevel", Scheme::kBaseline, false,

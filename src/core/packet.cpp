@@ -9,6 +9,9 @@ const char* to_string(Scheme s) noexcept {
     case Scheme::kSQ: return "sq";
     case Scheme::kSD: return "sd";
     case Scheme::kRHT: return "rht";
+    case Scheme::kTopK: return "sparsify";
+    case Scheme::kMagnitude: return "magnitude";
+    case Scheme::kLowRank: return "lowrank";
   }
   return "?";
 }

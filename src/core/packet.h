@@ -25,12 +25,19 @@ inline constexpr std::size_t kTransportHeaderBytes = 42;
 
 /// Gradient-encoding scheme carried in the packet header.
 enum class Scheme : std::uint8_t {
-  kBaseline = 0,  ///< raw float32 coordinates, no head/tail split (Fig. 2a)
-  kSign = 1,      ///< §3.1 sign-magnitude
-  kSQ = 2,        ///< §3.1 stochastic quantization
-  kSD = 3,        ///< §3.1 subtractive dithering
-  kRHT = 4,       ///< §3.2 randomized-Hadamard-transform (DRIVE-style)
+  kBaseline = 0,   ///< raw float32 coordinates, no head/tail split (Fig. 2a)
+  kSign = 1,       ///< §3.1 sign-magnitude
+  kSQ = 2,         ///< §3.1 stochastic quantization
+  kSD = 3,         ///< §3.1 subtractive dithering
+  kRHT = 4,        ///< §3.2 randomized-Hadamard-transform (DRIVE-style)
+  kTopK = 5,       ///< §5.3 ahead-of-time top-k sparsify, then SD heads/tails
+  kMagnitude = 6,  ///< §2 strawman: magnitude-ordered placement + SD
+  kLowRank = 7,    ///< §5.2 PowerSGD factors, rank-ordered trimmable layout
 };
+
+/// Highest valid Scheme value — the wire parser's bound check.
+inline constexpr std::uint8_t kMaxSchemeValue =
+    static_cast<std::uint8_t>(Scheme::kLowRank);
 
 const char* to_string(Scheme s) noexcept;
 bool is_scalar(Scheme s) noexcept;  ///< kSign/kSQ/kSD

@@ -263,7 +263,7 @@ ParsedPacket parse_packet_verified(std::span<const std::uint8_t> data) {
   pkt.n_coords = c.u16();
   pkt.seq = c.u16();
   const std::uint8_t scheme = data[20];
-  if (scheme > static_cast<std::uint8_t>(Scheme::kRHT)) return {};
+  if (scheme > kMaxSchemeValue) return {};
   pkt.scheme = static_cast<Scheme>(scheme);
   pkt.p_bits = data[21];
   pkt.q_bits = data[22];
@@ -327,6 +327,17 @@ std::vector<std::uint8_t> serialize_meta(const MessageMeta& meta) {
   put_f32(out, meta.scalar_scale);
   put_u32(out, static_cast<std::uint32_t>(meta.row_scales.size()));
   for (float f : meta.row_scales) put_f32(out, f);
+  // Composed-scheme extensions: the magnitude placement permutation and the
+  // low-rank reliable factor. Always present (zero-length for the schemes
+  // that do not use them) so the layout stays positional.
+  put_u32(out, static_cast<std::uint32_t>(meta.perm.size()));
+  for (std::uint32_t v : meta.perm) put_u32(out, v);
+  put_u32(out, meta.lr_rows);
+  put_u32(out, meta.lr_cols);
+  put_u16(out, meta.lr_rank);
+  put_u16(out, meta.lr_head);
+  put_u32(out, static_cast<std::uint32_t>(meta.lr_q.size()));
+  for (float f : meta.lr_q) put_f32(out, f);
   put_u32(out, crc32c({out.data(), out.size()}));  // trailing checksum
   return out;
 }
@@ -346,7 +357,7 @@ std::optional<MessageMeta> parse_meta(std::span<const std::uint8_t> data) {
   meta.msg_id = c.u32();
   meta.epoch = c.u64();
   const std::uint8_t scheme = data[16];
-  if (scheme > static_cast<std::uint8_t>(Scheme::kRHT)) return std::nullopt;
+  if (scheme > kMaxSchemeValue) return std::nullopt;
   meta.scheme = static_cast<Scheme>(scheme);
   c.bytes(4);  // scheme + padding
   meta.total_coords = c.u32();
@@ -357,6 +368,20 @@ std::optional<MessageMeta> parse_meta(std::span<const std::uint8_t> data) {
   meta.row_scales.reserve(n_scales);
   for (std::uint32_t i = 0; i < n_scales; ++i)
     meta.row_scales.push_back(c.f32());
+  if (!c.has(4)) return std::nullopt;
+  const std::uint32_t n_perm = c.u32();
+  if (!c.has(static_cast<std::size_t>(n_perm) * 4)) return std::nullopt;
+  meta.perm.reserve(n_perm);
+  for (std::uint32_t i = 0; i < n_perm; ++i) meta.perm.push_back(c.u32());
+  if (!c.has(16)) return std::nullopt;
+  meta.lr_rows = c.u32();
+  meta.lr_cols = c.u32();
+  meta.lr_rank = c.u16();
+  meta.lr_head = c.u16();
+  const std::uint32_t n_q = c.u32();
+  if (!c.has(static_cast<std::size_t>(n_q) * 4)) return std::nullopt;
+  meta.lr_q.reserve(n_q);
+  for (std::uint32_t i = 0; i < n_q; ++i) meta.lr_q.push_back(c.f32());
   if (c.remaining() != 0) return std::nullopt;
   return meta;
 }

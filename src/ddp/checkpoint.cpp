@@ -94,6 +94,8 @@ std::vector<std::uint8_t> Checkpoint::to_bytes() const {
   put_u64(out, velocity.size());
   for (const auto& buf : velocity) put_floats(out, buf);
   put_floats(out, residual);
+  put_u64(out, policy_state.size());
+  out.insert(out.end(), policy_state.begin(), policy_state.end());
   put_u32(out, core::crc32c({out.data(), out.size()}));
   return out;
 }
@@ -105,7 +107,7 @@ Checkpoint Checkpoint::from_bytes(std::span<const std::uint8_t> blob) {
   if (rd.u32() != kMagic)
     throw std::runtime_error("Checkpoint: bad magic (not a checkpoint blob)");
   const std::uint32_t version = rd.u32();
-  if (version != kFormatVersion)
+  if (version < 1 || version > kFormatVersion)
     throw std::runtime_error("Checkpoint: unsupported format version " +
                              std::to_string(version));
 
@@ -131,6 +133,14 @@ Checkpoint Checkpoint::from_bytes(std::span<const std::uint8_t> blob) {
   ck.velocity.reserve(static_cast<std::size_t>(nbufs));
   for (std::uint64_t i = 0; i < nbufs; ++i) ck.velocity.push_back(rd.floats());
   ck.residual = rd.floats();
+  if (version >= 2) {
+    const std::uint64_t nb = rd.u64();
+    if (rd.data.size() - rd.pos < nb) rd.fail_truncated();
+    ck.policy_state.assign(rd.data.begin() + static_cast<std::ptrdiff_t>(rd.pos),
+                           rd.data.begin() +
+                               static_cast<std::ptrdiff_t>(rd.pos + nb));
+    rd.pos += static_cast<std::size_t>(nb);
+  }
   if (rd.pos != rd.data.size())
     throw std::runtime_error("Checkpoint: trailing garbage after payload");
   return ck;

@@ -24,7 +24,10 @@
 namespace trimgrad::ddp {
 
 struct Checkpoint {
-  static constexpr std::uint32_t kFormatVersion = 1;
+  /// v2 appends the serialized compression-control-plane state (policy
+  /// controller + last NetFeedback, core/policy.h). v1 blobs still load,
+  /// with `policy_state` empty.
+  static constexpr std::uint32_t kFormatVersion = 2;
 
   // --- where in the run this was taken ---------------------------------
   int rank = 0;
@@ -39,6 +42,11 @@ struct Checkpoint {
   std::vector<std::vector<float>> velocity;     ///< momentum, per buffer
   std::vector<float> residual;                  ///< error-feedback residual
   std::array<std::uint64_t, 4> augment_rng{};   ///< trainer PRNG cursor
+  /// Serialized compression-policy state + last feedback snapshot (see
+  /// DdpTrainer::policy_state_blob). Whole-trainer state like the RNG
+  /// cursor: restored by a full restart, not a single-rank rejoin. Empty
+  /// when loaded from a v1 blob.
+  std::vector<std::uint8_t> policy_state;
 
   friend bool operator==(const Checkpoint&, const Checkpoint&) = default;
 

@@ -17,7 +17,8 @@ constexpr const char* kKeys[] = {
     "transport", "scheme",     "topology", "faults",       "trim",
     "drop",      "deadline",   "world",    "epochs",       "batch",
     "lr",        "seed",       "fault_seed", "threads",    "heartbeat_ms",
-    "evict_after", "ckpt_every"};
+    "evict_after", "ckpt_every", "policy", "policy_target", "policy_min_q",
+    "policy_max_q", "schedule", "capacity"};
 
 [[noreturn]] void bad_key(const std::string& key) {
   std::string msg = "unknown ExperimentSpec key '" + key + "'; known:";
@@ -119,6 +120,18 @@ ExperimentSpec ExperimentSpec::parse(const std::string& text) {
       spec.evict_after = parse_uint(key, value);
     } else if (key == "ckpt_every") {
       spec.ckpt_every = parse_uint(key, value);
+    } else if (key == "policy") {
+      spec.policy = value;
+    } else if (key == "policy_target") {
+      spec.policy_target = parse_double(key, value);
+    } else if (key == "policy_min_q") {
+      spec.policy_min_q = parse_uint(key, value);
+    } else if (key == "policy_max_q") {
+      spec.policy_max_q = parse_uint(key, value);
+    } else if (key == "schedule") {
+      spec.schedule = value;
+    } else if (key == "capacity") {
+      spec.capacity = parse_uint(key, value);
     } else {
       bad_key(key);
     }
@@ -146,12 +159,20 @@ std::string ExperimentSpec::serialize() const {
   out += ",heartbeat_ms=" + format_double(heartbeat_ms);
   out += ",evict_after=" + std::to_string(evict_after);
   out += ",ckpt_every=" + std::to_string(ckpt_every);
+  out += ",policy=" + policy;
+  out += ",policy_target=" + format_double(policy_target);
+  out += ",policy_min_q=" + std::to_string(policy_min_q);
+  out += ",policy_max_q=" + std::to_string(policy_max_q);
+  out += ",schedule=" + schedule;
+  out += ",capacity=" + std::to_string(capacity);
   return out;
 }
 
 std::string ExperimentSpec::label() const {
-  return "transport=" + transport + ",scheme=" + scheme +
-         ",trim=" + format_double(trim);
+  std::string out = "transport=" + transport + ",scheme=" + scheme +
+                    ",trim=" + format_double(trim);
+  if (policy != "fixed") out += ",policy=" + policy;
+  return out;
 }
 
 bool ExperimentSpec::faults_is_file() const noexcept {
@@ -209,6 +230,23 @@ void ExperimentSpec::validate() const {
         "ExperimentSpec: faults=elastic needs heartbeat_ms > 0 "
         "(without a detector nothing heals)");
   }
+  if (policy_min_q < 1 || policy_max_q > 31 || policy_min_q > policy_max_q) {
+    throw std::invalid_argument(
+        "ExperimentSpec: need 1 <= policy_min_q <= policy_max_q <= 31");
+  }
+  if (policy_target <= 0 || policy_target >= 1) {
+    throw std::invalid_argument(
+        "ExperimentSpec: policy_target must be in (0, 1)");
+  }
+  // Fail fast on unregistered policy names (the error lists what is
+  // registered) and on schedule scripts naming unregistered codecs. The
+  // policy is only constructible over a packet-train base codec; specs
+  // naming a micro-bench codec (eden/multilevel) stay parseable here and
+  // are rejected by trainer_config() when someone tries to train with one.
+  core::PolicyRegistry::global().at(policy);
+  if (core::CodecRegistry::global().at(scheme).packet_train) {
+    core::PolicyRegistry::global().make(policy_config());
+  }
 }
 
 TrainerConfig ExperimentSpec::trainer_config() const {
@@ -225,7 +263,20 @@ TrainerConfig ExperimentSpec::trainer_config() const {
   cfg.sgd.lr = static_cast<float>(lr);
   cfg.codec.scheme = codec.scheme;
   cfg.fault_seed = fault_seed;
+  cfg.policy = policy_config();
   return cfg;
+}
+
+core::PolicyConfig ExperimentSpec::policy_config() const {
+  core::PolicyConfig pc;
+  pc.policy = policy;
+  pc.codec = scheme;
+  pc.aimd.target_trim = policy_target;
+  pc.aimd.min_q = static_cast<unsigned>(policy_min_q);
+  pc.aimd.max_q = static_cast<unsigned>(policy_max_q);
+  pc.aimd.initial_q = static_cast<unsigned>(policy_max_q);
+  pc.schedule = schedule;
+  return pc;
 }
 
 collective::InjectChannel::Config ExperimentSpec::inject_channel_config()
@@ -242,6 +293,7 @@ collective::InjectChannel::Config ExperimentSpec::inject_channel_config()
   cfg.injector.drop_rate = drop;
   cfg.injector.seed = seed;
   cfg.reliable = transport == "reliable";
+  cfg.capacity_bytes = capacity;
   return cfg;
 }
 

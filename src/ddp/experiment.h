@@ -68,6 +68,22 @@ struct ExperimentSpec {
   /// Rounds between per-rank checkpoints; 0 = never checkpoint.
   std::uint64_t ckpt_every = 8;
 
+  // --- compression control plane (core/policy.h) ----------------------
+  /// core::PolicyRegistry name: "fixed" (default; the pinned-codec path),
+  /// "aimd-trim" (AIMD on congestion pressure), "schedule" (scripted).
+  std::string policy = "fixed";
+  /// aimd-trim: target trim fraction ("slightly under-compress").
+  double policy_target = 0.05;
+  /// aimd-trim: tail-depth bounds, both in [1, 31].
+  std::uint64_t policy_min_q = 7;
+  std::uint64_t policy_max_q = 31;
+  /// schedule policy script: ';'-separated "round:codec@q" entries.
+  std::string schedule;
+  /// inject topology: per-batch data-byte budget; packets past it are
+  /// trimmed deterministically from the back of the burst (retransmitted
+  /// under transport=reliable). 0 = unlimited — no capacity congestion.
+  std::uint64_t capacity = 0;
+
   bool operator==(const ExperimentSpec&) const = default;
 
   /// Parse `key=value` pairs separated by commas and/or whitespace.
@@ -111,6 +127,11 @@ struct ExperimentSpec {
   /// Meaningful when heartbeat_ms > 0; callers construct the Membership
   /// themselves (it needs the fabric's hosts).
   MembershipConfig membership_config() const;
+
+  /// Compression-policy knobs (policy/policy_target/policy_*_q/schedule);
+  /// the base codec comes from `scheme`. trainer_config() embeds this, so
+  /// most callers never touch it directly.
+  core::PolicyConfig policy_config() const;
 
   /// Resize the global ThreadPool when threads > 0 (no-op otherwise).
   void apply_threads() const;

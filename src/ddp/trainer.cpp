@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cmath>
 
+#include "core/codec_registry.h"
 #include "core/metrics.h"
 #include "core/prng.h"
 #include "core/threadpool.h"
@@ -24,8 +25,8 @@ double seconds_since(Clock::time_point t0) {
 }
 
 struct TrainerTelemetry {
-  core::Counter rounds, raw_bytes, wire_bytes;
-  core::Gauge compression_ratio;
+  core::Counter rounds, raw_bytes, wire_bytes, policy_switches;
+  core::Gauge compression_ratio, policy_q;
 
   static const TrainerTelemetry& get() {
     auto& reg = core::MetricsRegistry::global();
@@ -33,7 +34,9 @@ struct TrainerTelemetry {
         reg.counter("ddp.rounds"),
         reg.counter("ddp.raw_bytes"),
         reg.counter("ddp.wire_bytes"),
+        reg.counter("ddp.policy.switches"),
         reg.gauge("ddp.compression_ratio"),
+        reg.gauge("ddp.policy.q_bits"),
     };
     return t;
   }
@@ -62,17 +65,86 @@ DdpTrainer::DdpTrainer(const ml::SynthCifar& data,
   for (int r = 1; r < cfg_.world; ++r) replicas_[r]->set_flat_params(flat);
 
   residuals_.resize(static_cast<std::size_t>(cfg_.world));
-  if (cfg_.error_feedback) {
-    // One encoder per rank for the local EF round-trip, each with its own
-    // stochastic-rounding stream (mirrors the reducer's per-sender setup).
-    ef_encoders_.reserve(static_cast<std::size_t>(cfg_.world));
-    for (int r = 0; r < cfg_.world; ++r) {
-      core::CodecConfig cc = cfg_.codec;
-      cc.private_seed = core::mix64(cfg_.codec.private_seed,
-                                    static_cast<std::uint64_t>(r) + 1);
-      ef_encoders_.push_back(std::make_unique<core::TrimmableEncoder>(cc));
-    }
+
+  // Control plane: the policy's action space is seeded from the run's
+  // pinned codec — whatever cfg.policy says for codec/q — so the default
+  // "fixed" policy replays the pinned-codec path bit-exactly (the round-0
+  // decision equals the active codec and no rebuild ever happens).
+  core::PolicyConfig pc = cfg_.policy;
+  pc.codec = core::CodecRegistry::global().name_of(cfg_.codec.scheme);
+  pc.q_bits = cfg_.codec.layout.q_bits;
+  policy_ = core::PolicyRegistry::global().make(pc);
+  active_ = core::PolicyDecision{pc.codec, pc.q_bits};
+  active_codec_ = cfg_.codec;
+  rebuild_ef_encoders();
+}
+
+void DdpTrainer::rebuild_ef_encoders() {
+  if (!cfg_.error_feedback) return;
+  // One encoder per rank for the local EF round-trip, each with its own
+  // stochastic-rounding stream (mirrors the reducer's per-sender setup).
+  ef_encoders_.clear();
+  ef_encoders_.reserve(static_cast<std::size_t>(cfg_.world));
+  for (int r = 0; r < cfg_.world; ++r) {
+    core::CodecConfig cc = active_codec_;
+    cc.private_seed = core::mix64(active_codec_.private_seed,
+                                  static_cast<std::uint64_t>(r) + 1);
+    ef_encoders_.push_back(std::make_unique<core::TrimmableEncoder>(cc));
   }
+}
+
+core::CodecConfig DdpTrainer::codec_for(const core::PolicyDecision& d,
+                                        std::uint64_t round) const {
+  core::CodecConfig cc = cfg_.codec;
+  cc.scheme = core::CodecRegistry::global().at(d.codec).scheme;
+  cc.layout.q_bits = d.q_bits;
+  // Swapping codecs restarts the encoders' private stochastic-rounding
+  // streams (AllReducer::set_codec); mixing the switch round into the seed
+  // keeps the restarted draws independent of every earlier stream.
+  cc.private_seed = core::mix64(cfg_.codec.private_seed, round + 1);
+  return cc;
+}
+
+void DdpTrainer::apply_policy(std::uint64_t round) {
+  const core::PolicyDecision d = policy_->decide(round, last_fb_);
+  decisions_.push_back(d);
+  if (d == active_) return;
+  active_ = d;
+  active_codec_ = codec_for(d, round);
+  reducer_.set_codec(active_codec_);
+  rebuild_ef_encoders();
+  const TrainerTelemetry& tel = TrainerTelemetry::get();
+  tel.policy_switches.add();
+  tel.policy_q.set(static_cast<double>(d.q_bits));
+}
+
+std::vector<std::uint8_t> DdpTrainer::policy_state_blob() const {
+  // u32 policy-state length + bytes, then the last feedback snapshot —
+  // everything decide() consumes besides the round index.
+  std::vector<std::uint8_t> blob;
+  const auto ps = policy_->state();
+  for (int i = 0; i < 4; ++i)
+    blob.push_back(static_cast<std::uint8_t>(ps.size() >> (8 * i)));
+  blob.insert(blob.end(), ps.begin(), ps.end());
+  core::append_feedback(blob, last_fb_);
+  return blob;
+}
+
+void DdpTrainer::restore_control_plane(const Checkpoint& ck) {
+  augment_rng_.set_state(ck.augment_rng);
+  if (ck.policy_state.empty()) return;  // v1 blob: no control plane captured
+  const std::span<const std::uint8_t> b{ck.policy_state};
+  if (b.size() < 4) throw std::runtime_error("policy_state: blob truncated");
+  std::uint32_t n = 0;
+  for (int i = 0; i < 4; ++i)
+    n |= static_cast<std::uint32_t>(b[i]) << (8 * i);
+  if (b.size() - 4 < n)
+    throw std::runtime_error("policy_state: blob truncated");
+  policy_->restore(b.subspan(4, n));
+  last_fb_ = core::parse_feedback(b.subspan(4 + n));
+  // The next apply_policy() call re-derives the decision from the restored
+  // controller and swaps the wire codec if it differs from the fresh
+  // trainer's base — replaying the interrupted run's trajectory.
 }
 
 void DdpTrainer::attach_membership(Membership* membership) {
@@ -94,6 +166,7 @@ Checkpoint DdpTrainer::make_checkpoint(int rank, std::size_t epoch,
   ck.velocity = optims_.at(r)->velocity();
   ck.residual = residuals_.at(r);
   ck.augment_rng = augment_rng_.state();
+  ck.policy_state = policy_state_blob();
   return ck;
 }
 
@@ -109,7 +182,7 @@ void DdpTrainer::apply_error_feedback(
     const std::vector<std::uint8_t>& live_mask, std::size_t epoch,
     std::uint32_t round) {
   if (!cfg_.error_feedback) return;
-  const core::TrimmableDecoder decoder(cfg_.codec);
+  const core::TrimmableDecoder decoder(active_codec_);
   for (std::size_t r = 0; r < grads.size(); ++r) {
     if (live_mask[r] == 0) continue;
     auto& res = residuals_[r];
@@ -180,7 +253,7 @@ std::vector<std::vector<float>> DdpTrainer::all_reduce_buckets(
       // Deterministic codec-time model: per-coordinate costs calibrated
       // once per process; coords decoded == coords encoded for both
       // algorithms.
-      const CodecCosts& costs = calibrated_costs(cfg_.codec.scheme);
+      const CodecCosts& costs = calibrated_costs(active_codec_.scheme);
       const auto coords =
           static_cast<double>(result.stats.coord_stats.total_coords);
       rb.encode_s += costs.encode_per_coord_s * coords;
@@ -226,6 +299,10 @@ EpochRecord DdpTrainer::run_epoch(std::size_t epoch) {
     std::vector<std::vector<float>> grads(world);
     std::vector<double> rank_loss(world, 0.0);
     std::vector<double> rank_compute(world, 0.0);
+
+    // Control plane: decide this round's codec from last round's feedback
+    // before anything is encoded (the EF round-trip uses the same codec).
+    apply_policy(global_round);
 
     // Control plane first: one heartbeat window, then any pending rejoins —
     // so a recovered rank is back in the view before this round's
@@ -310,6 +387,10 @@ EpochRecord DdpTrainer::run_epoch(std::size_t epoch) {
     const std::uint64_t wire_before = rec.wire_bytes;
     const auto averaged = all_reduce_buckets(
         grads, epoch, static_cast<std::uint32_t>(global_round), rec, rb);
+    // Drain the channel's telemetry window once per round, right after the
+    // collective: this is the snapshot the next round's decision sees.
+    last_fb_ = channel_.take_feedback();
+    last_fb_.round = global_round;
     for (int r = 0; r < cfg_.world; ++r) {
       if (live_mask[static_cast<std::size_t>(r)] == 0) continue;
       optims_[r]->step_flat(replicas_[r]->params(), averaged[r]);

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "collective/allreduce.h"
+#include "core/policy.h"
 #include "ddp/checkpoint.h"
 #include "ml/data.h"
 #include "ml/loss.h"
@@ -73,6 +74,11 @@ struct TrainerConfig {
   /// (sent − decode(encode(sent))) into a residual added to the next
   /// round's gradient. The residual is part of a rank's checkpointed state.
   bool error_feedback = false;
+  /// Per-round compression control plane (core/policy.h). The policy's base
+  /// codec and tail depth are always re-seeded from `codec` at construction
+  /// (whatever `policy.codec`/`policy.q_bits` say), so the default "fixed"
+  /// policy reproduces the pinned-codec path bit-exactly.
+  core::PolicyConfig policy{};
 };
 
 /// Per-round time breakdown (Fig. 5's bars).
@@ -154,9 +160,33 @@ class DdpTrainer {
   Checkpoint make_checkpoint(int rank, std::size_t epoch,
                              std::uint64_t round) const;
   /// Apply a checkpoint to rank: parameters, optimizer, residual. (The
-  /// augment RNG cursor is whole-trainer state, restored only by a full
-  /// restart, not a single-rank rejoin.)
+  /// augment RNG cursor and the compression control plane are whole-trainer
+  /// state, restored only by a full restart via restore_control_plane, not
+  /// a single-rank rejoin — the live trainer's controller keeps steering.)
   void restore_rank(int rank, const Checkpoint& ck);
+
+  /// The decision the policy made for each round run so far, in order.
+  /// Comparing two runs' decision sequences is the cheap digest for "the
+  /// control trajectory is bit-identical across TRIMGRAD_THREADS".
+  const std::vector<core::PolicyDecision>& decisions() const noexcept {
+    return decisions_;
+  }
+  /// The feedback snapshot the next round's decision will see.
+  const core::NetFeedback& last_feedback() const noexcept { return last_fb_; }
+  /// The codec configuration currently on the wire.
+  const core::CodecConfig& active_codec() const noexcept {
+    return active_codec_;
+  }
+
+  /// Serialized control-plane state (policy controller + last feedback) —
+  /// what make_checkpoint embeds as Checkpoint::policy_state.
+  std::vector<std::uint8_t> policy_state_blob() const;
+  /// Full-restart restore at a round boundary: re-seats the policy
+  /// controller, the feedback snapshot, and the augment-RNG cursor from a
+  /// checkpoint, so the restarted trainer replays the same decision
+  /// sequence bit-identically. Throws std::runtime_error on a malformed
+  /// blob; a v1 checkpoint (empty blob) restores only the RNG cursor.
+  void restore_control_plane(const Checkpoint& ck);
 
   const std::vector<float>& residual(int rank) const {
     return residuals_.at(rank);
@@ -171,6 +201,14 @@ class DdpTrainer {
                             std::size_t epoch, std::uint32_t round);
   void try_rejoin(int rank, std::uint64_t round, EpochRecord& rec,
                   RoundBreakdown& rb);
+  /// Consult the policy for `round` and, when the decision changed, swap
+  /// the reducer's codec (and the EF encoders) to match.
+  void apply_policy(std::uint64_t round);
+  /// Project a decision onto the run's codec config: scheme + tail depth
+  /// change, everything else (layout, seeds, codec knobs) is inherited.
+  core::CodecConfig codec_for(const core::PolicyDecision& d,
+                              std::uint64_t round) const;
+  void rebuild_ef_encoders();
 
   const ml::SynthCifar& data_;
   collective::Channel& channel_;
@@ -189,6 +227,14 @@ class DdpTrainer {
   /// Per-rank encoders for the local EF round-trip (each owns its own
   /// private stochastic-rounding stream, like the reducer's senders).
   std::vector<std::unique_ptr<core::TrimmableEncoder>> ef_encoders_;
+  /// The compression control plane: policy, the decision currently in
+  /// force, the codec config it projects to, and the feedback the next
+  /// decision will see. All deterministic; decisions_ is the audit trail.
+  std::unique_ptr<core::CompressionPolicy> policy_;
+  core::PolicyDecision active_;
+  core::CodecConfig active_codec_;
+  core::NetFeedback last_fb_{};
+  std::vector<core::PolicyDecision> decisions_;
 };
 
 }  // namespace trimgrad::ddp

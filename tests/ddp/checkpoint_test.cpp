@@ -10,6 +10,7 @@
 
 #include "collective/inject_channel.h"
 #include "core/threadpool.h"
+#include "core/wire.h"
 #include "ddp/trainer.h"
 
 namespace trimgrad::ddp {
@@ -27,7 +28,20 @@ Checkpoint sample_checkpoint() {
   ck.velocity = {{0.5f, -0.5f}, {}, {1e-3f, 2e-3f, 3e-3f}};
   ck.residual = {0.25f, -0.125f};
   ck.augment_rng = {0x1234, 0x5678, 0x9abc, 0xdef0};
+  ck.policy_state = {0x01, 0x02, 0x03, 0xff, 0x00, 0x7f};
   return ck;
+}
+
+/// Rewrite a (format v2, empty policy_state) blob as the byte-exact v1 blob
+/// the previous release would have written: version field 1, no trailing
+/// policy_state length, CRC recomputed over the shortened body.
+std::vector<std::uint8_t> as_v1_blob(std::vector<std::uint8_t> blob) {
+  blob[4] = 1;                                   // version field, LE
+  blob.erase(blob.end() - 12, blob.end());       // u64 length(0) + old CRC
+  const std::uint32_t crc = core::crc32c({blob.data(), blob.size()});
+  for (int i = 0; i < 4; ++i)
+    blob.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+  return blob;
 }
 
 TEST(Checkpoint, ToBytesFromBytesRoundTripsExactly) {
@@ -53,6 +67,34 @@ TEST(Checkpoint, EmptySectionsRoundTrip) {
   Checkpoint ck;  // all defaults: no params, no velocity, no residual
   const Checkpoint back = Checkpoint::from_bytes(ck.to_bytes());
   EXPECT_EQ(ck, back);
+}
+
+TEST(Checkpoint, VersionOneBlobStillParses) {
+  // Blobs written before the control plane existed (format v1) must load
+  // with an empty policy_state, not fail on the missing section.
+  Checkpoint ck = sample_checkpoint();
+  ck.policy_state.clear();
+  const auto v1 = as_v1_blob(ck.to_bytes());
+  const Checkpoint back = Checkpoint::from_bytes(v1);
+  EXPECT_EQ(ck, back);
+  EXPECT_TRUE(back.policy_state.empty());
+}
+
+TEST(Checkpoint, FutureVersionIsRejectedByNumber) {
+  auto blob = sample_checkpoint().to_bytes();
+  blob[4] = static_cast<std::uint8_t>(Checkpoint::kFormatVersion + 1);
+  const std::uint32_t crc =
+      core::crc32c({blob.data(), blob.size() - 4});
+  for (int i = 0; i < 4; ++i)
+    blob[blob.size() - 4 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(crc >> (8 * i));
+  try {
+    Checkpoint::from_bytes(blob);
+    FAIL() << "future-version blob parsed";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos)
+        << e.what();
+  }
 }
 
 TEST(Checkpoint, TruncationAtEveryPointFailsWithClearError) {

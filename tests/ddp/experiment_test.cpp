@@ -48,6 +48,12 @@ TEST(ExperimentSpec, EveryKeyRoundTripsBitExactly) {
   spec.heartbeat_ms = 0.75;
   spec.evict_after = 5;
   spec.ckpt_every = 16;
+  spec.policy = "aimd-trim";
+  spec.policy_target = 0.125;
+  spec.policy_min_q = 5;
+  spec.policy_max_q = 23;
+  spec.schedule = "0:rht@31;8:sparsify@15";
+  spec.capacity = 65536;
   const ExperimentSpec back = ExperimentSpec::parse(spec.serialize());
   EXPECT_EQ(spec, back);
   // Doubles survive a second trip too (shortest-round-trip formatting).
@@ -207,6 +213,66 @@ TEST(ExperimentSpec, MembershipKeysAreRangeChecked) {
   // The elastic fault script is meaningless without a detector.
   EXPECT_THROW((void)ExperimentSpec::parse("faults=elastic"),
                std::invalid_argument);
+}
+
+TEST(ExperimentSpec, PolicyKeysRoundTripAndProject) {
+  const ExperimentSpec spec = ExperimentSpec::parse(
+      "policy=aimd-trim,policy_target=0.1,policy_min_q=5,policy_max_q=23,"
+      "capacity=4096");
+  EXPECT_EQ(spec.policy, "aimd-trim");
+  EXPECT_DOUBLE_EQ(spec.policy_target, 0.1);
+  EXPECT_EQ(spec.policy_min_q, 5u);
+  EXPECT_EQ(spec.policy_max_q, 23u);
+  EXPECT_EQ(spec.capacity, 4096u);
+  EXPECT_EQ(spec, ExperimentSpec::parse(spec.serialize()));
+
+  const core::PolicyConfig pc = spec.policy_config();
+  EXPECT_EQ(pc.policy, "aimd-trim");
+  EXPECT_EQ(pc.codec, spec.scheme);
+  EXPECT_DOUBLE_EQ(pc.aimd.target_trim, 0.1);
+  EXPECT_EQ(pc.aimd.min_q, 5u);
+  EXPECT_EQ(pc.aimd.max_q, 23u);
+  EXPECT_EQ(pc.aimd.initial_q, 23u);
+
+  // trainer_config() embeds the policy so benches get it for free.
+  EXPECT_EQ(spec.trainer_config().policy.policy, "aimd-trim");
+  // capacity reaches the inject channel as its per-batch byte budget.
+  EXPECT_EQ(spec.inject_channel_config().capacity_bytes, 4096u);
+}
+
+TEST(ExperimentSpec, PolicyLabelMarksNonFixedCells) {
+  ExperimentSpec spec;
+  EXPECT_EQ(spec.label().find("policy="), std::string::npos);
+  spec.policy = "aimd-trim";
+  EXPECT_NE(spec.label().find("policy=aimd-trim"), std::string::npos);
+}
+
+TEST(ExperimentSpec, UnknownPolicyListsRegisteredNames) {
+  const std::string msg = thrown_message(
+      [] { (void)ExperimentSpec::parse("policy=oracle"); });
+  EXPECT_NE(msg.find("oracle"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("aimd-trim"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("fixed"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("schedule"), std::string::npos) << msg;
+}
+
+TEST(ExperimentSpec, PolicyKeysAreRangeChecked) {
+  const std::string q = thrown_message(
+      [] { (void)ExperimentSpec::parse("policy_min_q=0"); });
+  EXPECT_NE(q.find("policy_min_q"), std::string::npos) << q;
+  EXPECT_THROW((void)ExperimentSpec::parse("policy_max_q=32"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)ExperimentSpec::parse("policy_min_q=20,policy_max_q=10"),
+      std::invalid_argument);
+  EXPECT_THROW((void)ExperimentSpec::parse("policy_target=0"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ExperimentSpec::parse("policy_target=1"),
+               std::invalid_argument);
+  // A schedule naming an unregistered codec fails at validate() time.
+  EXPECT_THROW(
+      (void)ExperimentSpec::parse("policy=schedule,schedule=0:warp@31"),
+      std::invalid_argument);
 }
 
 }  // namespace

@@ -10,6 +10,7 @@ Usage:
                    [--max-slowdown 2.0] [--min-speedup 3.0]
     check_bench.py --chaos-search BENCH_chaos_search.json
                    [--min-scripts 200] [--min-cells 4]
+    check_bench.py --adaptive BENCH_adaptive.json
 
 Default mode validates the BENCH_parallel.json produced by
 bench_parallel_scaling (smoke or full size).  The committed baseline holds
@@ -42,6 +43,15 @@ demonstrably wired (checks > 0 in every cell), every cell's event queue
 drained, and zero violations.  A violation is a red build by definition:
 the gate fails and names the shrunk REPRO_chaos_*.txt artifacts (which CI
 uploads) -- or reports how many violations the shrinker could not reduce.
+
+--adaptive mode validates the BENCH_adaptive.json produced by
+bench_adaptive_policy (the per-round compression control plane under phased
+capacity congestion).  The aimd-trim cell must have reached the accuracy
+target at all and before every fixed {codec x Q} cell that reached it, its
+control trajectory and trained parameters must be bit-identical across
+thread counts (deterministic: true), the policy must actually have acted
+(switches > 0), and the run must be clean (zero invariant violations, every
+loss finite).
 
 --elastic mode validates the BENCH_elastic.json produced by
 bench_soak_elastic: the run must have drained its event queue, kept every
@@ -307,6 +317,67 @@ def check_chaos_search(args):
           "0 violations, all drained")
 
 
+def check_adaptive(path):
+    """Gate a bench_adaptive_policy run: wins, determinism, cleanliness."""
+    doc = load_json(path)
+    if not isinstance(doc, dict):
+        fail(1, f"{path}: top level is not an object")
+    required = ("label", "smoke", "target_loss", "adaptive",
+                "beats_all_fixed", "deterministic", "decision_digest",
+                "violations", "loss_finite", "fixed")
+    for key in required:
+        if key not in doc:
+            fail(1, f"{path}: missing key {key!r}")
+    ad = doc["adaptive"]
+    if not isinstance(ad, dict):
+        fail(1, f"{path}: adaptive must be an object")
+    for key in ("name", "tta_s", "final_top1", "mean_q", "switches"):
+        if key not in ad:
+            fail(1, f"{path}: adaptive missing key {key!r}")
+    fixed = doc["fixed"]
+    if not isinstance(fixed, list) or not fixed:
+        fail(1, f"{path}: fixed must be a non-empty array")
+    for cell in fixed:
+        for key in ("name", "tta_s", "final_top1"):
+            if key not in cell:
+                fail(1, f"{path}: fixed cell missing key {key!r}")
+    if not isinstance(doc["target_loss"], (int, float)) \
+            or doc["target_loss"] <= 0:
+        fail(1, f"{path}: target_loss must be a positive number")
+
+    if doc["deterministic"] is not True:
+        fail(2, f"{path}: deterministic is not true -- the adaptive control "
+                "trajectory or trained parameters diverged across thread "
+                "counts")
+    if doc["loss_finite"] is not True:
+        fail(2, f"{path}: a train loss went non-finite")
+    if doc["violations"] != 0:
+        fail(2, f"{path}: {doc['violations']} invariant violations")
+    if not isinstance(ad["switches"], int) or ad["switches"] < 1:
+        fail(2, f"{path}: the policy never switched "
+                f"(switches={ad['switches']!r}) -- the control plane is not "
+                "wired into the round loop")
+    tta = ad["tta_s"]
+    if not isinstance(tta, (int, float)) or tta < 0:
+        fail(2, f"{path}: the adaptive cell never reached the target loss "
+                f"(tta_s={tta!r})")
+    # Recompute the verdict from the per-cell numbers; a mismatch with the
+    # emitted flag means the producer and this gate disagree on semantics.
+    losers = [c for c in fixed if c["tta_s"] >= 0 and tta >= c["tta_s"]]
+    recomputed = not losers
+    if recomputed != (doc["beats_all_fixed"] is True):
+        fail(1, f"{path}: beats_all_fixed={doc['beats_all_fixed']!r} does "
+                f"not match the per-cell tta_s values")
+    if losers:
+        names = ", ".join(f"{c['name']} ({c['tta_s']:.4f}s)" for c in losers)
+        fail(2, f"{path}: adaptive tta {tta:.4f}s did not beat: {names}")
+    reached = sum(1 for c in fixed if c["tta_s"] >= 0)
+    print(f"check_bench: {path} OK -- aimd-trim reached the target in "
+          f"{tta:.4f}s sim-time, beating all {len(fixed)} fixed cells "
+          f"({reached} reached at all); mean_q {ad['mean_q']:.1f}, "
+          f"{ad['switches']} switches, bit-identical across thread counts")
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("candidate")
@@ -337,6 +408,10 @@ def main():
     ap.add_argument("--min-cells", type=int, default=4,
                     help="--chaos-search: minimum {transport x codec x "
                          "queue} cells searched (default 4)")
+    ap.add_argument("--adaptive", action="store_true",
+                    help="treat CANDIDATE as BENCH_adaptive.json from "
+                         "bench_adaptive_policy and gate the adaptive "
+                         "policy's win, determinism, and cleanliness")
     args = ap.parse_args()
 
     if args.elastic:
@@ -347,6 +422,9 @@ def main():
         return
     if args.chaos_search:
         check_chaos_search(args)
+        return
+    if args.adaptive:
+        check_adaptive(args.candidate)
         return
 
     cand = load_json(args.candidate)

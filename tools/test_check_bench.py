@@ -77,6 +77,25 @@ CHAOS_DOC = {
 }
 
 
+ADAPTIVE_DOC = {
+    "label": "transport=reliable,scheme=rht,trim=0,policy=aimd-trim",
+    "smoke": True,
+    "target_loss": 0.5285,
+    "adaptive": {"name": "aimd-trim", "tta_s": 0.2044, "final_top1": 0.91,
+                 "mean_q": 21.0, "switches": 26},
+    "beats_all_fixed": True,
+    "deterministic": True,
+    "decision_digest": "a9eea140fb5db185",
+    "violations": 0,
+    "loss_finite": True,
+    "fixed": [
+        {"name": "rht@31", "tta_s": 0.5997, "final_top1": 0.92},
+        {"name": "rht@15", "tta_s": 0.4325, "final_top1": 0.92},
+        {"name": "rht@7", "tta_s": -1.0, "final_top1": 0.94},
+    ],
+}
+
+
 class CheckBenchHarness(unittest.TestCase):
     def setUp(self):
         self._tmp = tempfile.TemporaryDirectory()
@@ -285,6 +304,76 @@ class ChaosSearchModeTest(CheckBenchHarness):
         cand = self.write("cand.json", bad)
         proc = self.run_check("--chaos-search", cand)
         self.assert_clean_failure(proc, 1, "unshrunk_violations")
+
+
+class AdaptiveModeTest(CheckBenchHarness):
+    def test_winning_run_passes(self):
+        cand = self.write("cand.json", ADAPTIVE_DOC)
+        proc = self.run_check("--adaptive", cand)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("beating all 3 fixed cells", proc.stdout)
+
+    def test_losing_to_a_fixed_cell_exits_two(self):
+        bad = copy.deepcopy(ADAPTIVE_DOC)
+        bad["adaptive"]["tta_s"] = 0.50  # slower than rht@15's 0.4325
+        bad["beats_all_fixed"] = False
+        cand = self.write("cand.json", bad)
+        proc = self.run_check("--adaptive", cand)
+        self.assert_clean_failure(proc, 2, "rht@15")
+
+    def test_never_reaching_target_exits_two(self):
+        bad = copy.deepcopy(ADAPTIVE_DOC)
+        bad["adaptive"]["tta_s"] = -1.0
+        bad["beats_all_fixed"] = False
+        cand = self.write("cand.json", bad)
+        proc = self.run_check("--adaptive", cand)
+        self.assert_clean_failure(proc, 2, "never reached the target")
+
+    def test_nondeterministic_exits_two(self):
+        bad = copy.deepcopy(ADAPTIVE_DOC)
+        bad["deterministic"] = False
+        cand = self.write("cand.json", bad)
+        proc = self.run_check("--adaptive", cand)
+        self.assert_clean_failure(proc, 2, "diverged across thread counts")
+
+    def test_violations_exit_two(self):
+        bad = copy.deepcopy(ADAPTIVE_DOC)
+        bad["violations"] = 2
+        cand = self.write("cand.json", bad)
+        proc = self.run_check("--adaptive", cand)
+        self.assert_clean_failure(proc, 2, "invariant violations")
+
+    def test_zero_switches_exits_two(self):
+        # A policy that never changed its decision under phased congestion
+        # is not wired into the round loop; the win would be vacuous.
+        bad = copy.deepcopy(ADAPTIVE_DOC)
+        bad["adaptive"]["switches"] = 0
+        cand = self.write("cand.json", bad)
+        proc = self.run_check("--adaptive", cand)
+        self.assert_clean_failure(proc, 2, "never switched")
+
+    def test_flag_vs_cells_mismatch_is_malformed(self):
+        # beats_all_fixed must agree with the per-cell numbers; disagreement
+        # means the producer and the gate diverged (exit 1, not 2).
+        bad = copy.deepcopy(ADAPTIVE_DOC)
+        bad["beats_all_fixed"] = False
+        cand = self.write("cand.json", bad)
+        proc = self.run_check("--adaptive", cand)
+        self.assert_clean_failure(proc, 1, "does not match")
+
+    def test_missing_key_fails_cleanly(self):
+        bad = copy.deepcopy(ADAPTIVE_DOC)
+        del bad["decision_digest"]
+        cand = self.write("cand.json", bad)
+        proc = self.run_check("--adaptive", cand)
+        self.assert_clean_failure(proc, 1, "decision_digest")
+
+    def test_empty_fixed_grid_is_malformed(self):
+        bad = copy.deepcopy(ADAPTIVE_DOC)
+        bad["fixed"] = []
+        cand = self.write("cand.json", bad)
+        proc = self.run_check("--adaptive", cand)
+        self.assert_clean_failure(proc, 1, "non-empty array")
 
 
 if __name__ == "__main__":
